@@ -1,0 +1,97 @@
+// Shared helpers for the reproduction benches.
+//
+// Every bench runs the workload inside the deterministic simulator and
+// reports VIRTUAL time (the simulated Cray-XT5-like machine's clock), so
+// results are exactly reproducible. Absolute values are not expected to
+// match the paper's hardware; the shapes (ratios, crossovers, which line
+// wins) are what each bench reproduces — see EXPERIMENTS.md.
+#pragma once
+
+#include <cstdio>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "runtime/world.hpp"
+
+namespace benchutil {
+
+/// Cray-XT5-like machine (the paper's testbed): SeaStar2+-ish latency and
+/// bandwidth, in-order delivery, Portals completion (ACK) events, NIC
+/// atomics.
+inline m3rma::runtime::WorldConfig xt5_config(int ranks) {
+  m3rma::runtime::WorldConfig c;
+  c.ranks = ranks;
+  c.caps.ordered_delivery = true;
+  c.caps.remote_completion_events = true;
+  c.caps.native_atomics = true;
+  c.costs.latency_ns = 4200;
+  c.costs.inject_overhead_ns = 1200;
+  c.costs.bytes_per_ns = 1.6;
+  c.costs.delivery_overhead_ns = 400;
+  c.costs.loopback_latency_ns = 250;
+  c.costs.local_completion_ns = 3000;
+  c.costs.jitter_ns = 3000;
+  c.costs.delivery_occupancy_ns = 250;
+  c.seed = 20090922;  // ICPP 2009
+  return c;
+}
+
+/// Quadrics-like variant: fast but adaptively-routed (unordered) network.
+inline m3rma::runtime::WorldConfig unordered_config(int ranks) {
+  auto c = xt5_config(ranks);
+  c.caps.ordered_delivery = false;
+  return c;
+}
+
+struct Table {
+  std::string title;
+  std::vector<std::string> header;
+  std::vector<std::vector<std::string>> rows;
+
+  void print() const {
+    std::printf("\n## %s\n\n", title.c_str());
+    auto print_row = [](const std::vector<std::string>& cells) {
+      std::printf("|");
+      for (const auto& c : cells) std::printf(" %s |", c.c_str());
+      std::printf("\n");
+    };
+    print_row(header);
+    std::printf("|");
+    for (std::size_t i = 0; i < header.size(); ++i) std::printf("---|");
+    std::printf("\n");
+    for (const auto& r : rows) print_row(r);
+  }
+};
+
+inline std::string fmt_ms(m3rma::sim::Time ns) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.3f", static_cast<double>(ns) / 1e6);
+  return buf;
+}
+
+inline std::string fmt_us(m3rma::sim::Time ns) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.2f", static_cast<double>(ns) / 1e3);
+  return buf;
+}
+
+inline std::string fmt_ratio(m3rma::sim::Time num, m3rma::sim::Time den) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.2fx",
+                static_cast<double>(num) / static_cast<double>(den));
+  return buf;
+}
+
+inline std::string fmt_u64(std::uint64_t v) { return std::to_string(v); }
+
+/// Run `fn` on every rank of a fresh world; returns total virtual duration.
+inline m3rma::sim::Time run_world(
+    m3rma::runtime::WorldConfig cfg,
+    const std::function<void(m3rma::runtime::Rank&)>& fn) {
+  m3rma::runtime::World w(std::move(cfg));
+  w.run(fn);
+  return w.duration();
+}
+
+}  // namespace benchutil

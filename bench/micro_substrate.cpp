@@ -1,0 +1,141 @@
+// Host-time microbenchmarks (google-benchmark) of the simulation substrate
+// itself: how fast the deterministic engine, fabric and memory model run on
+// the host. These bound how large a simulated experiment is practical.
+//
+//   build/bench/micro_substrate
+#include <benchmark/benchmark.h>
+
+#include "fabric/fabric.hpp"
+#include "memsim/memory_domain.hpp"
+#include "runtime/comm.hpp"
+#include "runtime/world.hpp"
+#include "simtime/channel.hpp"
+#include "simtime/engine.hpp"
+
+using namespace m3rma;
+
+namespace {
+
+void BM_EngineEventDispatch(benchmark::State& state) {
+  const auto events = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    sim::Engine e;
+    long sink = 0;
+    e.spawn("p", [&](sim::Context& ctx) {
+      for (int i = 0; i < events; ++i) {
+        ctx.engine().schedule_in(1, [&] { ++sink; });
+      }
+      ctx.delay(static_cast<sim::Time>(events) + 2);
+    });
+    e.run();
+    benchmark::DoNotOptimize(sink);
+  }
+  state.SetItemsProcessed(state.iterations() * events);
+}
+BENCHMARK(BM_EngineEventDispatch)->Arg(1000)->Arg(10000);
+
+void BM_EngineContextSwitch(benchmark::State& state) {
+  const int switches = 2000;
+  for (auto _ : state) {
+    sim::Engine e;
+    e.spawn("p", [&](sim::Context& ctx) {
+      for (int i = 0; i < switches; ++i) ctx.delay(1);
+    });
+    e.run();
+  }
+  state.SetItemsProcessed(state.iterations() * switches);
+}
+BENCHMARK(BM_EngineContextSwitch);
+
+void BM_ChannelPingPong(benchmark::State& state) {
+  const int rounds = 500;
+  for (auto _ : state) {
+    sim::Engine e;
+    sim::Channel<int> a(e), b(e);
+    e.spawn("ping", [&](sim::Context& ctx) {
+      for (int i = 0; i < rounds; ++i) {
+        a.push(i);
+        (void)b.recv(ctx);
+      }
+    });
+    e.spawn("pong", [&](sim::Context& ctx) {
+      for (int i = 0; i < rounds; ++i) {
+        (void)a.recv(ctx);
+        b.push(i);
+      }
+    });
+    e.run();
+  }
+  state.SetItemsProcessed(state.iterations() * rounds);
+}
+BENCHMARK(BM_ChannelPingPong);
+
+void BM_FabricMessageRate(benchmark::State& state) {
+  const int msgs = 2000;
+  for (auto _ : state) {
+    sim::Engine e;
+    fabric::Fabric f(e, 2, fabric::Capabilities{}, fabric::CostModel{});
+    long got = 0;
+    f.nic(1).register_protocol(1, [&](fabric::Packet&&) { ++got; });
+    e.spawn("s", [&](sim::Context&) {
+      for (int i = 0; i < msgs; ++i) {
+        fabric::Packet p;
+        p.protocol = 1;
+        p.header.resize(8);
+        f.nic(0).send(1, std::move(p));
+      }
+    });
+    e.run();
+    benchmark::DoNotOptimize(got);
+  }
+  state.SetItemsProcessed(state.iterations() * msgs);
+}
+BENCHMARK(BM_FabricMessageRate);
+
+void BM_MemoryDomainNicWrite(benchmark::State& state) {
+  memsim::DomainConfig cfg;
+  cfg.size = 1 << 20;
+  memsim::MemoryDomain d(cfg);
+  const auto addr = d.alloc(4096);
+  std::vector<std::byte> data(4096);
+  for (auto _ : state) {
+    d.nic_write(addr, data);
+    benchmark::DoNotOptimize(d.raw(addr));
+  }
+  state.SetBytesProcessed(state.iterations() * 4096);
+}
+BENCHMARK(BM_MemoryDomainNicWrite);
+
+void BM_NonCoherentCpuRead(benchmark::State& state) {
+  memsim::DomainConfig cfg;
+  cfg.size = 1 << 20;
+  cfg.coherence = memsim::Coherence::noncoherent_writethrough;
+  memsim::MemoryDomain d(cfg);
+  const auto addr = d.alloc(4096);
+  std::vector<std::byte> out(4096);
+  for (auto _ : state) {
+    d.cpu_read(addr, out);
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetBytesProcessed(state.iterations() * 4096);
+}
+BENCHMARK(BM_NonCoherentCpuRead);
+
+void BM_WorldBarrier(benchmark::State& state) {
+  const auto ranks = static_cast<int>(state.range(0));
+  const int rounds = 20;
+  for (auto _ : state) {
+    runtime::WorldConfig cfg;
+    cfg.ranks = ranks;
+    runtime::World w(cfg);
+    w.run([&](runtime::Rank& r) {
+      for (int i = 0; i < rounds; ++i) r.comm_world().barrier();
+    });
+  }
+  state.SetItemsProcessed(state.iterations() * rounds);
+}
+BENCHMARK(BM_WorldBarrier)->Arg(4)->Arg(16);
+
+}  // namespace
+
+BENCHMARK_MAIN();

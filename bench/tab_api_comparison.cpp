@@ -1,0 +1,262 @@
+// Table S6 (paper §VI): the strawman vs the related RMA APIs it was
+// compared against — ARMCI, GASNet, and MPI-2 one-sided.
+//
+// Measures on the same XT5-like simulator:
+//   * 8 B put latency (blocking, including whatever sync the API forces),
+//   * 64 KiB put bandwidth,
+//   * 1 KiB accumulate (GASNet has none: emulated with AM round trips),
+//   * 16 x 4 KiB strided put (GASNet has no strided API: client-side loop).
+// Capability differences (per the paper): ARMCI cannot do a blocking
+// UNORDERED put or complete a subset of ops; GASNet lacks accumulate and
+// non-contiguous transfers; MPI-2 needs an epoch around everything.
+//
+//   build/bench/tab_api_comparison
+#include <vector>
+
+#include "armci/armci.hpp"
+#include "bench/bench_util.hpp"
+#include "core/rma_engine.hpp"
+#include "gasnet/gasnet.hpp"
+#include "mpi2/win.hpp"
+
+using namespace m3rma;
+using benchutil::Table;
+
+namespace {
+
+constexpr int kIters = 20;
+constexpr std::uint64_t kBig = 64 * 1024;
+
+struct Row {
+  sim::Time small_put = 0;   // per op
+  sim::Time big_put = 0;     // per op
+  sim::Time acc_1k = 0;      // per op (0 = unsupported natively)
+  sim::Time strided = 0;     // per op: 16 x 4 KiB blocks, dst stride 8 KiB
+};
+
+Row run_strawman() {
+  Row row;
+  benchutil::run_world(benchutil::xt5_config(2), [&](runtime::Rank& r) {
+    core::RmaEngine rma(r, r.comm_world());
+    auto buf = r.alloc(512 * 1024);
+    auto mems = rma.exchange_all(rma.attach(buf.addr, buf.size));
+    auto src = r.alloc(256 * 1024);
+    r.comm_world().barrier();
+    if (r.id() == 0) {
+      const auto attrs = core::Attrs(core::RmaAttr::blocking) |
+                         core::RmaAttr::remote_completion;
+      sim::Time t0 = r.ctx().now();
+      for (int i = 0; i < kIters; ++i) {
+        rma.put_bytes(src.addr, mems[1], 0, 8, 1, attrs);
+      }
+      row.small_put = (r.ctx().now() - t0) / kIters;
+      t0 = r.ctx().now();
+      for (int i = 0; i < kIters; ++i) {
+        rma.put_bytes(src.addr, mems[1], 0, kBig, 1, attrs);
+      }
+      row.big_put = (r.ctx().now() - t0) / kIters;
+      const auto f64 = dt::Datatype::float64();
+      t0 = r.ctx().now();
+      for (int i = 0; i < kIters; ++i) {
+        rma.accumulate(portals::AccOp::sum, src.addr, 128, f64, mems[1], 0,
+                       128, f64, 1,
+                       attrs | core::RmaAttr::atomicity);
+      }
+      row.acc_1k = (r.ctx().now() - t0) / kIters;
+      const auto b = dt::Datatype::byte();
+      const auto blocks = dt::Datatype::hvector(16, 4096, 8192, b);
+      t0 = r.ctx().now();
+      for (int i = 0; i < kIters; ++i) {
+        rma.put(src.addr, 16 * 4096, b, mems[1], 0, 1, blocks, 1, attrs);
+      }
+      row.strided = (r.ctx().now() - t0) / kIters;
+    }
+    rma.complete_collective();
+  });
+  return row;
+}
+
+Row run_armci() {
+  Row row;
+  benchutil::run_world(benchutil::xt5_config(2), [&](runtime::Rank& r) {
+    armci::Armci a(r, r.comm_world());
+    a.malloc_shared(512 * 1024);
+    a.barrier();
+    auto src = r.alloc(256 * 1024);
+    if (r.id() == 0) {
+      sim::Time t0 = r.ctx().now();
+      for (int i = 0; i < kIters; ++i) a.put(src.addr, 1, 0, 8);
+      a.fence(1);
+      row.small_put = (r.ctx().now() - t0) / kIters;
+      t0 = r.ctx().now();
+      for (int i = 0; i < kIters; ++i) a.put(src.addr, 1, 0, kBig);
+      a.fence(1);
+      row.big_put = (r.ctx().now() - t0) / kIters;
+      t0 = r.ctx().now();
+      for (int i = 0; i < kIters; ++i) a.acc(1.0, src.addr, 1, 0, 128);
+      a.fence(1);
+      row.acc_1k = (r.ctx().now() - t0) / kIters;
+      t0 = r.ctx().now();
+      for (int i = 0; i < kIters; ++i) {
+        a.put_strided(src.addr, 4096, 1, 0, 8192, 4096, 16);
+      }
+      a.fence(1);
+      row.strided = (r.ctx().now() - t0) / kIters;
+    }
+    a.barrier();
+  });
+  return row;
+}
+
+Row run_gasnet() {
+  Row row;
+  benchutil::run_world(benchutil::xt5_config(2), [&](runtime::Rank& r) {
+    gasnet::Gasnet gn(r, r.comm_world());
+    // AM-based accumulate emulation handlers (GASNet has no accumulate).
+    auto seg = r.alloc(512 * 1024);
+    gn.attach_segment(seg.addr, seg.size);
+    int acks = 0;
+    gn.register_handler([&](gasnet::Token& tok, std::span<const std::byte> pl,
+                            std::uint64_t off, std::uint64_t) {
+      auto* dst = reinterpret_cast<double*>(r.memory().raw(seg.addr + off));
+      const auto* add = reinterpret_cast<const double*>(pl.data());
+      for (std::size_t i = 0; i < pl.size() / 8; ++i) dst[i] += add[i];
+      gn.reply_short(tok, 1);
+    });
+    gn.register_handler([&](gasnet::Token&, std::span<const std::byte>,
+                            std::uint64_t, std::uint64_t) { ++acks; });
+    r.comm_world().barrier();
+    auto src = r.alloc(256 * 1024);
+    if (r.id() == 0) {
+      sim::Time t0 = r.ctx().now();
+      for (int i = 0; i < kIters; ++i) gn.put(1, 0, src.addr, 8);
+      row.small_put = (r.ctx().now() - t0) / kIters;
+      t0 = r.ctx().now();
+      for (int i = 0; i < kIters; ++i) gn.put(1, 0, src.addr, kBig);
+      row.big_put = (r.ctx().now() - t0) / kIters;
+      // Accumulate: medium AM + wait for the software ack.
+      t0 = r.ctx().now();
+      for (int i = 0; i < kIters; ++i) {
+        const int before = acks;
+        gn.am_medium(1, 0,
+                     std::span(reinterpret_cast<const std::byte*>(
+                                   r.memory().raw(src.addr)),
+                               1024),
+                     0);
+        while (acks == before) r.ctx().delay(500);
+      }
+      row.acc_1k = (r.ctx().now() - t0) / kIters;
+      // Strided: no API — client loops over blocks with puts.
+      t0 = r.ctx().now();
+      for (int i = 0; i < kIters; ++i) {
+        std::vector<gasnet::Handle> hs;
+        for (std::uint64_t b = 0; b < 16; ++b) {
+          hs.push_back(gn.put_nb(1, b * 8192, src.addr + b * 4096, 4096));
+        }
+        for (auto& h : hs) gn.sync_nb(h);
+      }
+      row.strided = (r.ctx().now() - t0) / kIters;
+    }
+    r.comm_world().barrier();
+  });
+  return row;
+}
+
+Row run_mpi2() {
+  Row row;
+  benchutil::run_world(benchutil::xt5_config(2), [&](runtime::Rank& r) {
+    auto buf = r.alloc(512 * 1024);
+    mpi2::Win win(r, r.comm_world(), buf.addr, buf.size);
+    auto src = r.alloc(256 * 1024);
+    win.fence();
+    if (r.id() == 0) {
+      // Passive-target epoch per op: lock; op; unlock.
+      sim::Time t0 = r.ctx().now();
+      for (int i = 0; i < kIters; ++i) {
+        win.lock(mpi2::LockType::exclusive, 1);
+        win.put_bytes(src.addr, 1, 0, 8);
+        win.unlock(1);
+      }
+      row.small_put = (r.ctx().now() - t0) / kIters;
+      t0 = r.ctx().now();
+      for (int i = 0; i < kIters; ++i) {
+        win.lock(mpi2::LockType::exclusive, 1);
+        win.put_bytes(src.addr, 1, 0, kBig);
+        win.unlock(1);
+      }
+      row.big_put = (r.ctx().now() - t0) / kIters;
+      const auto f64 = dt::Datatype::float64();
+      t0 = r.ctx().now();
+      for (int i = 0; i < kIters; ++i) {
+        win.lock(mpi2::LockType::exclusive, 1);
+        win.accumulate(portals::AccOp::sum, src.addr, 128, f64, 1, 0, 128,
+                       f64);
+        win.unlock(1);
+      }
+      row.acc_1k = (r.ctx().now() - t0) / kIters;
+      const auto b = dt::Datatype::byte();
+      const auto blocks = dt::Datatype::hvector(16, 4096, 8192, b);
+      t0 = r.ctx().now();
+      for (int i = 0; i < kIters; ++i) {
+        win.lock(mpi2::LockType::exclusive, 1);
+        win.put(src.addr, 16 * 4096, b, 1, 0, 1, blocks);
+        win.unlock(1);
+      }
+      row.strided = (r.ctx().now() - t0) / kIters;
+    }
+    win.fence();
+  });
+  return row;
+}
+
+std::string cell(sim::Time v) { return benchutil::fmt_us(v); }
+
+}  // namespace
+
+int main() {
+  const Row straw = run_strawman();
+  const Row armci_row = run_armci();
+  const Row gn = run_gasnet();
+  const Row m2 = run_mpi2();
+
+  Table t;
+  t.title =
+      "Table S6 — API comparison on the XT5-like simulator (per-op us, "
+      "blocking with remote completion where the API can express it)";
+  t.header = {"API", "8 B put", "64 KiB put", "1 KiB accumulate",
+              "16x4 KiB strided put"};
+  t.rows.push_back({"MPI-3 strawman", cell(straw.small_put),
+                    cell(straw.big_put), cell(straw.acc_1k),
+                    cell(straw.strided)});
+  t.rows.push_back({"ARMCI-like", cell(armci_row.small_put),
+                    cell(armci_row.big_put), cell(armci_row.acc_1k),
+                    cell(armci_row.strided)});
+  t.rows.push_back({"GASNet-like", cell(gn.small_put), cell(gn.big_put),
+                    cell(gn.acc_1k) + " (AM emul.)",
+                    cell(gn.strided) + " (client loop)"});
+  t.rows.push_back({"MPI-2 (lock epoch)", cell(m2.small_put),
+                    cell(m2.big_put), cell(m2.acc_1k), cell(m2.strided)});
+  t.print();
+
+  std::printf("\ncapability notes (paper §VI):\n");
+  std::printf(
+      "  ARMCI: no blocking-unordered put, no per-subset completion; "
+      "acc is daxpy-only\n");
+  std::printf(
+      "  GASNet 1.8: no accumulate (emulated above), no non-contiguous "
+      "API (client loop above)\n");
+  std::printf(
+      "  MPI-2: every access needs an epoch; window creation is "
+      "collective\n");
+  std::printf("\nshape checks:\n");
+  std::printf(
+      "  ARMCI blocking put completes locally (fence pays remote "
+      "completion later): %s of the strawman's rc put — the strawman can "
+      "express BOTH semantics per call\n",
+      benchutil::fmt_ratio(armci_row.small_put, straw.small_put).c_str());
+  std::printf("  MPI-2 epoch tax on small puts: %s vs strawman\n",
+              benchutil::fmt_ratio(m2.small_put, straw.small_put).c_str());
+  std::printf("  GASNet extended put == strawman rc put on this wire: %s\n",
+              benchutil::fmt_ratio(gn.small_put, straw.small_put).c_str());
+  return 0;
+}

@@ -1,0 +1,97 @@
+// Table S3 (ablation; paper §IV requirement 8): scalable completion.
+//
+// "Scalable completion (a single call for a group of processes) is
+//  required" — the paper motivates MPI_ALL_RANKS and the collective
+// variant by contrasting them with a per-rank loop:
+//     for target_rank = first..last: MPI_RMA_complete(comm, target_rank)
+// vs  MPI_RMA_complete(comm, MPI_ALL_RANKS)
+// vs  MPI_RMA_complete_collective(comm)
+//
+// Run on an ordered network WITHOUT completion events so each completion
+// requires a software count-query round trip: the loop pays one per target
+// sequentially, ALL_RANKS overlaps them, the collective adds a barrier.
+//
+//   build/bench/tab_completion_scaling
+#include <vector>
+
+#include "bench/bench_util.hpp"
+#include "core/rma_engine.hpp"
+
+using namespace m3rma;
+using benchutil::Table;
+
+namespace {
+
+enum class Mode { loop, all_ranks, collective };
+
+sim::Time run_case(int ranks, Mode mode) {
+  auto cfg = benchutil::xt5_config(ranks);
+  cfg.caps.remote_completion_events = false;  // software completion
+  std::vector<sim::Time> elapsed(static_cast<std::size_t>(ranks), 0);
+  benchutil::run_world(cfg, [&](runtime::Rank& r) {
+    core::RmaEngine rma(r, r.comm_world());
+    auto buf = r.alloc(4096);
+    auto mems = rma.exchange_all(rma.attach(buf.addr, buf.size));
+    auto src = r.alloc(4096);
+    r.comm_world().barrier();
+    // Everyone scatters 4 puts to every other rank, then completes.
+    for (int peer = 0; peer < r.size(); ++peer) {
+      if (peer == r.id()) continue;
+      for (int i = 0; i < 4; ++i) {
+        rma.put_bytes(src.addr, mems[static_cast<std::size_t>(peer)],
+                      static_cast<std::uint64_t>(r.id()) * 64, 64, peer);
+      }
+    }
+    const sim::Time t0 = r.ctx().now();
+    switch (mode) {
+      case Mode::loop:
+        for (int peer = 0; peer < r.size(); ++peer) {
+          rma.complete(peer);
+        }
+        break;
+      case Mode::all_ranks:
+        rma.complete(core::kAllRanks);
+        break;
+      case Mode::collective:
+        rma.complete_collective();
+        break;
+    }
+    elapsed[static_cast<std::size_t>(r.id())] = r.ctx().now() - t0;
+    rma.complete_collective();
+  });
+  sim::Time mx = 0;
+  for (auto e : elapsed) mx = std::max(mx, e);
+  return mx;
+}
+
+}  // namespace
+
+int main() {
+  const int sizes[] = {2, 4, 8, 16, 32};
+
+  Table t;
+  t.title =
+      "Table S3 — completion time (us) after an all-to-all of puts, on an "
+      "ack-less ordered network (software count-query completion)";
+  t.header = {"ranks", "per-rank loop", "MPI_ALL_RANKS", "collective"};
+  std::vector<std::vector<sim::Time>> raw;
+  for (int n : sizes) {
+    std::vector<sim::Time> vals{run_case(n, Mode::loop),
+                                run_case(n, Mode::all_ranks),
+                                run_case(n, Mode::collective)};
+    std::vector<std::string> row{std::to_string(n)};
+    for (auto v : vals) row.push_back(benchutil::fmt_us(v));
+    raw.push_back(vals);
+    t.rows.push_back(std::move(row));
+  }
+  t.print();
+
+  std::printf("\nshape checks (32 ranks):\n");
+  std::printf("  loop / ALL_RANKS  : %s (ALL_RANKS overlaps the probes)\n",
+              benchutil::fmt_ratio(raw[4][0], raw[4][1]).c_str());
+  std::printf("  loop grows ~linearly with ranks: 32r/2r = %s\n",
+              benchutil::fmt_ratio(raw[4][0], raw[0][0]).c_str());
+  std::printf("  ALL_RANKS grows slowly:          32r/2r = %s\n",
+              benchutil::fmt_ratio(raw[4][1], raw[0][1]).c_str());
+  return 0;
+}

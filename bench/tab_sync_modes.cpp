@@ -1,0 +1,151 @@
+// Table S1 (ablation; paper §I/§II-A + Figure 1): what the MPI-2
+// synchronization modes cost per transfer, versus the strawman's
+// passive-target single-call ops.
+//
+// "the synchronization methods, although needed in a programming model, add
+//  overhead to the basic data transfer functions" — this bench quantifies
+// that overhead for each Figure 1 mode on the XT5-like simulator.
+//
+//   build/bench/tab_sync_modes
+#include <vector>
+
+#include "bench/bench_util.hpp"
+#include "core/rma_engine.hpp"
+#include "mpi2/win.hpp"
+
+using namespace m3rma;
+using benchutil::Table;
+
+namespace {
+
+constexpr int kIters = 20;
+
+/// MPI-2 fence mode: fence; put; fence per iteration (everyone fences).
+sim::Time run_fence(std::uint64_t bytes) {
+  std::vector<sim::Time> elapsed(2, 0);
+  benchutil::run_world(benchutil::xt5_config(2), [&](runtime::Rank& r) {
+    auto buf = r.alloc(128 * 1024);
+    mpi2::Win win(r, r.comm_world(), buf.addr, buf.size);
+    auto src = r.alloc(128 * 1024);
+    win.fence();
+    const sim::Time t0 = r.ctx().now();
+    for (int i = 0; i < kIters; ++i) {
+      if (r.id() == 0) win.put_bytes(src.addr, 1, 0, bytes);
+      win.fence();
+    }
+    elapsed[static_cast<std::size_t>(r.id())] = r.ctx().now() - t0;
+  });
+  return elapsed[0] / kIters;
+}
+
+/// MPI-2 PSCW mode: start/put/complete vs post/wait per iteration.
+sim::Time run_pscw(std::uint64_t bytes) {
+  std::vector<sim::Time> elapsed(2, 0);
+  benchutil::run_world(benchutil::xt5_config(2), [&](runtime::Rank& r) {
+    auto buf = r.alloc(128 * 1024);
+    mpi2::Win win(r, r.comm_world(), buf.addr, buf.size);
+    auto src = r.alloc(128 * 1024);
+    win.fence();
+    const sim::Time t0 = r.ctx().now();
+    for (int i = 0; i < kIters; ++i) {
+      if (r.id() == 0) {
+        const int targets[] = {1};
+        win.start(targets);
+        win.put_bytes(src.addr, 1, 0, bytes);
+        win.complete();
+      } else {
+        const int origins[] = {0};
+        win.post(origins);
+        win.wait();
+      }
+    }
+    elapsed[static_cast<std::size_t>(r.id())] = r.ctx().now() - t0;
+    win.fence();
+  });
+  return elapsed[0] / kIters;
+}
+
+/// MPI-2 passive mode: lock; put; unlock per iteration.
+sim::Time run_lock(std::uint64_t bytes) {
+  std::vector<sim::Time> elapsed(2, 0);
+  benchutil::run_world(benchutil::xt5_config(2), [&](runtime::Rank& r) {
+    auto buf = r.alloc(128 * 1024);
+    mpi2::Win win(r, r.comm_world(), buf.addr, buf.size);
+    auto src = r.alloc(128 * 1024);
+    win.fence();
+    if (r.id() == 0) {
+      const sim::Time t0 = r.ctx().now();
+      for (int i = 0; i < kIters; ++i) {
+        win.lock(mpi2::LockType::exclusive, 1);
+        win.put_bytes(src.addr, 1, 0, bytes);
+        win.unlock(1);
+      }
+      elapsed[0] = r.ctx().now() - t0;
+    }
+    win.fence();
+  });
+  return elapsed[0] / kIters;
+}
+
+/// Strawman: blocking put, no synchronization calls at all; remote
+/// completion checked once at the end (cost amortized into the loop).
+sim::Time run_strawman(std::uint64_t bytes, bool rc) {
+  std::vector<sim::Time> elapsed(2, 0);
+  benchutil::run_world(benchutil::xt5_config(2), [&](runtime::Rank& r) {
+    core::RmaEngine rma(r, r.comm_world());
+    auto buf = r.alloc(128 * 1024);
+    auto mems = rma.exchange_all(rma.attach(buf.addr, buf.size));
+    auto src = r.alloc(128 * 1024);
+    r.comm_world().barrier();
+    if (r.id() == 0) {
+      const core::Attrs attrs =
+          rc ? core::Attrs(core::RmaAttr::blocking) |
+                   core::RmaAttr::remote_completion
+             : core::Attrs(core::RmaAttr::blocking);
+      const sim::Time t0 = r.ctx().now();
+      for (int i = 0; i < kIters; ++i) {
+        rma.put_bytes(src.addr, mems[1], 0, bytes, 1, attrs);
+      }
+      rma.complete(1);
+      elapsed[0] = r.ctx().now() - t0;
+    }
+    rma.complete_collective();
+  });
+  return elapsed[0] / kIters;
+}
+
+}  // namespace
+
+int main() {
+  const std::uint64_t sizes[] = {8, 64, 1024, 8192, 65536};
+
+  Table t;
+  t.title =
+      "Table S1 — per-transfer cost (us) incl. synchronization: MPI-2 "
+      "modes vs strawman passive ops (2 ranks, XT5-like)";
+  t.header = {"bytes",          "mpi2 fence", "mpi2 pscw",
+              "mpi2 lock/unl",  "strawman blocking",
+              "strawman blocking+rc"};
+  std::vector<std::vector<sim::Time>> raw;
+  for (std::uint64_t b : sizes) {
+    std::vector<sim::Time> vals{run_fence(b), run_pscw(b), run_lock(b),
+                                run_strawman(b, false),
+                                run_strawman(b, true)};
+    std::vector<std::string> row{std::to_string(b)};
+    for (auto v : vals) row.push_back(benchutil::fmt_us(v));
+    raw.push_back(vals);
+    t.rows.push_back(std::move(row));
+  }
+  t.print();
+
+  std::printf("\nshape checks (8 B row):\n");
+  std::printf("  fence / strawman-blocking : %s (sync dominates small msgs)\n",
+              benchutil::fmt_ratio(raw[0][0], raw[0][3]).c_str());
+  std::printf("  pscw / strawman-blocking  : %s\n",
+              benchutil::fmt_ratio(raw[0][1], raw[0][3]).c_str());
+  std::printf("  lock / strawman-blocking  : %s\n",
+              benchutil::fmt_ratio(raw[0][2], raw[0][3]).c_str());
+  std::printf("  at 64 KiB the gap narrows : fence/strawman = %s\n",
+              benchutil::fmt_ratio(raw[4][0], raw[4][3]).c_str());
+  return 0;
+}

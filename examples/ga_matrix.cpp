@@ -1,0 +1,90 @@
+// Global-Arrays-style dynamic matrix build — the NWChem pattern the paper's
+// §II motivates: tasks are drawn from a one-sided counter (read_inc), each
+// task accumulates a contribution patch into a shared matrix with atomic
+// one-sided accumulate, and nobody ever posts a receive.
+//
+//   build/examples/ga_matrix
+#include <cstdio>
+#include <vector>
+
+#include "galib/global_array.hpp"
+#include "runtime/world.hpp"
+
+using namespace m3rma;
+
+namespace {
+constexpr std::uint64_t kN = 24;        // matrix is kN x kN
+constexpr std::uint64_t kTile = 6;      // contribution tiles
+constexpr std::uint64_t kTilesPerDim = kN / kTile;
+}  // namespace
+
+int main() {
+  runtime::WorldConfig cfg;
+  cfg.ranks = 4;
+  runtime::World world(cfg);
+
+  world.run([](runtime::Rank& r) {
+    galib::Context ctx(r, r.comm_world());
+    auto fock = ctx.create("fock", kN, kN);
+    fock->fill(0.0);
+
+    // Task bag: one task per tile, drawn dynamically. Every tile is
+    // contributed TWICE (tasks 0..T-1 and T..2T-1) to exercise concurrent
+    // accumulates into overlapping regions.
+    const std::int64_t total_tasks =
+        static_cast<std::int64_t>(2 * kTilesPerDim * kTilesPerDim);
+    std::vector<double> tile(kTile * kTile);
+    std::uint64_t my_tasks = 0;
+    while (true) {
+      const std::int64_t task = fock->read_inc();
+      if (task >= total_tasks) break;
+      const auto t = static_cast<std::uint64_t>(task) %
+                     (kTilesPerDim * kTilesPerDim);
+      const std::uint64_t ti = t / kTilesPerDim;
+      const std::uint64_t tj = t % kTilesPerDim;
+      // "Integral computation": value depends only on the global element.
+      for (std::uint64_t i = 0; i < kTile; ++i) {
+        for (std::uint64_t j = 0; j < kTile; ++j) {
+          const std::uint64_t gi = ti * kTile + i;
+          const std::uint64_t gj = tj * kTile + j;
+          tile[i * kTile + j] = static_cast<double>(gi + gj);
+        }
+      }
+      r.ctx().delay(30000);  // model the integral work
+      fock->acc(galib::Patch{ti * kTile, (ti + 1) * kTile, tj * kTile,
+                             (tj + 1) * kTile},
+                0.5, tile.data(), kTile);
+      ++my_tasks;
+    }
+    fock->sync();
+
+    // Verify: each element accumulated twice with alpha .5 => exactly i+j.
+    std::uint64_t errors = 0;
+    auto [lo, hi] = fock->my_rows();
+    const double* mine = fock->local_data();
+    for (std::uint64_t row = lo; row < hi; ++row) {
+      for (std::uint64_t col = 0; col < kN; ++col) {
+        if (mine[(row - lo) * kN + col] !=
+            static_cast<double>(row + col)) {
+          ++errors;
+        }
+      }
+    }
+    const std::uint64_t total_err = r.comm_world().allreduce_sum(errors);
+    const std::uint64_t tasks = r.comm_world().allreduce_sum(my_tasks);
+    if (r.id() == 0) {
+      std::printf("matrix assembled dynamically: %llu tasks, %llu wrong "
+                  "elements, global sum %.1f\n",
+                  static_cast<unsigned long long>(tasks),
+                  static_cast<unsigned long long>(total_err),
+                  fock->global_sum());
+    } else {
+      (void)fock->global_sum();  // collective
+    }
+    fock->sync();
+  });
+
+  std::printf("simulated time: %.3f ms\n",
+              static_cast<double>(world.duration()) / 1e6);
+  return 0;
+}

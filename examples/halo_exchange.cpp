@@ -1,0 +1,101 @@
+// Halo (ghost-cell) exchange on a 2D grid — the canonical stencil workload
+// the paper's requirement 7 targets: column halos are strided in memory, so
+// the exchange needs vector datatypes; row halos are contiguous.
+//
+// Each rank owns an (N x N) block of a ring-decomposed domain and pushes
+// its boundary to the neighbors' ghost regions with one-sided puts, then
+// completes with a single MPI_RMA_complete_collective per iteration — no
+// receiver-side calls at all.
+//
+//   build/examples/halo_exchange
+#include <cstdio>
+#include <vector>
+
+#include "core/rma_engine.hpp"
+#include "runtime/world.hpp"
+
+using namespace m3rma;
+
+namespace {
+
+constexpr int kRanks = 4;
+constexpr std::uint64_t kN = 32;  // interior cells per side
+// Layout: (kN + 2) x (kN + 2) doubles with a one-cell ghost ring.
+constexpr std::uint64_t kLd = kN + 2;
+
+std::uint64_t idx(std::uint64_t row, std::uint64_t col) {
+  return (row * kLd + col) * sizeof(double);
+}
+
+}  // namespace
+
+int main() {
+  runtime::WorldConfig cfg;
+  cfg.ranks = kRanks;
+  runtime::World world(cfg);
+
+  world.run([](runtime::Rank& r) {
+    core::RmaEngine rma(r, r.comm_world());
+
+    auto grid = r.alloc_array<double>(kLd * kLd);
+    auto* cells = reinterpret_cast<double*>(grid.data);
+    for (std::uint64_t i = 0; i < kLd * kLd; ++i) cells[i] = 0.0;
+    for (std::uint64_t row = 1; row <= kN; ++row) {
+      for (std::uint64_t col = 1; col <= kN; ++col) {
+        cells[row * kLd + col] = r.id() + 1;
+      }
+    }
+
+    auto mems = rma.exchange_all(rma.attach(grid));
+    const int up = (r.id() + kRanks - 1) % kRanks;
+    const int down = (r.id() + 1) % kRanks;
+
+    const auto f64 = dt::Datatype::float64();
+    // A column of kN doubles strided by the leading dimension.
+    const auto column = dt::Datatype::vector(kN, 1, kLd, f64);
+    // A row of kN doubles, contiguous.
+    const auto row_t = dt::Datatype::contiguous(kN, f64);
+
+    const core::Attrs push = core::Attrs(core::RmaAttr::blocking);
+    for (int iter = 0; iter < 5; ++iter) {
+      // Push my bottom row into `down`'s top ghost row and my top row into
+      // `up`'s bottom ghost row (ring in the row dimension).
+      rma.put(grid.addr + idx(kN, 1), 1, row_t,
+              mems[static_cast<std::size_t>(down)], idx(0, 1), 1, row_t,
+              down, push);
+      rma.put(grid.addr + idx(1, 1), 1, row_t,
+              mems[static_cast<std::size_t>(up)], idx(kN + 1, 1), 1, row_t,
+              up, push);
+      // Push my right column into `down`'s left ghost column and my left
+      // column into `up`'s right ghost column (strided on both sides!).
+      rma.put(grid.addr + idx(1, kN), 1, column,
+              mems[static_cast<std::size_t>(down)], idx(1, 0), 1, column,
+              down, push);
+      rma.put(grid.addr + idx(1, 1), 1, column,
+              mems[static_cast<std::size_t>(up)], idx(1, kN + 1), 1, column,
+              up, push);
+      // One collective completion per iteration (requirement 8).
+      rma.complete_collective();
+
+      // Jacobi-ish sweep so the halos matter.
+      for (std::uint64_t row = 1; row <= kN; ++row) {
+        for (std::uint64_t col = 1; col <= kN; ++col) {
+          const std::uint64_t c = row * kLd + col;
+          cells[c] = 0.2 * (cells[c] + cells[c - 1] + cells[c + 1] +
+                            cells[c - kLd] + cells[c + kLd]);
+        }
+      }
+      r.ctx().delay(50000);  // model the compute phase
+    }
+
+    rma.complete_collective();
+    double corner = cells[1 * kLd + 1];
+    std::printf("rank %d: interior corner after 5 sweeps = %.6f (ghosts %g/%g)\n",
+                r.id(), corner, cells[0 * kLd + 1], cells[(kN + 1) * kLd + 1]);
+  });
+
+  std::printf("simulated time: %.3f us, wire bytes: %llu\n",
+              static_cast<double>(world.duration()) / 1000.0,
+              static_cast<unsigned long long>(world.fabric().total_bytes()));
+  return 0;
+}

@@ -1,0 +1,158 @@
+#include "armci/armci.hpp"
+
+#include <cstring>
+
+#include "common/diagnostics.hpp"
+
+namespace m3rma::armci {
+
+using core::Attrs;
+using core::RmaAttr;
+
+Armci::Armci(runtime::Rank& rank, runtime::Comm& comm)
+    : rank_(&rank), comm_(&comm) {
+  core::EngineConfig cfg;
+  // ARMCI serializes accumulates through a server/communication thread.
+  cfg.serializer = core::SerializerKind::comm_thread;
+  eng_ = std::make_unique<core::RmaEngine>(rank, comm, cfg);
+}
+
+void Armci::malloc_shared(std::uint64_t bytes) {
+  M3RMA_REQUIRE(mems_.empty(), "malloc_shared may be called once");
+  auto buf = rank_->alloc(bytes);
+  mems_ = eng_->exchange_all(eng_->attach(buf.addr, buf.size));
+}
+
+std::uint64_t Armci::local_base() const {
+  return mem_of(comm_->rank()).base;
+}
+
+const core::TargetMem& Armci::mem_of(int rank) const {
+  M3RMA_REQUIRE(!mems_.empty(), "call malloc_shared first");
+  M3RMA_REQUIRE(rank >= 0 && rank < comm_->size(), "rank out of range");
+  return mems_[static_cast<std::size_t>(rank)];
+}
+
+// ----------------------------------------------------------- blocking ops
+
+void Armci::put(std::uint64_t src, int rank, std::uint64_t dst_off,
+                std::uint64_t bytes) {
+  eng_->put_bytes(src, mem_of(rank), dst_off, bytes, rank,
+                  Attrs(RmaAttr::blocking) | RmaAttr::ordering);
+}
+
+void Armci::get(std::uint64_t dst, int rank, std::uint64_t src_off,
+                std::uint64_t bytes) {
+  eng_->get_bytes(dst, mem_of(rank), src_off, bytes, rank,
+                  Attrs(RmaAttr::blocking) | RmaAttr::ordering);
+}
+
+void Armci::acc(double scale, std::uint64_t src, int rank,
+                std::uint64_t dst_off, std::uint64_t count) {
+  // Scale locally (a*x), then ship a serialized sum-accumulate (y += a*x).
+  const std::uint64_t bytes = count * sizeof(double);
+  if (scratch_len_ < bytes) {
+    if (scratch_ != 0) rank_->memory().dealloc(scratch_);
+    scratch_ = rank_->memory().alloc(bytes);
+    scratch_len_ = bytes;
+  }
+  auto& mem = rank_->memory();
+  std::vector<double> tmp(count);
+  std::memcpy(tmp.data(), mem.raw(src), bytes);
+  for (auto& v : tmp) v *= scale;
+  std::memcpy(mem.raw(scratch_), tmp.data(), bytes);
+
+  const auto f64 = dt::Datatype::float64();
+  eng_->accumulate(portals::AccOp::sum, scratch_, count, f64, mem_of(rank),
+                   dst_off, count, f64, rank,
+                   Attrs(RmaAttr::blocking) | RmaAttr::ordering |
+                       RmaAttr::atomicity);
+}
+
+void Armci::put_strided(std::uint64_t src, std::uint64_t src_stride,
+                        int rank, std::uint64_t dst_off,
+                        std::uint64_t dst_stride, std::uint64_t block_bytes,
+                        std::uint64_t nblocks) {
+  const auto b = dt::Datatype::byte();
+  const auto src_dt = dt::Datatype::hvector(nblocks, block_bytes, src_stride,
+                                            b);
+  const auto dst_dt = dt::Datatype::hvector(nblocks, block_bytes, dst_stride,
+                                            b);
+  eng_->put(src, 1, src_dt, mem_of(rank), dst_off, 1, dst_dt, rank,
+            Attrs(RmaAttr::blocking) | RmaAttr::ordering);
+}
+
+void Armci::get_strided(std::uint64_t dst, std::uint64_t dst_stride,
+                        int rank, std::uint64_t src_off,
+                        std::uint64_t src_stride, std::uint64_t block_bytes,
+                        std::uint64_t nblocks) {
+  const auto b = dt::Datatype::byte();
+  const auto dst_dt = dt::Datatype::hvector(nblocks, block_bytes, dst_stride,
+                                            b);
+  const auto src_dt = dt::Datatype::hvector(nblocks, block_bytes, src_stride,
+                                            b);
+  eng_->get(dst, 1, dst_dt, mem_of(rank), src_off, 1, src_dt, rank,
+            Attrs(RmaAttr::blocking) | RmaAttr::ordering);
+}
+
+void Armci::put_v(
+    std::span<const std::pair<std::uint64_t, std::uint64_t>> pairs,
+    std::uint64_t bytes, int rank) {
+  M3RMA_REQUIRE(!pairs.empty() && bytes > 0, "empty vector put");
+  std::vector<std::uint64_t> lens(pairs.size(), bytes);
+  std::vector<std::uint64_t> src_displs, dst_displs;
+  for (const auto& [src, dst] : pairs) {
+    src_displs.push_back(src);
+    dst_displs.push_back(dst);
+  }
+  const auto b = dt::Datatype::byte();
+  // Origin displacements are absolute domain addresses (origin_addr = 0).
+  const auto src_dt = dt::Datatype::hindexed(lens, src_displs, b);
+  const auto dst_dt = dt::Datatype::hindexed(lens, dst_displs, b);
+  eng_->put(0, 1, src_dt, mem_of(rank), 0, 1, dst_dt, rank,
+            Attrs(RmaAttr::blocking) | RmaAttr::ordering);
+}
+
+void Armci::get_v(
+    std::span<const std::pair<std::uint64_t, std::uint64_t>> pairs,
+    std::uint64_t bytes, int rank) {
+  M3RMA_REQUIRE(!pairs.empty() && bytes > 0, "empty vector get");
+  std::vector<std::uint64_t> lens(pairs.size(), bytes);
+  std::vector<std::uint64_t> src_displs, dst_displs;
+  for (const auto& [dst, src] : pairs) {
+    dst_displs.push_back(dst);
+    src_displs.push_back(src);
+  }
+  const auto b = dt::Datatype::byte();
+  const auto dst_dt = dt::Datatype::hindexed(lens, dst_displs, b);
+  const auto src_dt = dt::Datatype::hindexed(lens, src_displs, b);
+  eng_->get(0, 1, dst_dt, mem_of(rank), 0, 1, src_dt, rank,
+            Attrs(RmaAttr::blocking) | RmaAttr::ordering);
+}
+
+// -------------------------------------------------------- non-blocking ops
+
+Handle Armci::nb_put(std::uint64_t src, int rank, std::uint64_t dst_off,
+                     std::uint64_t bytes) {
+  // Unordered by contract: no attributes at all.
+  return Handle(eng_->put_bytes(src, mem_of(rank), dst_off, bytes, rank));
+}
+
+Handle Armci::nb_get(std::uint64_t dst, int rank, std::uint64_t src_off,
+                     std::uint64_t bytes) {
+  return Handle(eng_->get_bytes(dst, mem_of(rank), src_off, bytes, rank));
+}
+
+void Armci::wait(Handle& h) {
+  if (h.req_.valid()) h.req_.wait();
+}
+
+// --------------------------------------------------------------- completion
+
+void Armci::fence(int rank) { eng_->complete(rank); }
+
+void Armci::all_fence() { eng_->complete(core::kAllRanks); }
+
+void Armci::barrier() { comm_->barrier(); }
+
+}  // namespace m3rma::armci

@@ -1,0 +1,111 @@
+// ARMCI-like communication interface (paper §VI, Nieplocha et al.).
+//
+// Reproduces the API semantics the paper contrasts with the strawman:
+//   * contiguous, vector and strided Put/Get/Accumulate;
+//   * blocking operations are ORDERED by the library; non-blocking
+//     operations carry NO ordering guarantee;
+//   * Accumulate is daxpy-like (y += a*x) and serialized at the target;
+//   * ARMCI_Fence / ARMCI_AllFence for remote completion;
+//   * collective ARMCI_Malloc-style allocation (unlike the strawman's
+//     non-collective target_mem).
+// What ARMCI cannot express — and the strawman adds — is per-op attribute
+// selection (e.g. a blocking *unordered* put) and completion of op subsets.
+//
+// Implemented over the strawman engine, mirroring how both would sit on the
+// same low-level transport (Portals here): blocking ops map to
+// blocking+ordering attributes, accumulates to atomicity (serialized).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "core/rma_engine.hpp"
+#include "runtime/comm.hpp"
+#include "runtime/world.hpp"
+
+namespace m3rma::armci {
+
+/// Non-blocking request handle (armci_hdl_t).
+class Handle {
+ public:
+  Handle() = default;
+  bool done() { return !req_.valid() || req_.test(); }
+
+ private:
+  friend class Armci;
+  explicit Handle(core::Request req) : req_(std::move(req)) {}
+  core::Request req_;
+};
+
+class Armci {
+ public:
+  /// ARMCI_Init: collective.
+  Armci(runtime::Rank& rank, runtime::Comm& comm);
+
+  /// ARMCI_Malloc: collective; every rank contributes `bytes` and receives
+  /// the whole team's remotely-accessible regions. Returns this rank's
+  /// local region address via local_base().
+  void malloc_shared(std::uint64_t bytes);
+  std::uint64_t local_base() const;
+
+  // ----- blocking, ordered ---------------------------------------------------
+
+  void put(std::uint64_t src, int rank, std::uint64_t dst_off,
+           std::uint64_t bytes);
+  void get(std::uint64_t dst, int rank, std::uint64_t src_off,
+           std::uint64_t bytes);
+  /// ARMCI_Acc (daxpy-like): remote[i] += scale * local[i], doubles,
+  /// serialized at the target.
+  void acc(double scale, std::uint64_t src, int rank, std::uint64_t dst_off,
+           std::uint64_t count);
+
+  /// ARMCI_PutS / ARMCI_GetS (one stride level): nblocks blocks of
+  /// block_bytes, source stride src_stride, destination stride dst_stride.
+  void put_strided(std::uint64_t src, std::uint64_t src_stride, int rank,
+                   std::uint64_t dst_off, std::uint64_t dst_stride,
+                   std::uint64_t block_bytes, std::uint64_t nblocks);
+  void get_strided(std::uint64_t dst, std::uint64_t dst_stride, int rank,
+                   std::uint64_t src_off, std::uint64_t src_stride,
+                   std::uint64_t block_bytes, std::uint64_t nblocks);
+
+  /// ARMCI_PutV/GetV-style generalized I/O vector: `pairs[i]` copies
+  /// `bytes` from local address pairs[i].first to remote offset
+  /// pairs[i].second (and vice versa for get_v). Issued as ONE scatter/
+  /// gather operation via hindexed datatypes.
+  void put_v(std::span<const std::pair<std::uint64_t, std::uint64_t>> pairs,
+             std::uint64_t bytes, int rank);
+  void get_v(std::span<const std::pair<std::uint64_t, std::uint64_t>> pairs,
+             std::uint64_t bytes, int rank);
+
+  // ----- non-blocking, unordered ----------------------------------------------
+
+  Handle nb_put(std::uint64_t src, int rank, std::uint64_t dst_off,
+                std::uint64_t bytes);
+  Handle nb_get(std::uint64_t dst, int rank, std::uint64_t src_off,
+                std::uint64_t bytes);
+  void wait(Handle& h);
+
+  // ----- completion -------------------------------------------------------------
+
+  /// ARMCI_Fence: previous ops to `rank` are remotely complete on return.
+  void fence(int rank);
+  /// ARMCI_AllFence.
+  void all_fence();
+  /// Collective barrier (armci_msg_barrier).
+  void barrier();
+
+  core::RmaEngine& engine() { return *eng_; }
+
+ private:
+  const core::TargetMem& mem_of(int rank) const;
+
+  runtime::Rank* rank_;
+  runtime::Comm* comm_;
+  std::unique_ptr<core::RmaEngine> eng_;
+  std::vector<core::TargetMem> mems_;  // per comm rank, after malloc_shared
+  std::uint64_t scratch_ = 0;          // staging for acc scaling
+  std::uint64_t scratch_len_ = 0;
+};
+
+}  // namespace m3rma::armci

@@ -1,0 +1,46 @@
+// Byte-order utilities for heterogeneous transfers (paper §III-B3).
+//
+// A system built from big-endian hosts and little-endian special-purpose
+// processing elements must convert RMA payloads on the wire. The datatype
+// engine swaps per leaf element using these helpers.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+
+namespace m3rma {
+
+enum class Endian : std::uint8_t { little = 0, big = 1 };
+
+/// Endianness of the host running the simulation. Simulated nodes may be
+/// configured with either; payload bytes in simulated memory are stored in
+/// the simulated node's order.
+constexpr Endian host_endian() {
+#if defined(__BYTE_ORDER__) && __BYTE_ORDER__ == __ORDER_BIG_ENDIAN__
+  return Endian::big;
+#else
+  return Endian::little;
+#endif
+}
+
+/// Reverse the bytes of an `elem_size`-byte element in place.
+inline void swap_element(std::byte* p, std::size_t elem_size) {
+  for (std::size_t i = 0, j = elem_size - 1; i < j; ++i, --j) {
+    std::byte tmp = p[i];
+    p[i] = p[j];
+    p[j] = tmp;
+  }
+}
+
+/// Reverse bytes of every `elem_size`-byte element in a packed buffer of
+/// `count` elements. elem_size of 1 is a no-op.
+inline void swap_elements(std::byte* buf, std::size_t elem_size,
+                          std::size_t count) {
+  if (elem_size <= 1) return;
+  for (std::size_t e = 0; e < count; ++e) {
+    swap_element(buf + e * elem_size, elem_size);
+  }
+}
+
+}  // namespace m3rma

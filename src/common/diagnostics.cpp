@@ -1,0 +1,23 @@
+#include "common/diagnostics.hpp"
+
+#include <sstream>
+
+namespace m3rma::detail {
+
+namespace {
+std::string format_site(const char* file, int line, const std::string& msg) {
+  std::ostringstream os;
+  os << file << ":" << line << ": " << msg;
+  return os.str();
+}
+}  // namespace
+
+void panic_at(const char* file, int line, const std::string& msg) {
+  throw Panic(format_site(file, line, msg));
+}
+
+void usage_error_at(const char* file, int line, const std::string& msg) {
+  throw UsageError(format_site(file, line, msg));
+}
+
+}  // namespace m3rma::detail

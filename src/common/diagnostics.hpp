@@ -1,0 +1,60 @@
+// Diagnostics: error reporting primitives used across m3rma.
+//
+// The simulation substrate is deterministic, so every failure is a hard
+// programming or protocol error; we surface them as exceptions that carry
+// the failing site so tests can assert on them.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace m3rma {
+
+/// Thrown on violated preconditions and invariants (M3RMA_ENSURE).
+class Panic : public std::runtime_error {
+ public:
+  explicit Panic(std::string what) : std::runtime_error(std::move(what)) {}
+};
+
+/// Thrown when the simulation cannot make progress: every live process is
+/// blocked and no future event exists to wake any of them.
+class DeadlockError : public Panic {
+ public:
+  explicit DeadlockError(std::string what) : Panic(std::move(what)) {}
+};
+
+/// Thrown on misuse of a public API (bad rank, bad datatype, out-of-range
+/// displacement, ...). Mirrors what an MPI implementation would report via
+/// MPI_ERR_* classes.
+class UsageError : public Panic {
+ public:
+  explicit UsageError(std::string what) : Panic(std::move(what)) {}
+};
+
+namespace detail {
+[[noreturn]] void panic_at(const char* file, int line, const std::string& msg);
+[[noreturn]] void usage_error_at(const char* file, int line,
+                                 const std::string& msg);
+}  // namespace detail
+
+}  // namespace m3rma
+
+/// Invariant check that stays on in release builds: the simulator's
+/// correctness claims rest on these holding.
+#define M3RMA_ENSURE(cond, msg)                               \
+  do {                                                        \
+    if (!(cond)) {                                            \
+      ::m3rma::detail::panic_at(__FILE__, __LINE__,           \
+                                std::string("ensure failed: " #cond ": ") + \
+                                    (msg));                   \
+    }                                                         \
+  } while (0)
+
+/// Public-API argument validation.
+#define M3RMA_REQUIRE(cond, msg)                              \
+  do {                                                        \
+    if (!(cond)) {                                            \
+      ::m3rma::detail::usage_error_at(__FILE__, __LINE__,     \
+                                      std::string(msg));      \
+    }                                                         \
+  } while (0)

@@ -1,0 +1,37 @@
+#include "common/rng.hpp"
+
+#include "common/diagnostics.hpp"
+
+namespace m3rma {
+
+std::uint64_t SplitMix64::next() {
+  std::uint64_t z = (state_ += 0x9e3779b97f4a7c15ULL);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+std::uint64_t SplitMix64::next_below(std::uint64_t bound) {
+  M3RMA_ENSURE(bound != 0, "next_below bound must be nonzero");
+  // Rejection sampling to avoid modulo bias.
+  const std::uint64_t limit = bound * ((~0ULL) / bound);
+  std::uint64_t v;
+  do {
+    v = next();
+  } while (v >= limit);
+  return v % bound;
+}
+
+std::uint64_t SplitMix64::next_in(std::uint64_t lo, std::uint64_t hi) {
+  M3RMA_ENSURE(lo <= hi, "next_in requires lo <= hi");
+  if (lo == 0 && hi == ~0ULL) return next();
+  return lo + next_below(hi - lo + 1);
+}
+
+double SplitMix64::next_unit() {
+  return static_cast<double>(next() >> 11) * (1.0 / 9007199254740992.0);
+}
+
+bool SplitMix64::next_bool(double p) { return next_unit() < p; }
+
+}  // namespace m3rma

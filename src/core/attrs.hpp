@@ -1,0 +1,77 @@
+// RMA attributes — the centerpiece of the strawman proposal (paper §IV).
+//
+// "the rma_attributes parameter gives the user the flexibility of
+//  specifying the attributes derived in Section III-A: ordering, remote
+//  completion, and atomicity. [...] An additional attribute, blocking, can
+//  be used to achieve [single-call RMA updates]."
+//
+// Attributes may be set per call or installed as a default on the engine
+// ("at the level of a communicator"), and are deliberately easy to tighten
+// globally while debugging (requirement 5).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace m3rma::core {
+
+enum class RmaAttr : std::uint8_t {
+  /// Read/write consistency w.r.t. a single origin: later ops to the same
+  /// target do not overtake this one (paper §III-A1 "ordering property").
+  ordering = 1u << 0,
+  /// The request completes only when the data is visible at the target
+  /// (otherwise at local completion: origin buffer reusable).
+  remote_completion = 1u << 1,
+  /// The op executes exclusively w.r.t. other atomicity-attributed accesses
+  /// to the same target (serializer-enforced; §III-A1 "atomicity property").
+  atomicity = 1u << 2,
+  /// Single-call RMA: the issuing call returns only when the op is complete
+  /// (locally, or remotely if remote_completion is also set).
+  blocking = 1u << 3,
+};
+
+class Attrs {
+ public:
+  constexpr Attrs() = default;
+  constexpr Attrs(RmaAttr a) : bits_(static_cast<std::uint8_t>(a)) {}
+
+  static constexpr Attrs none() { return Attrs(); }
+
+  constexpr bool has(RmaAttr a) const {
+    return (bits_ & static_cast<std::uint8_t>(a)) != 0;
+  }
+  constexpr Attrs with(RmaAttr a) const {
+    Attrs r;
+    r.bits_ = bits_ | static_cast<std::uint8_t>(a);
+    return r;
+  }
+  constexpr Attrs operator|(Attrs o) const {
+    Attrs r;
+    r.bits_ = bits_ | o.bits_;
+    return r;
+  }
+  constexpr Attrs operator|(RmaAttr a) const { return with(a); }
+  constexpr bool operator==(const Attrs&) const = default;
+
+  std::string describe() const {
+    std::string s;
+    auto add = [&](RmaAttr a, const char* name) {
+      if (has(a)) {
+        if (!s.empty()) s += "+";
+        s += name;
+      }
+    };
+    add(RmaAttr::ordering, "ordering");
+    add(RmaAttr::remote_completion, "remote_completion");
+    add(RmaAttr::atomicity, "atomicity");
+    add(RmaAttr::blocking, "blocking");
+    return s.empty() ? "none" : s;
+  }
+
+ private:
+  std::uint8_t bits_ = 0;
+};
+
+constexpr Attrs operator|(RmaAttr a, RmaAttr b) { return Attrs(a) | b; }
+
+}  // namespace m3rma::core

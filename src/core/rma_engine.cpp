@@ -1,0 +1,1353 @@
+#include "core/rma_engine.hpp"
+
+#include <algorithm>
+#include <cstring>
+#include <string>
+#include <utility>
+
+namespace m3rma::core {
+
+// ----------------------------------------------------------- wire formats
+
+struct RmaEngine::AmHdr {
+  enum class Kind : std::uint8_t {
+    data_op,      // put/get/accumulate routed through software (serializer)
+    op_ack,       // software remote-completion ack for a data_op put/acc
+    get_reply,    // data for a software get
+    rmw_op,       // software read-modify-write
+    rmw_reply,    // previous value for a software RMW
+    count_query,  // "how many of my data ops have landed?"
+    count_reply,
+    lock_req,     // coarse-grain process-level lock protocol
+    lock_grant,
+    lock_release,
+    rmi_op,       // remote method invocation (§V optype expansion)
+    rmi_reply,
+  };
+
+  Kind kind = Kind::data_op;
+  RmaOptype op = RmaOptype::put;
+  portals::AccOp acc = portals::AccOp::replace;
+  portals::RmwOp rmw = portals::RmwOp::fetch_add;
+  portals::NumType nt = portals::NumType::i64;
+  std::uint64_t mem_id = 0;
+  std::uint64_t offset = 0;  // byte offset within the attached region;
+                             // get_reply: destination offset at the origin
+  std::uint64_t length = 0;
+  std::uint64_t req_id = 0;
+  std::uint64_t value_a = 0;  // rmw operand / reply offset / count value
+  std::uint64_t value_b = 0;  // rmw second operand (compare_swap desired)
+};
+
+// ---------------------------------------------------------- request state
+
+struct Request::State {
+  std::uint64_t id = 0;
+  int world_target = -1;
+  bool done = false;
+  std::uint32_t pending = 0;  // segment completions still expected
+  bool counts_send = true;    // decrement on SEND (local) vs ACK (remote)
+  // get finalization
+  bool is_get = false;
+  std::uint64_t dest_addr = 0;
+  bool needs_unpack = false;
+  bool needs_swap = false;
+  std::uint64_t origin_addr = 0;
+  std::uint64_t origin_count = 0;
+  dt::Datatype origin_dt;
+  dt::Datatype target_dt;
+  std::uint64_t target_count = 0;
+  std::uint64_t staging_len = 0;
+  // software flush
+  std::uint64_t flush_threshold = 0;
+  std::uint32_t flush_retries = 0;
+  // rmw result
+  std::uint64_t rmw_value = 0;
+  // rmi reply payload
+  std::vector<std::byte> rmi_reply;
+};
+
+bool Request::done() const { return st_ == nullptr || st_->done; }
+
+bool Request::test() {
+  if (done()) return true;
+  eng_->progress();
+  return done();
+}
+
+void Request::wait() {
+  if (done()) return;
+  auto st = st_;
+  eng_->progress_until([st] { return st->done; });
+}
+
+namespace {
+
+/// Count-query flush retries before declaring the ops lost.
+constexpr std::uint32_t kMaxFlushRetries = 10000;
+
+portals::NumType to_num_type(dt::LeafKind k) {
+  using dt::LeafKind;
+  using portals::NumType;
+  switch (k) {
+    case LeafKind::bytes:
+    case LeafKind::i8:
+      return NumType::i8;
+    case LeafKind::i16:
+      return NumType::i16;
+    case LeafKind::i32:
+      return NumType::i32;
+    case LeafKind::i64:
+      return NumType::i64;
+    case LeafKind::u64:
+      return NumType::u64;
+    case LeafKind::f32:
+      return NumType::f32;
+    case LeafKind::f64:
+      return NumType::f64;
+  }
+  throw Panic("unknown LeafKind");
+}
+
+dt::Datatype leaf_datatype(dt::LeafKind k) {
+  using dt::LeafKind;
+  switch (k) {
+    case LeafKind::bytes:
+      return dt::Datatype::byte();
+    case LeafKind::i8:
+      return dt::Datatype::int8();
+    case LeafKind::i16:
+      return dt::Datatype::int16();
+    case LeafKind::i32:
+      return dt::Datatype::int32();
+    case LeafKind::i64:
+      return dt::Datatype::int64();
+    case LeafKind::u64:
+      return dt::Datatype::uint64();
+    case LeafKind::f32:
+      return dt::Datatype::float32();
+    case LeafKind::f64:
+      return dt::Datatype::float64();
+  }
+  throw Panic("unknown LeafKind");
+}
+
+std::uint64_t u64_to_endian_bytes(std::uint64_t v, Endian e,
+                                  std::byte* out8) {
+  std::memcpy(out8, &v, 8);
+  if (e != host_endian()) swap_element(out8, 8);
+  return v;
+}
+
+std::uint64_t u64_from_endian_bytes(const std::byte* in8, Endian e) {
+  std::byte tmp[8];
+  std::memcpy(tmp, in8, 8);
+  if (e != host_endian()) swap_element(tmp, 8);
+  std::uint64_t v = 0;
+  std::memcpy(&v, tmp, 8);
+  return v;
+}
+
+}  // namespace
+
+// ------------------------------------------------------------ construction
+
+RmaEngine::RmaEngine(runtime::Rank& rank, runtime::Comm& comm,
+                     EngineConfig cfg)
+    : rank_(&rank),
+      comm_(&comm),
+      cfg_(cfg),
+      ptl_(&rank.portals()),
+      eq_(rank.world().engine()) {
+  targets_.resize(static_cast<std::size_t>(rank.world().size()));
+  md_all_ = ptl_->md_bind(0, rank.memory().config().size, &eq_);
+  auto& nic = rank.world().fabric().nic(rank.id());
+  M3RMA_REQUIRE(!nic.protocol_registered(kAmProtocolId),
+                "one live RmaEngine per rank at a time");
+  nic.register_protocol(kAmProtocolId,
+                        [this](fabric::Packet&& p) { on_am(std::move(p)); });
+
+  if (cfg_.serializer == SerializerKind::comm_thread) {
+    // The dedicated communication thread: the cheap serializer of §V-A.
+    am_chan_ = std::make_shared<sim::Channel<AmMsg>>(rank.world().engine());
+    auto chan = am_chan_;
+    RmaEngine* self = this;
+    const sim::Time cost = cfg_.comm_thread_dispatch_ns;
+    rank.world().engine().spawn(
+        "commthread" + std::to_string(rank.id()),
+        [chan, self, cost](sim::Context& ctx) {
+          while (true) {
+            AmMsg m = chan->recv(ctx);
+            if (m.src == -2) return;  // shutdown sentinel
+            ctx.delay(cost);
+            self->execute_am(std::move(m), 0);
+          }
+        },
+        /*daemon=*/true);
+  }
+  comm_->barrier();  // everyone is wired up before any RMA flows
+}
+
+RmaEngine::~RmaEngine() {
+  try {
+    quiesce();
+  } catch (...) {
+    // Teardown during stack unwinding: skip the collective handshake.
+  }
+  shutting_down_ = true;
+  if (am_chan_) am_chan_->push(AmMsg{-2, {}, {}});
+  auto& nic = rank_->world().fabric().nic(rank_->id());
+  if (nic.protocol_registered(kAmProtocolId)) {
+    nic.unregister_protocol(kAmProtocolId);
+  }
+  for (auto& [id, a] : attached_) ptl_->me_unlink(a.me);
+  ptl_->md_release(md_all_);
+}
+
+void RmaEngine::quiesce() {
+  complete(kAllRanks);
+  comm_->barrier();
+}
+
+// --------------------------------------------------------------- attaching
+
+TargetMem RmaEngine::attach(std::uint64_t addr, std::uint64_t length) {
+  M3RMA_REQUIRE(length > 0, "attach of empty region");
+  M3RMA_REQUIRE(rank_->memory().contains(addr, length),
+                "attach region outside this rank's memory");
+  const std::uint64_t id =
+      (static_cast<std::uint64_t>(static_cast<std::uint32_t>(rank_->id()))
+       << 32) |
+      next_attach_++;
+  const portals::MeHandle me =
+      ptl_->me_append(kPtData, id, 0, addr, length, nullptr);
+  attached_.emplace(id, Attached{addr, length, me});
+
+  const auto& mc = rank_->memory().config();
+  TargetMem t;
+  t.owner = rank_->id();
+  t.id = id;
+  t.base = addr;
+  t.length = length;
+  t.endian = mc.endian;
+  t.addr_bits = static_cast<std::uint8_t>(mc.addr_bits);
+  t.noncoherent = mc.coherence == memsim::Coherence::noncoherent_writethrough;
+  return t;
+}
+
+TargetMem RmaEngine::attach(const runtime::Rank::Buffer& buf) {
+  return attach(buf.addr, buf.size);
+}
+
+void RmaEngine::detach(const TargetMem& mem) {
+  M3RMA_REQUIRE(mem.owner == rank_->id(), "detach must run on the owner");
+  auto it = attached_.find(mem.id);
+  M3RMA_REQUIRE(it != attached_.end(), "detach of unknown TargetMem");
+  ptl_->me_unlink(it->second.me);
+  attached_.erase(it);
+}
+
+std::vector<TargetMem> RmaEngine::exchange_all(const TargetMem& mine) {
+  TargetMem to_ship = mine;
+  if (!to_ship.valid()) to_ship = TargetMem{};
+  auto blob = to_ship.serialize();
+  auto all = comm_->allgather(blob);
+  std::vector<TargetMem> out;
+  out.reserve(all.size());
+  for (const auto& b : all) out.push_back(TargetMem::deserialize(b));
+  return out;
+}
+
+std::pair<runtime::Rank::Buffer, std::vector<TargetMem>>
+RmaEngine::allocate_shared(std::uint64_t bytes, std::uint64_t align) {
+  runtime::Rank::Buffer buf = rank_->alloc(bytes, align);
+  auto mems = exchange_all(attach(buf.addr, buf.size));
+  return {buf, std::move(mems)};
+}
+
+// ------------------------------------------------------------ public ops
+
+Request RmaEngine::put(std::uint64_t origin_addr, std::uint64_t origin_count,
+                       const dt::Datatype& origin_dt, const TargetMem& mem,
+                       std::uint64_t target_disp, std::uint64_t target_count,
+                       const dt::Datatype& target_dt, int target_rank,
+                       Attrs attrs) {
+  return do_xfer(RmaOptype::put, portals::AccOp::replace, origin_addr,
+                 origin_count, origin_dt, mem, target_disp, target_count,
+                 target_dt, target_rank, attrs);
+}
+
+Request RmaEngine::get(std::uint64_t origin_addr, std::uint64_t origin_count,
+                       const dt::Datatype& origin_dt, const TargetMem& mem,
+                       std::uint64_t target_disp, std::uint64_t target_count,
+                       const dt::Datatype& target_dt, int target_rank,
+                       Attrs attrs) {
+  return do_xfer(RmaOptype::get, portals::AccOp::replace, origin_addr,
+                 origin_count, origin_dt, mem, target_disp, target_count,
+                 target_dt, target_rank, attrs);
+}
+
+Request RmaEngine::accumulate(portals::AccOp op, std::uint64_t origin_addr,
+                              std::uint64_t origin_count,
+                              const dt::Datatype& origin_dt,
+                              const TargetMem& mem, std::uint64_t target_disp,
+                              std::uint64_t target_count,
+                              const dt::Datatype& target_dt, int target_rank,
+                              Attrs attrs) {
+  return do_xfer(RmaOptype::accumulate, op, origin_addr, origin_count,
+                 origin_dt, mem, target_disp, target_count, target_dt,
+                 target_rank, attrs);
+}
+
+Request RmaEngine::xfer(RmaOptype op, portals::AccOp acc_op,
+                        std::uint64_t origin_addr,
+                        std::uint64_t origin_count,
+                        const dt::Datatype& origin_dt, const TargetMem& mem,
+                        std::uint64_t target_disp,
+                        std::uint64_t target_count,
+                        const dt::Datatype& target_dt, int target_rank,
+                        Attrs attrs) {
+  return do_xfer(op, acc_op, origin_addr, origin_count, origin_dt, mem,
+                 target_disp, target_count, target_dt, target_rank, attrs);
+}
+
+Request RmaEngine::put_bytes(std::uint64_t origin_addr, const TargetMem& mem,
+                             std::uint64_t target_disp, std::uint64_t length,
+                             int target_rank, Attrs attrs) {
+  const auto b = dt::Datatype::byte();
+  return put(origin_addr, length, b, mem, target_disp, length, b,
+             target_rank, attrs);
+}
+
+Request RmaEngine::get_bytes(std::uint64_t origin_addr, const TargetMem& mem,
+                             std::uint64_t target_disp, std::uint64_t length,
+                             int target_rank, Attrs attrs) {
+  const auto b = dt::Datatype::byte();
+  return get(origin_addr, length, b, mem, target_disp, length, b,
+             target_rank, attrs);
+}
+
+// --------------------------------------------------------------- core issue
+
+Request RmaEngine::do_xfer(RmaOptype op, portals::AccOp acc_op,
+                           std::uint64_t origin_addr,
+                           std::uint64_t origin_count,
+                           const dt::Datatype& origin_dt,
+                           const TargetMem& mem, std::uint64_t target_disp,
+                           std::uint64_t target_count,
+                           const dt::Datatype& target_dt, int target_rank,
+                           Attrs attrs) {
+  attrs = attrs | cfg_.default_attrs;
+  M3RMA_REQUIRE(mem.valid(), "transfer to an invalid TargetMem");
+  M3RMA_REQUIRE(comm_->to_world(target_rank) == mem.owner,
+                "target_rank does not own this TargetMem");
+  M3RMA_REQUIRE(origin_dt.matches(origin_count, target_dt, target_count),
+                "origin/target datatype signatures do not match");
+  const std::uint64_t target_span = target_dt.extent() * target_count;
+  M3RMA_REQUIRE(target_disp + target_span <= mem.length,
+                "transfer exceeds the target memory object");
+  const std::uint64_t origin_span = origin_dt.extent() * origin_count;
+  M3RMA_REQUIRE(rank_->memory().contains(origin_addr,
+                                         std::max<std::uint64_t>(origin_span,
+                                                                 1)),
+                "origin buffer outside this rank's memory");
+  if (op == RmaOptype::accumulate) {
+    M3RMA_REQUIRE(target_dt.has_uniform_leaf(),
+                  "accumulate requires a uniform-leaf target datatype");
+  }
+
+  switch (op) {
+    case RmaOptype::put:
+      stats_.puts += 1;
+      break;
+    case RmaOptype::get:
+      stats_.gets += 1;
+      break;
+    case RmaOptype::accumulate:
+      stats_.accumulates += 1;
+      break;
+  }
+
+  auto st = std::make_shared<Request::State>();
+  st->id = next_req_++;
+  st->world_target = mem.owner;
+  reqs_.emplace(st->id, st);
+
+  // Ordering property: on unordered networks an ordered op (or the first op
+  // after order()) must not overtake earlier traffic — drain first.
+  if (attrs.has(RmaAttr::ordering) || per(mem.owner).order_fence) {
+    stall_for_order(mem.owner);
+  }
+
+  if (attrs.has(RmaAttr::atomicity)) {
+    if (cfg_.serializer == SerializerKind::coarse_lock) {
+      issue_locked_op(st, op, acc_op, origin_addr, origin_count, origin_dt,
+                      mem, target_disp, target_count, target_dt, attrs);
+    } else {
+      issue_am_op(st, op, acc_op, origin_addr, origin_count, origin_dt, mem,
+                  target_disp, target_count, target_dt);
+    }
+  } else if (op == RmaOptype::get) {
+    issue_direct_get(st, origin_addr, origin_count, origin_dt, mem,
+                     target_disp, target_count, target_dt);
+  } else if (op == RmaOptype::accumulate && !ptl_->supports_atomics()) {
+    // No NIC atomics: element-atomic accumulate needs target-side software
+    // (§III-B1), even without the atomicity attribute.
+    issue_am_op(st, op, acc_op, origin_addr, origin_count, origin_dt, mem,
+                target_disp, target_count, target_dt);
+  } else {
+    issue_direct_put(st, acc_op, op == RmaOptype::accumulate, origin_addr,
+                     origin_count, origin_dt, mem, target_disp, target_count,
+                     target_dt, attrs);
+  }
+
+  if (st->pending == 0 && !st->done) {
+    // Degenerate zero-byte transfer.
+    st->done = true;
+    reqs_.erase(st->id);
+  }
+
+  Request req(this, st);
+  if (attrs.has(RmaAttr::blocking)) req.wait();
+  return req;
+}
+
+void RmaEngine::issue_direct_put(const std::shared_ptr<Request::State>& st,
+                                 portals::AccOp acc_op, bool is_acc,
+                                 std::uint64_t origin_addr,
+                                 std::uint64_t origin_count,
+                                 const dt::Datatype& origin_dt,
+                                 const TargetMem& mem,
+                                 std::uint64_t target_disp,
+                                 std::uint64_t target_count,
+                                 const dt::Datatype& target_dt, Attrs attrs) {
+  const int t = mem.owner;
+  const bool acks = ptl_->supports_ack_events();
+  const bool same_endian = mem.endian == rank_->memory().config().endian;
+  const bool fast = origin_dt.is_contiguous() && target_dt.is_contiguous() &&
+                    same_endian;
+  const portals::NumType nt =
+      is_acc ? to_num_type(target_dt.uniform_leaf()) : portals::NumType::i8;
+
+  std::uint64_t src_base = origin_addr;
+  std::uint64_t staging = 0;
+  if (!fast) {
+    staging = pack_origin(origin_addr, origin_count, origin_dt, target_dt,
+                          target_count, mem.endian);
+    src_base = staging;
+  }
+
+  // Completion discipline: only remote-completion ops request hardware
+  // ACKs (Portals PTL_ACK_REQ); plain ops complete locally at SEND and are
+  // flushed by count queries at completion points.
+  const bool rc = attrs.has(RmaAttr::remote_completion);
+  const bool want_ack = rc && acks;
+  st->counts_send = !want_ack;
+
+  sim::Context& ctx = rank_->ctx();
+  auto issue_block = [&](std::uint64_t mem_off, std::uint64_t packed_off,
+                         std::uint64_t len) {
+    if (len == 0) return;
+    if (is_acc) {
+      ptl_->atomic(ctx, acc_op, nt, md_all_, src_base + packed_off, len, t,
+                   kPtData, mem.id, target_disp + mem_off, st->id, want_ack);
+    } else {
+      ptl_->put(ctx, md_all_, src_base + packed_off, len, t, kPtData, mem.id,
+                target_disp + mem_off, st->id, want_ack);
+    }
+    per(t).issued += 1;
+    if (want_ack) per(t).issued_rc += 1;
+    st->pending += 1;
+  };
+
+  if (fast) {
+    issue_block(0, 0, target_dt.size() * target_count);
+  } else {
+    target_dt.for_each_block(target_count, [&](const dt::Block& b) {
+      issue_block(b.mem_offset, b.packed_offset, b.nbytes());
+    });
+  }
+  if (staging != 0) rank_->memory().dealloc(staging);
+
+  if (rc && !acks) {
+    // Software remote completion: confirm with a landed-count query.
+    st->pending += 1;
+    st->flush_threshold = per(t).issued;
+    rank_->ctx().delay(rank_->world().config().costs.inject_overhead_ns);
+    AmHdr q;
+    q.kind = AmHdr::Kind::count_query;
+    q.req_id = st->id;
+    send_am(t, q, {});
+  }
+}
+
+void RmaEngine::issue_direct_get(const std::shared_ptr<Request::State>& st,
+                                 std::uint64_t origin_addr,
+                                 std::uint64_t origin_count,
+                                 const dt::Datatype& origin_dt,
+                                 const TargetMem& mem,
+                                 std::uint64_t target_disp,
+                                 std::uint64_t target_count,
+                                 const dt::Datatype& target_dt) {
+  const int t = mem.owner;
+  const bool same_endian = mem.endian == rank_->memory().config().endian;
+  const bool fast = origin_dt.is_contiguous() && target_dt.is_contiguous() &&
+                    same_endian;
+  st->is_get = true;
+  st->counts_send = false;
+  st->origin_addr = origin_addr;
+  st->origin_count = origin_count;
+  st->origin_dt = origin_dt;
+  st->target_dt = target_dt;
+  st->target_count = target_count;
+
+  const std::uint64_t packed_len = target_dt.size() * target_count;
+  if (fast) {
+    st->dest_addr = origin_addr;
+  } else {
+    st->staging_len = std::max<std::uint64_t>(packed_len, 1);
+    st->dest_addr = rank_->memory().alloc(st->staging_len);
+    st->needs_unpack = true;
+    st->needs_swap = !same_endian;
+    // Prepay the local gather/scatter cost (completion runs in event
+    // context where time cannot be charged).
+    charge_copy(packed_len);
+  }
+
+  sim::Context& ctx = rank_->ctx();
+  auto issue_block = [&](std::uint64_t mem_off, std::uint64_t packed_off,
+                         std::uint64_t len) {
+    if (len == 0) return;
+    ptl_->get(ctx, md_all_, st->dest_addr + packed_off, len, t, kPtData,
+              mem.id, target_disp + mem_off, st->id);
+    per(t).pending_replies += 1;
+    st->pending += 1;
+  };
+  if (fast) {
+    issue_block(0, 0, packed_len);
+  } else {
+    target_dt.for_each_block(target_count, [&](const dt::Block& b) {
+      issue_block(b.mem_offset, b.packed_offset, b.nbytes());
+    });
+  }
+}
+
+void RmaEngine::issue_am_op(const std::shared_ptr<Request::State>& st,
+                            RmaOptype op, portals::AccOp acc_op,
+                            std::uint64_t origin_addr,
+                            std::uint64_t origin_count,
+                            const dt::Datatype& origin_dt,
+                            const TargetMem& mem, std::uint64_t target_disp,
+                            std::uint64_t target_count,
+                            const dt::Datatype& target_dt) {
+  const int t = mem.owner;
+  const bool same_endian = mem.endian == rank_->memory().config().endian;
+  const portals::NumType nt = op == RmaOptype::accumulate
+                                  ? to_num_type(target_dt.uniform_leaf())
+                                  : portals::NumType::i8;
+  sim::Context& ctx = rank_->ctx();
+  const sim::Time inject = rank_->world().config().costs.inject_overhead_ns;
+
+  if (op == RmaOptype::get) {
+    st->is_get = true;
+    st->counts_send = false;
+    st->origin_addr = origin_addr;
+    st->origin_count = origin_count;
+    st->origin_dt = origin_dt;
+    st->target_dt = target_dt;
+    st->target_count = target_count;
+    const std::uint64_t packed_len = target_dt.size() * target_count;
+    const bool fast = origin_dt.is_contiguous() &&
+                      target_dt.is_contiguous() && same_endian;
+    if (fast) {
+      st->dest_addr = origin_addr;
+    } else {
+      st->staging_len = std::max<std::uint64_t>(packed_len, 1);
+      st->dest_addr = rank_->memory().alloc(st->staging_len);
+      st->needs_unpack = true;
+      st->needs_swap = !same_endian;
+      charge_copy(packed_len);
+    }
+    auto issue_block = [&](std::uint64_t mem_off, std::uint64_t packed_off,
+                           std::uint64_t len) {
+      if (len == 0) return;
+      ctx.delay(inject);
+      AmHdr h;
+      h.kind = AmHdr::Kind::data_op;
+      h.op = RmaOptype::get;
+      h.mem_id = mem.id;
+      h.offset = target_disp + mem_off;
+      h.length = len;
+      h.req_id = st->id;
+      h.value_a = packed_off;  // echoed back as the reply's placement
+      send_am(t, h, {});
+      per(t).pending_replies += 1;
+      st->pending += 1;
+    };
+    if (fast) {
+      issue_block(0, 0, packed_len);
+    } else {
+      target_dt.for_each_block(target_count, [&](const dt::Block& b) {
+        issue_block(b.mem_offset, b.packed_offset, b.nbytes());
+      });
+    }
+    return;
+  }
+
+  // put / accumulate: pack the operand, ship one AM per target block. The
+  // executor's software ack is the (remote) completion signal.
+  st->counts_send = false;
+  const bool fast = origin_dt.is_contiguous() && target_dt.is_contiguous() &&
+                    same_endian;
+  std::uint64_t src_base = origin_addr;
+  std::uint64_t staging = 0;
+  if (!fast) {
+    staging = pack_origin(origin_addr, origin_count, origin_dt, target_dt,
+                          target_count, mem.endian);
+    src_base = staging;
+  }
+  auto issue_block = [&](std::uint64_t mem_off, std::uint64_t packed_off,
+                         std::uint64_t len) {
+    if (len == 0) return;
+    ctx.delay(inject);
+    AmHdr h;
+    h.kind = AmHdr::Kind::data_op;
+    h.op = op;
+    h.acc = acc_op;
+    h.nt = nt;
+    h.mem_id = mem.id;
+    h.offset = target_disp + mem_off;
+    h.length = len;
+    h.req_id = st->id;
+    std::vector<std::byte> payload(len);
+    rank_->memory().nic_read(src_base + packed_off, payload);
+    send_am(t, h, std::move(payload));
+    per(t).issued += 1;
+    per(t).issued_rc += 1;  // software op_acks always confirm AM ops
+    st->pending += 1;
+  };
+  if (fast) {
+    issue_block(0, 0, target_dt.size() * target_count);
+  } else {
+    target_dt.for_each_block(target_count, [&](const dt::Block& b) {
+      issue_block(b.mem_offset, b.packed_offset, b.nbytes());
+    });
+  }
+  if (staging != 0) rank_->memory().dealloc(staging);
+}
+
+void RmaEngine::issue_locked_op(const std::shared_ptr<Request::State>& st,
+                                RmaOptype op, portals::AccOp acc_op,
+                                std::uint64_t origin_addr,
+                                std::uint64_t origin_count,
+                                const dt::Datatype& origin_dt,
+                                const TargetMem& mem,
+                                std::uint64_t target_disp,
+                                std::uint64_t target_count,
+                                const dt::Datatype& target_dt, Attrs attrs) {
+  (void)attrs;
+  const int t = mem.owner;
+  lock_acquire(t);
+  const Attrs inner = Attrs(RmaAttr::blocking) | RmaAttr::remote_completion;
+  if (op == RmaOptype::accumulate && !ptl_->supports_atomics()) {
+    // Get-modify-put under the lock: the classic emulation when neither NIC
+    // atomics nor an extra execution context exist. The local image is kept
+    // in this node's byte order; the direct get/put paths convert on the
+    // wire as usual.
+    const dt::LeafKind leaf = target_dt.uniform_leaf();
+    const std::uint64_t bytes = target_dt.size() * target_count;
+    const std::uint64_t es = portals::num_size(to_num_type(leaf));
+    const dt::Datatype local_dt =
+        dt::Datatype::contiguous(bytes / es, leaf_datatype(leaf));
+    auto tmp = rank_->memory().alloc(std::max<std::uint64_t>(bytes, 1));
+    auto g = std::make_shared<Request::State>();
+    g->id = next_req_++;
+    g->world_target = t;
+    reqs_.emplace(g->id, g);
+    issue_direct_get(g, tmp, 1, local_dt, mem, target_disp, target_count,
+                     target_dt);
+    progress_until([g] { return g->done; });
+    // Combine with the packed operand (both sides in this node's order).
+    const std::uint64_t staging =
+        rank_->memory().alloc(std::max<std::uint64_t>(bytes, 1));
+    origin_dt.pack(rank_->memory().raw(origin_addr), origin_count,
+                   rank_->memory().raw(staging));
+    charge_copy(bytes);
+    portals::apply_acc(acc_op, to_num_type(leaf), rank_->memory().raw(tmp),
+                       rank_->memory().raw(staging), bytes,
+                       rank_->memory().config().endian);
+    auto p = std::make_shared<Request::State>();
+    p->id = next_req_++;
+    p->world_target = t;
+    reqs_.emplace(p->id, p);
+    issue_direct_put(p, portals::AccOp::replace, false, tmp, 1, local_dt,
+                     mem, target_disp, target_count, target_dt, inner);
+    progress_until([p] { return p->done; });
+    flush_target(t);
+    rank_->memory().dealloc(staging);
+    rank_->memory().dealloc(tmp);
+  } else if (op == RmaOptype::get) {
+    auto g = std::make_shared<Request::State>();
+    g->id = next_req_++;
+    g->world_target = t;
+    reqs_.emplace(g->id, g);
+    issue_direct_get(g, origin_addr, origin_count, origin_dt, mem,
+                     target_disp, target_count, target_dt);
+    progress_until([g] { return g->done; });
+  } else {
+    auto p = std::make_shared<Request::State>();
+    p->id = next_req_++;
+    p->world_target = t;
+    reqs_.emplace(p->id, p);
+    const bool ordered = rank_->world().config().caps.ordered_delivery;
+    if (ordered) {
+      // FIFO delivery lets the release ride right behind the data: the
+      // next grant can only be issued after the put has been applied, so
+      // atomicity holds without stalling a full ACK round trip.
+      issue_direct_put(p, acc_op, op == RmaOptype::accumulate, origin_addr,
+                       origin_count, origin_dt, mem, target_disp,
+                       target_count, target_dt,
+                       Attrs(RmaAttr::remote_completion));
+      lock_release(t);
+      progress_until([p] { return p->done; });
+      st->done = true;
+      reqs_.erase(st->id);
+      return;
+    }
+    issue_direct_put(p, acc_op, op == RmaOptype::accumulate, origin_addr,
+                     origin_count, origin_dt, mem, target_disp, target_count,
+                     target_dt, inner);
+    progress_until([p] { return p->done; });
+    flush_target(t);
+  }
+  lock_release(t);
+  st->done = true;
+  reqs_.erase(st->id);
+}
+
+// ----------------------------------------------------------------- staging
+
+std::uint64_t RmaEngine::pack_origin(std::uint64_t origin_addr,
+                                     std::uint64_t origin_count,
+                                     const dt::Datatype& origin_dt,
+                                     const dt::Datatype& target_dt,
+                                     std::uint64_t target_count,
+                                     Endian target_endian) {
+  const std::uint64_t bytes = origin_dt.size() * origin_count;
+  const std::uint64_t staging =
+      rank_->memory().alloc(std::max<std::uint64_t>(bytes, 1));
+  origin_dt.pack(rank_->memory().raw(origin_addr), origin_count,
+                 rank_->memory().raw(staging));
+  charge_copy(bytes);
+  if (target_endian != rank_->memory().config().endian) {
+    target_dt.byteswap_packed(rank_->memory().raw(staging), target_count);
+  }
+  return staging;
+}
+
+void RmaEngine::charge_copy(std::uint64_t bytes) {
+  if (bytes == 0) return;
+  rank_->ctx().delay(static_cast<sim::Time>(
+      static_cast<double>(bytes) / cfg_.copy_bytes_per_ns));
+}
+
+// ------------------------------------------------- ordering and completion
+
+RmaEngine::PerTarget& RmaEngine::per(int world_rank) {
+  return targets_[static_cast<std::size_t>(world_rank)];
+}
+const RmaEngine::PerTarget& RmaEngine::per(int world_rank) const {
+  return targets_[static_cast<std::size_t>(world_rank)];
+}
+
+bool RmaEngine::target_quiet(int world_target) const {
+  const PerTarget& pt = per(world_target);
+  return pt.confirmed >= pt.issued && pt.pending_replies == 0;
+}
+
+void RmaEngine::stall_for_order(int world_target) {
+  per(world_target).order_fence = false;
+  if (rank_->world().config().caps.ordered_delivery) return;  // free
+  flush_target(world_target);
+}
+
+void RmaEngine::flush_target(int world_target) {
+  flush_many({world_target});
+}
+
+void RmaEngine::flush_many(const std::vector<int>& world_targets) {
+  // Phase 1: wait for outstanding get/RMW replies and all expected
+  // confirmations (hardware ACKs / software op_acks).
+  progress_until([&] {
+    for (int t : world_targets) {
+      const PerTarget& pt = per(t);
+      if (pt.pending_replies != 0 || pt.acked < pt.issued_rc) return false;
+    }
+    return true;
+  });
+  // ACKs prove remote completion op-for-op when every op requested one.
+  for (int t : world_targets) {
+    PerTarget& pt = per(t);
+    if (pt.issued_rc == pt.issued) pt.confirmed = pt.issued;
+  }
+
+  // Phase 2: targets with unconfirmed (ack-less) ops need a software
+  // count-query flush — concurrently across targets.
+  std::vector<std::shared_ptr<Request::State>> probes;
+  std::vector<int> probe_targets;
+  for (int t : world_targets) {
+    if (target_quiet(t)) continue;
+    auto st = std::make_shared<Request::State>();
+    st->id = next_req_++;
+    st->world_target = t;
+    st->pending = 1;
+    st->counts_send = false;
+    st->flush_threshold = per(t).issued;
+    reqs_.emplace(st->id, st);
+    rank_->ctx().delay(rank_->world().config().costs.inject_overhead_ns);
+    AmHdr q;
+    q.kind = AmHdr::Kind::count_query;
+    q.req_id = st->id;
+    send_am(t, q, {});
+    probes.push_back(std::move(st));
+    probe_targets.push_back(t);
+  }
+  progress_until([&] {
+    for (const auto& st : probes) {
+      if (!st->done) return false;
+    }
+    return true;
+  });
+  for (int t : probe_targets) per(t).confirmed = per(t).issued;
+}
+
+void RmaEngine::complete(int target_rank) {
+  stats_.completes += 1;
+  if (target_rank == kAllRanks) {
+    std::vector<int> all;
+    all.reserve(static_cast<std::size_t>(comm_->size()));
+    for (int r = 0; r < comm_->size(); ++r) all.push_back(comm_->to_world(r));
+    flush_many(all);
+  } else {
+    flush_target(comm_->to_world(target_rank));
+  }
+}
+
+void RmaEngine::complete_collective() {
+  complete(kAllRanks);
+  comm_->barrier();
+}
+
+void RmaEngine::order(int target_rank) {
+  stats_.orders += 1;
+  if (rank_->world().config().caps.ordered_delivery) return;  // free
+  if (target_rank == kAllRanks) {
+    for (int r = 0; r < comm_->size(); ++r) {
+      per(comm_->to_world(r)).order_fence = true;
+    }
+  } else {
+    per(comm_->to_world(target_rank)).order_fence = true;
+  }
+}
+
+void RmaEngine::order_collective() {
+  order(kAllRanks);
+  comm_->barrier();
+}
+
+std::uint64_t RmaEngine::outstanding(int target_rank) const {
+  const PerTarget& pt = per(comm_->to_world(target_rank));
+  return (pt.issued - std::min(pt.confirmed, pt.issued)) +
+         pt.pending_replies;
+}
+
+// --------------------------------------------------------------------- RMW
+
+std::uint64_t RmaEngine::fetch_add(const TargetMem& mem, std::uint64_t disp,
+                                   std::uint64_t operand, int target_rank) {
+  return rmw(portals::RmwOp::fetch_add, mem, disp, operand, 0, target_rank);
+}
+
+std::uint64_t RmaEngine::swap_val(const TargetMem& mem, std::uint64_t disp,
+                                  std::uint64_t value, int target_rank) {
+  return rmw(portals::RmwOp::swap, mem, disp, value, 0, target_rank);
+}
+
+std::uint64_t RmaEngine::compare_swap(const TargetMem& mem,
+                                      std::uint64_t disp,
+                                      std::uint64_t compare,
+                                      std::uint64_t desired,
+                                      int target_rank) {
+  return rmw(portals::RmwOp::compare_swap, mem, disp, compare, desired,
+             target_rank);
+}
+
+std::uint64_t RmaEngine::rmw(portals::RmwOp op, const TargetMem& mem,
+                             std::uint64_t disp, std::uint64_t a,
+                             std::uint64_t b, int target_rank) {
+  stats_.rmws += 1;
+  M3RMA_REQUIRE(mem.valid(), "RMW on an invalid TargetMem");
+  M3RMA_REQUIRE(comm_->to_world(target_rank) == mem.owner,
+                "target_rank does not own this TargetMem");
+  M3RMA_REQUIRE(disp + 8 <= mem.length, "RMW exceeds the target memory");
+  const int t = mem.owner;
+
+  if (ptl_->supports_atomics()) {
+    // NIC-executed RMW through portals.
+    auto st = std::make_shared<Request::State>();
+    st->id = next_req_++;
+    st->world_target = t;
+    st->pending = 1;
+    st->counts_send = false;
+    reqs_.emplace(st->id, st);
+    const std::uint64_t buf = rank_->memory().alloc(24);
+    std::byte tmp[16];
+    u64_to_endian_bytes(a, mem.endian, tmp);
+    u64_to_endian_bytes(b, mem.endian, tmp + 8);
+    const std::uint64_t oplen =
+        op == portals::RmwOp::compare_swap ? 16u : 8u;
+    rank_->memory().nic_write(buf, std::span(tmp, oplen));
+    ptl_->fetch_atomic(rank_->ctx(), op, portals::NumType::u64, md_all_, buf,
+                       buf + 16, t, kPtData, mem.id, disp, st->id);
+    per(t).pending_replies += 1;
+    progress_until([st] { return st->done; });
+    const std::uint64_t old =
+        u64_from_endian_bytes(rank_->memory().raw(buf + 16), mem.endian);
+    rank_->memory().dealloc(buf);
+    return old;
+  }
+
+  if (cfg_.serializer == SerializerKind::coarse_lock) {
+    // Lock; read; modify; write; unlock.
+    lock_acquire(t);
+    const std::uint64_t buf = rank_->memory().alloc(8);
+    const auto u = dt::Datatype::uint64();
+    get(buf, 1, u, mem, disp, 1, u, target_rank, Attrs(RmaAttr::blocking));
+    std::uint64_t old = 0;
+    std::memcpy(&old, rank_->memory().raw(buf), 8);
+    std::uint64_t next = old;
+    switch (op) {
+      case portals::RmwOp::fetch_add:
+        next = old + a;
+        break;
+      case portals::RmwOp::swap:
+        next = a;
+        break;
+      case portals::RmwOp::compare_swap:
+        next = old == a ? b : old;
+        break;
+    }
+    std::memcpy(rank_->memory().raw(buf), &next, 8);
+    put(buf, 1, u, mem, disp, 1, u, target_rank,
+        Attrs(RmaAttr::blocking) | RmaAttr::remote_completion);
+    flush_target(t);
+    rank_->memory().dealloc(buf);
+    lock_release(t);
+    return old;
+  }
+
+  // Software RMW through the serializer's executor.
+  auto st = std::make_shared<Request::State>();
+  st->id = next_req_++;
+  st->world_target = t;
+  st->pending = 1;
+  st->counts_send = false;
+  reqs_.emplace(st->id, st);
+  rank_->ctx().delay(rank_->world().config().costs.inject_overhead_ns);
+  AmHdr h;
+  h.kind = AmHdr::Kind::rmw_op;
+  h.rmw = op;
+  h.mem_id = mem.id;
+  h.offset = disp;
+  h.req_id = st->id;
+  h.value_a = a;
+  h.value_b = b;
+  send_am(t, h, {});
+  per(t).pending_replies += 1;
+  progress_until([st] { return st->done; });
+  return st->rmw_value;
+}
+
+// --------------------------------------------------------------------- RMI
+
+void RmaEngine::register_rmi(int id, RmiHandler fn) {
+  auto [it, inserted] = rmi_handlers_.emplace(id, std::move(fn));
+  (void)it;
+  M3RMA_REQUIRE(inserted, "RMI handler id already registered");
+}
+
+Request RmaEngine::signal(int target_rank, int id,
+                          std::span<const std::byte> args) {
+  stats_.rmis += 1;
+  const int t = comm_->to_world(target_rank);
+  auto st = std::make_shared<Request::State>();
+  st->id = next_req_++;
+  st->world_target = t;
+  st->pending = 1;
+  st->counts_send = false;
+  reqs_.emplace(st->id, st);
+  rank_->ctx().delay(rank_->world().config().costs.inject_overhead_ns);
+  AmHdr h;
+  h.kind = AmHdr::Kind::rmi_op;
+  h.req_id = st->id;
+  h.value_a = static_cast<std::uint64_t>(static_cast<std::uint32_t>(id));
+  h.length = args.size();
+  send_am(t, h, std::vector<std::byte>(args.begin(), args.end()));
+  per(t).pending_replies += 1;
+  return Request(this, st);
+}
+
+std::vector<std::byte> RmaEngine::invoke(int target_rank, int id,
+                                         std::span<const std::byte> args) {
+  Request req = signal(target_rank, id, args);
+  auto st = req.st_;
+  progress_until([st] { return st->done; });
+  return std::move(st->rmi_reply);
+}
+
+// ---------------------------------------------------------------- progress
+
+void RmaEngine::progress() {
+  while (auto ev = eq_.poll()) handle_eq_event(*ev);
+  if (cfg_.serializer != SerializerKind::comm_thread) {
+    while (!pending_am_.empty()) {
+      AmMsg m = std::move(pending_am_.front());
+      pending_am_.pop_front();
+      execute_am(std::move(m), cfg_.progress_apply_ns);
+    }
+  }
+}
+
+void RmaEngine::progress_poll(sim::Time duration, sim::Time interval) {
+  const sim::Time until = rank_->ctx().now() + duration;
+  while (rank_->ctx().now() < until) {
+    progress();
+    rank_->ctx().delay(interval);
+  }
+  progress();
+}
+
+template <class Pred>
+void RmaEngine::progress_until(Pred&& pred) {
+  while (true) {
+    progress();
+    if (pred()) return;
+    rank_->ctx().await(eq_.condition());
+  }
+}
+
+std::shared_ptr<Request::State> RmaEngine::find_req(std::uint64_t id) {
+  auto it = reqs_.find(id);
+  return it == reqs_.end() ? nullptr : it->second;
+}
+
+void RmaEngine::finish_segment(const std::shared_ptr<Request::State>& st) {
+  M3RMA_ENSURE(st->pending > 0, "completion event for a finished request");
+  st->pending -= 1;
+  if (st->pending > 0) return;
+  if (st->is_get && st->needs_unpack) {
+    auto& mem = rank_->memory();
+    if (st->needs_swap) {
+      st->target_dt.byteswap_packed(mem.raw(st->dest_addr),
+                                    st->target_count);
+    }
+    st->origin_dt.unpack(mem.raw(st->dest_addr), st->origin_count,
+                         mem.raw(st->origin_addr));
+    mem.dealloc(st->dest_addr);
+  }
+  st->done = true;
+  reqs_.erase(st->id);
+}
+
+void RmaEngine::handle_eq_event(const portals::Event& ev) {
+  switch (ev.type) {
+    case portals::EventType::send: {
+      auto st = find_req(ev.user_ptr);
+      if (st && st->counts_send) finish_segment(st);
+      break;
+    }
+    case portals::EventType::ack: {
+      PerTarget& pt = per(ev.initiator);
+      pt.acked += 1;
+      // When every op so far requested confirmation, acks advance the
+      // known-complete floor directly.
+      if (pt.issued_rc == pt.issued) {
+        pt.confirmed = std::max(pt.confirmed, std::min(pt.acked, pt.issued));
+      }
+      auto st = find_req(ev.user_ptr);
+      if (st && !st->counts_send && !st->is_get) finish_segment(st);
+      break;
+    }
+    case portals::EventType::reply: {
+      if (per(ev.initiator).pending_replies > 0) {
+        per(ev.initiator).pending_replies -= 1;
+      }
+      auto st = find_req(ev.user_ptr);
+      if (st) finish_segment(st);
+      break;
+    }
+    default:
+      break;  // target-side events: unused (no EQ attached)
+  }
+}
+
+// -------------------------------------------------------- active messages
+
+void RmaEngine::send_am(int world_target, const AmHdr& hdr,
+                        std::vector<std::byte> payload) {
+  fabric::Packet p;
+  p.protocol = kAmProtocolId;
+  fabric::set_header(p, hdr);
+  p.payload = std::move(payload);
+  rank_->world().fabric().nic(rank_->id()).send(world_target, std::move(p));
+}
+
+void RmaEngine::on_am(fabric::Packet&& p) {
+  const auto h = fabric::get_header<AmHdr>(p);
+  switch (h.kind) {
+    case AmHdr::Kind::data_op:
+    case AmHdr::Kind::rmw_op:
+    case AmHdr::Kind::rmi_op: {
+      AmMsg m;
+      m.src = p.src;
+      m.payload = std::move(p.payload);
+      m.hdr_bytes = std::move(p.header);
+      if (cfg_.serializer == SerializerKind::comm_thread) {
+        am_chan_->push(std::move(m));
+      } else {
+        pending_am_.push_back(std::move(m));
+      }
+      break;
+    }
+    case AmHdr::Kind::op_ack: {
+      PerTarget& pt = per(p.src);
+      pt.acked += 1;
+      if (pt.issued_rc == pt.issued) {
+        pt.confirmed = std::max(pt.confirmed, std::min(pt.acked, pt.issued));
+      }
+      if (auto st = find_req(h.req_id)) finish_segment(st);
+      break;
+    }
+    case AmHdr::Kind::get_reply: {
+      if (per(p.src).pending_replies > 0) per(p.src).pending_replies -= 1;
+      if (auto st = find_req(h.req_id)) {
+        if (!p.payload.empty()) {
+          rank_->memory().nic_write(st->dest_addr + h.offset, p.payload);
+        }
+        finish_segment(st);
+      }
+      break;
+    }
+    case AmHdr::Kind::rmw_reply: {
+      if (per(p.src).pending_replies > 0) per(p.src).pending_replies -= 1;
+      if (auto st = find_req(h.req_id)) {
+        st->rmw_value = h.value_a;
+        finish_segment(st);
+      }
+      break;
+    }
+    case AmHdr::Kind::rmi_reply: {
+      if (per(p.src).pending_replies > 0) per(p.src).pending_replies -= 1;
+      if (auto st = find_req(h.req_id)) {
+        st->rmi_reply = std::move(p.payload);
+        finish_segment(st);
+      }
+      break;
+    }
+    case AmHdr::Kind::count_query: {
+      AmHdr r;
+      r.kind = AmHdr::Kind::count_reply;
+      r.req_id = h.req_id;
+      r.value_a = ptl_->received_data_ops(kPtData, p.src) +
+                  am_applied_from_[p.src];
+      send_am(p.src, r, {});
+      break;
+    }
+    case AmHdr::Kind::count_reply: {
+      auto st = find_req(h.req_id);
+      if (!st) break;
+      if (h.value_a >= st->flush_threshold) {
+        PerTarget& pt = per(p.src);
+        pt.confirmed = std::max(pt.confirmed, st->flush_threshold);
+        finish_segment(st);
+      } else {
+        // Not all landed yet: retry after a backoff. A bounded retry count
+        // turns lost operations (e.g. a put racing a detach) into a
+        // diagnosable failure instead of an endless poll loop.
+        if (++st->flush_retries > kMaxFlushRetries) {
+          throw Panic(
+              "RMA completion flush did not converge: operations to rank " +
+              std::to_string(p.src) +
+              " appear to be lost (dropped at the target?)");
+        }
+        const std::uint64_t id = h.req_id;
+        const int t = p.src;
+        rank_->world().engine().schedule_in(cfg_.flush_retry_ns,
+                                            [this, id, t] {
+                                              if (!find_req(id)) return;
+                                              AmHdr q;
+                                              q.kind =
+                                                  AmHdr::Kind::count_query;
+                                              q.req_id = id;
+                                              send_am(t, q, {});
+                                            });
+      }
+      break;
+    }
+    case AmHdr::Kind::lock_req:
+      service_lock_request(p.src, h.req_id);
+      break;
+    case AmHdr::Kind::lock_grant:
+      if (auto st = find_req(h.req_id)) finish_segment(st);
+      break;
+    case AmHdr::Kind::lock_release:
+      service_lock_release(p.src);
+      break;
+  }
+  eq_.condition().notify_all();
+}
+
+void RmaEngine::execute_am(AmMsg&& m, sim::Time apply_cost) {
+  if (apply_cost > 0) rank_->ctx().delay(apply_cost);
+  fabric::Packet shim;
+  shim.header = std::move(m.hdr_bytes);
+  const auto h = fabric::get_header<AmHdr>(shim);
+
+  if (h.kind == AmHdr::Kind::rmi_op) {
+    const int id = static_cast<int>(static_cast<std::uint32_t>(h.value_a));
+    auto hit = rmi_handlers_.find(id);
+    M3RMA_ENSURE(hit != rmi_handlers_.end(),
+                 "RMI for an unregistered handler id");
+    std::vector<std::byte> result = hit->second(m.src, m.payload);
+    am_applied_total_ += 1;
+    AmHdr r;
+    r.kind = AmHdr::Kind::rmi_reply;
+    r.req_id = h.req_id;
+    send_am(m.src, r, std::move(result));
+    return;
+  }
+
+  auto it = attached_.find(h.mem_id);
+  M3RMA_ENSURE(it != attached_.end(),
+               "software op for a detached TargetMem");
+  const Attached& a = it->second;
+  const std::uint64_t need =
+      h.kind == AmHdr::Kind::rmw_op ? 8 : h.length;
+  M3RMA_ENSURE(h.offset + need <= a.length,
+               "software op exceeds the attached region");
+  auto& mem = rank_->memory();
+
+  if (h.kind == AmHdr::Kind::rmw_op) {
+    std::byte operand[16];
+    u64_to_endian_bytes(h.value_a, mem.config().endian, operand);
+    u64_to_endian_bytes(h.value_b, mem.config().endian, operand + 8);
+    const std::size_t oplen =
+        h.rmw == portals::RmwOp::compare_swap ? 16u : 8u;
+    auto old = portals::apply_rmw(h.rmw, portals::NumType::u64,
+                                  mem.raw(a.base + h.offset),
+                                  std::span(operand, oplen),
+                                  mem.config().endian);
+    am_applied_total_ += 1;
+    AmHdr r;
+    r.kind = AmHdr::Kind::rmw_reply;
+    r.req_id = h.req_id;
+    r.value_a = u64_from_endian_bytes(old.data(), mem.config().endian);
+    send_am(m.src, r, {});
+    return;
+  }
+
+  switch (h.op) {
+    case RmaOptype::put: {
+      mem.nic_write(a.base + h.offset, m.payload);
+      am_applied_from_[m.src] += 1;
+      am_applied_total_ += 1;
+      AmHdr r;
+      r.kind = AmHdr::Kind::op_ack;
+      r.req_id = h.req_id;
+      send_am(m.src, r, {});
+      break;
+    }
+    case RmaOptype::accumulate: {
+      portals::apply_acc(h.acc, h.nt, mem.raw(a.base + h.offset),
+                         m.payload.data(), h.length, mem.config().endian);
+      am_applied_from_[m.src] += 1;
+      am_applied_total_ += 1;
+      AmHdr r;
+      r.kind = AmHdr::Kind::op_ack;
+      r.req_id = h.req_id;
+      send_am(m.src, r, {});
+      break;
+    }
+    case RmaOptype::get: {
+      std::vector<std::byte> data(h.length);
+      mem.nic_read(a.base + h.offset, data);
+      am_applied_total_ += 1;
+      AmHdr r;
+      r.kind = AmHdr::Kind::get_reply;
+      r.req_id = h.req_id;
+      r.offset = h.value_a;  // packed destination offset at the origin
+      send_am(m.src, r, std::move(data));
+      break;
+    }
+  }
+}
+
+// --------------------------------------------------------------- lock ops
+
+void RmaEngine::lock_acquire(int world_target) {
+  auto st = std::make_shared<Request::State>();
+  st->id = next_req_++;
+  st->world_target = world_target;
+  st->pending = 1;
+  st->counts_send = false;
+  reqs_.emplace(st->id, st);
+  rank_->ctx().delay(rank_->world().config().costs.inject_overhead_ns);
+  AmHdr h;
+  h.kind = AmHdr::Kind::lock_req;
+  h.req_id = st->id;
+  send_am(world_target, h, {});
+  progress_until([st] { return st->done; });
+}
+
+void RmaEngine::lock_release(int world_target) {
+  AmHdr h;
+  h.kind = AmHdr::Kind::lock_release;
+  send_am(world_target, h, {});
+}
+
+void RmaEngine::service_lock_request(int requester, std::uint64_t req_id) {
+  if (lock_.held_by < 0) {
+    lock_.held_by = requester;
+    lock_grants_ += 1;
+    AmHdr g;
+    g.kind = AmHdr::Kind::lock_grant;
+    g.req_id = req_id;
+    rank_->world().engine().schedule_in(
+        cfg_.lock_service_ns,
+        [this, requester, g] { send_am(requester, g, {}); });
+  } else {
+    lock_.waiters.push_back(requester);
+    lock_waiter_reqs_.push_back(req_id);
+  }
+}
+
+void RmaEngine::service_lock_release(int releaser) {
+  M3RMA_ENSURE(lock_.held_by == releaser,
+               "lock release from a rank that does not hold it");
+  lock_.held_by = -1;
+  if (!lock_.waiters.empty()) {
+    const int next = lock_.waiters.front();
+    const std::uint64_t req_id = lock_waiter_reqs_.front();
+    lock_.waiters.pop_front();
+    lock_waiter_reqs_.pop_front();
+    lock_.held_by = next;
+    lock_grants_ += 1;
+    AmHdr g;
+    g.kind = AmHdr::Kind::lock_grant;
+    g.req_id = req_id;
+    rank_->world().engine().schedule_in(
+        cfg_.lock_service_ns, [this, next, g] { send_am(next, g, {}); });
+  }
+}
+
+}  // namespace m3rma::core

@@ -1,0 +1,51 @@
+// target_mem: the strawman's non-collectively-created remote-memory handle.
+//
+// Paper §IV requirement 1: "no constraints on memory, such as symmetric
+// allocation or collective window creation, can be permitted", and §V: "The
+// object representing the target memory, target_mem, need not be allocated
+// collectively. The user is responsible for passing the target_mem object
+// to the MPI processes that need to access memory remotely."
+//
+// A TargetMem is therefore a plain value: the owner attaches local memory
+// (RmaEngine::attach) and ships the serialized handle to whoever should
+// access it — by send/recv, allgather, or any other channel. It carries the
+// owner's address width and endianness so a 32-bit little-endian origin can
+// correctly address a 64-bit big-endian target (paper §III-B3).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/byteorder.hpp"
+
+namespace m3rma::core {
+
+struct TargetMem {
+  /// World rank of the owning process.
+  std::int32_t owner = -1;
+  /// Registration id; doubles as the portals match bits.
+  std::uint64_t id = 0;
+  /// Base address in the owner's memory domain. Always transported as 64
+  /// bits even if the owner or origin has a narrower address space.
+  std::uint64_t base = 0;
+  std::uint64_t length = 0;
+  /// Byte order of the owner node (origin converts payloads on the wire).
+  Endian endian = Endian::little;
+  /// Owner address-space width in bits.
+  std::uint8_t addr_bits = 64;
+  /// True when the owner's memory is not cache-coherent (readers there must
+  /// fence; see memsim).
+  bool noncoherent = false;
+
+  bool valid() const { return owner >= 0; }
+
+  /// Wire encoding for handing the handle to other processes. Fixed-layout
+  /// and endian-stable so heterogeneous peers decode it identically.
+  std::vector<std::byte> serialize() const;
+  static TargetMem deserialize(std::span<const std::byte> bytes);
+
+  friend bool operator==(const TargetMem&, const TargetMem&) = default;
+};
+
+}  // namespace m3rma::core

@@ -1,0 +1,113 @@
+#include "fabric/fabric.hpp"
+
+#include <cmath>
+#include <utility>
+
+namespace m3rma::fabric {
+
+// -------------------------------------------------------------------- Nic
+
+void Nic::register_protocol(int protocol, Handler h) {
+  auto [it, inserted] = handlers_.emplace(protocol, std::move(h));
+  (void)it;
+  M3RMA_ENSURE(inserted, "protocol handler already registered on this NIC");
+}
+
+void Nic::unregister_protocol(int protocol) {
+  M3RMA_ENSURE(handlers_.erase(protocol) == 1,
+               "unregister of protocol that was never registered");
+}
+
+bool Nic::protocol_registered(int protocol) const {
+  return handlers_.contains(protocol);
+}
+
+void Nic::send(int dst, Packet&& p) {
+  M3RMA_REQUIRE(dst >= 0 && dst < fabric_->nodes(),
+                "send to out-of-range node");
+  p.src = node_;
+  p.dst = dst;
+  sent_messages_ += 1;
+  sent_bytes_ += p.wire_size();
+  fabric_->route(std::move(p));
+}
+
+void Nic::deliver(Packet&& p) {
+  received_messages_ += 1;
+  received_bytes_ += p.wire_size();
+  auto it = handlers_.find(p.protocol);
+  M3RMA_ENSURE(it != handlers_.end(),
+               "packet delivered for unregistered protocol " +
+                   std::to_string(p.protocol) + " on node " +
+                   std::to_string(node_));
+  it->second(std::move(p));
+}
+
+// ----------------------------------------------------------------- Fabric
+
+Fabric::Fabric(sim::Engine& eng, int nodes, Capabilities caps,
+               CostModel costs)
+    : eng_(&eng), caps_(caps), costs_(costs) {
+  M3RMA_REQUIRE(nodes > 0, "fabric needs at least one node");
+  nics_.reserve(static_cast<std::size_t>(nodes));
+  for (int n = 0; n < nodes; ++n) {
+    nics_.push_back(std::unique_ptr<Nic>(new Nic(this, n)));
+  }
+}
+
+Nic& Fabric::nic(int node) {
+  M3RMA_REQUIRE(node >= 0 && node < nodes(), "nic index out of range");
+  return *nics_[static_cast<std::size_t>(node)];
+}
+
+sim::Time Fabric::transfer_time(int src, int dst,
+                                std::size_t wire_bytes) const {
+  const sim::Time wire =
+      src == dst ? costs_.loopback_latency_ns : costs_.latency_ns;
+  const auto serial = static_cast<sim::Time>(
+      std::llround(static_cast<double>(wire_bytes) / costs_.bytes_per_ns));
+  return wire + serial + costs_.delivery_overhead_ns;
+}
+
+void Fabric::route(Packet&& p) {
+  const std::uint64_t key = static_cast<std::uint64_t>(p.src) *
+                                static_cast<std::uint64_t>(nodes()) +
+                            static_cast<std::uint64_t>(p.dst);
+  p.seq = next_seq_[key]++;
+  p.injected_at = eng_->now();
+  total_messages_ += 1;
+  total_bytes_ += p.wire_size();
+
+  if (costs_.loss_rate > 0.0 && eng_->rng().next_bool(costs_.loss_rate)) {
+    ++dropped_packets_;
+    return;  // failure injection: the packet vanishes on the wire
+  }
+
+  sim::Time arrival = eng_->now() + transfer_time(p.src, p.dst, p.wire_size());
+  if (caps_.ordered_delivery || p.src == p.dst) {
+    // FIFO per pair: a packet never overtakes an earlier one.
+    auto& last = last_arrival_[key];
+    if (arrival <= last) arrival = last + 1;
+    last = arrival;
+  } else if (costs_.jitter_ns > 0) {
+    // Adaptive routing: deterministic pseudo-random spread allows
+    // overtaking.
+    arrival += eng_->rng().next_below(costs_.jitter_ns + 1);
+  }
+
+  Nic* target = nics_[static_cast<std::size_t>(p.dst)].get();
+  if (costs_.delivery_occupancy_ns > 0) {
+    // The receive pipeline is a serial resource: converging traffic queues.
+    if (arrival < target->rx_busy_until_) arrival = target->rx_busy_until_;
+    target->rx_busy_until_ = arrival + costs_.delivery_occupancy_ns;
+    if (caps_.ordered_delivery || p.src == p.dst) {
+      last_arrival_[key] = std::max(last_arrival_[key], arrival);
+    }
+  }
+  eng_->schedule_at(
+      arrival, [target, pkt = std::move(p)]() mutable {
+        target->deliver(std::move(pkt));
+      });
+}
+
+}  // namespace m3rma::fabric

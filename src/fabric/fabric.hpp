@@ -1,0 +1,142 @@
+// Network model: configurable-capability interconnect between nodes.
+//
+// The paper (§III-B) reasons about three network capabilities that decide
+// how cheaply each RMA attribute can be implemented:
+//   * ordered delivery       (SeaStar/Cray XT: yes; Quadrics QSNet: no)
+//   * remote-completion events (Portals event queues: yes)
+//   * native atomics          (NIC-side atomic apply without target CPU)
+// The Fabric exposes exactly those knobs plus a latency/bandwidth cost
+// model, so benches can reproduce Figure 2 on the Cray-XT5-like default and
+// sweep the capability matrix for the ablations.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "fabric/packet.hpp"
+#include "simtime/engine.hpp"
+
+namespace m3rma::fabric {
+
+struct Capabilities {
+  /// Messages between a (src,dst) pair arrive in injection order.
+  bool ordered_delivery = true;
+  /// The network generates delivery acknowledgements the initiator can
+  /// observe (Portals ACK events). Without this, remote completion must be
+  /// established in software (e.g. a round-trip flush).
+  bool remote_completion_events = true;
+  /// The NIC can execute atomic read-modify-write at the target without
+  /// involving the target CPU.
+  bool native_atomics = true;
+};
+
+struct CostModel {
+  /// Initiator CPU/NIC cost to inject one message (descriptor setup, DMA
+  /// program). Paid as virtual time by the sending process.
+  sim::Time inject_overhead_ns = 300;
+  /// Delay from injection until the initiator observes LOCAL completion
+  /// (Portals SEND event): DMA out of the source buffer.
+  sim::Time local_completion_ns = 500;
+  /// One-way wire latency between distinct nodes.
+  sim::Time latency_ns = 4200;
+  /// Loopback latency for self-sends.
+  sim::Time loopback_latency_ns = 250;
+  /// Serialization bandwidth in bytes per nanosecond (2.0 == 2 GB/s).
+  double bytes_per_ns = 2.0;
+  /// Target NIC processing per delivered message.
+  sim::Time delivery_overhead_ns = 150;
+  /// Serial occupancy of the receiving NIC per message: deliveries queue
+  /// when messages from many senders converge on one node (the Figure 2
+  /// situation). 0 disables congestion modeling.
+  sim::Time delivery_occupancy_ns = 0;
+  /// Maximum extra delay on an unordered network (adaptive routing spread);
+  /// drawn uniformly per packet from [0, jitter_ns].
+  sim::Time jitter_ns = 3000;
+  /// Failure injection: probability of silently dropping a packet on the
+  /// wire (deterministic per seed). The RMA protocols assume a reliable
+  /// network, so any loss must surface as a detected failure (flush
+  /// non-convergence or deadlock), never as silent corruption.
+  double loss_rate = 0.0;
+};
+
+class Fabric;
+
+/// Per-node network interface. Upper layers register one handler per
+/// protocol id; deliveries run in event (scheduler) context.
+class Nic {
+ public:
+  using Handler = std::function<void(Packet&&)>;
+
+  int node() const { return node_; }
+  Fabric& fabric() { return *fabric_; }
+
+  /// Register the delivery handler for `protocol`. Each protocol id may be
+  /// claimed once per NIC.
+  void register_protocol(int protocol, Handler h);
+  /// Remove a handler (e.g. when the owning layer shuts down).
+  void unregister_protocol(int protocol);
+  bool protocol_registered(int protocol) const;
+
+  /// Inject a packet toward `dst`. Does not advance the caller's virtual
+  /// time (callers model CPU injection cost themselves, typically via
+  /// CostModel::inject_overhead_ns).
+  void send(int dst, Packet&& p);
+
+  std::uint64_t sent_messages() const { return sent_messages_; }
+  std::uint64_t sent_bytes() const { return sent_bytes_; }
+  std::uint64_t received_messages() const { return received_messages_; }
+  std::uint64_t received_bytes() const { return received_bytes_; }
+
+ private:
+  friend class Fabric;
+  Nic(Fabric* f, int node) : fabric_(f), node_(node) {}
+  void deliver(Packet&& p);
+
+  Fabric* fabric_;
+  int node_;
+  sim::Time rx_busy_until_ = 0;  // congestion: receive pipeline occupancy
+  std::unordered_map<int, Handler> handlers_;
+  std::uint64_t sent_messages_ = 0;
+  std::uint64_t sent_bytes_ = 0;
+  std::uint64_t received_messages_ = 0;
+  std::uint64_t received_bytes_ = 0;
+};
+
+class Fabric {
+ public:
+  Fabric(sim::Engine& eng, int nodes, Capabilities caps, CostModel costs);
+
+  Nic& nic(int node);
+  int nodes() const { return static_cast<int>(nics_.size()); }
+  const Capabilities& caps() const { return caps_; }
+  const CostModel& costs() const { return costs_; }
+  sim::Engine& engine() { return *eng_; }
+
+  /// Pure cost-model query: transfer time of `wire_bytes` between src and
+  /// dst, excluding jitter and ordering adjustments.
+  sim::Time transfer_time(int src, int dst, std::size_t wire_bytes) const;
+
+  std::uint64_t total_messages() const { return total_messages_; }
+  std::uint64_t total_bytes() const { return total_bytes_; }
+  std::uint64_t dropped_packets() const { return dropped_packets_; }
+
+ private:
+  friend class Nic;
+  void route(Packet&& p);
+
+  sim::Engine* eng_;
+  Capabilities caps_;
+  CostModel costs_;
+  std::vector<std::unique_ptr<Nic>> nics_;
+  std::unordered_map<std::uint64_t, sim::Time> last_arrival_;
+  std::unordered_map<std::uint64_t, std::uint64_t> next_seq_;
+  std::uint64_t total_messages_ = 0;
+  std::uint64_t total_bytes_ = 0;
+  std::uint64_t dropped_packets_ = 0;
+};
+
+}  // namespace m3rma::fabric

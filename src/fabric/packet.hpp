@@ -1,0 +1,60 @@
+// Wire packets exchanged between simulated NICs.
+//
+// The fabric treats packets as opaque: a protocol id selects the receiving
+// NIC's handler, a POD header carries protocol metadata, and the payload
+// carries data bytes. Headers are memcpy-serialized, which keeps the fabric
+// decoupled from upper-layer types while still forcing upper layers to
+// define an explicit wire format.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <type_traits>
+#include <vector>
+
+#include "common/diagnostics.hpp"
+#include "simtime/engine.hpp"
+
+namespace m3rma::fabric {
+
+/// Fixed per-packet framing overhead (routing, CRC, ...) counted toward
+/// transfer time. Roughly a SeaStar-class network header.
+inline constexpr std::size_t kWireFramingBytes = 64;
+
+struct Packet {
+  int src = -1;
+  int dst = -1;
+  int protocol = 0;
+  std::vector<std::byte> header;
+  std::vector<std::byte> payload;
+  /// Injection sequence number per (src,dst) pair, assigned by the fabric.
+  std::uint64_t seq = 0;
+  sim::Time injected_at = 0;
+
+  std::size_t wire_size() const {
+    return kWireFramingBytes + header.size() + payload.size();
+  }
+};
+
+/// Serialize a trivially-copyable protocol header into the packet.
+template <class H>
+void set_header(Packet& p, const H& h) {
+  static_assert(std::is_trivially_copyable_v<H>,
+                "packet headers must be PODs");
+  p.header.resize(sizeof(H));
+  std::memcpy(p.header.data(), &h, sizeof(H));
+}
+
+/// Deserialize the packet's protocol header.
+template <class H>
+H get_header(const Packet& p) {
+  static_assert(std::is_trivially_copyable_v<H>,
+                "packet headers must be PODs");
+  M3RMA_ENSURE(p.header.size() == sizeof(H), "packet header size mismatch");
+  H h;
+  std::memcpy(&h, p.header.data(), sizeof(H));
+  return h;
+}
+
+}  // namespace m3rma::fabric

@@ -1,0 +1,219 @@
+#include "galib/global_array.hpp"
+
+#include <algorithm>
+#include <cstring>
+
+#include "common/diagnostics.hpp"
+
+namespace m3rma::galib {
+
+using core::Attrs;
+using core::RmaAttr;
+
+// ---------------------------------------------------------------- Context
+
+Context::Context(runtime::Rank& rank, runtime::Comm& comm)
+    : rank_(&rank), comm_(&comm) {
+  core::EngineConfig cfg;
+  cfg.serializer = core::SerializerKind::comm_thread;
+  eng_ = std::make_unique<core::RmaEngine>(rank, comm, cfg);
+}
+
+std::unique_ptr<GlobalArray> Context::create(std::string name,
+                                             std::uint64_t rows,
+                                             std::uint64_t cols) {
+  M3RMA_REQUIRE(rows > 0 && cols > 0, "GlobalArray dimensions must be > 0");
+  return std::unique_ptr<GlobalArray>(
+      new GlobalArray(*this, std::move(name), rows, cols));
+}
+
+// ------------------------------------------------------------ GlobalArray
+
+GlobalArray::GlobalArray(Context& ctx, std::string name, std::uint64_t rows,
+                         std::uint64_t cols)
+    : ctx_(&ctx), name_(std::move(name)), rows_(rows), cols_(cols) {
+  auto& r = ctx.rank();
+  const auto nr = static_cast<std::uint64_t>(r.size());
+  rows_per_rank_ = (rows + nr - 1) / nr;
+  local_ = r.alloc_array<double>(rows_per_rank_ * cols_);
+  auto* p = reinterpret_cast<double*>(local_.data);
+  std::fill_n(p, rows_per_rank_ * cols_, 0.0);
+  blocks_ = ctx.engine().exchange_all(ctx.engine().attach(local_));
+
+  // The built-in GA task counter lives on rank 0.
+  core::TargetMem counter_handle;
+  if (r.id() == 0) {
+    counter_ = r.alloc_array<std::int64_t>(1);
+    *reinterpret_cast<std::int64_t*>(counter_.data) = 0;
+    counter_handle = ctx.engine().attach(counter_);
+  }
+  auto all = ctx.engine().exchange_all(counter_handle);
+  counter_mem_ = all[0];
+  ctx.comm().barrier();
+}
+
+int GlobalArray::owner_of_row(std::uint64_t row) const {
+  M3RMA_REQUIRE(row < rows_, "row out of range");
+  return static_cast<int>(row / rows_per_rank_);
+}
+
+std::pair<std::uint64_t, std::uint64_t> GlobalArray::my_rows() const {
+  const auto id = static_cast<std::uint64_t>(ctx_->rank().id());
+  const std::uint64_t lo = std::min(rows_, id * rows_per_rank_);
+  const std::uint64_t hi = std::min(rows_, (id + 1) * rows_per_rank_);
+  return {lo, hi};
+}
+
+double* GlobalArray::local_data() {
+  return reinterpret_cast<double*>(local_.data);
+}
+
+void GlobalArray::check_patch(const Patch& p) const {
+  M3RMA_REQUIRE(p.row_lo < p.row_hi && p.col_lo < p.col_hi,
+                "empty or inverted patch");
+  M3RMA_REQUIRE(p.row_hi <= rows_ && p.col_hi <= cols_,
+                "patch exceeds the array");
+}
+
+template <class Fn>
+void GlobalArray::for_each_owner(const Patch& p, Fn&& fn) const {
+  // Split the patch by owner row blocks; fn(owner, sub_patch).
+  std::uint64_t row = p.row_lo;
+  while (row < p.row_hi) {
+    const int owner = owner_of_row(row);
+    const std::uint64_t owner_end =
+        std::min<std::uint64_t>((static_cast<std::uint64_t>(owner) + 1) *
+                                    rows_per_rank_,
+                                p.row_hi);
+    Patch sub{row, owner_end, p.col_lo, p.col_hi};
+    fn(owner, sub);
+    row = owner_end;
+  }
+}
+
+namespace {
+
+/// Target-side layout of a sub-patch inside the owner's local block:
+/// sub.rows() blocks of sub.cols() doubles, stride = array cols.
+dt::Datatype patch_layout(const Patch& sub, std::uint64_t array_cols) {
+  return dt::Datatype::vector(sub.rows(), sub.cols(), array_cols,
+                              dt::Datatype::float64());
+}
+
+}  // namespace
+
+void GlobalArray::put(const Patch& p, const double* buf, std::uint64_t ld) {
+  check_patch(p);
+  M3RMA_REQUIRE(ld >= p.cols(), "leading dimension smaller than the patch");
+  auto& r = ctx_->rank();
+  for_each_owner(p, [&](int owner, const Patch& sub) {
+    // Pack the sub-patch rows (from the caller's ld-strided buffer) into a
+    // contiguous registered staging buffer.
+    auto staging = r.alloc_array<double>(sub.elems());
+    auto* s = reinterpret_cast<double*>(staging.data);
+    for (std::uint64_t rr = 0; rr < sub.rows(); ++rr) {
+      std::memcpy(
+          s + rr * sub.cols(),
+          buf + (sub.row_lo - p.row_lo + rr) * ld + (sub.col_lo - p.col_lo),
+          sub.cols() * 8);
+    }
+    const std::uint64_t disp =
+        ((sub.row_lo -
+          static_cast<std::uint64_t>(owner) * rows_per_rank_) *
+             cols_ +
+         sub.col_lo) *
+        8;
+    ctx_->engine().put(staging.addr, sub.elems(), dt::Datatype::float64(),
+                       blocks_[static_cast<std::size_t>(owner)], disp, 1,
+                       patch_layout(sub, cols_), owner,
+                       Attrs(RmaAttr::blocking));
+    r.free(staging);
+  });
+}
+
+void GlobalArray::get(const Patch& p, double* buf, std::uint64_t ld) {
+  check_patch(p);
+  M3RMA_REQUIRE(ld >= p.cols(), "leading dimension smaller than the patch");
+  auto& r = ctx_->rank();
+  for_each_owner(p, [&](int owner, const Patch& sub) {
+    auto staging = r.alloc_array<double>(sub.elems());
+    const std::uint64_t disp =
+        ((sub.row_lo -
+          static_cast<std::uint64_t>(owner) * rows_per_rank_) *
+             cols_ +
+         sub.col_lo) *
+        8;
+    ctx_->engine().get(staging.addr, sub.elems(), dt::Datatype::float64(),
+                       blocks_[static_cast<std::size_t>(owner)], disp, 1,
+                       patch_layout(sub, cols_), owner,
+                       Attrs(RmaAttr::blocking));
+    const auto* s = reinterpret_cast<const double*>(staging.data);
+    for (std::uint64_t rr = 0; rr < sub.rows(); ++rr) {
+      std::memcpy(
+          buf + (sub.row_lo - p.row_lo + rr) * ld + (sub.col_lo - p.col_lo),
+          s + rr * sub.cols(), sub.cols() * 8);
+    }
+    r.free(staging);
+  });
+}
+
+void GlobalArray::acc(const Patch& p, double alpha, const double* buf,
+                      std::uint64_t ld) {
+  check_patch(p);
+  M3RMA_REQUIRE(ld >= p.cols(), "leading dimension smaller than the patch");
+  auto& r = ctx_->rank();
+  for_each_owner(p, [&](int owner, const Patch& sub) {
+    auto staging = r.alloc_array<double>(sub.elems());
+    auto* s = reinterpret_cast<double*>(staging.data);
+    for (std::uint64_t rr = 0; rr < sub.rows(); ++rr) {
+      const double* src =
+          buf + (sub.row_lo - p.row_lo + rr) * ld + (sub.col_lo - p.col_lo);
+      for (std::uint64_t cc = 0; cc < sub.cols(); ++cc) {
+        s[rr * sub.cols() + cc] = alpha * src[cc];
+      }
+    }
+    const std::uint64_t disp =
+        ((sub.row_lo -
+          static_cast<std::uint64_t>(owner) * rows_per_rank_) *
+             cols_ +
+         sub.col_lo) *
+        8;
+    ctx_->engine().accumulate(
+        portals::AccOp::sum, staging.addr, sub.elems(),
+        dt::Datatype::float64(), blocks_[static_cast<std::size_t>(owner)],
+        disp, 1, patch_layout(sub, cols_), owner,
+        Attrs(RmaAttr::atomicity) | RmaAttr::blocking);
+    r.free(staging);
+  });
+}
+
+void GlobalArray::fill(double value) {
+  auto [lo, hi] = my_rows();
+  auto* p = local_data();
+  for (std::uint64_t rr = lo; rr < hi; ++rr) {
+    for (std::uint64_t cc = 0; cc < cols_; ++cc) {
+      p[(rr - lo) * cols_ + cc] = value;
+    }
+  }
+  sync();
+}
+
+void GlobalArray::sync() { ctx_->engine().complete_collective(); }
+
+std::int64_t GlobalArray::read_inc(std::int64_t inc) {
+  const std::uint64_t old = ctx_->engine().fetch_add(
+      counter_mem_, 0, static_cast<std::uint64_t>(inc), 0);
+  return static_cast<std::int64_t>(old);
+}
+
+double GlobalArray::global_sum() {
+  auto [lo, hi] = my_rows();
+  const auto* p = local_data();
+  double local = 0;
+  for (std::uint64_t i = 0; i < (hi - lo) * cols_; ++i) local += p[i];
+  double total = 0;
+  for (double v : ctx_->comm().allgather_value(local)) total += v;
+  return total;
+}
+
+}  // namespace m3rma::galib

@@ -1,0 +1,113 @@
+// Global-Arrays-like distributed array library (paper §II; Nieplocha et
+// al.). The second motivating "library-based RMA approach": dense 2D
+// arrays of doubles, block-distributed by rows, with one-sided patch
+// put/get/accumulate and the GA task-counter idiom (read_inc) — all built
+// on the strawman engine, exercising its datatypes (strided patches) and
+// atomics exactly the way NWChem-style applications would.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/rma_engine.hpp"
+#include "runtime/comm.hpp"
+#include "runtime/world.hpp"
+
+namespace m3rma::galib {
+
+class Context;
+
+/// A rectangular patch [row_lo, row_hi) x [col_lo, col_hi).
+struct Patch {
+  std::uint64_t row_lo = 0;
+  std::uint64_t row_hi = 0;
+  std::uint64_t col_lo = 0;
+  std::uint64_t col_hi = 0;
+
+  std::uint64_t rows() const { return row_hi - row_lo; }
+  std::uint64_t cols() const { return col_hi - col_lo; }
+  std::uint64_t elems() const { return rows() * cols(); }
+};
+
+/// A dense rows x cols array of double, rows block-distributed over the
+/// communicator. All access methods are one-sided and may be called by any
+/// rank for any patch; multi-owner patches are split transparently.
+class GlobalArray {
+ public:
+  std::uint64_t rows() const { return rows_; }
+  std::uint64_t cols() const { return cols_; }
+  const std::string& name() const { return name_; }
+
+  /// Owner of a global row.
+  int owner_of_row(std::uint64_t row) const;
+  /// This rank's row range [lo, hi).
+  std::pair<std::uint64_t, std::uint64_t> my_rows() const;
+  /// Host pointer to this rank's local block (row-major, cols() leading
+  /// dimension).
+  double* local_data();
+
+  // ----- one-sided patch access ---------------------------------------------
+  // `buf` is row-major with leading dimension `ld` (>= patch cols).
+
+  void put(const Patch& p, const double* buf, std::uint64_t ld);
+  void get(const Patch& p, double* buf, std::uint64_t ld);
+  /// Atomic: A[patch] += alpha * buf (element-wise, serialized).
+  void acc(const Patch& p, double alpha, const double* buf,
+           std::uint64_t ld);
+
+  /// Collective: fill the whole array with `value`.
+  void fill(double value);
+  /// Collective completion barrier (GA_Sync).
+  void sync();
+
+  /// GA read_inc on the array's built-in task counter: atomically add
+  /// `inc` and return the previous value. One-sided; the counter lives on
+  /// rank 0.
+  std::int64_t read_inc(std::int64_t inc = 1);
+
+  /// Collective sum of all elements.
+  double global_sum();
+
+ private:
+  friend class Context;
+  GlobalArray(Context& ctx, std::string name, std::uint64_t rows,
+              std::uint64_t cols);
+
+  template <class Fn>
+  void for_each_owner(const Patch& p, Fn&& fn) const;
+  void check_patch(const Patch& p) const;
+
+  Context* ctx_ = nullptr;
+  std::string name_;
+  std::uint64_t rows_ = 0;
+  std::uint64_t cols_ = 0;
+  std::uint64_t rows_per_rank_ = 0;
+  runtime::Rank::Buffer local_{};
+  runtime::Rank::Buffer counter_{};
+  std::vector<core::TargetMem> blocks_;   // per rank
+  core::TargetMem counter_mem_{};         // rank 0's counter
+};
+
+/// Library context: one per rank (collective construction), owning the RMA
+/// engine that all arrays share.
+class Context {
+ public:
+  Context(runtime::Rank& rank, runtime::Comm& comm);
+
+  /// GA_Create: collective.
+  std::unique_ptr<GlobalArray> create(std::string name, std::uint64_t rows,
+                                      std::uint64_t cols);
+
+  runtime::Rank& rank() { return *rank_; }
+  runtime::Comm& comm() { return *comm_; }
+  core::RmaEngine& engine() { return *eng_; }
+
+ private:
+  runtime::Rank* rank_;
+  runtime::Comm* comm_;
+  std::unique_ptr<core::RmaEngine> eng_;
+};
+
+}  // namespace m3rma::galib

@@ -1,0 +1,386 @@
+#include "portals/portals.hpp"
+
+#include <cstring>
+#include <utility>
+
+namespace m3rma::portals {
+
+struct Portals::WireHdr {
+  enum class Op : std::uint8_t {
+    put,
+    get_req,
+    reply,
+    atomic,
+    fetch_atomic,
+    ack,
+  };
+
+  Op op = Op::put;
+  AccOp acc_op = AccOp::replace;
+  RmwOp rmw_op = RmwOp::fetch_add;
+  NumType num_type = NumType::i64;
+  std::uint8_t want_ack = 0;
+  std::int32_t pt_index = 0;
+  std::uint64_t match = 0;
+  std::uint64_t remote_off = 0;
+  std::uint64_t length = 0;
+  std::uint64_t user_ptr = 0;
+  std::uint32_t md = 0;
+  std::uint64_t local_off = 0;
+};
+
+Portals::Portals(fabric::Nic& nic, memsim::MemoryDomain& mem)
+    : nic_(&nic), mem_(&mem) {
+  nic_->register_protocol(kProtocolId,
+                          [this](fabric::Packet&& p) { deliver(std::move(p)); });
+}
+
+bool Portals::supports_atomics() const {
+  return nic_->fabric().caps().native_atomics;
+}
+
+bool Portals::supports_ack_events() const {
+  return nic_->fabric().caps().remote_completion_events;
+}
+
+// ------------------------------------------------------------ registration
+
+MdHandle Portals::md_bind(std::uint64_t base, std::uint64_t length,
+                          EventQueue* eq) {
+  M3RMA_REQUIRE(length == 0 || mem_->contains(base, length),
+                "md_bind range outside the memory domain");
+  const MdHandle h = next_md_++;
+  mds_.emplace(h, Md{base, length, eq});
+  return h;
+}
+
+void Portals::md_release(MdHandle md) {
+  M3RMA_REQUIRE(mds_.erase(md) == 1, "md_release of unknown handle");
+}
+
+MeHandle Portals::me_append(int pt_index, std::uint64_t match,
+                            std::uint64_t ignore, std::uint64_t base,
+                            std::uint64_t length, EventQueue* eq) {
+  M3RMA_REQUIRE(length == 0 || mem_->contains(base, length),
+                "me_append range outside the memory domain");
+  const MeHandle h = next_me_++;
+  mes_.emplace(h, Me{pt_index, match, ignore, base, length, eq});
+  me_order_.push_back(h);
+  return h;
+}
+
+void Portals::me_unlink(MeHandle me) {
+  M3RMA_REQUIRE(mes_.erase(me) == 1, "me_unlink of unknown handle");
+  std::erase(me_order_, me);
+}
+
+Portals::Md& Portals::md_ref(MdHandle md) {
+  auto it = mds_.find(md);
+  M3RMA_REQUIRE(it != mds_.end(), "operation on unknown MD handle");
+  return it->second;
+}
+
+std::uint64_t Portals::received_data_ops(int pt_index, int src) const {
+  const std::uint64_t key =
+      (static_cast<std::uint64_t>(static_cast<std::uint32_t>(pt_index))
+       << 32) |
+      static_cast<std::uint32_t>(src);
+  auto it = matched_counts_.find(key);
+  return it == matched_counts_.end() ? 0 : it->second;
+}
+
+Portals::Me* Portals::match_me(int pt_index, std::uint64_t bits,
+                               std::uint64_t offset, std::uint64_t length) {
+  for (MeHandle h : me_order_) {
+    auto it = mes_.find(h);
+    if (it == mes_.end()) continue;
+    Me& me = it->second;
+    if (me.pt_index != pt_index) continue;
+    if (((bits ^ me.match) & ~me.ignore) != 0) continue;
+    if (offset + length > me.length) return nullptr;  // matched but truncated
+    return &me;
+  }
+  return nullptr;
+}
+
+void Portals::charge_inject(sim::Context& ctx) {
+  ctx.delay(nic_->fabric().costs().inject_overhead_ns);
+}
+
+void Portals::post_send_event(const Event& ev, EventQueue* eq,
+                              std::uint64_t bytes) {
+  // Local (SEND) completion models the DMA out of the source buffer: it
+  // arrives local_completion_ns plus serialization time after injection.
+  const auto& costs = nic_->fabric().costs();
+  const auto serial = static_cast<sim::Time>(
+      static_cast<double>(bytes) / costs.bytes_per_ns);
+  nic_->fabric().engine().schedule_in(costs.local_completion_ns + serial,
+                                      [eq, ev] { eq->post(ev); });
+}
+
+void Portals::send_to(int target, const WireHdr& hdr,
+                      std::vector<std::byte> payload) {
+  fabric::Packet p;
+  p.protocol = kProtocolId;
+  fabric::set_header(p, hdr);
+  p.payload = std::move(payload);
+  nic_->send(target, std::move(p));
+}
+
+// ----------------------------------------------------------- initiator ops
+
+void Portals::put(sim::Context& ctx, MdHandle md, std::uint64_t local_off,
+                  std::uint64_t length, int target, int pt_index,
+                  std::uint64_t match, std::uint64_t remote_off,
+                  std::uint64_t user_ptr, bool want_ack) {
+  Md& m = md_ref(md);
+  M3RMA_REQUIRE(local_off + length <= m.length, "put exceeds MD bounds");
+  charge_inject(ctx);
+  std::vector<std::byte> data(length);
+  if (length > 0) mem_->nic_read(m.base + local_off, data);
+
+  WireHdr hdr;
+  hdr.op = WireHdr::Op::put;
+  hdr.want_ack = want_ack ? 1 : 0;
+  hdr.pt_index = pt_index;
+  hdr.match = match;
+  hdr.remote_off = remote_off;
+  hdr.length = length;
+  hdr.user_ptr = user_ptr;
+  hdr.md = md;
+  send_to(target, hdr, std::move(data));
+
+  if (m.eq != nullptr) {
+    post_send_event(Event{EventType::send, node(), match, remote_off,
+                          length, user_ptr},
+                    m.eq, length);
+  }
+}
+
+void Portals::get(sim::Context& ctx, MdHandle md, std::uint64_t local_off,
+                  std::uint64_t length, int target, int pt_index,
+                  std::uint64_t match, std::uint64_t remote_off,
+                  std::uint64_t user_ptr) {
+  Md& m = md_ref(md);
+  M3RMA_REQUIRE(local_off + length <= m.length, "get exceeds MD bounds");
+  charge_inject(ctx);
+
+  WireHdr hdr;
+  hdr.op = WireHdr::Op::get_req;
+  hdr.pt_index = pt_index;
+  hdr.match = match;
+  hdr.remote_off = remote_off;
+  hdr.length = length;
+  hdr.user_ptr = user_ptr;
+  hdr.md = md;
+  hdr.local_off = local_off;
+  send_to(target, hdr, {});
+}
+
+void Portals::atomic(sim::Context& ctx, AccOp op, NumType nt, MdHandle md,
+                     std::uint64_t local_off, std::uint64_t length,
+                     int target, int pt_index, std::uint64_t match,
+                     std::uint64_t remote_off, std::uint64_t user_ptr,
+                     bool want_ack) {
+  M3RMA_REQUIRE(supports_atomics(),
+                "network has no native atomics; use a serializer");
+  M3RMA_REQUIRE(length % num_size(nt) == 0,
+                "atomic length not a multiple of the element size");
+  Md& m = md_ref(md);
+  M3RMA_REQUIRE(local_off + length <= m.length, "atomic exceeds MD bounds");
+  charge_inject(ctx);
+  std::vector<std::byte> data(length);
+  if (length > 0) mem_->nic_read(m.base + local_off, data);
+
+  WireHdr hdr;
+  hdr.op = WireHdr::Op::atomic;
+  hdr.acc_op = op;
+  hdr.num_type = nt;
+  hdr.want_ack = want_ack ? 1 : 0;
+  hdr.pt_index = pt_index;
+  hdr.match = match;
+  hdr.remote_off = remote_off;
+  hdr.length = length;
+  hdr.user_ptr = user_ptr;
+  hdr.md = md;
+  send_to(target, hdr, std::move(data));
+
+  if (m.eq != nullptr) {
+    post_send_event(Event{EventType::send, node(), match, remote_off,
+                          length, user_ptr},
+                    m.eq, length);
+  }
+}
+
+void Portals::fetch_atomic(sim::Context& ctx, RmwOp op, NumType nt,
+                           MdHandle md, std::uint64_t local_off,
+                           std::uint64_t fetch_off, int target, int pt_index,
+                           std::uint64_t match, std::uint64_t remote_off,
+                           std::uint64_t user_ptr) {
+  M3RMA_REQUIRE(supports_atomics(),
+                "network has no native atomics; use a serializer");
+  Md& m = md_ref(md);
+  const std::uint64_t payload_len =
+      op == RmwOp::compare_swap ? 2 * num_size(nt) : num_size(nt);
+  M3RMA_REQUIRE(local_off + payload_len <= m.length,
+                "fetch_atomic operand exceeds MD bounds");
+  M3RMA_REQUIRE(fetch_off + num_size(nt) <= m.length,
+                "fetch_atomic result slot exceeds MD bounds");
+  charge_inject(ctx);
+  std::vector<std::byte> data(payload_len);
+  mem_->nic_read(m.base + local_off, data);
+
+  WireHdr hdr;
+  hdr.op = WireHdr::Op::fetch_atomic;
+  hdr.rmw_op = op;
+  hdr.num_type = nt;
+  hdr.pt_index = pt_index;
+  hdr.match = match;
+  hdr.remote_off = remote_off;
+  hdr.length = payload_len;
+  hdr.user_ptr = user_ptr;
+  hdr.md = md;
+  hdr.local_off = fetch_off;
+  send_to(target, hdr, std::move(data));
+}
+
+// ------------------------------------------------------------- target side
+
+void Portals::deliver(fabric::Packet&& p) {
+  const auto hdr = fabric::get_header<WireHdr>(p);
+  switch (hdr.op) {
+    case WireHdr::Op::put: {
+      Me* me = match_me(hdr.pt_index, hdr.match, hdr.remote_off, hdr.length);
+      if (me == nullptr) {
+        ++dropped_;
+        return;
+      }
+      if (hdr.length > 0) {
+        mem_->nic_write(me->base + hdr.remote_off, p.payload);
+      }
+      matched_counts_[(static_cast<std::uint64_t>(
+                           static_cast<std::uint32_t>(hdr.pt_index))
+                       << 32) |
+                      static_cast<std::uint32_t>(p.src)] += 1;
+      if (me->eq != nullptr) {
+        me->eq->post(Event{EventType::put, p.src, hdr.match, hdr.remote_off,
+                           hdr.length, hdr.user_ptr});
+      }
+      if (hdr.want_ack && supports_ack_events()) {
+        WireHdr ack;
+        ack.op = WireHdr::Op::ack;
+        ack.md = hdr.md;
+        ack.user_ptr = hdr.user_ptr;
+        ack.match = hdr.match;
+        ack.length = hdr.length;
+        send_to(p.src, ack, {});
+      }
+      break;
+    }
+    case WireHdr::Op::get_req: {
+      Me* me = match_me(hdr.pt_index, hdr.match, hdr.remote_off, hdr.length);
+      if (me == nullptr) {
+        ++dropped_;
+        return;
+      }
+      std::vector<std::byte> data(hdr.length);
+      if (hdr.length > 0) mem_->nic_read(me->base + hdr.remote_off, data);
+      if (me->eq != nullptr) {
+        me->eq->post(Event{EventType::get, p.src, hdr.match, hdr.remote_off,
+                           hdr.length, hdr.user_ptr});
+      }
+      WireHdr reply;
+      reply.op = WireHdr::Op::reply;
+      reply.md = hdr.md;
+      reply.local_off = hdr.local_off;
+      reply.user_ptr = hdr.user_ptr;
+      reply.match = hdr.match;
+      reply.length = hdr.length;
+      send_to(p.src, reply, std::move(data));
+      break;
+    }
+    case WireHdr::Op::atomic: {
+      Me* me = match_me(hdr.pt_index, hdr.match, hdr.remote_off, hdr.length);
+      if (me == nullptr) {
+        ++dropped_;
+        return;
+      }
+      if (hdr.length > 0) {
+        apply_acc(hdr.acc_op, hdr.num_type,
+                  mem_->raw(me->base + hdr.remote_off), p.payload.data(),
+                  hdr.length, mem_->config().endian);
+      }
+      matched_counts_[(static_cast<std::uint64_t>(
+                           static_cast<std::uint32_t>(hdr.pt_index))
+                       << 32) |
+                      static_cast<std::uint32_t>(p.src)] += 1;
+      if (me->eq != nullptr) {
+        me->eq->post(Event{EventType::atomic, p.src, hdr.match,
+                           hdr.remote_off, hdr.length, hdr.user_ptr});
+      }
+      if (hdr.want_ack && supports_ack_events()) {
+        WireHdr ack;
+        ack.op = WireHdr::Op::ack;
+        ack.md = hdr.md;
+        ack.user_ptr = hdr.user_ptr;
+        ack.match = hdr.match;
+        ack.length = hdr.length;
+        send_to(p.src, ack, {});
+      }
+      break;
+    }
+    case WireHdr::Op::fetch_atomic: {
+      const std::uint64_t elem = num_size(hdr.num_type);
+      Me* me = match_me(hdr.pt_index, hdr.match, hdr.remote_off, elem);
+      if (me == nullptr) {
+        ++dropped_;
+        return;
+      }
+      auto old = apply_rmw(hdr.rmw_op, hdr.num_type,
+                           mem_->raw(me->base + hdr.remote_off), p.payload,
+                           mem_->config().endian);
+      if (me->eq != nullptr) {
+        me->eq->post(Event{EventType::atomic, p.src, hdr.match,
+                           hdr.remote_off, elem, hdr.user_ptr});
+      }
+      WireHdr reply;
+      reply.op = WireHdr::Op::reply;
+      reply.md = hdr.md;
+      reply.local_off = hdr.local_off;
+      reply.user_ptr = hdr.user_ptr;
+      reply.match = hdr.match;
+      reply.length = elem;
+      send_to(p.src, reply, std::move(old));
+      break;
+    }
+    case WireHdr::Op::reply: {
+      auto it = mds_.find(hdr.md);
+      if (it == mds_.end()) {
+        ++dropped_;  // MD released while the reply was in flight
+        return;
+      }
+      if (hdr.length > 0) {
+        mem_->nic_write(it->second.base + hdr.local_off, p.payload);
+      }
+      if (it->second.eq != nullptr) {
+        it->second.eq->post(Event{EventType::reply, p.src, hdr.match, 0,
+                                  hdr.length, hdr.user_ptr});
+      }
+      break;
+    }
+    case WireHdr::Op::ack: {
+      auto it = mds_.find(hdr.md);
+      if (it == mds_.end()) {
+        ++dropped_;
+        return;
+      }
+      if (it->second.eq != nullptr) {
+        it->second.eq->post(Event{EventType::ack, p.src, hdr.match, 0,
+                                  hdr.length, hdr.user_ptr});
+      }
+      break;
+    }
+  }
+}
+
+}  // namespace m3rma::portals

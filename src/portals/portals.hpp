@@ -1,0 +1,193 @@
+// Portals-like RMA transport (cf. Brightwell et al., "Portals 3.0").
+//
+// This is the layer the paper's prototype was written against on the Cray
+// XT5: one-sided put/get/atomic with
+//   * match entries (ME) exposing target memory on portal table indexes,
+//   * memory descriptors (MD) describing initiator buffers,
+//   * event queues (EQ) through which both local completion (SEND) and
+//     remote completion (ACK, via the network's completion events) are
+//     observed — "the Portals library on the Cray XT allows the user to
+//     check for remote completion of a message via an Event Queue
+//     mechanism" (§V-A).
+//
+// Whether ACK events exist at all depends on
+// fabric::Capabilities::remote_completion_events; native atomic execution
+// depends on Capabilities::native_atomics (upper layers must check
+// supports_atomics() and fall back to a serializer otherwise, as on the
+// Catamount/Portals systems described in §III-B1).
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "fabric/fabric.hpp"
+#include "memsim/memory_domain.hpp"
+#include "portals/atomics.hpp"
+#include "simtime/channel.hpp"
+#include "simtime/engine.hpp"
+
+namespace m3rma::portals {
+
+/// Fabric protocol id claimed by the portals transport.
+inline constexpr int kProtocolId = 10;
+
+enum class EventType : std::uint8_t {
+  send,          ///< initiator: message injected, local buffer reusable
+  ack,           ///< initiator: remote delivery confirmed
+  put,           ///< target: a put landed in an ME
+  get,           ///< target: a get read from an ME
+  reply,         ///< initiator: get/fetch-atomic data arrived
+  atomic,        ///< target: an atomic was applied to an ME
+  dropped,       ///< target: message arrived with no matching ME
+};
+
+struct Event {
+  EventType type = EventType::send;
+  int initiator = -1;            ///< node that issued the operation
+  std::uint64_t match_bits = 0;
+  std::uint64_t remote_offset = 0;
+  std::uint64_t length = 0;
+  std::uint64_t user_ptr = 0;    ///< initiator-supplied cookie
+};
+
+/// FIFO of events, waitable by simulated processes.
+class EventQueue {
+ public:
+  explicit EventQueue(sim::Engine& e) : cond_(e) {}
+
+  void post(const Event& ev) {
+    q_.push_back(ev);
+    cond_.notify_all();
+  }
+  std::optional<Event> poll() {
+    if (q_.empty()) return std::nullopt;
+    Event ev = q_.front();
+    q_.pop_front();
+    return ev;
+  }
+  /// Block until an event is available, then dequeue it.
+  Event wait(sim::Context& ctx) {
+    ctx.await_until(cond_, [this] { return !q_.empty(); });
+    Event ev = q_.front();
+    q_.pop_front();
+    return ev;
+  }
+  std::size_t pending() const { return q_.size(); }
+  /// Notified whenever an event is posted. Upper layers may use it as a
+  /// general progress condition (and notify it for their own events).
+  sim::Condition& condition() { return cond_; }
+
+ private:
+  std::deque<Event> q_;
+  sim::Condition cond_;
+};
+
+using MdHandle = std::uint32_t;
+using MeHandle = std::uint32_t;
+
+/// Per-node portals interface. Construct one per node over its NIC and
+/// memory domain; all methods must be called from that node's simulated
+/// processes (or, for registration, before the simulation starts).
+class Portals {
+ public:
+  Portals(fabric::Nic& nic, memsim::MemoryDomain& mem);
+
+  /// Initiator-side buffer registration.
+  MdHandle md_bind(std::uint64_t base, std::uint64_t length, EventQueue* eq);
+  void md_release(MdHandle md);
+
+  /// Target-side exposure: messages to `pt_index` whose match bits satisfy
+  /// (bits ^ match) & ~ignore == 0 land in [base, base+length).
+  MeHandle me_append(int pt_index, std::uint64_t match, std::uint64_t ignore,
+                     std::uint64_t base, std::uint64_t length,
+                     EventQueue* eq);
+  void me_unlink(MeHandle me);
+
+  /// One-sided write. Charges injection overhead to `ctx`, posts SEND to
+  /// the MD's EQ at injection, and (if want_ack and the network supports
+  /// completion events) posts ACK on remote delivery.
+  void put(sim::Context& ctx, MdHandle md, std::uint64_t local_off,
+           std::uint64_t length, int target, int pt_index,
+           std::uint64_t match, std::uint64_t remote_off,
+           std::uint64_t user_ptr, bool want_ack);
+
+  /// One-sided read; REPLY is posted to the MD's EQ when data arrives.
+  /// length 0 is a valid flush probe (full round trip, no data).
+  void get(sim::Context& ctx, MdHandle md, std::uint64_t local_off,
+           std::uint64_t length, int target, int pt_index,
+           std::uint64_t match, std::uint64_t remote_off,
+           std::uint64_t user_ptr);
+
+  /// NIC-executed accumulate (requires supports_atomics()). Operand bytes
+  /// are read from the MD like a put.
+  void atomic(sim::Context& ctx, AccOp op, NumType nt, MdHandle md,
+              std::uint64_t local_off, std::uint64_t length, int target,
+              int pt_index, std::uint64_t match, std::uint64_t remote_off,
+              std::uint64_t user_ptr, bool want_ack);
+
+  /// NIC-executed fetched RMW on one element (requires supports_atomics()).
+  /// The payload ([operand] or [compare][desired]) is read from
+  /// md/local_off; the previous value is written to md/fetch_off and
+  /// announced by a REPLY event.
+  void fetch_atomic(sim::Context& ctx, RmwOp op, NumType nt, MdHandle md,
+                    std::uint64_t local_off, std::uint64_t fetch_off,
+                    int target, int pt_index, std::uint64_t match,
+                    std::uint64_t remote_off, std::uint64_t user_ptr);
+
+  bool supports_atomics() const;
+  bool supports_ack_events() const;
+
+  int node() const { return nic_->node(); }
+  fabric::Fabric& fabric() { return nic_->fabric(); }
+  memsim::MemoryDomain& memory() { return *mem_; }
+
+  std::uint64_t dropped_messages() const { return dropped_; }
+
+  /// Count of data-carrying ops (put/atomic) from `src` matched into MEs of
+  /// `pt_index`. Mirrors Portals counting events: readable locally at the
+  /// target with no CPU involvement, which is what makes software
+  /// completion-count queries possible on ack-less networks.
+  std::uint64_t received_data_ops(int pt_index, int src) const;
+
+ private:
+  struct Md {
+    std::uint64_t base = 0;
+    std::uint64_t length = 0;
+    EventQueue* eq = nullptr;
+  };
+  struct Me {
+    int pt_index = 0;
+    std::uint64_t match = 0;
+    std::uint64_t ignore = 0;
+    std::uint64_t base = 0;
+    std::uint64_t length = 0;
+    EventQueue* eq = nullptr;
+  };
+
+  struct WireHdr;
+
+  void deliver(fabric::Packet&& p);
+  Me* match_me(int pt_index, std::uint64_t bits, std::uint64_t offset,
+               std::uint64_t length);
+  Md& md_ref(MdHandle md);
+  void charge_inject(sim::Context& ctx);
+  void post_send_event(const Event& ev, EventQueue* eq, std::uint64_t bytes);
+  void send_to(int target, const WireHdr& hdr,
+               std::vector<std::byte> payload);
+
+  fabric::Nic* nic_;
+  memsim::MemoryDomain* mem_;
+  std::unordered_map<MdHandle, Md> mds_;
+  std::unordered_map<MeHandle, Me> mes_;
+  std::vector<MeHandle> me_order_;  // match priority = append order
+  MdHandle next_md_ = 1;
+  MeHandle next_me_ = 1;
+  std::uint64_t dropped_ = 0;
+  // (pt_index, src) -> matched data ops.
+  std::unordered_map<std::uint64_t, std::uint64_t> matched_counts_;
+};
+
+}  // namespace m3rma::portals

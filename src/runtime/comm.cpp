@@ -1,0 +1,321 @@
+#include "runtime/comm.hpp"
+
+#include <algorithm>
+
+#include "common/diagnostics.hpp"
+#include "runtime/world.hpp"
+
+namespace m3rma::runtime {
+
+namespace {
+// Wire tag layout: [context:23][coll:1][payload:39].
+constexpr int kPayloadBits = 39;
+constexpr std::int64_t kPayloadMask = (std::int64_t{1} << kPayloadBits) - 1;
+constexpr std::int64_t kCollBit = std::int64_t{1} << kPayloadBits;
+}  // namespace
+
+Comm::Comm(Rank& rank, std::uint32_t context_id, std::vector<int> members)
+    : rank_(&rank), context_id_(context_id), members_(std::move(members)) {
+  M3RMA_REQUIRE(!members_.empty(), "communicator needs at least one member");
+  for (std::size_t i = 0; i < members_.size(); ++i) {
+    if (members_[i] == rank_->id()) my_index_ = static_cast<int>(i);
+  }
+  M3RMA_REQUIRE(my_index_ >= 0, "calling rank is not in the communicator");
+}
+
+int Comm::to_world(int r) const {
+  M3RMA_REQUIRE(r >= 0 && r < size(), "rank out of communicator range");
+  return members_[static_cast<std::size_t>(r)];
+}
+
+int Comm::from_world(int world_rank) const {
+  for (std::size_t i = 0; i < members_.size(); ++i) {
+    if (members_[i] == world_rank) return static_cast<int>(i);
+  }
+  throw Panic("message from a rank outside this communicator");
+}
+
+std::int64_t Comm::wire_tag(std::int64_t user_tag) const {
+  M3RMA_REQUIRE(user_tag >= 0 && user_tag < kCollBit,
+                "user tag out of range");
+  return (static_cast<std::int64_t>(context_id_) << (kPayloadBits + 1)) |
+         user_tag;
+}
+
+std::int64_t Comm::coll_tag(int phase) {
+  // coll_seq_ is advanced once per collective by the caller; phase
+  // distinguishes message rounds inside one collective.
+  const std::int64_t payload =
+      ((static_cast<std::int64_t>(coll_seq_) << 8) |
+       static_cast<std::int64_t>(phase)) &
+      kPayloadMask;
+  return (static_cast<std::int64_t>(context_id_) << (kPayloadBits + 1)) |
+         kCollBit | payload;
+}
+
+// --------------------------------------------------------- point-to-point
+
+void Comm::send(int dst, std::int64_t tag, std::span<const std::byte> data) {
+  rank_->p2p().send(rank_->ctx(), to_world(dst), wire_tag(tag), data);
+}
+
+Message Comm::recv(int src, std::int64_t tag) {
+  const int wsrc = src == kAnySource ? kAnySource : to_world(src);
+  const std::int64_t wtag = tag == kAnyTag ? kAnyTag : wire_tag(tag);
+  Message m = rank_->p2p().recv(rank_->ctx(), wsrc, wtag);
+  m.src = from_world(m.src);
+  m.tag &= kPayloadMask;
+  return m;
+}
+
+// ------------------------------------------------------------ collectives
+
+void Comm::barrier() {
+  ++coll_seq_;
+  const int n = size();
+  const int me = rank();
+  for (int k = 1; k < n; k <<= 1) {
+    const int to = (me + k) % n;
+    const int from = (me - k % n + n) % n;
+    rank_->p2p().send(rank_->ctx(), to_world(to), coll_tag(0), {});
+    (void)rank_->p2p().recv(rank_->ctx(), to_world(from), coll_tag(0));
+  }
+}
+
+void Comm::bcast(std::vector<std::byte>& data, int root) {
+  ++coll_seq_;
+  const int n = size();
+  if (n == 1) return;
+  const int vr = (rank() - root + n) % n;
+  // Binomial tree: receive from the parent, then forward down.
+  int mask = 1;
+  while (mask < n) {
+    if ((vr & mask) != 0) {
+      const int parent = ((vr - mask) + root) % n;
+      Message m = rank_->p2p().recv(rank_->ctx(), to_world(parent),
+                                    coll_tag(1));
+      data = std::move(m.data);
+      break;
+    }
+    mask <<= 1;
+  }
+  mask >>= 1;
+  while (mask > 0) {
+    if (vr + mask < n) {
+      const int child = ((vr + mask) + root) % n;
+      rank_->p2p().send(rank_->ctx(), to_world(child), coll_tag(1), data);
+    }
+    mask >>= 1;
+  }
+}
+
+std::vector<std::vector<std::byte>> Comm::gather(
+    std::span<const std::byte> mine, int root) {
+  ++coll_seq_;
+  const int n = size();
+  std::vector<std::vector<std::byte>> out;
+  if (rank() == root) {
+    out.resize(static_cast<std::size_t>(n));
+    out[static_cast<std::size_t>(root)].assign(mine.begin(), mine.end());
+    for (int i = 0; i < n - 1; ++i) {
+      Message m = rank_->p2p().recv(rank_->ctx(), kAnySource, coll_tag(2));
+      out[static_cast<std::size_t>(from_world(m.src))] = std::move(m.data);
+    }
+  } else {
+    rank_->p2p().send(rank_->ctx(), to_world(root), coll_tag(2), mine);
+  }
+  return out;
+}
+
+std::vector<std::vector<std::byte>> Comm::allgather(
+    std::span<const std::byte> mine) {
+  auto parts = gather(mine, 0);
+  // Serialize [count][len,bytes]... and broadcast.
+  std::vector<std::byte> blob;
+  if (rank() == 0) {
+    for (const auto& part : parts) {
+      const std::uint64_t len = part.size();
+      const auto* lp = reinterpret_cast<const std::byte*>(&len);
+      blob.insert(blob.end(), lp, lp + sizeof(len));
+      blob.insert(blob.end(), part.begin(), part.end());
+    }
+  }
+  bcast(blob, 0);
+  if (rank() != 0) {
+    parts.clear();
+    std::size_t off = 0;
+    while (off < blob.size()) {
+      std::uint64_t len = 0;
+      std::memcpy(&len, blob.data() + off, sizeof(len));
+      off += sizeof(len);
+      parts.emplace_back(blob.begin() + static_cast<std::ptrdiff_t>(off),
+                         blob.begin() + static_cast<std::ptrdiff_t>(off + len));
+      off += len;
+    }
+  }
+  M3RMA_ENSURE(parts.size() == static_cast<std::size_t>(size()),
+               "allgather part count mismatch");
+  return parts;
+}
+
+namespace {
+enum class Red { sum, mx, mn };
+}
+
+static std::uint64_t reduce_vals(Red op, const std::vector<std::uint64_t>& v) {
+  std::uint64_t acc = v[0];
+  for (std::size_t i = 1; i < v.size(); ++i) {
+    switch (op) {
+      case Red::sum:
+        acc += v[i];
+        break;
+      case Red::mx:
+        acc = std::max(acc, v[i]);
+        break;
+      case Red::mn:
+        acc = std::min(acc, v[i]);
+        break;
+    }
+  }
+  return acc;
+}
+
+std::uint64_t Comm::allreduce_sum(std::uint64_t v) {
+  return reduce_vals(Red::sum, allgather_value(v));
+}
+std::uint64_t Comm::allreduce_max(std::uint64_t v) {
+  return reduce_vals(Red::mx, allgather_value(v));
+}
+std::uint64_t Comm::allreduce_min(std::uint64_t v) {
+  return reduce_vals(Red::mn, allgather_value(v));
+}
+
+std::uint64_t Comm::reduce_sum(std::uint64_t v, int root) {
+  ++coll_seq_;
+  const int n = size();
+  if (rank() == root) {
+    std::uint64_t acc = v;
+    for (int i = 0; i < n - 1; ++i) {
+      Message m = rank_->p2p().recv(rank_->ctx(), kAnySource, coll_tag(3));
+      std::uint64_t x = 0;
+      M3RMA_ENSURE(m.data.size() == 8, "reduce payload size");
+      std::memcpy(&x, m.data.data(), 8);
+      acc += x;
+    }
+    return acc;
+  }
+  rank_->p2p().send(rank_->ctx(), to_world(root), coll_tag(3),
+                    std::span(reinterpret_cast<const std::byte*>(&v), 8));
+  return 0;
+}
+
+std::vector<std::byte> Comm::scatter(
+    const std::vector<std::vector<std::byte>>& parts, int root) {
+  ++coll_seq_;
+  const int n = size();
+  if (rank() == root) {
+    M3RMA_REQUIRE(parts.size() == static_cast<std::size_t>(n),
+                  "scatter needs one part per rank");
+    for (int i = 0; i < n; ++i) {
+      if (i == root) continue;
+      rank_->p2p().send(rank_->ctx(), to_world(i), coll_tag(4),
+                        parts[static_cast<std::size_t>(i)]);
+    }
+    return parts[static_cast<std::size_t>(root)];
+  }
+  Message m = rank_->p2p().recv(rank_->ctx(), to_world(root), coll_tag(4));
+  return std::move(m.data);
+}
+
+std::vector<std::vector<std::byte>> Comm::alltoall(
+    const std::vector<std::vector<std::byte>>& mine) {
+  ++coll_seq_;
+  const int n = size();
+  M3RMA_REQUIRE(mine.size() == static_cast<std::size_t>(n),
+                "alltoall needs one part per rank");
+  std::vector<std::vector<std::byte>> out(static_cast<std::size_t>(n));
+  out[static_cast<std::size_t>(rank())] =
+      mine[static_cast<std::size_t>(rank())];
+  // Pairwise exchange in n-1 rounds (XOR-free ring schedule): in round k
+  // send to (me+k) and receive from (me-k).
+  for (int k = 1; k < n; ++k) {
+    const int to = (rank() + k) % n;
+    const int from = (rank() - k + n) % n;
+    rank_->p2p().send(rank_->ctx(), to_world(to), coll_tag(5),
+                      mine[static_cast<std::size_t>(to)]);
+    Message m = rank_->p2p().recv(rank_->ctx(), to_world(from), coll_tag(5));
+    out[static_cast<std::size_t>(from)] = std::move(m.data);
+  }
+  return out;
+}
+
+std::uint64_t Comm::exscan_sum(std::uint64_t v) {
+  const auto vals = allgather_value(v);
+  std::uint64_t acc = 0;
+  for (int i = 0; i < rank(); ++i) {
+    acc += vals[static_cast<std::size_t>(i)];
+  }
+  return acc;
+}
+
+// --------------------------------------------------------- dup and split
+
+std::unique_ptr<Comm> Comm::dup() {
+  // Leader picks the context id, everyone learns it via bcast.
+  std::vector<std::byte> blob(sizeof(std::uint32_t));
+  if (rank() == 0) {
+    const std::uint32_t id = rank_->world().alloc_context_id();
+    std::memcpy(blob.data(), &id, sizeof(id));
+  }
+  bcast(blob, 0);
+  std::uint32_t id = 0;
+  std::memcpy(&id, blob.data(), sizeof(id));
+  return std::make_unique<Comm>(*rank_, id, members_);
+}
+
+std::unique_ptr<Comm> Comm::split(int color, int key) {
+  struct Entry {
+    int color;
+    int key;
+    int world_rank;
+  };
+  auto entries = allgather_value(Entry{color, key, rank_->id()});
+  // Leader allocates one id per distinct non-negative color, broadcasts the
+  // (color -> id) table as parallel arrays.
+  std::vector<int> colors;
+  for (const auto& e : entries) {
+    if (e.color >= 0 &&
+        std::find(colors.begin(), colors.end(), e.color) == colors.end()) {
+      colors.push_back(e.color);
+    }
+  }
+  std::sort(colors.begin(), colors.end());
+  std::vector<std::byte> blob(colors.size() * sizeof(std::uint32_t));
+  if (rank() == 0) {
+    for (std::size_t i = 0; i < colors.size(); ++i) {
+      const std::uint32_t id = rank_->world().alloc_context_id();
+      std::memcpy(blob.data() + i * sizeof(std::uint32_t), &id, sizeof(id));
+    }
+  }
+  bcast(blob, 0);
+  if (color < 0) return nullptr;
+
+  std::vector<Entry> group;
+  for (const auto& e : entries) {
+    if (e.color == color) group.push_back(e);
+  }
+  std::stable_sort(group.begin(), group.end(), [](const Entry& a,
+                                                  const Entry& b) {
+    return a.key != b.key ? a.key < b.key : a.world_rank < b.world_rank;
+  });
+  std::vector<int> members;
+  for (const auto& e : group) members.push_back(e.world_rank);
+
+  const auto idx = static_cast<std::size_t>(
+      std::find(colors.begin(), colors.end(), color) - colors.begin());
+  std::uint32_t id = 0;
+  std::memcpy(&id, blob.data() + idx * sizeof(std::uint32_t), sizeof(id));
+  return std::make_unique<Comm>(*rank_, id, std::move(members));
+}
+
+}  // namespace m3rma::runtime

@@ -1,0 +1,62 @@
+#include "runtime/p2p.hpp"
+
+#include <algorithm>
+
+#include "common/diagnostics.hpp"
+
+namespace m3rma::runtime {
+
+P2p::P2p(sim::Engine& eng, fabric::Nic& nic) : nic_(&nic), cond_(eng) {
+  nic_->register_protocol(kP2pProtocolId, [this](fabric::Packet&& p) {
+    deliver(std::move(p));
+  });
+}
+
+void P2p::send(sim::Context& ctx, int dst, std::int64_t tag,
+               std::span<const std::byte> data) {
+  M3RMA_REQUIRE(tag >= 0, "message tags must be non-negative");
+  ctx.delay(nic_->fabric().costs().inject_overhead_ns);
+  fabric::Packet p;
+  p.protocol = kP2pProtocolId;
+  fabric::set_header(p, WireHdr{tag});
+  p.payload.assign(data.begin(), data.end());
+  nic_->send(dst, std::move(p));
+}
+
+Message P2p::recv(sim::Context& ctx, int src, std::int64_t tag) {
+  if (auto m = try_recv(src, tag)) return std::move(*m);
+  Posted posted{src, tag, false, {}};
+  posted_.push_back(&posted);
+  ctx.await_until(cond_, [&] { return posted.done; });
+  return std::move(posted.msg);
+}
+
+std::optional<Message> P2p::try_recv(int src, std::int64_t tag) {
+  for (auto it = unexpected_.begin(); it != unexpected_.end(); ++it) {
+    if ((src == kAnySource || src == it->src) &&
+        (tag == kAnyTag || tag == it->tag)) {
+      Message m = std::move(*it);
+      unexpected_.erase(it);
+      return m;
+    }
+  }
+  return std::nullopt;
+}
+
+void P2p::deliver(fabric::Packet&& p) {
+  const auto hdr = fabric::get_header<WireHdr>(p);
+  Message m{p.src, hdr.tag, std::move(p.payload)};
+  // Hand to the first compatible posted receive, else queue as unexpected.
+  for (auto it = posted_.begin(); it != posted_.end(); ++it) {
+    if (!(*it)->done && matches(**it, m.src, m.tag)) {
+      (*it)->msg = std::move(m);
+      (*it)->done = true;
+      posted_.erase(it);
+      cond_.notify_all();
+      return;
+    }
+  }
+  unexpected_.push_back(std::move(m));
+}
+
+}  // namespace m3rma::runtime

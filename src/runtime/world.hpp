@@ -1,0 +1,118 @@
+// Simulated parallel machine: N ranks, one per node, plus per-node NIC,
+// memory domain, Portals endpoint and p2p endpoint.
+//
+// World wires the substrates together; Rank is the handle a rank's code
+// uses inside World::run(). Nodes may be configured heterogeneously
+// (endianness, address width, cache coherence) via WorldConfig overrides,
+// matching the architectural diversity of paper §III-B.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+#include "fabric/fabric.hpp"
+#include "memsim/memory_domain.hpp"
+#include "portals/portals.hpp"
+#include "runtime/p2p.hpp"
+#include "simtime/engine.hpp"
+
+namespace m3rma::runtime {
+
+class Comm;
+class Rank;
+
+struct WorldConfig {
+  int ranks = 8;
+  fabric::Capabilities caps{};
+  fabric::CostModel costs{};
+  /// Memory/endianness/coherence config applied to every node...
+  memsim::DomainConfig node{};
+  /// ...except nodes listed here (heterogeneous systems, §III-B3).
+  std::unordered_map<int, memsim::DomainConfig> node_overrides;
+  std::uint64_t seed = 1;
+};
+
+class World {
+ public:
+  explicit World(WorldConfig cfg);
+  World(const World&) = delete;
+  World& operator=(const World&) = delete;
+  ~World();
+
+  /// Execute `fn` as the body of every rank and run the simulation to
+  /// completion. One-shot.
+  void run(const std::function<void(Rank&)>& fn);
+
+  int size() const { return cfg_.ranks; }
+  const WorldConfig& config() const { return cfg_; }
+  sim::Engine& engine() { return eng_; }
+  fabric::Fabric& fabric() { return *fabric_; }
+  memsim::MemoryDomain& memory(int node);
+  portals::Portals& portals(int node);
+  P2p& p2p(int node);
+
+  /// Virtual time consumed by the whole run (valid after run()).
+  sim::Time duration() const { return eng_.now(); }
+
+  /// Fresh communicator context id. Safe to call from rank code: the
+  /// simulation is sequential, so this acts like a coordinated counter
+  /// (callers still must agree on the value, e.g. leader + bcast).
+  std::uint32_t alloc_context_id() { return next_ctx_++; }
+
+ private:
+  WorldConfig cfg_;
+  sim::Engine eng_;
+  std::unique_ptr<fabric::Fabric> fabric_;
+  std::vector<std::unique_ptr<memsim::MemoryDomain>> mems_;
+  std::vector<std::unique_ptr<portals::Portals>> portals_;
+  std::vector<std::unique_ptr<P2p>> p2ps_;
+  std::uint32_t next_ctx_ = 1;  // 0 is reserved for comm_world
+  bool ran_ = false;
+};
+
+/// A rank's view of the machine, valid only inside World::run's body.
+class Rank {
+ public:
+  Rank(World& w, sim::Context& ctx, int id);
+  ~Rank();
+  Rank(const Rank&) = delete;
+  Rank& operator=(const Rank&) = delete;
+
+  int id() const { return id_; }
+  int size() const { return world_->size(); }
+  World& world() { return *world_; }
+  sim::Context& ctx() { return *ctx_; }
+  memsim::MemoryDomain& memory() { return world_->memory(id_); }
+  portals::Portals& portals() { return world_->portals(id_); }
+  P2p& p2p() { return world_->p2p(id_); }
+
+  /// The world communicator (all ranks, context id 0).
+  Comm& comm_world() { return *comm_world_; }
+
+  // ----- arena allocation (RMA-addressable memory) ------------------------
+
+  struct Buffer {
+    std::uint64_t addr = 0;   ///< domain address (what RMA peers use)
+    std::byte* data = nullptr;  ///< host pointer for local access
+    std::uint64_t size = 0;
+  };
+  Buffer alloc(std::uint64_t bytes, std::uint64_t align = 8);
+  /// Typed convenience: buffer holding `count` objects of T, zeroed.
+  template <class T>
+  Buffer alloc_array(std::uint64_t count) {
+    return alloc(count * sizeof(T), alignof(T));
+  }
+  void free(const Buffer& b);
+
+ private:
+  World* world_;
+  sim::Context* ctx_;
+  int id_;
+  std::unique_ptr<Comm> comm_world_;
+};
+
+}  // namespace m3rma::runtime

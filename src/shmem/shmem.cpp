@@ -1,0 +1,114 @@
+#include "shmem/shmem.hpp"
+
+#include "common/diagnostics.hpp"
+
+namespace m3rma::shmem {
+
+using core::Attrs;
+using core::RmaAttr;
+
+Shmem::Shmem(runtime::Rank& rank, runtime::Comm& comm,
+             std::uint64_t heap_bytes)
+    : rank_(&rank), comm_(&comm) {
+  core::EngineConfig cfg;
+  cfg.serializer = core::SerializerKind::comm_thread;
+  eng_ = std::make_unique<core::RmaEngine>(rank, comm, cfg);
+  heap_ = rank.alloc(heap_bytes, 64);
+  mems_ = eng_->exchange_all(eng_->attach(heap_));
+  // Reserve a staging slot for the copy in/out of user buffers.
+  scratch_len_ = 16 * 1024;
+  scratch_sym_ = heap_used_;
+  heap_used_ += scratch_len_;
+  comm.barrier();
+}
+
+std::uint64_t Shmem::shmalloc(std::uint64_t bytes, std::uint64_t align) {
+  M3RMA_REQUIRE(bytes > 0, "shmalloc of zero bytes");
+  M3RMA_REQUIRE(align > 0 && (align & (align - 1)) == 0,
+                "alignment must be a power of two");
+  const std::uint64_t sym = (heap_used_ + align - 1) & ~(align - 1);
+  M3RMA_REQUIRE(sym + bytes <= heap_.size, "symmetric heap exhausted");
+  heap_used_ = sym + bytes;
+  // The symmetry contract (same calls everywhere) is the caller's job, as
+  // in real SHMEM; a barrier catches gross divergence in debug runs.
+  return sym;
+}
+
+std::uint64_t Shmem::addr(std::uint64_t sym) const {
+  M3RMA_REQUIRE(sym < heap_.size, "symmetric offset out of heap");
+  return heap_.addr + sym;
+}
+
+std::byte* Shmem::ptr(std::uint64_t sym) {
+  return rank_->memory().raw(addr(sym));
+}
+
+const core::TargetMem& Shmem::mem_of(int pe) const {
+  M3RMA_REQUIRE(pe >= 0 && pe < comm_->size(), "PE out of range");
+  return mems_[static_cast<std::size_t>(pe)];
+}
+
+void Shmem::put_mem(std::uint64_t sym_dst, const void* src,
+                    std::uint64_t bytes, int pe) {
+  M3RMA_REQUIRE(bytes <= scratch_len_, "put_mem larger than staging slot");
+  M3RMA_REQUIRE(sym_dst + bytes <= heap_.size, "put beyond symmetric heap");
+  // Stage the user buffer into registered memory; the engine copies the
+  // payload at injection, so the slot is immediately reusable.
+  std::memcpy(ptr(scratch_sym_), src, bytes);
+  eng_->put_bytes(addr(scratch_sym_), mem_of(pe), sym_dst, bytes, pe,
+                  Attrs(RmaAttr::blocking));
+}
+
+void Shmem::get_mem(void* dst, std::uint64_t sym_src, std::uint64_t bytes,
+                    int pe) {
+  M3RMA_REQUIRE(bytes <= scratch_len_, "get_mem larger than staging slot");
+  M3RMA_REQUIRE(sym_src + bytes <= heap_.size, "get beyond symmetric heap");
+  eng_->get_bytes(addr(scratch_sym_), mem_of(pe), sym_src, bytes, pe,
+                  Attrs(RmaAttr::blocking));
+  std::memcpy(dst, ptr(scratch_sym_), bytes);
+}
+
+void Shmem::fence() { eng_->order(core::kAllRanks); }
+
+void Shmem::quiet() { eng_->complete(core::kAllRanks); }
+
+void Shmem::barrier_all() {
+  quiet();
+  comm_->barrier();
+}
+
+std::uint64_t Shmem::atomic_fetch_add(std::uint64_t sym, std::uint64_t v,
+                                      int pe) {
+  return eng_->fetch_add(mem_of(pe), sym, v, pe);
+}
+
+std::uint64_t Shmem::atomic_compare_swap(std::uint64_t sym,
+                                         std::uint64_t compare,
+                                         std::uint64_t desired, int pe) {
+  return eng_->compare_swap(mem_of(pe), sym, compare, desired, pe);
+}
+
+std::uint64_t Shmem::atomic_swap(std::uint64_t sym, std::uint64_t v,
+                                 int pe) {
+  return eng_->swap_val(mem_of(pe), sym, v, pe);
+}
+
+void Shmem::wait_until_ge(std::uint64_t sym, std::uint64_t value,
+                          sim::Time poll_interval) {
+  // A poll loop advances virtual time forever, so a never-satisfied wait
+  // would livelock rather than trip deadlock detection; bound it.
+  const sim::Time deadline = rank_->ctx().now() + 10'000'000'000ULL;
+  while (true) {
+    M3RMA_ENSURE(rank_->ctx().now() < deadline,
+                 "shmem wait_until stuck for 10 virtual seconds");
+    std::uint64_t cur = 0;
+    std::vector<std::byte> buf(8);
+    rank_->memory().cpu_read_uncached(addr(sym), buf);
+    std::memcpy(&cur, buf.data(), 8);
+    if (cur >= value) return;
+    eng_->progress();
+    rank_->ctx().delay(poll_interval);
+  }
+}
+
+}  // namespace m3rma::shmem

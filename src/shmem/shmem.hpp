@@ -1,0 +1,111 @@
+// SHMEM-like library (paper §II: "Library-based RMA approaches, such as
+// SHMEM and Global Arrays, have been used by a number of important
+// applications") built on the strawman engine — demonstrating the paper's
+// thesis that MPI-3 RMA can serve as the implementation layer for such
+// libraries.
+//
+// Semantics follow Cray SHMEM:
+//   * a SYMMETRIC heap: collective shmalloc returns the same offset on
+//     every PE, so remote addresses need no translation;
+//   * put returns when the source is reusable (delivery may be pending);
+//   * shmem_fence orders puts per PE; shmem_quiet completes all puts
+//     remotely;
+//   * single-element p/g, atomics, and wait_until for flag signaling.
+//
+// Mapping onto strawman attributes: put -> blocking (local completion);
+// fence -> order(pe); quiet -> complete(ALL_RANKS); atomics -> RMW calls.
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <memory>
+#include <vector>
+
+#include "core/rma_engine.hpp"
+#include "runtime/comm.hpp"
+#include "runtime/world.hpp"
+
+namespace m3rma::shmem {
+
+class Shmem {
+ public:
+  /// shmem_init: collective; carves a symmetric heap of `heap_bytes` on
+  /// every PE.
+  Shmem(runtime::Rank& rank, runtime::Comm& comm,
+        std::uint64_t heap_bytes = std::uint64_t{1} << 20);
+
+  int my_pe() const { return comm_->rank(); }
+  int n_pes() const { return comm_->size(); }
+
+  // ----- symmetric heap ----------------------------------------------------
+
+  /// Collective: every PE must call with the same size, in the same order
+  /// (standard SHMEM discipline). Returns the symmetric offset.
+  std::uint64_t shmalloc(std::uint64_t bytes, std::uint64_t align = 8);
+  /// Local domain address of a symmetric offset (for local loads/stores).
+  std::uint64_t addr(std::uint64_t sym) const;
+  /// Host pointer to local symmetric memory.
+  std::byte* ptr(std::uint64_t sym);
+
+  // ----- RMA ----------------------------------------------------------------
+
+  /// shmem_putmem: returns when the source buffer is reusable.
+  void put_mem(std::uint64_t sym_dst, const void* src, std::uint64_t bytes,
+               int pe);
+  /// shmem_getmem: returns with the data.
+  void get_mem(void* dst, std::uint64_t sym_src, std::uint64_t bytes,
+               int pe);
+
+  template <class T>
+  void p(std::uint64_t sym, T value, int pe) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    put_mem(sym, &value, sizeof(T), pe);
+  }
+  template <class T>
+  T g(std::uint64_t sym, int pe) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    T v;
+    get_mem(&v, sym, sizeof(T), pe);
+    return v;
+  }
+
+  // ----- ordering and completion ---------------------------------------------
+
+  /// shmem_fence: puts issued before the fence are delivered before puts
+  /// issued after it, per PE.
+  void fence();
+  /// shmem_quiet: all previous puts are remotely complete on return.
+  void quiet();
+  /// shmem_barrier_all: quiet + barrier.
+  void barrier_all();
+
+  // ----- atomics ---------------------------------------------------------------
+
+  std::uint64_t atomic_fetch_add(std::uint64_t sym, std::uint64_t v, int pe);
+  std::uint64_t atomic_compare_swap(std::uint64_t sym, std::uint64_t compare,
+                                    std::uint64_t desired, int pe);
+  std::uint64_t atomic_swap(std::uint64_t sym, std::uint64_t v, int pe);
+
+  // ----- point synchronization ---------------------------------------------------
+
+  /// shmem_wait_until(ptr, SHMEM_CMP_GE, value) on local symmetric memory:
+  /// polls (driving progress) until *sym >= value.
+  void wait_until_ge(std::uint64_t sym, std::uint64_t value,
+                     sim::Time poll_interval = 1000);
+
+  core::RmaEngine& engine() { return *eng_; }
+
+ private:
+  const core::TargetMem& mem_of(int pe) const;
+
+  runtime::Rank* rank_;
+  runtime::Comm* comm_;
+  std::unique_ptr<core::RmaEngine> eng_;
+  runtime::Rank::Buffer heap_;
+  std::vector<core::TargetMem> mems_;  // per PE
+  std::uint64_t heap_used_ = 0;
+  std::uint64_t scratch_sym_ = 0;  // staging slot for put_mem/get_mem
+  std::uint64_t scratch_len_ = 0;
+};
+
+}  // namespace m3rma::shmem

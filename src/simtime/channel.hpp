@@ -1,0 +1,54 @@
+// Typed message channel between simulated processes.
+//
+// A Channel is the basic rendezvous used by NIC event queues, communication
+// threads and the runtime's matching engine. push() never blocks (infinite
+// buffering — flow control is modeled at the fabric layer); recv() blocks
+// the calling process until a message is available.
+#pragma once
+
+#include <deque>
+#include <optional>
+#include <utility>
+
+#include "simtime/engine.hpp"
+
+namespace m3rma::sim {
+
+template <class T>
+class Channel {
+ public:
+  explicit Channel(Engine& e) : cond_(e) {}
+
+  /// Enqueue a message and wake any blocked receivers. Callable from process
+  /// or event (delivery) context.
+  void push(T v) {
+    q_.push_back(std::move(v));
+    cond_.notify_all();
+  }
+
+  /// Block until a message is available, then dequeue it.
+  T recv(Context& ctx) {
+    ctx.await_until(cond_, [this] { return !q_.empty(); });
+    T v = std::move(q_.front());
+    q_.pop_front();
+    return v;
+  }
+
+  /// Dequeue without blocking; empty optional if no message is pending.
+  std::optional<T> try_recv() {
+    if (q_.empty()) return std::nullopt;
+    T v = std::move(q_.front());
+    q_.pop_front();
+    return v;
+  }
+
+  bool empty() const { return q_.empty(); }
+  std::size_t size() const { return q_.size(); }
+  Condition& condition() { return cond_; }
+
+ private:
+  std::deque<T> q_;
+  Condition cond_;
+};
+
+}  // namespace m3rma::sim

@@ -1,0 +1,174 @@
+#include "simtime/engine.hpp"
+
+#include <sstream>
+
+namespace m3rma::sim {
+
+// ---------------------------------------------------------------- Context
+
+Time Context::now() const { return eng_->now(); }
+
+const std::string& Context::name() const {
+  return eng_->procs_[static_cast<std::size_t>(pid_)]->name;
+}
+
+void Context::delay(Time ns) {
+  Engine* e = eng_;
+  const int pid = pid_;
+  e->schedule_in(ns, [e, pid] { e->dispatch(pid); });
+  e->block_current(pid);
+}
+
+void Context::yield() { delay(0); }
+
+void Context::await(Condition& c) {
+  M3RMA_ENSURE(c.eng_ == eng_, "Condition belongs to a different engine");
+  c.waiters_.push_back(pid_);
+  eng_->block_current(pid_);
+}
+
+// -------------------------------------------------------------- Condition
+
+void Condition::notify_all() {
+  if (waiters_.empty()) return;
+  std::vector<int> ws;
+  ws.swap(waiters_);
+  for (int pid : ws) eng_->wake(pid);
+}
+
+// ----------------------------------------------------------------- Engine
+
+Engine::Engine(std::uint64_t seed) : rng_(seed) {}
+
+Engine::~Engine() { shutdown_all(); }
+
+int Engine::spawn(std::string name, std::function<void(Context&)> fn,
+                  bool daemon) {
+  M3RMA_ENSURE(!shutdown_, "spawn after shutdown");
+  const int pid = static_cast<int>(procs_.size());
+  auto ps = std::make_unique<ProcessState>();
+  ps->name = std::move(name);
+  ps->fn = std::move(fn);
+  ps->daemon = daemon;
+  if (!daemon) ++live_nondaemon_;
+  procs_.push_back(std::move(ps));
+  procs_.back()->thread = std::thread(&Engine::process_main, this, pid);
+  wake(pid);  // first dispatch at the current instant (time 0 before run())
+  return pid;
+}
+
+void Engine::schedule_in(Time after, std::function<void()> fn) {
+  schedule_at(now_ + after, std::move(fn));
+}
+
+void Engine::schedule_at(Time t, std::function<void()> fn) {
+  M3RMA_ENSURE(t >= now_, "cannot schedule an event in the past");
+  events_.push(Event{t, next_seq_++, std::move(fn)});
+}
+
+void Engine::run() {
+  M3RMA_ENSURE(!in_run_, "Engine::run is not reentrant");
+  in_run_ = true;
+  while (true) {
+    if (failure_) break;
+    if (events_.empty()) {
+      if (live_nondaemon_ == 0) break;  // drained; all real work finished
+      // Live non-daemon processes exist but nothing can ever wake them.
+      std::ostringstream os;
+      os << "simulation deadlock at t=" << now_ << "ns; blocked processes:";
+      for (const auto& p : procs_) {
+        if (!p->finished) os << " " << p->name;
+      }
+      failure_ = std::make_exception_ptr(DeadlockError(os.str()));
+      break;
+    }
+    Event ev = std::move(const_cast<Event&>(events_.top()));
+    events_.pop();
+    now_ = ev.t;
+    ++events_processed_;
+    try {
+      ev.fn();
+    } catch (...) {
+      // Event callbacks (message deliveries, AM handlers) may throw; treat
+      // it as a simulation failure so teardown still runs in order.
+      if (!failure_) failure_ = std::current_exception();
+    }
+  }
+  shutdown_all();
+  in_run_ = false;
+  if (failure_) {
+    auto f = failure_;
+    failure_ = nullptr;
+    std::rethrow_exception(f);
+  }
+}
+
+void Engine::process_main(int pid) {
+  ProcessState& ps = *procs_[static_cast<std::size_t>(pid)];
+  {
+    std::unique_lock<std::mutex> l(mu_);
+    ps.cv.wait(l, [&] { return running_pid_ == pid || shutdown_; });
+    if (shutdown_) {
+      ps.finished = true;
+      return;
+    }
+    ps.started = true;
+  }
+  Context ctx(this, pid);
+  std::exception_ptr err;
+  try {
+    ps.fn(ctx);
+  } catch (const ShutdownSignal&) {
+    // Normal teardown of a blocked process.
+  } catch (...) {
+    err = std::current_exception();
+  }
+  {
+    std::unique_lock<std::mutex> l(mu_);
+    if (err && !failure_) failure_ = err;
+    ps.finished = true;
+    if (!ps.daemon) --live_nondaemon_;
+    running_pid_ = -1;
+    sched_cv_.notify_one();
+  }
+}
+
+void Engine::dispatch(int pid) {
+  ProcessState& ps = *procs_[static_cast<std::size_t>(pid)];
+  if (ps.finished) return;
+  ps.wake_pending = false;
+  std::unique_lock<std::mutex> l(mu_);
+  ++context_switches_;
+  running_pid_ = pid;
+  ps.cv.notify_one();
+  sched_cv_.wait(l, [&] { return running_pid_ == -1; });
+}
+
+void Engine::block_current(int pid) {
+  ProcessState& ps = *procs_[static_cast<std::size_t>(pid)];
+  std::unique_lock<std::mutex> l(mu_);
+  running_pid_ = -1;
+  sched_cv_.notify_one();
+  ps.cv.wait(l, [&] { return running_pid_ == pid || shutdown_; });
+  if (shutdown_) throw ShutdownSignal{};
+}
+
+void Engine::wake(int pid) {
+  ProcessState& ps = *procs_[static_cast<std::size_t>(pid)];
+  if (ps.finished || ps.wake_pending) return;
+  ps.wake_pending = true;
+  schedule_in(0, [this, pid] { dispatch(pid); });
+}
+
+void Engine::shutdown_all() {
+  {
+    std::unique_lock<std::mutex> l(mu_);
+    shutdown_ = true;
+    for (auto& p : procs_) p->cv.notify_all();
+  }
+  for (auto& p : procs_) {
+    if (p->thread.joinable()) p->thread.join();
+  }
+}
+
+}  // namespace m3rma::sim

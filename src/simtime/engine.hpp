@@ -1,0 +1,189 @@
+// Cooperative discrete-event simulation engine.
+//
+// m3rma runs every "MPI rank", communication thread, and NIC event of the
+// simulated machine under this engine. Simulated processes are real
+// std::threads, but a baton protocol guarantees exactly one runs at a time,
+// so the simulation is sequential, deterministic, and race-free by
+// construction. Virtual time (nanoseconds) advances only through the event
+// queue; a process that computes without calling delay() takes zero virtual
+// time, which is the standard DES convention.
+//
+// Blocking primitives available to a process:
+//   * Context::delay(ns)  — advance this process's view of time
+//   * Context::await(c)   — sleep until Condition c is notified
+//   * Channel<T>::recv    — built on Condition (see channel.hpp)
+//
+// Event callbacks (message deliveries, timers) run in the scheduler's
+// context, also exclusively, so they may touch shared simulation state
+// freely and may notify conditions / schedule further events.
+#pragma once
+
+#include <cstdint>
+#include <condition_variable>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <queue>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/diagnostics.hpp"
+#include "common/rng.hpp"
+
+namespace m3rma::sim {
+
+/// Virtual time in nanoseconds since simulation start.
+using Time = std::uint64_t;
+
+class Engine;
+class Condition;
+
+/// Handle a simulated process uses to interact with the engine. Each process
+/// body receives a reference to its own Context; it must not be shared with
+/// other processes.
+class Context {
+ public:
+  Time now() const;
+
+  /// Advance virtual time by `ns` for this process (sleep).
+  void delay(Time ns);
+
+  /// Relinquish control, letting all other events scheduled for the current
+  /// instant run before this process continues. Equivalent to delay(0).
+  void yield();
+
+  /// Block until `c` is notified. Use await_until for predicate waits —
+  /// a notification does not imply any particular state.
+  void await(Condition& c);
+
+  /// Block until `pred()` holds, re-checking each time `c` is notified.
+  template <class Pred>
+  void await_until(Condition& c, Pred&& pred) {
+    while (!pred()) await(c);
+  }
+
+  Engine& engine() const { return *eng_; }
+  int pid() const { return pid_; }
+  const std::string& name() const;
+
+ private:
+  friend class Engine;
+  Context(Engine* e, int pid) : eng_(e), pid_(pid) {}
+  Engine* eng_;
+  int pid_;
+};
+
+/// Wait/notify rendezvous for simulated processes. Notification wakes every
+/// current waiter at the current virtual instant (they resume in pid order
+/// of the scheduled wake events). Level-triggered use requires a predicate
+/// loop; prefer Context::await_until.
+class Condition {
+ public:
+  explicit Condition(Engine& e) : eng_(&e) {}
+  Condition(const Condition&) = delete;
+  Condition& operator=(const Condition&) = delete;
+
+  /// Wake all processes currently blocked in await(). Callable from process
+  /// or event context.
+  void notify_all();
+
+  bool has_waiters() const { return !waiters_.empty(); }
+
+ private:
+  friend class Context;
+  Engine* eng_;
+  std::vector<int> waiters_;
+};
+
+/// The discrete-event scheduler. See file comment for the execution model.
+class Engine {
+ public:
+  explicit Engine(std::uint64_t seed = 1);
+  ~Engine();
+  Engine(const Engine&) = delete;
+  Engine& operator=(const Engine&) = delete;
+
+  /// Create a simulated process. Daemon processes (service loops such as
+  /// communication threads) do not keep the simulation alive: run() returns
+  /// once every non-daemon process has finished, and daemons are then shut
+  /// down by unwinding their stacks.
+  ///
+  /// May be called before run() (process starts at time 0) or from inside a
+  /// running simulation (process starts at the current instant).
+  int spawn(std::string name, std::function<void(Context&)> fn,
+            bool daemon = false);
+
+  /// Schedule `fn` to run in scheduler context at now + after.
+  void schedule_in(Time after, std::function<void()> fn);
+  void schedule_at(Time t, std::function<void()> fn);
+
+  /// Run the simulation to completion. Throws DeadlockError if every live
+  /// non-daemon process is blocked with no pending event, and rethrows the
+  /// first exception escaping any process body.
+  void run();
+
+  Time now() const { return now_; }
+  SplitMix64& rng() { return rng_; }
+
+  std::uint64_t events_processed() const { return events_processed_; }
+  std::uint64_t context_switches() const { return context_switches_; }
+  int live_process_count() const { return live_nondaemon_; }
+
+ private:
+  friend class Context;
+  friend class Condition;
+
+  struct ShutdownSignal {};
+
+  struct ProcessState {
+    std::string name;
+    std::function<void(Context&)> fn;
+    std::thread thread;
+    std::condition_variable cv;
+    bool started = false;
+    bool finished = false;
+    bool daemon = false;
+    bool wake_pending = false;
+  };
+
+  struct Event {
+    Time t;
+    std::uint64_t seq;
+    std::function<void()> fn;
+  };
+  struct EventOrder {
+    bool operator()(const Event& a, const Event& b) const {
+      return a.t != b.t ? a.t > b.t : a.seq > b.seq;
+    }
+  };
+
+  void process_main(int pid);
+  /// Give the baton to `pid` and wait until it blocks, finishes or throws.
+  void dispatch(int pid);
+  /// Called by the running process to give the baton back; returns when the
+  /// process is dispatched again. Throws ShutdownSignal during teardown.
+  void block_current(int pid);
+  /// Schedule `pid` to be dispatched at the current instant (idempotent per
+  /// blocking period).
+  void wake(int pid);
+  void shutdown_all();
+
+  std::mutex mu_;
+  std::condition_variable sched_cv_;
+  int running_pid_ = -1;  // -1: scheduler owns the baton
+  bool shutdown_ = false;
+
+  std::vector<std::unique_ptr<ProcessState>> procs_;
+  std::priority_queue<Event, std::vector<Event>, EventOrder> events_;
+  Time now_ = 0;
+  std::uint64_t next_seq_ = 0;
+  std::uint64_t events_processed_ = 0;
+  std::uint64_t context_switches_ = 0;
+  int live_nondaemon_ = 0;
+  bool in_run_ = false;
+  std::exception_ptr failure_;
+  SplitMix64 rng_;
+};
+
+}  // namespace m3rma::sim

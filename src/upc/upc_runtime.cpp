@@ -1,0 +1,168 @@
+#include "upc/upc_runtime.hpp"
+
+#include "common/diagnostics.hpp"
+
+namespace m3rma::upc {
+
+using core::Attrs;
+using core::RmaAttr;
+
+UpcRuntime::UpcRuntime(runtime::Rank& rank, runtime::Comm& comm,
+                       std::uint64_t segment_bytes)
+    : rank_(&rank), comm_(&comm) {
+  core::EngineConfig cfg;
+  cfg.serializer = core::SerializerKind::comm_thread;
+  eng_ = std::make_unique<core::RmaEngine>(rank, comm, cfg);
+  segment_ = rank.alloc(segment_bytes, 64);
+  mems_ = eng_->exchange_all(eng_->attach(segment_));
+  scratch_len_ = 16 * 1024;
+  scratch_ = used_;
+  used_ += scratch_len_;
+  comm.barrier();
+}
+
+const core::TargetMem& UpcRuntime::mem_of(int thread) const {
+  M3RMA_REQUIRE(thread >= 0 && thread < comm_->size(),
+                "thread out of range");
+  return mems_[static_cast<std::size_t>(thread)];
+}
+
+void UpcRuntime::check(GlobalPtr p, std::uint64_t bytes) const {
+  M3RMA_REQUIRE(p.valid(), "access through a null pointer-to-shared");
+  M3RMA_REQUIRE(p.thread < comm_->size(), "pointer-to-shared thread range");
+  M3RMA_REQUIRE(p.offset + bytes <= segment_.size,
+                "access beyond the shared segment");
+}
+
+// ------------------------------------------------------------- allocation
+
+GlobalPtr UpcRuntime::all_alloc(std::uint64_t nblocks,
+                                std::uint64_t block_bytes) {
+  M3RMA_REQUIRE(nblocks > 0 && block_bytes > 0, "empty shared allocation");
+  const auto t = static_cast<std::uint64_t>(comm_->size());
+  const std::uint64_t per_thread = (nblocks + t - 1) / t * block_bytes;
+  const std::uint64_t base = (used_ + 63) & ~std::uint64_t{63};
+  M3RMA_REQUIRE(base + per_thread <= segment_.size,
+                "shared segment exhausted");
+  used_ = base + per_thread;
+  // Like upc_all_alloc, the call is collective and all threads compute the
+  // same symmetric base.
+  return GlobalPtr{0, base};
+}
+
+GlobalPtr UpcRuntime::block_ptr(GlobalPtr base, std::uint64_t i,
+                                std::uint64_t block_bytes) const {
+  M3RMA_REQUIRE(base.valid(), "block_ptr on a null pointer");
+  const auto t = static_cast<std::uint64_t>(comm_->size());
+  GlobalPtr p;
+  p.thread = static_cast<std::int32_t>(
+      (static_cast<std::uint64_t>(base.thread) + i) % t);
+  p.offset = base.offset +
+             ((static_cast<std::uint64_t>(base.thread) + i) / t) *
+                 block_bytes;
+  return p;
+}
+
+std::byte* UpcRuntime::local_ptr(GlobalPtr p) {
+  M3RMA_REQUIRE(p.thread == my_thread(),
+                "local_ptr requires local affinity (upc_cast rule)");
+  check(p, 1);
+  return rank_->memory().raw(segment_.addr + p.offset);
+}
+
+// ---------------------------------------------------------------- accesses
+
+void UpcRuntime::do_read(GlobalPtr p, void* out, std::uint64_t bytes,
+                         Strictness s) {
+  check(p, bytes);
+  M3RMA_REQUIRE(bytes <= scratch_len_, "access larger than staging slot");
+  // A strict access is ordered after all my earlier shared accesses.
+  if (s == Strictness::strict) eng_->order(core::kAllRanks);
+  const Attrs attrs = Attrs(RmaAttr::blocking);
+  eng_->get_bytes(segment_.addr + scratch_, mem_of(p.thread), p.offset,
+                  bytes, p.thread, attrs);
+  std::memcpy(out, rank_->memory().raw(segment_.addr + scratch_), bytes);
+}
+
+void UpcRuntime::do_write(GlobalPtr p, const void* in, std::uint64_t bytes,
+                          Strictness s) {
+  check(p, bytes);
+  M3RMA_REQUIRE(bytes <= scratch_len_, "access larger than staging slot");
+  std::memcpy(rank_->memory().raw(segment_.addr + scratch_), in, bytes);
+  if (s == Strictness::strict) {
+    eng_->order(core::kAllRanks);
+    eng_->put_bytes(segment_.addr + scratch_, mem_of(p.thread), p.offset,
+                    bytes, p.thread,
+                    Attrs(RmaAttr::blocking) | RmaAttr::ordering |
+                        RmaAttr::remote_completion);
+  } else {
+    eng_->put_bytes(segment_.addr + scratch_, mem_of(p.thread), p.offset,
+                    bytes, p.thread, Attrs(RmaAttr::blocking));
+  }
+}
+
+void UpcRuntime::memput(GlobalPtr dst, const void* src,
+                        std::uint64_t bytes) {
+  check(dst, bytes);
+  M3RMA_REQUIRE(bytes <= scratch_len_, "memput larger than staging slot");
+  std::memcpy(rank_->memory().raw(segment_.addr + scratch_), src, bytes);
+  eng_->put_bytes(segment_.addr + scratch_, mem_of(dst.thread), dst.offset,
+                  bytes, dst.thread, Attrs(RmaAttr::blocking));
+}
+
+void UpcRuntime::memget(void* dst, GlobalPtr src, std::uint64_t bytes) {
+  check(src, bytes);
+  M3RMA_REQUIRE(bytes <= scratch_len_, "memget larger than staging slot");
+  eng_->get_bytes(segment_.addr + scratch_, mem_of(src.thread), src.offset,
+                  bytes, src.thread, Attrs(RmaAttr::blocking));
+  std::memcpy(dst, rank_->memory().raw(segment_.addr + scratch_), bytes);
+}
+
+// ----------------------------------------------------------- synchronization
+
+void UpcRuntime::fence() { eng_->order(core::kAllRanks); }
+
+void UpcRuntime::barrier() {
+  eng_->complete_collective();
+}
+
+// ------------------------------------------------------------------- locks
+
+GlobalPtr UpcRuntime::lock_alloc() {
+  // One 8-byte word with affinity to thread 0; 0 = free, else holder+1.
+  GlobalPtr l = all_alloc(1, 8);
+  if (my_thread() == 0) {
+    std::uint64_t zero = 0;
+    std::memcpy(rank_->memory().raw(segment_.addr + l.offset), &zero, 8);
+  }
+  comm_->barrier();
+  return l;
+}
+
+bool UpcRuntime::lock_attempt(GlobalPtr l) {
+  const std::uint64_t me = static_cast<std::uint64_t>(my_thread()) + 1;
+  return eng_->compare_swap(mem_of(l.thread), l.offset, 0, me, l.thread) ==
+         0;
+}
+
+void UpcRuntime::lock(GlobalPtr l) {
+  // CAS spin with linear backoff; bounded so a lost unlock is detected.
+  sim::Time backoff = 500;
+  const sim::Time deadline = rank_->ctx().now() + 10'000'000'000ULL;
+  while (!lock_attempt(l)) {
+    M3RMA_ENSURE(rank_->ctx().now() < deadline,
+                 "upc_lock spun for 10 virtual seconds");
+    rank_->ctx().delay(backoff);
+    if (backoff < 16000) backoff *= 2;
+  }
+}
+
+void UpcRuntime::unlock(GlobalPtr l) {
+  const std::uint64_t me = static_cast<std::uint64_t>(my_thread()) + 1;
+  // Release with a swap so a non-holder unlock is detectable.
+  const std::uint64_t prev =
+      eng_->swap_val(mem_of(l.thread), l.offset, 0, l.thread);
+  M3RMA_ENSURE(prev == me, "upc_unlock by a thread that does not hold it");
+}
+
+}  // namespace m3rma::upc

@@ -1,0 +1,125 @@
+// UPC-style PGAS runtime (paper §II: "Partitioned Global Address Space
+// (PGAS) languages such as UPC ... rely on efficient RMA operations. ...
+// The passive target mode is more suitable for use as a compilation target
+// for PGAS languages because of its truly one-sided nature.")
+//
+// This is the runtime a UPC compiler would emit calls into, built on the
+// strawman engine:
+//   * shared objects with affinity: GlobalPtr = (thread, offset), blocks of
+//     upc_all_alloc round-robin across threads;
+//   * RELAXED accesses -> attribute-free RMA ("unrestricted,
+//     high-performance remote memory access");
+//   * STRICT accesses  -> ordering + remote completion (the strict
+//     operation is ordered w.r.t. every other access of this thread);
+//   * upc_fence / upc_barrier -> order / complete_collective+barrier;
+//   * upc_lock -> compare-and-swap spinlocks in shared space (§V RMW).
+//
+// The relaxed/strict split is exactly the hybrid consistency of §III-A1:
+// the runtime picks the consistency level per access, which is what the
+// strawman's per-call attributes were designed for.
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <memory>
+#include <vector>
+
+#include "core/rma_engine.hpp"
+#include "runtime/comm.hpp"
+#include "runtime/world.hpp"
+
+namespace m3rma::upc {
+
+enum class Strictness : std::uint8_t { relaxed, strict };
+
+/// Pointer-to-shared: which UPC thread has affinity, and the offset within
+/// that thread's shared segment.
+struct GlobalPtr {
+  std::int32_t thread = -1;
+  std::uint64_t offset = 0;
+
+  bool valid() const { return thread >= 0; }
+  friend bool operator==(const GlobalPtr&, const GlobalPtr&) = default;
+};
+
+class UpcRuntime {
+ public:
+  /// Collective; carves each thread's shared segment.
+  UpcRuntime(runtime::Rank& rank, runtime::Comm& comm,
+             std::uint64_t segment_bytes = std::uint64_t{1} << 20);
+
+  int my_thread() const { return comm_->rank(); }
+  int threads() const { return comm_->size(); }
+
+  // ----- shared allocation ---------------------------------------------------
+
+  /// upc_all_alloc(nblocks, block_bytes): collective; blocks are laid out
+  /// round-robin by affinity (block i on thread i % THREADS). Returns the
+  /// pointer to block 0.
+  GlobalPtr all_alloc(std::uint64_t nblocks, std::uint64_t block_bytes);
+
+  /// Pointer arithmetic over a blocked array allocated with all_alloc:
+  /// the pointer to block `i`.
+  GlobalPtr block_ptr(GlobalPtr base, std::uint64_t i,
+                      std::uint64_t block_bytes) const;
+
+  /// Host pointer for casts of shared data with LOCAL affinity
+  /// (upc_cast): only valid when ptr.thread == my_thread().
+  std::byte* local_ptr(GlobalPtr p);
+
+  // ----- shared accesses --------------------------------------------------------
+
+  template <class T>
+  T read(GlobalPtr p, Strictness s = Strictness::relaxed) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    T v;
+    do_read(p, &v, sizeof(T), s);
+    return v;
+  }
+  template <class T>
+  void write(GlobalPtr p, const T& v, Strictness s = Strictness::relaxed) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    do_write(p, &v, sizeof(T), s);
+  }
+
+  /// upc_memput / upc_memget: relaxed bulk transfers.
+  void memput(GlobalPtr dst, const void* src, std::uint64_t bytes);
+  void memget(void* dst, GlobalPtr src, std::uint64_t bytes);
+
+  // ----- synchronization ----------------------------------------------------------
+
+  /// upc_fence: order my earlier shared accesses before later ones.
+  void fence();
+  /// upc_barrier: strict synchronization of all threads (completes all
+  /// outstanding shared accesses everywhere).
+  void barrier();
+
+  // ----- locks (§V RMW in anger) ----------------------------------------------------
+
+  /// upc_all_lock_alloc: collective, returns a shared lock object.
+  GlobalPtr lock_alloc();
+  void lock(GlobalPtr l);
+  /// Returns true if the lock was free and is now held (upc_lock_attempt).
+  bool lock_attempt(GlobalPtr l);
+  void unlock(GlobalPtr l);
+
+  core::RmaEngine& engine() { return *eng_; }
+
+ private:
+  void do_read(GlobalPtr p, void* out, std::uint64_t bytes, Strictness s);
+  void do_write(GlobalPtr p, const void* in, std::uint64_t bytes,
+                Strictness s);
+  const core::TargetMem& mem_of(int thread) const;
+  void check(GlobalPtr p, std::uint64_t bytes) const;
+
+  runtime::Rank* rank_;
+  runtime::Comm* comm_;
+  std::unique_ptr<core::RmaEngine> eng_;
+  runtime::Rank::Buffer segment_{};
+  std::vector<core::TargetMem> mems_;
+  std::uint64_t used_ = 0;      // symmetric bump pointer (collective calls)
+  std::uint64_t scratch_ = 0;   // staging slot for user-buffer transfers
+  std::uint64_t scratch_len_ = 0;
+};
+
+}  // namespace m3rma::upc

@@ -1,0 +1,137 @@
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cstring>
+#include <set>
+
+#include "common/byteorder.hpp"
+#include "common/diagnostics.hpp"
+#include "common/rng.hpp"
+
+namespace m3rma {
+namespace {
+
+// ----------------------------------------------------------- diagnostics
+
+TEST(Diagnostics, EnsureThrowsPanicWithSite) {
+  try {
+    M3RMA_ENSURE(false, "boom");
+    FAIL() << "expected Panic";
+  } catch (const Panic& p) {
+    EXPECT_NE(std::string(p.what()).find("boom"), std::string::npos);
+    EXPECT_NE(std::string(p.what()).find("common_test.cpp"),
+              std::string::npos);
+  }
+}
+
+TEST(Diagnostics, RequireThrowsUsageError) {
+  EXPECT_THROW(M3RMA_REQUIRE(false, "bad arg"), UsageError);
+}
+
+TEST(Diagnostics, PassingChecksDoNotThrow) {
+  EXPECT_NO_THROW(M3RMA_ENSURE(true, "ok"));
+  EXPECT_NO_THROW(M3RMA_REQUIRE(true, "ok"));
+}
+
+TEST(Diagnostics, UsageErrorIsAPanic) {
+  // Call sites that catch Panic must also see usage errors.
+  EXPECT_THROW(M3RMA_REQUIRE(false, "x"), Panic);
+}
+
+// ------------------------------------------------------------------- rng
+
+TEST(SplitMix64, DeterministicForSeed) {
+  SplitMix64 a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(SplitMix64, DifferentSeedsDiverge) {
+  SplitMix64 a(1), b(2);
+  int equal = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.next() == b.next()) ++equal;
+  }
+  EXPECT_LT(equal, 2);
+}
+
+TEST(SplitMix64, NextBelowRespectsBound) {
+  SplitMix64 r(7);
+  for (std::uint64_t bound : {1ULL, 2ULL, 3ULL, 10ULL, 1000ULL}) {
+    for (int i = 0; i < 200; ++i) EXPECT_LT(r.next_below(bound), bound);
+  }
+}
+
+TEST(SplitMix64, NextBelowOneIsAlwaysZero) {
+  SplitMix64 r(7);
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(r.next_below(1), 0u);
+}
+
+TEST(SplitMix64, NextInInclusiveRange) {
+  SplitMix64 r(9);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 500; ++i) {
+    const std::uint64_t v = r.next_in(5, 8);
+    EXPECT_GE(v, 5u);
+    EXPECT_LE(v, 8u);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 4u);  // all four values should appear in 500 draws
+}
+
+TEST(SplitMix64, NextUnitInHalfOpenInterval) {
+  SplitMix64 r(11);
+  for (int i = 0; i < 1000; ++i) {
+    const double u = r.next_unit();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(SplitMix64, BoolProbabilityRoughlyHonored) {
+  SplitMix64 r(13);
+  int truths = 0;
+  for (int i = 0; i < 10000; ++i) {
+    if (r.next_bool(0.25)) ++truths;
+  }
+  EXPECT_NEAR(truths, 2500, 250);
+}
+
+// -------------------------------------------------------------- byteorder
+
+TEST(ByteOrder, SwapElementReverses) {
+  std::array<std::byte, 4> v{std::byte{1}, std::byte{2}, std::byte{3},
+                             std::byte{4}};
+  swap_element(v.data(), 4);
+  EXPECT_EQ(v[0], std::byte{4});
+  EXPECT_EQ(v[1], std::byte{3});
+  EXPECT_EQ(v[2], std::byte{2});
+  EXPECT_EQ(v[3], std::byte{1});
+}
+
+TEST(ByteOrder, SwapElementsPerElement) {
+  std::array<std::uint16_t, 3> v{0x0102, 0x0304, 0x0506};
+  swap_elements(reinterpret_cast<std::byte*>(v.data()), 2, 3);
+  EXPECT_EQ(v[0], 0x0201);
+  EXPECT_EQ(v[1], 0x0403);
+  EXPECT_EQ(v[2], 0x0605);
+}
+
+TEST(ByteOrder, SingleByteElementsUntouched) {
+  std::array<std::byte, 3> v{std::byte{1}, std::byte{2}, std::byte{3}};
+  swap_elements(v.data(), 1, 3);
+  EXPECT_EQ(v[0], std::byte{1});
+  EXPECT_EQ(v[2], std::byte{3});
+}
+
+TEST(ByteOrder, DoubleSwapIsIdentity) {
+  std::uint64_t x = 0x1122334455667788ULL;
+  std::uint64_t orig = x;
+  auto* p = reinterpret_cast<std::byte*>(&x);
+  swap_element(p, 8);
+  EXPECT_NE(x, orig);
+  swap_element(p, 8);
+  EXPECT_EQ(x, orig);
+}
+
+}  // namespace
+}  // namespace m3rma

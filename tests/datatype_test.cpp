@@ -1,0 +1,432 @@
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cstring>
+#include <numeric>
+#include <vector>
+
+#include "common/diagnostics.hpp"
+#include "common/rng.hpp"
+#include "datatype/datatype.hpp"
+
+namespace m3rma::dt {
+namespace {
+
+std::vector<Block> blocks_of(const Datatype& t, std::uint64_t count) {
+  std::vector<Block> out;
+  t.for_each_block(count, [&](const Block& b) { out.push_back(b); });
+  return out;
+}
+
+// ------------------------------------------------------------- predefined
+
+TEST(Predefined, SizesAndExtents) {
+  EXPECT_EQ(Datatype::byte().size(), 1u);
+  EXPECT_EQ(Datatype::int16().size(), 2u);
+  EXPECT_EQ(Datatype::int32().size(), 4u);
+  EXPECT_EQ(Datatype::int64().size(), 8u);
+  EXPECT_EQ(Datatype::float32().size(), 4u);
+  EXPECT_EQ(Datatype::float64().size(), 8u);
+  EXPECT_EQ(Datatype::float64().extent(), 8u);
+}
+
+TEST(Predefined, AreContiguous) {
+  EXPECT_TRUE(Datatype::int32().is_contiguous());
+  EXPECT_TRUE(Datatype::byte().is_contiguous());
+}
+
+TEST(Predefined, OfMapsCxxTypes) {
+  EXPECT_EQ(Datatype::of<double>().size(), 8u);
+  EXPECT_EQ(Datatype::of<float>().size(), 4u);
+  EXPECT_EQ(Datatype::of<std::int32_t>().size(), 4u);
+  EXPECT_EQ(Datatype::of<char>().size(), 1u);
+}
+
+TEST(Predefined, EmptyHandleRejected) {
+  Datatype empty;
+  EXPECT_FALSE(empty.valid());
+  EXPECT_THROW(empty.size(), UsageError);
+}
+
+// ------------------------------------------------------------- contiguous
+
+TEST(Contiguous, SizeAndExtent) {
+  auto t = Datatype::contiguous(10, Datatype::int32());
+  EXPECT_EQ(t.size(), 40u);
+  EXPECT_EQ(t.extent(), 40u);
+  EXPECT_TRUE(t.is_contiguous());
+}
+
+TEST(Contiguous, SingleBlockEmitted) {
+  auto t = Datatype::contiguous(10, Datatype::int32());
+  auto bs = blocks_of(t, 3);
+  ASSERT_EQ(bs.size(), 1u);
+  EXPECT_EQ(bs[0].mem_offset, 0u);
+  EXPECT_EQ(bs[0].elem_size, 4u);
+  EXPECT_EQ(bs[0].elem_count, 30u);
+}
+
+TEST(Contiguous, NestedContiguous) {
+  auto inner = Datatype::contiguous(4, Datatype::float64());
+  auto outer = Datatype::contiguous(3, inner);
+  EXPECT_EQ(outer.size(), 96u);
+  EXPECT_TRUE(outer.is_contiguous());
+  EXPECT_EQ(blocks_of(outer, 1).size(), 1u);
+}
+
+TEST(Contiguous, ZeroCountIsEmpty) {
+  auto t = Datatype::contiguous(0, Datatype::int32());
+  EXPECT_EQ(t.size(), 0u);
+  EXPECT_EQ(blocks_of(t, 5).size(), 0u);
+}
+
+// ----------------------------------------------------------------- vector
+
+TEST(Vector, StridedLayout) {
+  // 3 blocks of 2 int32, stride 4 elements: |xx..|xx..|xx|
+  auto t = Datatype::vector(3, 2, 4, Datatype::int32());
+  EXPECT_EQ(t.size(), 24u);
+  EXPECT_EQ(t.extent(), (2ull * 4 + 2) * 4);
+  EXPECT_FALSE(t.is_contiguous());
+  auto bs = blocks_of(t, 1);
+  ASSERT_EQ(bs.size(), 3u);
+  EXPECT_EQ(bs[0].mem_offset, 0u);
+  EXPECT_EQ(bs[1].mem_offset, 16u);
+  EXPECT_EQ(bs[2].mem_offset, 32u);
+  EXPECT_EQ(bs[1].packed_offset, 8u);
+}
+
+TEST(Vector, StrideEqualBlocklenIsContiguous) {
+  auto t = Datatype::vector(5, 3, 3, Datatype::float64());
+  EXPECT_TRUE(t.is_contiguous());
+  EXPECT_EQ(blocks_of(t, 2).size(), 1u);
+}
+
+TEST(Vector, HvectorByteStride) {
+  auto t = Datatype::hvector(2, 1, 100, Datatype::int32());
+  EXPECT_EQ(t.extent(), 104u);
+  auto bs = blocks_of(t, 1);
+  ASSERT_EQ(bs.size(), 2u);
+  EXPECT_EQ(bs[1].mem_offset, 100u);
+}
+
+TEST(Vector, PackUnpackRoundTrip) {
+  auto t = Datatype::vector(4, 2, 3, Datatype::int32());
+  std::vector<std::int32_t> src(16);
+  std::iota(src.begin(), src.end(), 100);
+  std::vector<std::byte> packed(t.size());
+  t.pack(reinterpret_cast<const std::byte*>(src.data()), 1, packed.data());
+  // Picked elements: 0,1, 3,4, 6,7, 9,10
+  const std::int32_t* p = reinterpret_cast<const std::int32_t*>(packed.data());
+  EXPECT_EQ(p[0], 100);
+  EXPECT_EQ(p[1], 101);
+  EXPECT_EQ(p[2], 103);
+  EXPECT_EQ(p[7], 110);
+  std::vector<std::int32_t> dst(16, -1);
+  t.unpack(packed.data(), 1, reinterpret_cast<std::byte*>(dst.data()));
+  EXPECT_EQ(dst[0], 100);
+  EXPECT_EQ(dst[4], 104);
+  EXPECT_EQ(dst[2], -1);  // holes untouched
+}
+
+// ---------------------------------------------------------------- indexed
+
+TEST(Indexed, ScatterGatherLayout) {
+  std::vector<std::uint64_t> lens{2, 1, 3};
+  std::vector<std::uint64_t> displs{0, 5, 8};
+  auto t = Datatype::indexed(lens, displs, Datatype::int32());
+  EXPECT_EQ(t.size(), 24u);
+  EXPECT_EQ(t.extent(), 44u);  // (8+3)*4
+  auto bs = blocks_of(t, 1);
+  ASSERT_EQ(bs.size(), 3u);
+  EXPECT_EQ(bs[1].mem_offset, 20u);
+  EXPECT_EQ(bs[2].elem_count, 3u);
+}
+
+TEST(Indexed, AdjacentBlocksMerge) {
+  std::vector<std::uint64_t> lens{2, 2};
+  std::vector<std::uint64_t> displs{0, 2};
+  auto t = Datatype::indexed(lens, displs, Datatype::int32());
+  EXPECT_TRUE(t.is_contiguous());
+  EXPECT_EQ(blocks_of(t, 1).size(), 1u);
+}
+
+TEST(Indexed, HindexedByteDisplacements) {
+  std::vector<std::uint64_t> lens{1, 1};
+  std::vector<std::uint64_t> displs{0, 13};
+  auto t = Datatype::hindexed(lens, displs, Datatype::byte());
+  auto bs = blocks_of(t, 1);
+  ASSERT_EQ(bs.size(), 2u);
+  EXPECT_EQ(bs[1].mem_offset, 13u);
+}
+
+TEST(Indexed, MismatchedArraysRejected) {
+  std::vector<std::uint64_t> lens{1, 2};
+  std::vector<std::uint64_t> displs{0};
+  EXPECT_THROW(Datatype::indexed(lens, displs, Datatype::byte()),
+               UsageError);
+}
+
+// ----------------------------------------------------------------- struct
+
+TEST(Struct, MixedFieldTypes) {
+  struct Rec {
+    std::int32_t a;
+    double b;
+    std::int8_t c;
+  };
+  std::vector<std::uint64_t> lens{1, 1, 1};
+  std::vector<std::uint64_t> displs{offsetof(Rec, a), offsetof(Rec, b),
+                                    offsetof(Rec, c)};
+  std::vector<Datatype> types{Datatype::int32(), Datatype::float64(),
+                              Datatype::int8()};
+  auto t = Datatype::structure(lens, displs, types);
+  EXPECT_EQ(t.size(), 13u);
+  EXPECT_FALSE(t.is_contiguous());
+
+  Rec r{42, 3.5, 7};
+  std::vector<std::byte> packed(t.size());
+  t.pack(reinterpret_cast<const std::byte*>(&r), 1, packed.data());
+  std::int32_t a;
+  double b;
+  std::int8_t c;
+  std::memcpy(&a, packed.data(), 4);
+  std::memcpy(&b, packed.data() + 4, 8);
+  std::memcpy(&c, packed.data() + 12, 1);
+  EXPECT_EQ(a, 42);
+  EXPECT_EQ(b, 3.5);
+  EXPECT_EQ(c, 7);
+}
+
+TEST(Struct, SignatureListsLeafRuns) {
+  std::vector<std::uint64_t> lens{2, 1};
+  std::vector<std::uint64_t> displs{0, 16};
+  std::vector<Datatype> types{Datatype::float64(), Datatype::int32()};
+  auto t = Datatype::structure(lens, displs, types);
+  const auto& sig = t.signature();
+  ASSERT_EQ(sig.size(), 2u);
+  EXPECT_EQ(sig[0].elem_size, 8u);
+  EXPECT_EQ(sig[0].count, 2u);
+  EXPECT_EQ(sig[1].elem_size, 4u);
+  EXPECT_EQ(sig[1].count, 1u);
+}
+
+// -------------------------------------------------------------- subarray
+
+TEST(Subarray, InteriorPatchLayout) {
+  // 2x3 patch at (1,2) of a 4x6 int32 array.
+  auto t = dt::Datatype::subarray2d(4, 6, 2, 3, 1, 2, Datatype::int32());
+  EXPECT_EQ(t.size(), 2u * 3 * 4);
+  auto bs = blocks_of(t, 1);
+  ASSERT_EQ(bs.size(), 2u);
+  EXPECT_EQ(bs[0].mem_offset, (1u * 6 + 2) * 4);
+  EXPECT_EQ(bs[1].mem_offset, (2u * 6 + 2) * 4);
+  EXPECT_EQ(bs[0].nbytes(), 12u);
+}
+
+TEST(Subarray, FullArrayIsContiguous) {
+  auto t = dt::Datatype::subarray2d(3, 5, 3, 5, 0, 0, Datatype::float64());
+  EXPECT_EQ(t.size(), 3u * 5 * 8);
+  EXPECT_EQ(blocks_of(t, 1).size(), 1u);
+}
+
+TEST(Subarray, PackMatchesManualExtraction) {
+  auto t = dt::Datatype::subarray2d(4, 4, 2, 2, 1, 1, Datatype::int32());
+  std::vector<std::int32_t> arr(16);
+  std::iota(arr.begin(), arr.end(), 0);
+  std::vector<std::byte> packed(t.size());
+  t.pack(reinterpret_cast<const std::byte*>(arr.data()), 1, packed.data());
+  const auto* p = reinterpret_cast<const std::int32_t*>(packed.data());
+  EXPECT_EQ(p[0], 5);
+  EXPECT_EQ(p[1], 6);
+  EXPECT_EQ(p[2], 9);
+  EXPECT_EQ(p[3], 10);
+}
+
+TEST(Subarray, OutOfRangeRejected) {
+  EXPECT_THROW(
+      dt::Datatype::subarray2d(4, 4, 3, 2, 2, 0, Datatype::int32()),
+      UsageError);
+  EXPECT_THROW(
+      dt::Datatype::subarray2d(4, 4, 0, 2, 0, 0, Datatype::int32()),
+      UsageError);
+}
+
+// -------------------------------------------------------------- signature
+
+TEST(Signature, MatchingAcrossDifferentLayouts) {
+  // 8 int32 as contiguous vs as 4x2 vector: same leaf stream.
+  auto a = Datatype::contiguous(8, Datatype::int32());
+  auto b = Datatype::vector(4, 2, 5, Datatype::int32());
+  EXPECT_TRUE(a.matches(1, b, 1));
+  EXPECT_TRUE(b.matches(2, a, 2));
+}
+
+TEST(Signature, CountScalesTheStream) {
+  auto one = Datatype::int64();
+  auto four = Datatype::contiguous(4, Datatype::int64());
+  EXPECT_TRUE(one.matches(4, four, 1));
+  EXPECT_FALSE(one.matches(3, four, 1));
+}
+
+TEST(Signature, ElementSizeMismatchRejected) {
+  auto a = Datatype::contiguous(2, Datatype::int32());
+  auto b = Datatype::int64();
+  EXPECT_FALSE(a.matches(1, b, 1));  // 2x4B vs 1x8B: not the same stream
+}
+
+TEST(Signature, EmptyMatchesEmpty) {
+  auto a = Datatype::contiguous(0, Datatype::int32());
+  auto b = Datatype::contiguous(0, Datatype::float64());
+  EXPECT_TRUE(a.matches(1, b, 1));
+  EXPECT_TRUE(a.matches(0, Datatype::int32(), 0));
+  EXPECT_FALSE(a.matches(1, Datatype::int32(), 1));
+}
+
+TEST(Signature, ByteStreamsMatchRegardlessOfGrouping) {
+  auto a = Datatype::contiguous(16, Datatype::byte());
+  auto b = Datatype::vector(2, 8, 9, Datatype::byte());
+  EXPECT_TRUE(a.matches(1, b, 1));
+}
+
+// -------------------------------------------------------------- byteswap
+
+TEST(Byteswap, SwapsPerLeafElement) {
+  auto t = Datatype::contiguous(2, Datatype::int32());
+  std::array<std::uint32_t, 2> vals{0x01020304u, 0x0a0b0c0du};
+  t.byteswap_packed(reinterpret_cast<std::byte*>(vals.data()), 1);
+  EXPECT_EQ(vals[0], 0x04030201u);
+  EXPECT_EQ(vals[1], 0x0d0c0b0au);
+}
+
+TEST(Byteswap, MixedStructSwapsEachFieldWidth) {
+  std::vector<std::uint64_t> lens{1, 1};
+  std::vector<std::uint64_t> displs{0, 4};
+  std::vector<Datatype> types{Datatype::int32(), Datatype::int16()};
+  auto t = Datatype::structure(lens, displs, types);
+  std::vector<std::byte> packed(6);
+  const std::uint32_t a = 0x01020304u;
+  const std::uint16_t b = 0x0506u;
+  std::memcpy(packed.data(), &a, 4);
+  std::memcpy(packed.data() + 4, &b, 2);
+  t.byteswap_packed(packed.data(), 1);
+  std::uint32_t a2;
+  std::uint16_t b2;
+  std::memcpy(&a2, packed.data(), 4);
+  std::memcpy(&b2, packed.data() + 4, 2);
+  EXPECT_EQ(a2, 0x04030201u);
+  EXPECT_EQ(b2, 0x0605u);
+}
+
+TEST(Byteswap, DoubleSwapIsIdentity) {
+  auto t = Datatype::contiguous(5, Datatype::float64());
+  std::vector<double> vals{1.0, -2.5, 3e10, 0.0, 1e-300};
+  auto orig = vals;
+  t.byteswap_packed(reinterpret_cast<std::byte*>(vals.data()), 1);
+  t.byteswap_packed(reinterpret_cast<std::byte*>(vals.data()), 1);
+  EXPECT_EQ(vals, orig);
+}
+
+// -------------------------------------------------- randomized properties
+
+struct RandomTypeCase {
+  std::uint64_t seed;
+};
+
+class PackUnpackProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+Datatype random_type(SplitMix64& rng, int depth) {
+  if (depth == 0 || rng.next_bool(0.3)) {
+    switch (rng.next_below(4)) {
+      case 0:
+        return Datatype::byte();
+      case 1:
+        return Datatype::int32();
+      case 2:
+        return Datatype::int64();
+      default:
+        return Datatype::float32();
+    }
+  }
+  Datatype base = random_type(rng, depth - 1);
+  switch (rng.next_below(3)) {
+    case 0:
+      return Datatype::contiguous(rng.next_in(1, 4), base);
+    case 1: {
+      const std::uint64_t blocklen = rng.next_in(1, 3);
+      return Datatype::vector(rng.next_in(1, 4), blocklen,
+                              blocklen + rng.next_below(3), base);
+    }
+    default: {
+      const std::size_t nblocks = rng.next_in(1, 3);
+      std::vector<std::uint64_t> lens, displs;
+      std::uint64_t cursor = 0;
+      for (std::size_t i = 0; i < nblocks; ++i) {
+        cursor += rng.next_below(3);
+        const std::uint64_t len = rng.next_in(1, 3);
+        displs.push_back(cursor);
+        lens.push_back(len);
+        cursor += len;
+      }
+      return Datatype::indexed(lens, displs, base);
+    }
+  }
+}
+
+TEST_P(PackUnpackProperty, RoundTripPreservesPickedBytes) {
+  SplitMix64 rng(GetParam());
+  for (int iter = 0; iter < 20; ++iter) {
+    Datatype t = random_type(rng, 3);
+    const std::uint64_t count = rng.next_in(1, 3);
+    const std::size_t span = t.extent() * count;
+    if (span == 0 || t.size() == 0) continue;
+
+    std::vector<std::byte> src(span);
+    for (auto& b : src) b = static_cast<std::byte>(rng.next());
+    std::vector<std::byte> packed(t.size() * count);
+    t.pack(src.data(), count, packed.data());
+
+    std::vector<std::byte> dst(span, std::byte{0xee});
+    t.unpack(packed.data(), count, dst.data());
+    std::vector<std::byte> packed2(packed.size());
+    t.pack(dst.data(), count, packed2.data());
+    EXPECT_EQ(packed, packed2) << t.describe() << " count=" << count;
+  }
+}
+
+TEST_P(PackUnpackProperty, BlocksCoverSizeExactly) {
+  SplitMix64 rng(GetParam() ^ 0x5555);
+  for (int iter = 0; iter < 20; ++iter) {
+    Datatype t = random_type(rng, 3);
+    const std::uint64_t count = rng.next_in(1, 4);
+    std::uint64_t covered = 0;
+    std::uint64_t expected_packed = 0;
+    bool packed_monotonic = true;
+    t.for_each_block(count, [&](const Block& b) {
+      if (b.packed_offset != expected_packed) packed_monotonic = false;
+      expected_packed = b.packed_offset + b.nbytes();
+      covered += b.nbytes();
+    });
+    EXPECT_TRUE(packed_monotonic) << t.describe();
+    EXPECT_EQ(covered, t.size() * count) << t.describe();
+  }
+}
+
+TEST_P(PackUnpackProperty, SignatureSizeConsistent) {
+  SplitMix64 rng(GetParam() ^ 0xaaaa);
+  for (int iter = 0; iter < 20; ++iter) {
+    Datatype t = random_type(rng, 3);
+    std::uint64_t sig_bytes = 0;
+    for (const auto& s : t.signature()) {
+      sig_bytes += std::uint64_t{s.elem_size} * s.count;
+    }
+    EXPECT_EQ(sig_bytes, t.size()) << t.describe();
+    EXPECT_TRUE(t.matches(2, t, 2));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PackUnpackProperty,
+                         ::testing::Values(1, 2, 3, 4, 5, 77, 123, 9999));
+
+}  // namespace
+}  // namespace m3rma::dt

@@ -1,0 +1,266 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "fabric/fabric.hpp"
+#include "simtime/engine.hpp"
+
+namespace m3rma::fabric {
+namespace {
+
+struct TestHdr {
+  int id = 0;
+};
+
+Packet make_packet(int proto, int id, std::size_t payload = 0) {
+  Packet p;
+  p.protocol = proto;
+  set_header(p, TestHdr{id});
+  p.payload.assign(payload, std::byte{0xab});
+  return p;
+}
+
+TEST(Packet, HeaderRoundTrip) {
+  Packet p;
+  set_header(p, TestHdr{1234});
+  EXPECT_EQ(get_header<TestHdr>(p).id, 1234);
+}
+
+TEST(Packet, WireSizeIncludesFraming) {
+  Packet p = make_packet(0, 1, 100);
+  EXPECT_EQ(p.wire_size(), kWireFramingBytes + sizeof(TestHdr) + 100);
+}
+
+TEST(Packet, HeaderSizeMismatchDetected) {
+  Packet p;
+  p.header.resize(3);
+  EXPECT_THROW(get_header<TestHdr>(p), Panic);
+}
+
+class FabricTest : public ::testing::Test {
+ protected:
+  sim::Engine eng{12345};
+};
+
+TEST_F(FabricTest, DeliversPacketToRegisteredHandler) {
+  Fabric f(eng, 2, Capabilities{}, CostModel{});
+  int got = -1;
+  sim::Time arrival = 0;
+  f.nic(1).register_protocol(7, [&](Packet&& p) {
+    got = get_header<TestHdr>(p).id;
+    arrival = eng.now();
+  });
+  eng.spawn("sender", [&](sim::Context&) {
+    f.nic(0).send(1, make_packet(7, 99));
+  });
+  eng.run();
+  EXPECT_EQ(got, 99);
+  EXPECT_GT(arrival, 0u);
+}
+
+TEST_F(FabricTest, UnregisteredProtocolPanics) {
+  Fabric f(eng, 2, Capabilities{}, CostModel{});
+  eng.spawn("sender", [&](sim::Context&) {
+    f.nic(0).send(1, make_packet(3, 0));
+  });
+  EXPECT_THROW(eng.run(), Panic);
+}
+
+TEST_F(FabricTest, TransferTimeScalesWithSize) {
+  Fabric f(eng, 2, Capabilities{}, CostModel{});
+  const auto small = f.transfer_time(0, 1, 64);
+  const auto large = f.transfer_time(0, 1, 64 * 1024);
+  EXPECT_GT(large, small);
+  // 64 KiB at 2 B/ns should add ~32 us over the small message.
+  EXPECT_NEAR(static_cast<double>(large - small), 65472.0 / 2.0, 10.0);
+}
+
+TEST_F(FabricTest, LoopbackIsCheaperThanRemote) {
+  Fabric f(eng, 2, Capabilities{}, CostModel{});
+  EXPECT_LT(f.transfer_time(0, 0, 64), f.transfer_time(0, 1, 64));
+}
+
+TEST_F(FabricTest, OrderedFabricPreservesInjectionOrder) {
+  Capabilities caps;
+  caps.ordered_delivery = true;
+  Fabric f(eng, 2, caps, CostModel{});
+  std::vector<int> got;
+  f.nic(1).register_protocol(1, [&](Packet&& p) {
+    got.push_back(get_header<TestHdr>(p).id);
+  });
+  eng.spawn("sender", [&](sim::Context&) {
+    // Large then tiny: without FIFO enforcement the tiny one would arrive
+    // first because it serializes faster.
+    f.nic(0).send(1, make_packet(1, 0, 64 * 1024));
+    f.nic(0).send(1, make_packet(1, 1, 8));
+    f.nic(0).send(1, make_packet(1, 2, 8));
+  });
+  eng.run();
+  EXPECT_EQ(got, (std::vector<int>{0, 1, 2}));
+}
+
+TEST_F(FabricTest, UnorderedFabricCanReorder) {
+  Capabilities caps;
+  caps.ordered_delivery = false;
+  CostModel costs;
+  costs.jitter_ns = 50000;
+  Fabric f(eng, 2, caps, costs);
+  std::vector<int> got;
+  f.nic(1).register_protocol(1, [&](Packet&& p) {
+    got.push_back(get_header<TestHdr>(p).id);
+  });
+  eng.spawn("sender", [&](sim::Context&) {
+    for (int i = 0; i < 64; ++i) f.nic(0).send(1, make_packet(1, i, 8));
+  });
+  eng.run();
+  ASSERT_EQ(got.size(), 64u);
+  EXPECT_FALSE(std::is_sorted(got.begin(), got.end()))
+      << "64 equal-size packets with 50us jitter should reorder";
+}
+
+TEST_F(FabricTest, UnorderedReorderingIsDeterministicPerSeed) {
+  auto run_once = [](std::uint64_t seed) {
+    sim::Engine e(seed);
+    Capabilities caps;
+    caps.ordered_delivery = false;
+    CostModel costs;
+    costs.jitter_ns = 50000;
+    Fabric f(e, 2, caps, costs);
+    std::vector<int> got;
+    f.nic(1).register_protocol(1, [&](Packet&& p) {
+      got.push_back(get_header<TestHdr>(p).id);
+    });
+    e.spawn("sender", [&](sim::Context&) {
+      for (int i = 0; i < 32; ++i) f.nic(0).send(1, make_packet(1, i, 8));
+    });
+    e.run();
+    return got;
+  };
+  EXPECT_EQ(run_once(5), run_once(5));
+  EXPECT_NE(run_once(5), run_once(6));
+}
+
+TEST_F(FabricTest, SelfSendIsFifoEvenWhenUnordered) {
+  Capabilities caps;
+  caps.ordered_delivery = false;
+  CostModel costs;
+  costs.jitter_ns = 50000;
+  Fabric f(eng, 2, caps, costs);
+  std::vector<int> got;
+  f.nic(0).register_protocol(1, [&](Packet&& p) {
+    got.push_back(get_header<TestHdr>(p).id);
+  });
+  eng.spawn("sender", [&](sim::Context&) {
+    for (int i = 0; i < 16; ++i) f.nic(0).send(0, make_packet(1, i, 8));
+  });
+  eng.run();
+  EXPECT_TRUE(std::is_sorted(got.begin(), got.end()));
+}
+
+TEST_F(FabricTest, DeliveryOccupancySpacesConvergingTraffic) {
+  CostModel costs;
+  costs.delivery_occupancy_ns = 1000;
+  Fabric f(eng, 4, Capabilities{}, costs);
+  std::vector<sim::Time> arrivals;
+  f.nic(3).register_protocol(1, [&](Packet&&) {
+    arrivals.push_back(eng.now());
+  });
+  for (int s = 0; s < 3; ++s) {
+    eng.spawn("s" + std::to_string(s), [&, s](sim::Context&) {
+      for (int i = 0; i < 5; ++i) f.nic(s).send(3, make_packet(1, i, 8));
+    });
+  }
+  eng.run();
+  ASSERT_EQ(arrivals.size(), 15u);
+  for (std::size_t i = 1; i < arrivals.size(); ++i) {
+    EXPECT_GE(arrivals[i] - arrivals[i - 1], 1000u)
+        << "deliveries must be spaced by the NIC occupancy";
+  }
+}
+
+TEST_F(FabricTest, OccupancyPreservesPerPairFifo) {
+  Capabilities caps;
+  caps.ordered_delivery = true;
+  CostModel costs;
+  costs.delivery_occupancy_ns = 700;
+  Fabric f(eng, 3, caps, costs);
+  std::vector<std::pair<int, int>> got;
+  f.nic(2).register_protocol(1, [&](Packet&& p) {
+    got.emplace_back(p.src, get_header<TestHdr>(p).id);
+  });
+  eng.spawn("s0", [&](sim::Context&) {
+    for (int i = 0; i < 8; ++i) f.nic(0).send(2, make_packet(1, i, 8));
+  });
+  eng.spawn("s1", [&](sim::Context&) {
+    for (int i = 0; i < 8; ++i) f.nic(1).send(2, make_packet(1, i, 8));
+  });
+  eng.run();
+  int last0 = -1, last1 = -1;
+  for (auto [src, id] : got) {
+    int& last = src == 0 ? last0 : last1;
+    EXPECT_GT(id, last);
+    last = id;
+  }
+}
+
+TEST_F(FabricTest, StatisticsCounted) {
+  Fabric f(eng, 3, Capabilities{}, CostModel{});
+  f.nic(1).register_protocol(1, [](Packet&&) {});
+  f.nic(2).register_protocol(1, [](Packet&&) {});
+  eng.spawn("sender", [&](sim::Context&) {
+    f.nic(0).send(1, make_packet(1, 0, 100));
+    f.nic(0).send(2, make_packet(1, 1, 200));
+  });
+  eng.run();
+  EXPECT_EQ(f.total_messages(), 2u);
+  EXPECT_EQ(f.nic(0).sent_messages(), 2u);
+  EXPECT_EQ(f.nic(1).received_messages(), 1u);
+  EXPECT_EQ(f.nic(2).received_messages(), 1u);
+  EXPECT_GT(f.total_bytes(), 300u);
+}
+
+TEST_F(FabricTest, SendToOutOfRangeNodeRejected) {
+  Fabric f(eng, 2, Capabilities{}, CostModel{});
+  eng.spawn("sender", [&](sim::Context&) {
+    EXPECT_THROW(f.nic(0).send(5, make_packet(1, 0)), UsageError);
+    EXPECT_THROW(f.nic(0).send(-1, make_packet(1, 0)), UsageError);
+  });
+  eng.run();
+}
+
+TEST_F(FabricTest, DoubleProtocolRegistrationRejected) {
+  Fabric f(eng, 1, Capabilities{}, CostModel{});
+  f.nic(0).register_protocol(1, [](Packet&&) {});
+  EXPECT_THROW(f.nic(0).register_protocol(1, [](Packet&&) {}), Panic);
+}
+
+TEST_F(FabricTest, OrderingHoldsPerPairNotGlobally) {
+  Capabilities caps;
+  caps.ordered_delivery = true;
+  Fabric f(eng, 3, caps, CostModel{});
+  std::vector<std::pair<int, int>> got;  // (src, id)
+  f.nic(2).register_protocol(1, [&](Packet&& p) {
+    got.emplace_back(p.src, get_header<TestHdr>(p).id);
+  });
+  eng.spawn("s0", [&](sim::Context&) {
+    f.nic(0).send(2, make_packet(1, 0, 32 * 1024));
+    f.nic(0).send(2, make_packet(1, 1, 8));
+  });
+  eng.spawn("s1", [&](sim::Context&) {
+    f.nic(1).send(2, make_packet(1, 0, 8));
+  });
+  eng.run();
+  ASSERT_EQ(got.size(), 3u);
+  // Per-pair FIFO: node 0's id 0 precedes its id 1.
+  std::vector<int> from0;
+  for (auto [src, id] : got) {
+    if (src == 0) from0.push_back(id);
+  }
+  EXPECT_EQ(from0, (std::vector<int>{0, 1}));
+  // Node 1's small packet may arrive before node 0's large one.
+  EXPECT_EQ(got.front().first, 1);
+}
+
+}  // namespace
+}  // namespace m3rma::fabric

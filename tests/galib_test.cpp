@@ -1,0 +1,242 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/rng.hpp"
+#include "galib/global_array.hpp"
+#include "runtime/world.hpp"
+
+namespace m3rma::galib {
+namespace {
+
+using runtime::Rank;
+using runtime::World;
+using runtime::WorldConfig;
+
+WorldConfig wcfg(int ranks) {
+  WorldConfig c;
+  c.ranks = ranks;
+  return c;
+}
+
+TEST(GlobalArrayTest, DistributionCoversAllRows) {
+  World w(wcfg(3));
+  w.run([](Rank& r) {
+    Context ctx(r, r.comm_world());
+    auto ga = ctx.create("A", 10, 4);  // 10 rows over 3 ranks: 4+4+2
+    auto [lo, hi] = ga->my_rows();
+    struct Span {
+      std::uint64_t lo, hi;
+    };
+    const auto spans = r.comm_world().allgather_value(Span{lo, hi});
+    std::uint64_t covered = 0;
+    for (const auto& s : spans) covered += s.hi - s.lo;
+    EXPECT_EQ(covered, 10u);
+    for (std::uint64_t row = 0; row < 10; ++row) {
+      const int owner = ga->owner_of_row(row);
+      EXPECT_GE(row, spans[static_cast<std::size_t>(owner)].lo);
+      EXPECT_LT(row, spans[static_cast<std::size_t>(owner)].hi);
+    }
+    ga->sync();
+  });
+}
+
+TEST(GlobalArrayTest, PutGetSingleOwnerPatch) {
+  World w(wcfg(2));
+  w.run([](Rank& r) {
+    Context ctx(r, r.comm_world());
+    auto ga = ctx.create("A", 8, 8);
+    ga->fill(0.0);
+    if (r.id() == 0) {
+      // Patch entirely inside rank 1's rows (4..8).
+      std::vector<double> vals{1, 2, 3, 4, 5, 6};
+      ga->put(Patch{5, 7, 2, 5}, vals.data(), 3);
+      std::vector<double> got(6, -1);
+      ga->get(Patch{5, 7, 2, 5}, got.data(), 3);
+      EXPECT_EQ(got, vals);
+      // Neighboring cells untouched.
+      std::vector<double> edge(1);
+      ga->get(Patch{5, 6, 1, 2}, edge.data(), 1);
+      EXPECT_EQ(edge[0], 0.0);
+    }
+    ga->sync();
+  });
+}
+
+TEST(GlobalArrayTest, MultiOwnerPatchSplitsTransparently) {
+  World w(wcfg(4));
+  w.run([](Rank& r) {
+    Context ctx(r, r.comm_world());
+    auto ga = ctx.create("A", 16, 6);  // 4 rows per rank
+    ga->fill(0.0);
+    if (r.id() == 3) {
+      // Rows 2..14 cross three owner boundaries.
+      std::vector<double> vals(12 * 4);
+      for (std::size_t i = 0; i < vals.size(); ++i) {
+        vals[i] = static_cast<double>(i + 1);
+      }
+      ga->put(Patch{2, 14, 1, 5}, vals.data(), 4);
+      std::vector<double> got(12 * 4, -1);
+      ga->get(Patch{2, 14, 1, 5}, got.data(), 4);
+      EXPECT_EQ(got, vals);
+    }
+    ga->sync();
+    // Every owner verifies its local slice directly.
+    auto [lo, hi] = ga->my_rows();
+    const double* mine = ga->local_data();
+    for (std::uint64_t row = std::max<std::uint64_t>(lo, 2);
+         row < std::min<std::uint64_t>(hi, 14); ++row) {
+      const double expect0 = static_cast<double>((row - 2) * 4 + 1);
+      EXPECT_EQ(mine[(row - lo) * 6 + 1], expect0);
+    }
+    ga->sync();
+  });
+}
+
+TEST(GlobalArrayTest, ConcurrentAccumulateKeepsEveryUpdate) {
+  World w(wcfg(4));
+  w.run([](Rank& r) {
+    Context ctx(r, r.comm_world());
+    auto ga = ctx.create("A", 8, 8);
+    ga->fill(1.0);
+    // Everyone accumulates into the SAME patch concurrently.
+    std::vector<double> ones(4 * 4, 1.0);
+    ga->acc(Patch{2, 6, 2, 6}, 0.5, ones.data(), 4);
+    ga->sync();
+    // Each element of the patch: 1 + 4 ranks * 0.5.
+    if (r.id() == 0) {
+      std::vector<double> got(16);
+      ga->get(Patch{2, 6, 2, 6}, got.data(), 4);
+      EXPECT_EQ(got, std::vector<double>(16, 3.0));
+    }
+    ga->sync();
+    EXPECT_DOUBLE_EQ(ga->global_sum(), 64.0 * 1.0 + 16 * 2.0);
+  });
+}
+
+TEST(GlobalArrayTest, ReadIncDistributesUniqueTasks) {
+  World w(wcfg(5));
+  w.run([](Rank& r) {
+    Context ctx(r, r.comm_world());
+    auto ga = ctx.create("tasks", 4, 4);
+    std::vector<std::int64_t> mine;
+    while (true) {
+      const std::int64_t t = ga->read_inc();
+      if (t >= 25) break;
+      mine.push_back(t);
+    }
+    // Union across ranks must be exactly 0..24.
+    auto parts = r.comm_world().gather(
+        std::span(reinterpret_cast<const std::byte*>(mine.data()),
+                  mine.size() * 8),
+        0);
+    if (r.id() == 0) {
+      std::vector<std::int64_t> all;
+      for (const auto& part : parts) {
+        const auto* v = reinterpret_cast<const std::int64_t*>(part.data());
+        all.insert(all.end(), v, v + part.size() / 8);
+      }
+      std::sort(all.begin(), all.end());
+      ASSERT_EQ(all.size(), 25u);
+      for (std::int64_t i = 0; i < 25; ++i) {
+        EXPECT_EQ(all[static_cast<std::size_t>(i)], i);
+      }
+    }
+    ga->sync();
+  });
+}
+
+TEST(GlobalArrayTest, FillAndGlobalSum) {
+  World w(wcfg(3));
+  w.run([](Rank& r) {
+    Context ctx(r, r.comm_world());
+    auto ga = ctx.create("A", 9, 5);
+    ga->fill(2.5);
+    EXPECT_DOUBLE_EQ(ga->global_sum(), 9 * 5 * 2.5);
+    ga->sync();
+  });
+}
+
+TEST(GlobalArrayTest, PatchValidation) {
+  World w(wcfg(2));
+  w.run([](Rank& r) {
+    Context ctx(r, r.comm_world());
+    auto ga = ctx.create("A", 4, 4);
+    std::vector<double> buf(16);
+    EXPECT_THROW(ga->put(Patch{0, 5, 0, 2}, buf.data(), 2), UsageError);
+    EXPECT_THROW(ga->put(Patch{2, 2, 0, 2}, buf.data(), 2), UsageError);
+    EXPECT_THROW(ga->put(Patch{0, 2, 0, 4}, buf.data(), 2), UsageError);
+    ga->sync();
+  });
+}
+
+TEST(GlobalArrayTest, TwoArraysShareOneEngine) {
+  World w(wcfg(2));
+  w.run([](Rank& r) {
+    Context ctx(r, r.comm_world());
+    auto a = ctx.create("A", 4, 4);
+    auto b = ctx.create("B", 4, 4);
+    a->fill(1.0);
+    b->fill(2.0);
+    EXPECT_DOUBLE_EQ(a->global_sum(), 16.0);
+    EXPECT_DOUBLE_EQ(b->global_sum(), 32.0);
+    a->sync();
+    b->sync();
+  });
+}
+
+class GaPatchProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(GaPatchProperty, RandomPatchesMatchReferenceMatrix) {
+  // Rank 0 performs a random sequence of put/acc patches, mirrored on a
+  // local reference matrix; a final full get must match exactly.
+  const std::uint64_t seed = GetParam();
+  constexpr std::uint64_t kRows = 12, kCols = 10;
+  World w(wcfg(3));
+  w.run([&](Rank& r) {
+    Context ctx(r, r.comm_world());
+    auto ga = ctx.create("P", kRows, kCols);
+    ga->fill(0.0);
+    if (r.id() == 0) {
+      SplitMix64 rng(seed * 613 + 5);
+      std::vector<double> ref(kRows * kCols, 0.0);
+      for (int op = 0; op < 25; ++op) {
+        const std::uint64_t rlo = rng.next_below(kRows);
+        const std::uint64_t rhi = rlo + 1 + rng.next_below(kRows - rlo);
+        const std::uint64_t clo = rng.next_below(kCols);
+        const std::uint64_t chi = clo + 1 + rng.next_below(kCols - clo);
+        Patch p{rlo, rhi, clo, chi};
+        std::vector<double> vals(p.elems());
+        for (auto& v : vals) {
+          v = static_cast<double>(rng.next_below(100));
+        }
+        if (rng.next_bool(0.5)) {
+          ga->put(p, vals.data(), p.cols());
+          for (std::uint64_t i = 0; i < p.rows(); ++i) {
+            for (std::uint64_t j = 0; j < p.cols(); ++j) {
+              ref[(rlo + i) * kCols + clo + j] = vals[i * p.cols() + j];
+            }
+          }
+        } else {
+          ga->acc(p, 2.0, vals.data(), p.cols());
+          for (std::uint64_t i = 0; i < p.rows(); ++i) {
+            for (std::uint64_t j = 0; j < p.cols(); ++j) {
+              ref[(rlo + i) * kCols + clo + j] +=
+                  2.0 * vals[i * p.cols() + j];
+            }
+          }
+        }
+      }
+      std::vector<double> got(kRows * kCols, -1);
+      ga->get(Patch{0, kRows, 0, kCols}, got.data(), kCols);
+      EXPECT_EQ(got, ref) << "seed " << seed;
+    }
+    ga->sync();
+  });
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, GaPatchProperty,
+                         ::testing::Values(1, 2, 3, 4, 5));
+
+}  // namespace
+}  // namespace m3rma::galib

@@ -1,0 +1,431 @@
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <numeric>
+#include <vector>
+
+#include "mpi2/win.hpp"
+#include "runtime/world.hpp"
+
+namespace m3rma::mpi2 {
+namespace {
+
+using runtime::Rank;
+using runtime::World;
+using runtime::WorldConfig;
+
+WorldConfig wcfg(int ranks, bool ordered = true, bool acks = true) {
+  WorldConfig c;
+  c.ranks = ranks;
+  c.caps.ordered_delivery = ordered;
+  c.caps.remote_completion_events = acks;
+  return c;
+}
+
+template <class T>
+void store(Rank& r, std::uint64_t addr, const std::vector<T>& vals) {
+  r.memory().cpu_write(addr,
+                       std::span(reinterpret_cast<const std::byte*>(
+                                     vals.data()),
+                                 vals.size() * sizeof(T)));
+}
+
+template <class T>
+std::vector<T> load(Rank& r, std::uint64_t addr, std::size_t n) {
+  std::vector<T> out(n);
+  r.memory().cpu_read_uncached(
+      addr, std::span(reinterpret_cast<std::byte*>(out.data()),
+                      n * sizeof(T)));
+  return out;
+}
+
+// ------------------------------------------------------------------ fence
+
+TEST(Mpi2Fence, FenceCompletesPuts) {
+  World w(wcfg(4));
+  w.run([](Rank& r) {
+    auto buf = r.alloc(256);
+    store(r, buf.addr, std::vector<std::uint64_t>(32, 0));
+    Win win(r, r.comm_world(), buf.addr, buf.size);
+    win.fence();
+    auto src = r.alloc(8);
+    store(r, src.addr, std::vector<std::uint64_t>{static_cast<std::uint64_t>(
+                           r.id() + 1)});
+    // Everyone writes slot id on rank 0 (Figure 1a pattern).
+    win.put_bytes(src.addr, 0, static_cast<std::uint64_t>(r.id()) * 8, 8);
+    win.fence();
+    if (r.id() == 0) {
+      auto got = load<std::uint64_t>(r, buf.addr, 4);
+      EXPECT_EQ(got, (std::vector<std::uint64_t>{1, 2, 3, 4}));
+    }
+    win.fence();
+  });
+}
+
+TEST(Mpi2Fence, FenceAlsoCompletesGets) {
+  World w(wcfg(2));
+  w.run([](Rank& r) {
+    auto buf = r.alloc(64);
+    if (r.id() == 1) store(r, buf.addr, std::vector<std::uint64_t>(8, 77));
+    Win win(r, r.comm_world(), buf.addr, buf.size);
+    win.fence();
+    auto dst = r.alloc(64);
+    if (r.id() == 0) win.get_bytes(dst.addr, 1, 0, 64);
+    win.fence();
+    if (r.id() == 0) {
+      EXPECT_EQ(load<std::uint64_t>(r, dst.addr, 8),
+                std::vector<std::uint64_t>(8, 77));
+    }
+    win.fence();
+  });
+}
+
+TEST(Mpi2Fence, ZeroSizeWindowsParticipate) {
+  World w(wcfg(3));
+  w.run([](Rank& r) {
+    // Only rank 0 exposes memory; others create zero-size windows.
+    auto buf = r.alloc(64);
+    Win win(r, r.comm_world(), buf.addr, r.id() == 0 ? buf.size : 0);
+    win.fence();
+    if (r.id() == 1) {
+      auto src = r.alloc(8);
+      store(r, src.addr, std::vector<std::uint64_t>{5});
+      win.put_bytes(src.addr, 0, 0, 8);
+    }
+    win.fence();
+    if (r.id() == 0) {
+      EXPECT_EQ(load<std::uint64_t>(r, buf.addr, 1)[0], 5u);
+    }
+    win.fence();
+  });
+}
+
+TEST(Mpi2Fence, PutToOversizeDisplacementRejected) {
+  World w(wcfg(2));
+  w.run([](Rank& r) {
+    auto buf = r.alloc(64);
+    Win win(r, r.comm_world(), buf.addr, buf.size);
+    win.fence();
+    if (r.id() == 0) {
+      auto src = r.alloc(64);
+      EXPECT_THROW(win.put_bytes(src.addr, 1, 32, 64), UsageError);
+    }
+    win.fence();
+  });
+}
+
+// ------------------------------------------------------------------- PSCW
+
+TEST(Mpi2Pscw, PostStartCompleteWait) {
+  // Figure 1b: ranks 1 and 2 access rank 0's window.
+  World w(wcfg(3));
+  w.run([](Rank& r) {
+    auto buf = r.alloc(64);
+    store(r, buf.addr, std::vector<std::uint64_t>(8, 0));
+    Win win(r, r.comm_world(), buf.addr, buf.size);
+    if (r.id() == 0) {
+      const int origins[] = {1, 2};
+      win.post(origins);
+      win.wait();
+      auto got = load<std::uint64_t>(r, buf.addr, 2);
+      EXPECT_EQ(got[0], 11u);
+      EXPECT_EQ(got[1], 22u);
+    } else {
+      const int targets[] = {0};
+      win.start(targets);
+      auto src = r.alloc(8);
+      store(r, src.addr,
+            std::vector<std::uint64_t>{static_cast<std::uint64_t>(r.id()) *
+                                       11});
+      win.put_bytes(src.addr, 0, static_cast<std::uint64_t>(r.id() - 1) * 8,
+                    8);
+      win.complete();
+    }
+    win.fence();
+  });
+}
+
+TEST(Mpi2Pscw, StartBlocksUntilPost) {
+  World w(wcfg(2));
+  w.run([](Rank& r) {
+    auto buf = r.alloc(8);
+    Win win(r, r.comm_world(), buf.addr, buf.size);
+    if (r.id() == 0) {
+      r.ctx().delay(300000);  // delay the post
+      const int origins[] = {1};
+      win.post(origins);
+      win.wait();
+    } else {
+      const sim::Time t0 = r.ctx().now();
+      const int targets[] = {0};
+      win.start(targets);
+      EXPECT_GE(r.ctx().now() - t0, 300000u);
+      win.complete();
+    }
+    win.fence();
+  });
+}
+
+TEST(Mpi2Pscw, WaitBlocksUntilAllOriginsComplete) {
+  World w(wcfg(3));
+  w.run([](Rank& r) {
+    auto buf = r.alloc(8);
+    Win win(r, r.comm_world(), buf.addr, buf.size);
+    if (r.id() == 0) {
+      const int origins[] = {1, 2};
+      win.post(origins);
+      win.wait();
+      EXPECT_GE(r.ctx().now(), 500000u);  // rank 2 is slow
+    } else {
+      if (r.id() == 2) r.ctx().delay(500000);
+      const int targets[] = {0};
+      win.start(targets);
+      win.complete();
+    }
+    win.fence();
+  });
+}
+
+// ------------------------------------------------------------- lock/unlock
+
+TEST(Mpi2Lock, ExclusiveLockSerializesUpdates) {
+  World w(wcfg(4));
+  w.run([](Rank& r) {
+    auto buf = r.alloc(8);
+    store(r, buf.addr, std::vector<std::uint64_t>(1, 0));
+    Win win(r, r.comm_world(), buf.addr, buf.size);
+    win.fence();
+    if (r.id() != 0) {
+      auto tmp = r.alloc(8);
+      for (int i = 0; i < 5; ++i) {
+        win.lock(LockType::exclusive, 0);
+        win.get_bytes(tmp.addr, 0, 0, 8);
+        // The get completes at unlock... so for read-modify-write we must
+        // flush within the epoch; a second lock round does that:
+        win.unlock(0);
+        win.lock(LockType::exclusive, 0);
+        auto v = load<std::uint64_t>(r, tmp.addr, 1)[0];
+        store(r, tmp.addr, std::vector<std::uint64_t>{v + 1});
+        win.put_bytes(tmp.addr, 0, 0, 8);
+        win.unlock(0);
+      }
+    }
+    win.fence();
+    if (r.id() == 0) {
+      // Lost updates are possible between the two epochs (classic MPI-2
+      // limitation!), but the counter must be at least 5 and at most 15.
+      auto v = load<std::uint64_t>(r, buf.addr, 1)[0];
+      EXPECT_GE(v, 5u);
+      EXPECT_LE(v, 15u);
+    }
+  });
+}
+
+TEST(Mpi2Lock, SharedLocksCoexist) {
+  World w(wcfg(3));
+  w.run([](Rank& r) {
+    auto buf = r.alloc(64);
+    if (r.id() == 0) store(r, buf.addr, std::vector<std::uint64_t>(8, 9));
+    Win win(r, r.comm_world(), buf.addr, buf.size);
+    win.fence();
+    if (r.id() != 0) {
+      auto dst = r.alloc(64);
+      win.lock(LockType::shared, 0);
+      win.get_bytes(dst.addr, 0, 0, 64);
+      win.unlock(0);
+      EXPECT_EQ(load<std::uint64_t>(r, dst.addr, 8),
+                std::vector<std::uint64_t>(8, 9));
+    }
+    win.fence();
+  });
+}
+
+TEST(Mpi2Lock, UnlockGuaranteesRemoteCompletion) {
+  World w(wcfg(2));
+  w.run([](Rank& r) {
+    auto buf = r.alloc(8);
+    store(r, buf.addr, std::vector<std::uint64_t>{0});
+    Win win(r, r.comm_world(), buf.addr, buf.size);
+    win.fence();
+    if (r.id() == 1) {
+      auto src = r.alloc(8);
+      store(r, src.addr, std::vector<std::uint64_t>{123});
+      win.lock(LockType::exclusive, 0);
+      win.put_bytes(src.addr, 0, 0, 8);
+      win.unlock(0);
+      // After unlock the data must be visible: verify via a fresh epoch.
+      auto probe = r.alloc(8);
+      win.lock(LockType::shared, 0);
+      win.get_bytes(probe.addr, 0, 0, 8);
+      win.unlock(0);
+      EXPECT_EQ(load<std::uint64_t>(r, probe.addr, 1)[0], 123u);
+    }
+    win.fence();
+  });
+}
+
+// ------------------------------------------------------------- accumulate
+
+TEST(Mpi2Accumulate, SumReduces) {
+  World w(wcfg(4));
+  w.run([](Rank& r) {
+    auto buf = r.alloc(32);
+    store(r, buf.addr, std::vector<std::int64_t>(4, 10));
+    Win win(r, r.comm_world(), buf.addr, buf.size);
+    win.fence();
+    auto src = r.alloc(32);
+    store(r, src.addr, std::vector<std::int64_t>(4, r.id()));
+    const auto i64 = dt::Datatype::int64();
+    win.accumulate(portals::AccOp::sum, src.addr, 4, i64, 0, 0, 4, i64);
+    win.fence();
+    if (r.id() == 0) {
+      EXPECT_EQ(load<std::int64_t>(r, buf.addr, 4),
+                std::vector<std::int64_t>(4, 10 + 0 + 1 + 2 + 3));
+    }
+    win.fence();
+  });
+}
+
+// --------------------------------------------------------------- datatypes
+
+TEST(Mpi2Datatypes, StridedPutThroughWindow) {
+  World w(wcfg(2));
+  w.run([](Rank& r) {
+    auto buf = r.alloc(256);
+    store(r, buf.addr, std::vector<std::int32_t>(64, -1));
+    Win win(r, r.comm_world(), buf.addr, buf.size);
+    win.fence();
+    if (r.id() == 0) {
+      auto src = r.alloc(32);
+      std::vector<std::int32_t> vals(8);
+      std::iota(vals.begin(), vals.end(), 0);
+      store(r, src.addr, vals);
+      const auto cont = dt::Datatype::contiguous(8, dt::Datatype::int32());
+      const auto strided =
+          dt::Datatype::vector(8, 1, 8, dt::Datatype::int32());
+      win.put(src.addr, 1, cont, 1, 0, 1, strided);
+    }
+    win.fence();
+    if (r.id() == 1) {
+      auto got = load<std::int32_t>(r, buf.addr, 64);
+      EXPECT_EQ(got[0], 0);
+      EXPECT_EQ(got[8], 1);
+      EXPECT_EQ(got[56], 7);
+      EXPECT_EQ(got[1], -1);
+    }
+    win.fence();
+  });
+}
+
+TEST(Mpi2Accumulate, RequiresNativeAtomics) {
+  WorldConfig c = wcfg(2);
+  c.caps.native_atomics = false;
+  World w(c);
+  w.run([](Rank& r) {
+    auto buf = r.alloc(32);
+    Win win(r, r.comm_world(), buf.addr, buf.size);
+    win.fence();
+    if (r.id() == 0) {
+      auto src = r.alloc(32);
+      const auto i64 = dt::Datatype::int64();
+      EXPECT_THROW(
+          win.accumulate(portals::AccOp::sum, src.addr, 1, i64, 1, 0, 1,
+                         i64),
+          UsageError);
+    }
+    win.fence();
+  });
+}
+
+TEST(Mpi2Lock, ExclusiveRequestsGrantedFifo) {
+  World w(wcfg(4));
+  w.run([](Rank& r) {
+    auto buf = r.alloc(64);
+    store(r, buf.addr, std::vector<std::uint64_t>(8, 0));
+    Win win(r, r.comm_world(), buf.addr, buf.size);
+    win.fence();
+    if (r.id() != 0) {
+      // Stagger the requests so the queue order is deterministic.
+      r.ctx().delay(static_cast<sim::Time>(r.id()) * 50000);
+      win.lock(LockType::exclusive, 0);
+      // Append my id to the log under the lock.
+      auto tmp = r.alloc(8);
+      win.get_bytes(tmp.addr, 0, 0, 8);
+      win.unlock(0);
+      win.lock(LockType::exclusive, 0);
+      const auto count = load<std::uint64_t>(r, tmp.addr, 1)[0];
+      store(r, tmp.addr,
+            std::vector<std::uint64_t>{static_cast<std::uint64_t>(r.id())});
+      win.put_bytes(tmp.addr, 0, (count + 1) * 8, 8);
+      store(r, tmp.addr, std::vector<std::uint64_t>{count + 1});
+      win.put_bytes(tmp.addr, 0, 0, 8);
+      win.unlock(0);
+    }
+    win.fence();
+    if (r.id() == 0) {
+      auto got = load<std::uint64_t>(r, buf.addr, 4);
+      EXPECT_EQ(got[0], 3u);  // three writers appended
+      // With staggered arrival and FIFO grants the log is 1, 2, 3.
+      EXPECT_EQ(got[1], 1u);
+      EXPECT_EQ(got[2], 2u);
+      EXPECT_EQ(got[3], 3u);
+    }
+    win.fence();
+  });
+}
+
+// --------------------------------------------------- multiple windows
+
+TEST(Mpi2Windows, TwoWindowsCoexist) {
+  World w(wcfg(2));
+  w.run([](Rank& r) {
+    auto a = r.alloc(64);
+    auto b = r.alloc(64);
+    store(r, a.addr, std::vector<std::uint64_t>(8, 0));
+    store(r, b.addr, std::vector<std::uint64_t>(8, 0));
+    Win wa(r, r.comm_world(), a.addr, a.size);
+    Win wb(r, r.comm_world(), b.addr, b.size);
+    wa.fence();
+    wb.fence();
+    if (r.id() == 0) {
+      auto src = r.alloc(8);
+      store(r, src.addr, std::vector<std::uint64_t>{1});
+      wa.put_bytes(src.addr, 1, 0, 8);
+      store(r, src.addr, std::vector<std::uint64_t>{2});
+      wb.put_bytes(src.addr, 1, 0, 8);
+    }
+    wa.fence();
+    wb.fence();
+    if (r.id() == 1) {
+      EXPECT_EQ(load<std::uint64_t>(r, a.addr, 1)[0], 1u);
+      EXPECT_EQ(load<std::uint64_t>(r, b.addr, 1)[0], 2u);
+    }
+    wa.fence();
+    wb.fence();
+  });
+}
+
+// ------------------------------------------- software flush (no ack events)
+
+TEST(Mpi2Software, FenceWorksOnAckLessOrderedNetwork) {
+  World w(wcfg(2, /*ordered=*/true, /*acks=*/false));
+  w.run([](Rank& r) {
+    auto buf = r.alloc(8);
+    store(r, buf.addr, std::vector<std::uint64_t>{0});
+    Win win(r, r.comm_world(), buf.addr, buf.size);
+    win.fence();
+    if (r.id() == 0) {
+      auto src = r.alloc(8);
+      store(r, src.addr, std::vector<std::uint64_t>{31337});
+      win.put_bytes(src.addr, 1, 0, 8);
+    }
+    win.fence();
+    if (r.id() == 1) {
+      EXPECT_EQ(load<std::uint64_t>(r, buf.addr, 1)[0], 31337u);
+    }
+    win.fence();
+  });
+}
+
+}  // namespace
+}  // namespace m3rma::mpi2

@@ -1,0 +1,455 @@
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <vector>
+
+#include "fabric/fabric.hpp"
+#include "memsim/memory_domain.hpp"
+#include "portals/portals.hpp"
+#include "simtime/engine.hpp"
+
+namespace m3rma::portals {
+namespace {
+
+constexpr int kPt = 3;
+constexpr std::uint64_t kMatch = 0xfeed;
+
+/// Two-node fixture: node 0 initiates, node 1 is the target.
+class PortalsTest : public ::testing::Test {
+ protected:
+  void build(fabric::Capabilities caps = {}) {
+    fab.emplace(eng, 2, caps, fabric::CostModel{});
+    mem0.emplace(memsim::DomainConfig{});
+    mem1.emplace(memsim::DomainConfig{});
+    p0.emplace(fab->nic(0), *mem0);
+    p1.emplace(fab->nic(1), *mem1);
+  }
+
+  sim::Engine eng{7};
+  std::optional<fabric::Fabric> fab;
+  std::optional<memsim::MemoryDomain> mem0, mem1;
+  std::optional<Portals> p0, p1;
+};
+
+TEST_F(PortalsTest, PutWritesTargetMemory) {
+  build();
+  const auto src = mem0->alloc(64);
+  const auto dst = mem1->alloc(64);
+  EventQueue eq(eng);
+  EventQueue target_eq(eng);
+  const auto md = p0->md_bind(src, 64, &eq);
+  p1->me_append(kPt, kMatch, 0, dst, 64, &target_eq);
+
+  std::vector<std::byte> data(32, std::byte{0x5a});
+  mem0->cpu_write(src, data);
+
+  eng.spawn("origin", [&](sim::Context& ctx) {
+    p0->put(ctx, md, 0, 32, 1, kPt, kMatch, 0, 42, true);
+    // SEND event is immediate (local completion).
+    Event s = eq.wait(ctx);
+    EXPECT_EQ(s.type, EventType::send);
+    // ACK arrives after the round trip.
+    Event a = eq.wait(ctx);
+    EXPECT_EQ(a.type, EventType::ack);
+    EXPECT_EQ(a.user_ptr, 42u);
+  });
+  eng.run();
+
+  std::vector<std::byte> got(32);
+  mem1->cpu_read(dst, got);
+  EXPECT_EQ(got, data);
+  // Target observed a PUT event with initiator identity.
+  auto ev = target_eq.poll();
+  ASSERT_TRUE(ev.has_value());
+  EXPECT_EQ(ev->type, EventType::put);
+  EXPECT_EQ(ev->initiator, 0);
+  EXPECT_EQ(ev->length, 32u);
+}
+
+TEST_F(PortalsTest, SendEventModelsLocalDmaCompletion) {
+  // Local (SEND) completion arrives local_completion_ns + serialization
+  // after injection, not instantly.
+  fabric::CostModel costs;
+  costs.local_completion_ns = 5000;
+  costs.bytes_per_ns = 1.0;
+  fab.emplace(eng, 2, fabric::Capabilities{}, costs);
+  mem0.emplace(memsim::DomainConfig{});
+  mem1.emplace(memsim::DomainConfig{});
+  p0.emplace(fab->nic(0), *mem0);
+  p1.emplace(fab->nic(1), *mem1);
+  const auto src = mem0->alloc(4096);
+  const auto dst = mem1->alloc(4096);
+  EventQueue eq(eng);
+  const auto md = p0->md_bind(src, 4096, &eq);
+  p1->me_append(kPt, kMatch, 0, dst, 4096, nullptr);
+  eng.spawn("origin", [&](sim::Context& ctx) {
+    const sim::Time t0 = ctx.now();
+    p0->put(ctx, md, 0, 4000, 1, kPt, kMatch, 0, 0, false);
+    Event s = eq.wait(ctx);
+    EXPECT_EQ(s.type, EventType::send);
+    // >= local_completion + 4000 B at 1 B/ns (after inject overhead).
+    EXPECT_GE(ctx.now() - t0, 5000u + 4000u);
+  });
+  eng.run();
+}
+
+TEST_F(PortalsTest, PutWithOffsetLandsAtDisplacement) {
+  build();
+  const auto src = mem0->alloc(64);
+  const auto dst = mem1->alloc(64);
+  const auto md = p0->md_bind(src, 64, nullptr);
+  p1->me_append(kPt, kMatch, 0, dst, 64, nullptr);
+  std::vector<std::byte> data(8, std::byte{0x77});
+  mem0->cpu_write(src, data);
+
+  eng.spawn("origin", [&](sim::Context& ctx) {
+    p0->put(ctx, md, 0, 8, 1, kPt, kMatch, 24, 0, false);
+  });
+  eng.run();
+  std::vector<std::byte> got(8);
+  mem1->cpu_read(dst + 24, got);
+  EXPECT_EQ(got, data);
+}
+
+TEST_F(PortalsTest, GetReadsTargetMemory) {
+  build();
+  const auto src = mem1->alloc(64);
+  const auto dst = mem0->alloc(64);
+  EventQueue eq(eng);
+  const auto md = p0->md_bind(dst, 64, &eq);
+  p1->me_append(kPt, kMatch, 0, src, 64, nullptr);
+  std::vector<std::byte> data(16, std::byte{0x3c});
+  mem1->cpu_write(src, data);
+
+  eng.spawn("origin", [&](sim::Context& ctx) {
+    p0->get(ctx, md, 0, 16, 1, kPt, kMatch, 0, 9);
+    Event r = eq.wait(ctx);
+    EXPECT_EQ(r.type, EventType::reply);
+    EXPECT_EQ(r.user_ptr, 9u);
+    EXPECT_EQ(r.length, 16u);
+  });
+  eng.run();
+  std::vector<std::byte> got(16);
+  mem0->cpu_read(dst, got);
+  EXPECT_EQ(got, data);
+}
+
+TEST_F(PortalsTest, ZeroByteGetActsAsFlushProbe) {
+  build();
+  EventQueue eq(eng);
+  const auto dst = mem0->alloc(8);
+  const auto md = p0->md_bind(dst, 8, &eq);
+  p1->me_append(kPt, kMatch, 0, mem1->alloc(8), 8, nullptr);
+  sim::Time rtt = 0;
+  eng.spawn("origin", [&](sim::Context& ctx) {
+    const sim::Time t0 = ctx.now();
+    p0->get(ctx, md, 0, 0, 1, kPt, kMatch, 0, 0);
+    (void)eq.wait(ctx);
+    rtt = ctx.now() - t0;
+  });
+  eng.run();
+  // Full round trip: two wire latencies at least.
+  EXPECT_GE(rtt, 2 * fab->costs().latency_ns);
+}
+
+TEST_F(PortalsTest, NoAckEventsWhenNetworkLacksCompletionEvents) {
+  fabric::Capabilities caps;
+  caps.remote_completion_events = false;
+  build(caps);
+  const auto src = mem0->alloc(8);
+  const auto dst = mem1->alloc(8);
+  EventQueue eq(eng);
+  const auto md = p0->md_bind(src, 8, &eq);
+  p1->me_append(kPt, kMatch, 0, dst, 8, nullptr);
+  eng.spawn("origin", [&](sim::Context& ctx) {
+    p0->put(ctx, md, 0, 8, 1, kPt, kMatch, 0, 0, /*want_ack=*/true);
+    Event s = eq.wait(ctx);
+    EXPECT_EQ(s.type, EventType::send);
+    ctx.delay(1000000);  // plenty of time: no ACK should ever appear
+    EXPECT_EQ(eq.pending(), 0u);
+  });
+  eng.run();
+}
+
+TEST_F(PortalsTest, UnmatchedMessageIsDroppedAndCounted) {
+  build();
+  const auto src = mem0->alloc(8);
+  const auto md = p0->md_bind(src, 8, nullptr);
+  // No ME appended at the target.
+  eng.spawn("origin", [&](sim::Context& ctx) {
+    p0->put(ctx, md, 0, 8, 1, kPt, kMatch, 0, 0, false);
+  });
+  eng.run();
+  EXPECT_EQ(p1->dropped_messages(), 1u);
+}
+
+TEST_F(PortalsTest, TruncatingPutIsDropped) {
+  build();
+  const auto src = mem0->alloc(64);
+  const auto dst = mem1->alloc(16);
+  const auto md = p0->md_bind(src, 64, nullptr);
+  p1->me_append(kPt, kMatch, 0, dst, 16, nullptr);
+  eng.spawn("origin", [&](sim::Context& ctx) {
+    p0->put(ctx, md, 0, 64, 1, kPt, kMatch, 0, 0, false);  // 64 > 16
+  });
+  eng.run();
+  EXPECT_EQ(p1->dropped_messages(), 1u);
+}
+
+TEST_F(PortalsTest, MatchBitsSelectAmongEntries) {
+  build();
+  const auto src = mem0->alloc(8);
+  const auto a = mem1->alloc(8);
+  const auto b = mem1->alloc(8);
+  const auto md = p0->md_bind(src, 8, nullptr);
+  p1->me_append(kPt, 0x111, 0, a, 8, nullptr);
+  p1->me_append(kPt, 0x222, 0, b, 8, nullptr);
+  std::vector<std::byte> data(8, std::byte{0x9});
+  mem0->cpu_write(src, data);
+  eng.spawn("origin", [&](sim::Context& ctx) {
+    p0->put(ctx, md, 0, 8, 1, kPt, 0x222, 0, 0, false);
+  });
+  eng.run();
+  std::vector<std::byte> got(8);
+  mem1->cpu_read(b, got);
+  EXPECT_EQ(got, data);
+  mem1->cpu_read(a, got);
+  EXPECT_NE(got, data);
+}
+
+TEST_F(PortalsTest, IgnoreBitsWidenMatching) {
+  build();
+  const auto src = mem0->alloc(8);
+  const auto dst = mem1->alloc(8);
+  const auto md = p0->md_bind(src, 8, nullptr);
+  p1->me_append(kPt, 0xab00, /*ignore=*/0xff, dst, 8, nullptr);
+  eng.spawn("origin", [&](sim::Context& ctx) {
+    p0->put(ctx, md, 0, 8, 1, kPt, 0xab42, 0, 0, false);  // low byte ignored
+  });
+  eng.run();
+  EXPECT_EQ(p1->dropped_messages(), 0u);
+}
+
+TEST_F(PortalsTest, MeUnlinkStopsMatching) {
+  build();
+  const auto src = mem0->alloc(8);
+  const auto dst = mem1->alloc(8);
+  const auto md = p0->md_bind(src, 8, nullptr);
+  const auto me = p1->me_append(kPt, kMatch, 0, dst, 8, nullptr);
+  p1->me_unlink(me);
+  eng.spawn("origin", [&](sim::Context& ctx) {
+    p0->put(ctx, md, 0, 8, 1, kPt, kMatch, 0, 0, false);
+  });
+  eng.run();
+  EXPECT_EQ(p1->dropped_messages(), 1u);
+}
+
+TEST_F(PortalsTest, AtomicSumAppliesAtTarget) {
+  build();
+  const auto src = mem0->alloc(32);
+  const auto dst = mem1->alloc(32);
+  const auto md = p0->md_bind(src, 32, nullptr);
+  p1->me_append(kPt, kMatch, 0, dst, 32, nullptr);
+  std::int64_t init[2] = {100, 200};
+  std::int64_t add[2] = {7, -13};
+  mem1->cpu_write(dst, std::span(reinterpret_cast<std::byte*>(init), 16));
+  mem0->cpu_write(src, std::span(reinterpret_cast<std::byte*>(add), 16));
+
+  eng.spawn("origin", [&](sim::Context& ctx) {
+    p0->atomic(ctx, AccOp::sum, NumType::i64, md, 0, 16, 1, kPt, kMatch, 0,
+               0, false);
+  });
+  eng.run();
+  std::int64_t got[2];
+  mem1->cpu_read(dst, std::span(reinterpret_cast<std::byte*>(got), 16));
+  EXPECT_EQ(got[0], 107);
+  EXPECT_EQ(got[1], 187);
+}
+
+TEST_F(PortalsTest, ConcurrentAtomicsSerializeWithoutLoss) {
+  // Two initiators hammer one counter; NIC-side atomics must not lose
+  // updates (each delivery is one serialized event).
+  build();
+  memsim::MemoryDomain mem2{memsim::DomainConfig{}};
+  // Need a third node: rebuild with 3 nodes.
+  sim::Engine e3(11);
+  fabric::Fabric f3(e3, 3, fabric::Capabilities{}, fabric::CostModel{});
+  memsim::MemoryDomain m0{memsim::DomainConfig{}}, m1{memsim::DomainConfig{}},
+      m2{memsim::DomainConfig{}};
+  Portals q0(f3.nic(0), m0), q1(f3.nic(1), m1), q2(f3.nic(2), m2);
+  const auto ctr = m2.alloc(8);
+  const std::int64_t zero = 0;
+  m2.cpu_write(ctr, std::span(reinterpret_cast<const std::byte*>(&zero), 8));
+  q2.me_append(kPt, kMatch, 0, ctr, 8, nullptr);
+  for (int node = 0; node < 2; ++node) {
+    Portals& q = node == 0 ? q0 : q1;
+    memsim::MemoryDomain& m = node == 0 ? m0 : m1;
+    e3.spawn("origin" + std::to_string(node), [&, node](sim::Context& ctx) {
+      const auto buf = m.alloc(8);
+      const std::int64_t one = 1;
+      m.cpu_write(buf, std::span(reinterpret_cast<const std::byte*>(&one), 8));
+      const auto md = q.md_bind(buf, 8, nullptr);
+      for (int i = 0; i < 50; ++i) {
+        q.atomic(ctx, AccOp::sum, NumType::i64, md, 0, 8, 2, kPt, kMatch, 0,
+                 0, false);
+      }
+    });
+  }
+  e3.run();
+  std::int64_t total = 0;
+  m2.cpu_read(ctr, std::span(reinterpret_cast<std::byte*>(&total), 8));
+  EXPECT_EQ(total, 100);
+}
+
+TEST_F(PortalsTest, AtomicRefusedWithoutNativeSupport) {
+  fabric::Capabilities caps;
+  caps.native_atomics = false;
+  build(caps);
+  const auto src = mem0->alloc(8);
+  const auto md = p0->md_bind(src, 8, nullptr);
+  eng.spawn("origin", [&](sim::Context& ctx) {
+    EXPECT_THROW(p0->atomic(ctx, AccOp::sum, NumType::i64, md, 0, 8, 1, kPt,
+                            kMatch, 0, 0, false),
+                 UsageError);
+  });
+  eng.run();
+}
+
+TEST_F(PortalsTest, FetchAddReturnsPreviousValue) {
+  build();
+  const auto buf = mem0->alloc(24);  // [operand][fetch slot]
+  const auto ctr = mem1->alloc(8);
+  EventQueue eq(eng);
+  const auto md = p0->md_bind(buf, 24, &eq);
+  p1->me_append(kPt, kMatch, 0, ctr, 8, nullptr);
+  const std::int64_t init = 1000;
+  mem1->cpu_write(ctr, std::span(reinterpret_cast<const std::byte*>(&init), 8));
+  const std::int64_t add = 5;
+  mem0->cpu_write(buf, std::span(reinterpret_cast<const std::byte*>(&add), 8));
+
+  eng.spawn("origin", [&](sim::Context& ctx) {
+    p0->fetch_atomic(ctx, RmwOp::fetch_add, NumType::i64, md, 0, 8, 1, kPt,
+                     kMatch, 0, 0);
+    Event r = eq.wait(ctx);
+    EXPECT_EQ(r.type, EventType::reply);
+    std::int64_t old = 0;
+    mem0->cpu_read(buf + 8, std::span(reinterpret_cast<std::byte*>(&old), 8));
+    EXPECT_EQ(old, 1000);
+  });
+  eng.run();
+  std::int64_t now_val = 0;
+  mem1->cpu_read(ctr, std::span(reinterpret_cast<std::byte*>(&now_val), 8));
+  EXPECT_EQ(now_val, 1005);
+}
+
+TEST_F(PortalsTest, CompareSwapOnlySwapsOnMatch) {
+  build();
+  const auto buf = mem0->alloc(32);  // [compare|desired][fetch]
+  const auto ctr = mem1->alloc(8);
+  EventQueue eq(eng);
+  const auto md = p0->md_bind(buf, 32, &eq);
+  p1->me_append(kPt, kMatch, 0, ctr, 8, nullptr);
+  const std::int64_t init = 42;
+  mem1->cpu_write(ctr, std::span(reinterpret_cast<const std::byte*>(&init), 8));
+
+  eng.spawn("origin", [&](sim::Context& ctx) {
+    // Failing CAS: compare 7 != 42.
+    std::int64_t cas1[2] = {7, 111};
+    mem0->cpu_write(buf, std::span(reinterpret_cast<std::byte*>(cas1), 16));
+    p0->fetch_atomic(ctx, RmwOp::compare_swap, NumType::i64, md, 0, 16, 1,
+                     kPt, kMatch, 0, 0);
+    (void)eq.wait(ctx);
+    std::int64_t old = 0;
+    mem0->cpu_read(buf + 16, std::span(reinterpret_cast<std::byte*>(&old), 8));
+    EXPECT_EQ(old, 42);
+    // Succeeding CAS: compare 42.
+    std::int64_t cas2[2] = {42, 111};
+    mem0->cpu_write(buf, std::span(reinterpret_cast<std::byte*>(cas2), 16));
+    p0->fetch_atomic(ctx, RmwOp::compare_swap, NumType::i64, md, 0, 16, 1,
+                     kPt, kMatch, 0, 0);
+    (void)eq.wait(ctx);
+  });
+  eng.run();
+  std::int64_t v = 0;
+  mem1->cpu_read(ctr, std::span(reinterpret_cast<std::byte*>(&v), 8));
+  EXPECT_EQ(v, 111);
+}
+
+TEST_F(PortalsTest, MdBoundsEnforced) {
+  build();
+  const auto src = mem0->alloc(16);
+  const auto md = p0->md_bind(src, 16, nullptr);
+  eng.spawn("origin", [&](sim::Context& ctx) {
+    EXPECT_THROW(p0->put(ctx, md, 8, 16, 1, kPt, kMatch, 0, 0, false),
+                 UsageError);
+  });
+  eng.run();
+}
+
+TEST_F(PortalsTest, MdReleaseInvalidatesHandle) {
+  build();
+  const auto src = mem0->alloc(16);
+  const auto md = p0->md_bind(src, 16, nullptr);
+  p0->md_release(md);
+  EXPECT_THROW(p0->md_release(md), UsageError);
+  eng.spawn("origin", [&](sim::Context& ctx) {
+    EXPECT_THROW(p0->put(ctx, md, 0, 8, 1, kPt, kMatch, 0, 0, false),
+                 UsageError);
+  });
+  eng.run();
+}
+
+TEST(PortalsAtomicsUnit, AccOpsOverTypes) {
+  auto run = [](AccOp op, std::int32_t a, std::int32_t b) {
+    std::int32_t target = a;
+    apply_acc(op, NumType::i32, reinterpret_cast<std::byte*>(&target),
+              reinterpret_cast<const std::byte*>(&b), 4, host_endian());
+    return target;
+  };
+  EXPECT_EQ(run(AccOp::sum, 3, 4), 7);
+  EXPECT_EQ(run(AccOp::prod, 3, 4), 12);
+  EXPECT_EQ(run(AccOp::min, 3, 4), 3);
+  EXPECT_EQ(run(AccOp::max, 3, 4), 4);
+  EXPECT_EQ(run(AccOp::replace, 3, 4), 4);
+  EXPECT_EQ(run(AccOp::band, 6, 3), 2);
+  EXPECT_EQ(run(AccOp::bor, 6, 3), 7);
+  EXPECT_EQ(run(AccOp::bxor, 6, 3), 5);
+}
+
+TEST(PortalsAtomicsUnit, FloatBitwiseRejected) {
+  float t = 1.0f, o = 2.0f;
+  EXPECT_THROW(apply_acc(AccOp::band, NumType::f32,
+                         reinterpret_cast<std::byte*>(&t),
+                         reinterpret_cast<const std::byte*>(&o), 4,
+                         host_endian()),
+               UsageError);
+}
+
+TEST(PortalsAtomicsUnit, BigEndianTargetArithmetic) {
+  // Value stored big-endian on the target must be summed numerically.
+  const Endian other =
+      host_endian() == Endian::little ? Endian::big : Endian::little;
+  std::uint64_t target_be = 0, operand_be = 0;
+  std::uint64_t v1 = 258, v2 = 1;  // avoid palindromic byte patterns
+  std::memcpy(&target_be, &v1, 8);
+  std::memcpy(&operand_be, &v2, 8);
+  swap_element(reinterpret_cast<std::byte*>(&target_be), 8);
+  swap_element(reinterpret_cast<std::byte*>(&operand_be), 8);
+  apply_acc(AccOp::sum, NumType::u64, reinterpret_cast<std::byte*>(&target_be),
+            reinterpret_cast<const std::byte*>(&operand_be), 8, other);
+  swap_element(reinterpret_cast<std::byte*>(&target_be), 8);
+  EXPECT_EQ(target_be, 259u);
+}
+
+TEST(PortalsAtomicsUnit, NumSizes) {
+  EXPECT_EQ(num_size(NumType::i8), 1u);
+  EXPECT_EQ(num_size(NumType::i16), 2u);
+  EXPECT_EQ(num_size(NumType::i32), 4u);
+  EXPECT_EQ(num_size(NumType::i64), 8u);
+  EXPECT_EQ(num_size(NumType::u64), 8u);
+  EXPECT_EQ(num_size(NumType::f32), 4u);
+  EXPECT_EQ(num_size(NumType::f64), 8u);
+}
+
+}  // namespace
+}  // namespace m3rma::portals

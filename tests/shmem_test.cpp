@@ -1,0 +1,182 @@
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <vector>
+
+#include "runtime/world.hpp"
+#include "shmem/shmem.hpp"
+
+namespace m3rma::shmem {
+namespace {
+
+using runtime::Rank;
+using runtime::World;
+using runtime::WorldConfig;
+
+WorldConfig wcfg(int ranks, bool ordered = true) {
+  WorldConfig c;
+  c.ranks = ranks;
+  c.caps.ordered_delivery = ordered;
+  if (!ordered) c.costs.jitter_ns = 20000;
+  return c;
+}
+
+TEST(ShmemTest, SymmetricAllocationIsIdenticalAcrossPes) {
+  World w(wcfg(4));
+  w.run([](Rank& r) {
+    Shmem sh(r, r.comm_world());
+    const auto a = sh.shmalloc(128);
+    const auto b = sh.shmalloc(64, 64);
+    const auto offs = r.comm_world().allgather_value(a);
+    const auto offs2 = r.comm_world().allgather_value(b);
+    for (auto o : offs) EXPECT_EQ(o, a);
+    for (auto o : offs2) EXPECT_EQ(o, b);
+    EXPECT_EQ(b % 64, 0u);
+    sh.barrier_all();
+  });
+}
+
+TEST(ShmemTest, PutGetRoundTrip) {
+  World w(wcfg(2));
+  w.run([](Rank& r) {
+    Shmem sh(r, r.comm_world());
+    const auto sym = sh.shmalloc(64);
+    sh.barrier_all();
+    if (sh.my_pe() == 0) {
+      std::vector<std::uint64_t> vals(8, 0xfeed);
+      sh.put_mem(sym, vals.data(), 64, 1);
+      sh.quiet();
+      std::vector<std::uint64_t> got(8, 0);
+      sh.get_mem(got.data(), sym, 64, 1);
+      EXPECT_EQ(got, vals);
+    }
+    sh.barrier_all();
+  });
+}
+
+TEST(ShmemTest, SingleElementPg) {
+  World w(wcfg(3));
+  w.run([](Rank& r) {
+    Shmem sh(r, r.comm_world());
+    const auto sym = sh.shmalloc(8);
+    sh.barrier_all();
+    if (sh.my_pe() == 1) {
+      sh.p<std::uint64_t>(sym, 777, 2);
+      sh.quiet();
+      EXPECT_EQ(sh.g<std::uint64_t>(sym, 2), 777u);
+    }
+    sh.barrier_all();
+  });
+}
+
+TEST(ShmemTest, FenceOrdersPutsOnUnorderedNetwork) {
+  World w(wcfg(2, /*ordered=*/false));
+  w.run([](Rank& r) {
+    Shmem sh(r, r.comm_world());
+    const auto sym = sh.shmalloc(8);
+    sh.barrier_all();
+    if (sh.my_pe() == 0) {
+      for (std::uint64_t v = 1; v <= 20; ++v) {
+        sh.p<std::uint64_t>(sym, v, 1);
+        sh.fence();  // classic shmem idiom: ordered stream of puts
+      }
+      sh.quiet();
+    }
+    sh.barrier_all();
+    if (sh.my_pe() == 1) {
+      std::uint64_t v = 0;
+      std::memcpy(&v, sh.ptr(sym), 8);
+      EXPECT_EQ(v, 20u);
+    }
+    sh.barrier_all();
+  });
+}
+
+TEST(ShmemTest, QuietMakesPutsRemotelyVisible) {
+  World w(wcfg(2));
+  w.run([](Rank& r) {
+    Shmem sh(r, r.comm_world());
+    const auto sym = sh.shmalloc(8);
+    sh.barrier_all();
+    if (sh.my_pe() == 0) {
+      sh.p<std::uint64_t>(sym, 42, 1);
+      sh.quiet();
+      // After quiet, a get must observe the put.
+      EXPECT_EQ(sh.g<std::uint64_t>(sym, 1), 42u);
+    }
+    sh.barrier_all();
+  });
+}
+
+TEST(ShmemTest, AtomicsOnSymmetricHeap) {
+  World w(wcfg(5));
+  w.run([](Rank& r) {
+    Shmem sh(r, r.comm_world());
+    const auto ctr = sh.shmalloc(8);
+    if (sh.my_pe() == 0) std::memset(sh.ptr(ctr), 0, 8);
+    sh.barrier_all();
+    (void)sh.atomic_fetch_add(ctr, 1, 0);
+    sh.barrier_all();
+    if (sh.my_pe() == 0) {
+      std::uint64_t v = 0;
+      std::memcpy(&v, sh.ptr(ctr), 8);
+      EXPECT_EQ(v, 5u);
+      EXPECT_EQ(sh.atomic_swap(ctr, 100, 0), 5u);
+      EXPECT_EQ(sh.atomic_compare_swap(ctr, 100, 200, 0), 100u);
+    }
+    sh.barrier_all();
+  });
+}
+
+TEST(ShmemTest, FlagSignalingWithWaitUntil) {
+  // The canonical SHMEM pattern: producer puts data then sets a flag;
+  // consumer spins on the flag (target-side involvement by *choice*, not
+  // by API requirement).
+  World w(wcfg(2));
+  w.run([](Rank& r) {
+    Shmem sh(r, r.comm_world());
+    const auto data = sh.shmalloc(64);
+    const auto flag = sh.shmalloc(8);
+    if (sh.my_pe() == 1) std::memset(sh.ptr(flag), 0, 8);
+    sh.barrier_all();
+    if (sh.my_pe() == 0) {
+      std::vector<std::uint64_t> payload(8, 0xabc);
+      sh.put_mem(data, payload.data(), 64, 1);
+      sh.fence();  // data before flag
+      sh.p<std::uint64_t>(flag, 1, 1);
+      sh.quiet();
+    } else {
+      sh.wait_until_ge(flag, 1);
+      std::uint64_t first = 0;
+      std::memcpy(&first, sh.ptr(data), 8);
+      EXPECT_EQ(first, 0xabcu);
+    }
+    sh.barrier_all();
+  });
+}
+
+TEST(ShmemTest, HeapExhaustionDetected) {
+  World w(wcfg(1));
+  w.run([](Rank& r) {
+    Shmem sh(r, r.comm_world(), /*heap_bytes=*/64 * 1024);
+    (void)sh.shmalloc(40 * 1024);
+    EXPECT_THROW(sh.shmalloc(40 * 1024), UsageError);
+    sh.barrier_all();
+  });
+}
+
+TEST(ShmemTest, WaitUntilStuckIsDetected) {
+  World w(wcfg(1));
+  EXPECT_THROW(w.run([](Rank& r) {
+    Shmem sh(r, r.comm_world());
+    const auto flag = sh.shmalloc(8);
+    std::memset(sh.ptr(flag), 0, 8);
+    // Coarse poll interval keeps the host-time cost of reaching the
+    // 10-virtual-second deadline small.
+    sh.wait_until_ge(flag, 1, /*poll_interval=*/5'000'000);
+  }),
+               Panic);
+}
+
+}  // namespace
+}  // namespace m3rma::shmem
