@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig2_attribute_cost.dir/bench/fig2_attribute_cost.cpp.o"
+  "CMakeFiles/fig2_attribute_cost.dir/bench/fig2_attribute_cost.cpp.o.d"
+  "bench/fig2_attribute_cost"
+  "bench/fig2_attribute_cost.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig2_attribute_cost.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tab_api_comparison.dir/bench/tab_api_comparison.cpp.o"
+  "CMakeFiles/tab_api_comparison.dir/bench/tab_api_comparison.cpp.o.d"
+  "bench/tab_api_comparison"
+  "bench/tab_api_comparison.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tab_api_comparison.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

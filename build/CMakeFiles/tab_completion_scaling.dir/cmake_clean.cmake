@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tab_completion_scaling.dir/bench/tab_completion_scaling.cpp.o"
+  "CMakeFiles/tab_completion_scaling.dir/bench/tab_completion_scaling.cpp.o.d"
+  "bench/tab_completion_scaling"
+  "bench/tab_completion_scaling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tab_completion_scaling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

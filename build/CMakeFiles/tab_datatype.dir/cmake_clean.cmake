@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tab_datatype.dir/bench/tab_datatype.cpp.o"
+  "CMakeFiles/tab_datatype.dir/bench/tab_datatype.cpp.o.d"
+  "bench/tab_datatype"
+  "bench/tab_datatype.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tab_datatype.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tab_network_caps.dir/bench/tab_network_caps.cpp.o"
+  "CMakeFiles/tab_network_caps.dir/bench/tab_network_caps.cpp.o.d"
+  "bench/tab_network_caps"
+  "bench/tab_network_caps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tab_network_caps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tab_noncoherent.dir/bench/tab_noncoherent.cpp.o"
+  "CMakeFiles/tab_noncoherent.dir/bench/tab_noncoherent.cpp.o.d"
+  "bench/tab_noncoherent"
+  "bench/tab_noncoherent.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tab_noncoherent.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

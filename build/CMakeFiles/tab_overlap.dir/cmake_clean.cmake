@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tab_overlap.dir/bench/tab_overlap.cpp.o"
+  "CMakeFiles/tab_overlap.dir/bench/tab_overlap.cpp.o.d"
+  "bench/tab_overlap"
+  "bench/tab_overlap.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tab_overlap.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

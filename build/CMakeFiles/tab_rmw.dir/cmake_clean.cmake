@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tab_rmw.dir/bench/tab_rmw.cpp.o"
+  "CMakeFiles/tab_rmw.dir/bench/tab_rmw.cpp.o.d"
+  "bench/tab_rmw"
+  "bench/tab_rmw.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tab_rmw.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tab_sync_modes.dir/bench/tab_sync_modes.cpp.o"
+  "CMakeFiles/tab_sync_modes.dir/bench/tab_sync_modes.cpp.o.d"
+  "bench/tab_sync_modes"
+  "bench/tab_sync_modes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tab_sync_modes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

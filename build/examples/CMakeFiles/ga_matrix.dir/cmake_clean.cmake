@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ga_matrix.dir/ga_matrix.cpp.o"
+  "CMakeFiles/ga_matrix.dir/ga_matrix.cpp.o.d"
+  "ga_matrix"
+  "ga_matrix.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ga_matrix.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/global_counter.dir/global_counter.cpp.o"
+  "CMakeFiles/global_counter.dir/global_counter.cpp.o.d"
+  "global_counter"
+  "global_counter.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/global_counter.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mpi2_sync_modes.dir/mpi2_sync_modes.cpp.o"
+  "CMakeFiles/mpi2_sync_modes.dir/mpi2_sync_modes.cpp.o.d"
+  "mpi2_sync_modes"
+  "mpi2_sync_modes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mpi2_sync_modes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

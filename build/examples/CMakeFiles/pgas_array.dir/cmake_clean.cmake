@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pgas_array.dir/pgas_array.cpp.o"
+  "CMakeFiles/pgas_array.dir/pgas_array.cpp.o.d"
+  "pgas_array"
+  "pgas_array.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pgas_array.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

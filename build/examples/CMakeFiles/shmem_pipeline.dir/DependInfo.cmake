@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/shmem_pipeline.cpp" "examples/CMakeFiles/shmem_pipeline.dir/shmem_pipeline.cpp.o" "gcc" "examples/CMakeFiles/shmem_pipeline.dir/shmem_pipeline.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/shmem/CMakeFiles/m3rma_shmem.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/m3rma_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/runtime/CMakeFiles/m3rma_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/portals/CMakeFiles/m3rma_portals.dir/DependInfo.cmake"
+  "/root/repo/build/src/fabric/CMakeFiles/m3rma_fabric.dir/DependInfo.cmake"
+  "/root/repo/build/src/memsim/CMakeFiles/m3rma_memsim.dir/DependInfo.cmake"
+  "/root/repo/build/src/simtime/CMakeFiles/m3rma_simtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/datatype/CMakeFiles/m3rma_datatype.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/m3rma_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

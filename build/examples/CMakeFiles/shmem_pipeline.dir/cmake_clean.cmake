@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/shmem_pipeline.dir/shmem_pipeline.cpp.o"
+  "CMakeFiles/shmem_pipeline.dir/shmem_pipeline.cpp.o.d"
+  "shmem_pipeline"
+  "shmem_pipeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/shmem_pipeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/upc_histogram.dir/upc_histogram.cpp.o"
+  "CMakeFiles/upc_histogram.dir/upc_histogram.cpp.o.d"
+  "upc_histogram"
+  "upc_histogram.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/upc_histogram.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

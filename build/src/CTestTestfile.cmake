@@ -1,0 +1,20 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("common")
+subdirs("simtime")
+subdirs("fabric")
+subdirs("memsim")
+subdirs("datatype")
+subdirs("portals")
+subdirs("runtime")
+subdirs("core")
+subdirs("mpi2")
+subdirs("armci")
+subdirs("gasnet")
+subdirs("shmem")
+subdirs("galib")
+subdirs("upc")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/m3rma_armci.dir/armci.cpp.o"
+  "CMakeFiles/m3rma_armci.dir/armci.cpp.o.d"
+  "libm3rma_armci.a"
+  "libm3rma_armci.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/m3rma_armci.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

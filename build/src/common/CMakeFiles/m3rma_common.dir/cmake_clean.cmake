@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/m3rma_common.dir/diagnostics.cpp.o"
+  "CMakeFiles/m3rma_common.dir/diagnostics.cpp.o.d"
+  "CMakeFiles/m3rma_common.dir/rng.cpp.o"
+  "CMakeFiles/m3rma_common.dir/rng.cpp.o.d"
+  "libm3rma_common.a"
+  "libm3rma_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/m3rma_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

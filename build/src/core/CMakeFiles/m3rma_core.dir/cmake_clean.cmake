@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/m3rma_core.dir/rma_engine.cpp.o"
+  "CMakeFiles/m3rma_core.dir/rma_engine.cpp.o.d"
+  "CMakeFiles/m3rma_core.dir/target_mem.cpp.o"
+  "CMakeFiles/m3rma_core.dir/target_mem.cpp.o.d"
+  "libm3rma_core.a"
+  "libm3rma_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/m3rma_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

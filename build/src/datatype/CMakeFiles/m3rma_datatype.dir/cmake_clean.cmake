@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/m3rma_datatype.dir/datatype.cpp.o"
+  "CMakeFiles/m3rma_datatype.dir/datatype.cpp.o.d"
+  "libm3rma_datatype.a"
+  "libm3rma_datatype.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/m3rma_datatype.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/m3rma_fabric.dir/fabric.cpp.o"
+  "CMakeFiles/m3rma_fabric.dir/fabric.cpp.o.d"
+  "libm3rma_fabric.a"
+  "libm3rma_fabric.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/m3rma_fabric.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

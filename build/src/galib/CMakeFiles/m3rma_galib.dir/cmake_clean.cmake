@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/m3rma_galib.dir/global_array.cpp.o"
+  "CMakeFiles/m3rma_galib.dir/global_array.cpp.o.d"
+  "libm3rma_galib.a"
+  "libm3rma_galib.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/m3rma_galib.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/m3rma_gasnet.dir/gasnet.cpp.o"
+  "CMakeFiles/m3rma_gasnet.dir/gasnet.cpp.o.d"
+  "libm3rma_gasnet.a"
+  "libm3rma_gasnet.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/m3rma_gasnet.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/m3rma_memsim.dir/memory_domain.cpp.o"
+  "CMakeFiles/m3rma_memsim.dir/memory_domain.cpp.o.d"
+  "libm3rma_memsim.a"
+  "libm3rma_memsim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/m3rma_memsim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/m3rma_mpi2.dir/win.cpp.o"
+  "CMakeFiles/m3rma_mpi2.dir/win.cpp.o.d"
+  "libm3rma_mpi2.a"
+  "libm3rma_mpi2.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/m3rma_mpi2.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/m3rma_portals.dir/atomics.cpp.o"
+  "CMakeFiles/m3rma_portals.dir/atomics.cpp.o.d"
+  "CMakeFiles/m3rma_portals.dir/portals.cpp.o"
+  "CMakeFiles/m3rma_portals.dir/portals.cpp.o.d"
+  "libm3rma_portals.a"
+  "libm3rma_portals.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/m3rma_portals.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

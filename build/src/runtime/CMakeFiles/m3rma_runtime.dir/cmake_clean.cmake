@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/m3rma_runtime.dir/comm.cpp.o"
+  "CMakeFiles/m3rma_runtime.dir/comm.cpp.o.d"
+  "CMakeFiles/m3rma_runtime.dir/p2p.cpp.o"
+  "CMakeFiles/m3rma_runtime.dir/p2p.cpp.o.d"
+  "CMakeFiles/m3rma_runtime.dir/world.cpp.o"
+  "CMakeFiles/m3rma_runtime.dir/world.cpp.o.d"
+  "libm3rma_runtime.a"
+  "libm3rma_runtime.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/m3rma_runtime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/m3rma_shmem.dir/shmem.cpp.o"
+  "CMakeFiles/m3rma_shmem.dir/shmem.cpp.o.d"
+  "libm3rma_shmem.a"
+  "libm3rma_shmem.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/m3rma_shmem.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

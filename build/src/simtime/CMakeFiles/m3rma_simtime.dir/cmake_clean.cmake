@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/m3rma_simtime.dir/engine.cpp.o"
+  "CMakeFiles/m3rma_simtime.dir/engine.cpp.o.d"
+  "libm3rma_simtime.a"
+  "libm3rma_simtime.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/m3rma_simtime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/m3rma_upc.dir/upc_runtime.cpp.o"
+  "CMakeFiles/m3rma_upc.dir/upc_runtime.cpp.o.d"
+  "libm3rma_upc.a"
+  "libm3rma_upc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/m3rma_upc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

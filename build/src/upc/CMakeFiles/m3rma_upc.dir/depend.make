@@ -1,0 +1,2 @@
+# Empty dependencies file for m3rma_upc.
+# This may be replaced when dependencies are built.

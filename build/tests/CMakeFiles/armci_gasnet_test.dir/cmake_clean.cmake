@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/armci_gasnet_test.dir/armci_gasnet_test.cpp.o"
+  "CMakeFiles/armci_gasnet_test.dir/armci_gasnet_test.cpp.o.d"
+  "armci_gasnet_test"
+  "armci_gasnet_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/armci_gasnet_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

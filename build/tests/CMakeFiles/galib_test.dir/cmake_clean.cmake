@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/galib_test.dir/galib_test.cpp.o"
+  "CMakeFiles/galib_test.dir/galib_test.cpp.o.d"
+  "galib_test"
+  "galib_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/galib_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

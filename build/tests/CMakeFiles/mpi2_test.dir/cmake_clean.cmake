@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mpi2_test.dir/mpi2_test.cpp.o"
+  "CMakeFiles/mpi2_test.dir/mpi2_test.cpp.o.d"
+  "mpi2_test"
+  "mpi2_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mpi2_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

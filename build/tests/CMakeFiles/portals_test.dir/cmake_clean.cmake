@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/portals_test.dir/portals_test.cpp.o"
+  "CMakeFiles/portals_test.dir/portals_test.cpp.o.d"
+  "portals_test"
+  "portals_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/portals_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/upc_test.dir/upc_test.cpp.o"
+  "CMakeFiles/upc_test.dir/upc_test.cpp.o.d"
+  "upc_test"
+  "upc_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/upc_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
