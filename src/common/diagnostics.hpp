@@ -23,6 +23,15 @@ class DeadlockError : public Panic {
   explicit DeadlockError(std::string what) : Panic(std::move(what)) {}
 };
 
+/// Thrown when the reliable transport sublayer (fabric/reliability.hpp)
+/// exhausts its retry budget on a link: delivery can no longer be
+/// guaranteed, so instead of an opaque deadlock the stack names the failing
+/// link and its oldest unacknowledged operation.
+class TransportError : public Panic {
+ public:
+  explicit TransportError(std::string what) : Panic(std::move(what)) {}
+};
+
 /// Thrown on misuse of a public API (bad rank, bad datatype, out-of-range
 /// displacement, ...). Mirrors what an MPI implementation would report via
 /// MPI_ERR_* classes.

@@ -7,6 +7,14 @@ namespace m3rma::fabric {
 
 // -------------------------------------------------------------------- Nic
 
+Nic::Nic(Fabric* f, int node) : fabric_(f), node_(node) {
+  if (f->costs_.reliability.enabled) {
+    rel_ = std::make_unique<LinkReliability>(*this);
+  }
+}
+
+Nic::~Nic() = default;
+
 void Nic::register_protocol(int protocol, Handler h) {
   auto [it, inserted] = handlers_.emplace(protocol, std::move(h));
   (void)it;
@@ -27,6 +35,14 @@ void Nic::send(int dst, Packet&& p) {
                 "send to out-of-range node");
   p.src = node_;
   p.dst = dst;
+  if (rel_ != nullptr) {
+    rel_->send_data(std::move(p));  // frames, tracks, then raw_send()s
+    return;
+  }
+  raw_send(std::move(p));
+}
+
+void Nic::raw_send(Packet&& p) {
   sent_messages_ += 1;
   sent_bytes_ += p.wire_size();
   fabric_->route(std::move(p));
@@ -35,6 +51,14 @@ void Nic::send(int dst, Packet&& p) {
 void Nic::deliver(Packet&& p) {
   received_messages_ += 1;
   received_bytes_ += p.wire_size();
+  if (rel_ != nullptr) {
+    rel_->on_receive(std::move(p));  // dedup/resequence, then dispatch()
+    return;
+  }
+  dispatch(std::move(p));
+}
+
+void Nic::dispatch(Packet&& p) {
   auto it = handlers_.find(p.protocol);
   M3RMA_ENSURE(it != handlers_.end(),
                "packet delivered for unregistered protocol " +
@@ -69,6 +93,18 @@ sim::Time Fabric::transfer_time(int src, int dst,
   return wire + serial + costs_.delivery_overhead_ns;
 }
 
+SplitMix64& Fabric::link_rng(std::uint64_t key) {
+  auto it = link_rngs_.find(key);
+  if (it == link_rngs_.end()) {
+    // Independent derived stream: the engine seed mixed with the link id,
+    // scrambled once so adjacent links do not produce correlated draws.
+    SplitMix64 seeder(eng_->seed() ^
+                      (0x9e3779b97f4a7c15ULL * (key + 1)));
+    it = link_rngs_.emplace(key, SplitMix64(seeder.next())).first;
+  }
+  return it->second;
+}
+
 void Fabric::route(Packet&& p) {
   const std::uint64_t key = static_cast<std::uint64_t>(p.src) *
                                 static_cast<std::uint64_t>(nodes()) +
@@ -78,7 +114,7 @@ void Fabric::route(Packet&& p) {
   total_messages_ += 1;
   total_bytes_ += p.wire_size();
 
-  if (costs_.loss_rate > 0.0 && eng_->rng().next_bool(costs_.loss_rate)) {
+  if (costs_.loss_rate > 0.0 && link_rng(key).next_bool(costs_.loss_rate)) {
     ++dropped_packets_;
     return;  // failure injection: the packet vanishes on the wire
   }
@@ -92,7 +128,7 @@ void Fabric::route(Packet&& p) {
   } else if (costs_.jitter_ns > 0) {
     // Adaptive routing: deterministic pseudo-random spread allows
     // overtaking.
-    arrival += eng_->rng().next_below(costs_.jitter_ns + 1);
+    arrival += link_rng(key).next_below(costs_.jitter_ns + 1);
   }
 
   Nic* target = nics_[static_cast<std::size_t>(p.dst)].get();

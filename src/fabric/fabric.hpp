@@ -18,6 +18,7 @@
 
 #include "common/rng.hpp"
 #include "fabric/packet.hpp"
+#include "fabric/reliability.hpp"
 #include "simtime/engine.hpp"
 
 namespace m3rma::fabric {
@@ -57,10 +58,16 @@ struct CostModel {
   /// drawn uniformly per packet from [0, jitter_ns].
   sim::Time jitter_ns = 3000;
   /// Failure injection: probability of silently dropping a packet on the
-  /// wire (deterministic per seed). The RMA protocols assume a reliable
-  /// network, so any loss must surface as a detected failure (flush
-  /// non-convergence or deadlock), never as silent corruption.
+  /// wire (deterministic per seed, independent per (src,dst) link). With
+  /// reliability disabled the RMA protocols assume a reliable network, so
+  /// any loss must surface as a detected failure (flush non-convergence or
+  /// deadlock), never as silent corruption; with reliability enabled the
+  /// sublayer recovers the loss or raises TransportError.
   double loss_rate = 0.0;
+  /// Reliable-delivery sublayer (ack/retransmit/dedup); see
+  /// fabric/reliability.hpp. Disabled by default: benches measuring raw
+  /// attribute costs run byte-identical with no sublayer in the path.
+  ReliabilityConfig reliability{};
 };
 
 class Fabric;
@@ -70,6 +77,8 @@ class Fabric;
 class Nic {
  public:
   using Handler = std::function<void(Packet&&)>;
+
+  ~Nic();
 
   int node() const { return node_; }
   Fabric& fabric() { return *fabric_; }
@@ -86,18 +95,32 @@ class Nic {
   /// CostModel::inject_overhead_ns).
   void send(int dst, Packet&& p);
 
+  /// Counters are wire truth: with reliability enabled they include
+  /// retransmissions and ack-only control packets.
   std::uint64_t sent_messages() const { return sent_messages_; }
   std::uint64_t sent_bytes() const { return sent_bytes_; }
   std::uint64_t received_messages() const { return received_messages_; }
   std::uint64_t received_bytes() const { return received_bytes_; }
 
+  /// The reliable-delivery endpoint, or nullptr when
+  /// CostModel::reliability.enabled is false.
+  LinkReliability* reliability() { return rel_.get(); }
+  const LinkReliability* reliability() const { return rel_.get(); }
+
  private:
   friend class Fabric;
-  Nic(Fabric* f, int node) : fabric_(f), node_(node) {}
+  friend class LinkReliability;
+  Nic(Fabric* f, int node);
   void deliver(Packet&& p);
+  /// Handler lookup + invocation (post-reliability, exactly-once).
+  void dispatch(Packet&& p);
+  /// Stats + route, bypassing the reliability layer (used by it for both
+  /// first transmissions and retransmissions/acks).
+  void raw_send(Packet&& p);
 
   Fabric* fabric_;
   int node_;
+  std::unique_ptr<LinkReliability> rel_;
   sim::Time rx_busy_until_ = 0;  // congestion: receive pipeline occupancy
   std::unordered_map<int, Handler> handlers_;
   std::uint64_t sent_messages_ = 0;
@@ -127,6 +150,9 @@ class Fabric {
  private:
   friend class Nic;
   void route(Packet&& p);
+  /// Derived per-(src,dst) rng stream for loss/jitter draws: traffic on one
+  /// link cannot change which packets drop or how they jitter on another.
+  SplitMix64& link_rng(std::uint64_t key);
 
   sim::Engine* eng_;
   Capabilities caps_;
@@ -134,6 +160,7 @@ class Fabric {
   std::vector<std::unique_ptr<Nic>> nics_;
   std::unordered_map<std::uint64_t, sim::Time> last_arrival_;
   std::unordered_map<std::uint64_t, std::uint64_t> next_seq_;
+  std::unordered_map<std::uint64_t, SplitMix64> link_rngs_;
   std::uint64_t total_messages_ = 0;
   std::uint64_t total_bytes_ = 0;
   std::uint64_t dropped_packets_ = 0;

@@ -22,6 +22,16 @@ namespace m3rma::fabric {
 /// transfer time. Roughly a SeaStar-class network header.
 inline constexpr std::size_t kWireFramingBytes = 64;
 
+/// Extra framing carried by packets that participate in the reliable
+/// transport sublayer (fabric/reliability.hpp): stream sequence number,
+/// cumulative ack, flags. Only counted when rel_flags is nonzero, so runs
+/// with reliability disabled are byte-identical to a build without it.
+inline constexpr std::size_t kReliabilityFramingBytes = 20;
+
+/// Packet::rel_flags bits.
+inline constexpr std::uint8_t kRelFlagData = 0x1;  ///< rel_seq is valid
+inline constexpr std::uint8_t kRelFlagAck = 0x2;   ///< rel_ack is valid
+
 struct Packet {
   int src = -1;
   int dst = -1;
@@ -29,11 +39,19 @@ struct Packet {
   std::vector<std::byte> header;
   std::vector<std::byte> payload;
   /// Injection sequence number per (src,dst) pair, assigned by the fabric.
+  /// Reassigned on every injection, including retransmissions.
   std::uint64_t seq = 0;
   sim::Time injected_at = 0;
+  /// Reliable-sublayer framing (all zero when reliability is disabled).
+  /// rel_seq is the per-(src,dst,protocol) data stream sequence (1-based);
+  /// rel_ack is the cumulative ack of the reverse stream.
+  std::uint8_t rel_flags = 0;
+  std::uint64_t rel_seq = 0;
+  std::uint64_t rel_ack = 0;
 
   std::size_t wire_size() const {
-    return kWireFramingBytes + header.size() + payload.size();
+    return kWireFramingBytes + header.size() + payload.size() +
+           (rel_flags != 0 ? kReliabilityFramingBytes : 0);
   }
 };
 

@@ -1,0 +1,186 @@
+#include "fabric/reliability.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+#include <utility>
+
+#include "fabric/fabric.hpp"
+
+namespace m3rma::fabric {
+
+LinkReliability::LinkReliability(Nic& nic)
+    : nic_(&nic), cfg_(nic.fabric().costs().reliability) {
+  M3RMA_REQUIRE(cfg_.retransmit_timeout_ns > 0,
+                "retransmit timeout must be positive");
+  M3RMA_REQUIRE(cfg_.backoff_factor >= 1.0,
+                "backoff factor must be >= 1");
+  M3RMA_REQUIRE(cfg_.retry_budget >= 0, "retry budget must be >= 0");
+}
+
+// ------------------------------------------------------------------ sender
+
+void LinkReliability::send_data(Packet&& p) {
+  const std::uint64_t key = stream_key(p.dst, p.protocol);
+  TxStream& tx = tx_[key];
+  if (tx.rto == 0) tx.rto = cfg_.retransmit_timeout_ns;
+
+  p.rel_seq = tx.next_seq++;
+  p.rel_flags = kRelFlagData | kRelFlagAck;
+  // Piggyback the cumulative ack of the reverse stream; if a standalone
+  // ack was pending for it, this data packet replaces it.
+  RxStream& rx = rx_[stream_key(p.dst, p.protocol)];
+  p.rel_ack = rx.delivered;
+  if (rx.ack_pending) {
+    rx.ack_pending = false;
+    ++rx.ack_gen;  // invalidate the armed delayed-ack event
+    ++stats_.acks_piggybacked;
+  }
+
+  tx.pending.push_back(
+      PendingPkt{p, nic_->fabric().engine().now()});  // retransmission copy
+  ++stats_.data_packets;
+  if (!tx.timer_armed) arm_retransmit(key, tx);
+  nic_->raw_send(std::move(p));
+}
+
+void LinkReliability::arm_retransmit(std::uint64_t key, TxStream& tx) {
+  tx.timer_armed = true;
+  const std::uint64_t gen = tx.timer_gen;
+  nic_->fabric().engine().schedule_in(
+      tx.rto, [this, key, gen] { on_retransmit_timer(key, gen); });
+}
+
+void LinkReliability::on_retransmit_timer(std::uint64_t key,
+                                          std::uint64_t gen) {
+  auto it = tx_.find(key);
+  if (it == tx_.end()) return;
+  TxStream& tx = it->second;
+  if (gen != tx.timer_gen) return;  // superseded by ack progress
+  tx.timer_armed = false;
+  if (tx.pending.empty()) return;
+
+  const int peer = static_cast<int>(key >> 32);
+  const int protocol = static_cast<int>(static_cast<std::uint32_t>(key));
+  if (tx.retries >= cfg_.retry_budget) fail_link(peer, protocol, tx);
+
+  // Go-back-all: with cumulative acks the sender cannot tell which packet
+  // of the window was lost, so it re-injects every unacked one; the
+  // receiver's dedup/reorder machinery absorbs the redundant copies.
+  const std::uint64_t rev_ack = rx_[key].delivered;
+  for (const PendingPkt& pp : tx.pending) {
+    Packet copy = pp.pkt;
+    copy.rel_ack = rev_ack;  // refresh the piggybacked ack
+    ++stats_.retransmits;
+    nic_->raw_send(std::move(copy));
+  }
+  tx.retries += 1;
+  const auto backed = static_cast<sim::Time>(
+      std::llround(static_cast<double>(tx.rto) * cfg_.backoff_factor));
+  tx.rto = std::min(std::max(backed, tx.rto), cfg_.max_retransmit_timeout_ns);
+  ++tx.timer_gen;
+  arm_retransmit(key, tx);
+}
+
+void LinkReliability::fail_link(int peer, int protocol, const TxStream& tx) {
+  const PendingPkt& oldest = tx.pending.front();
+  std::ostringstream os;
+  os << "reliable link " << nic_->node() << " -> " << peer << " (protocol "
+     << protocol << "): retry budget (" << cfg_.retry_budget
+     << ") exhausted; oldest unacknowledged packet seq "
+     << oldest.pkt.rel_seq << ", " << oldest.pkt.payload.size()
+     << " payload bytes, first sent at t=" << oldest.first_sent << "ns, "
+     << tx.pending.size() << " packet(s) unacked";
+  throw TransportError(os.str());
+}
+
+void LinkReliability::process_ack(int peer, int protocol,
+                                  std::uint64_t ackno) {
+  const std::uint64_t key = stream_key(peer, protocol);
+  auto it = tx_.find(key);
+  if (it == tx_.end()) return;
+  TxStream& tx = it->second;
+  if (ackno <= tx.acked) return;  // duplicate/stale cumulative ack
+  tx.acked = ackno;
+  while (!tx.pending.empty() && tx.pending.front().pkt.rel_seq <= ackno) {
+    tx.pending.pop_front();
+  }
+  // Progress ends the recovery episode: reset the backoff and re-arm a
+  // fresh timer for whatever is still in flight.
+  tx.retries = 0;
+  tx.rto = cfg_.retransmit_timeout_ns;
+  ++tx.timer_gen;
+  tx.timer_armed = false;
+  if (!tx.pending.empty()) arm_retransmit(key, tx);
+}
+
+// ---------------------------------------------------------------- receiver
+
+void LinkReliability::on_receive(Packet&& p) {
+  if ((p.rel_flags & kRelFlagAck) != 0) {
+    process_ack(p.src, p.protocol, p.rel_ack);
+  }
+  if ((p.rel_flags & kRelFlagData) == 0) return;  // ack-only: consumed
+
+  const std::uint64_t key = stream_key(p.src, p.protocol);
+  RxStream& rx = rx_[key];
+  const int src = p.src;
+  const int protocol = p.protocol;
+
+  if (p.rel_seq <= rx.delivered) {
+    // Re-delivery of something already handed up: the sender evidently
+    // missed our ack, so suppress the duplicate and re-ack.
+    ++stats_.duplicates_suppressed;
+  } else if (p.rel_seq == rx.delivered + 1) {
+    rx.delivered += 1;
+    nic_->dispatch(std::move(p));
+    // Drain whatever buffered packets the delivery unblocked. Re-look-up
+    // each round: dispatch runs an arbitrary handler which may send (and
+    // thereby touch rx_/tx_, invalidating references).
+    for (;;) {
+      RxStream& cur = rx_[key];
+      auto next = cur.ooo.find(cur.delivered + 1);
+      if (next == cur.ooo.end()) break;
+      Packet buffered = std::move(next->second);
+      cur.ooo.erase(next);
+      cur.delivered += 1;
+      nic_->dispatch(std::move(buffered));
+    }
+  } else if (rx.ooo.emplace(p.rel_seq, std::move(p)).second) {
+    ++stats_.out_of_order_buffered;
+  } else {
+    ++stats_.duplicates_suppressed;  // already buffered
+  }
+  arm_delayed_ack(src, protocol, rx_[key]);
+}
+
+void LinkReliability::arm_delayed_ack(int peer, int protocol, RxStream& rx) {
+  if (rx.ack_pending) return;
+  rx.ack_pending = true;
+  const std::uint64_t gen = ++rx.ack_gen;
+  nic_->fabric().engine().schedule_in(
+      cfg_.ack_delay_ns,
+      [this, peer, protocol, gen] { on_ack_timer(peer, protocol, gen); });
+}
+
+void LinkReliability::on_ack_timer(int peer, int protocol,
+                                   std::uint64_t gen) {
+  RxStream& rx = rx_[stream_key(peer, protocol)];
+  if (!rx.ack_pending || gen != rx.ack_gen) return;  // piggybacked meanwhile
+  rx.ack_pending = false;
+  Packet ack;
+  ack.src = nic_->node();
+  ack.dst = peer;
+  ack.protocol = protocol;
+  ack.rel_flags = kRelFlagAck;
+  ack.rel_ack = rx.delivered;
+  ++stats_.acks_sent;
+  nic_->raw_send(std::move(ack));
+}
+
+std::uint64_t LinkReliability::unacked(int peer, int protocol) const {
+  auto it = tx_.find(stream_key(peer, protocol));
+  return it == tx_.end() ? 0 : it->second.pending.size();
+}
+
+}  // namespace m3rma::fabric

@@ -1,0 +1,132 @@
+// Reliable-delivery sublayer between the raw fabric and protocol handlers.
+//
+// The paper's prototype ran over Portals on SeaStar, which presents a
+// *reliable, in-order* network to the RMA layer; the NIC firmware does the
+// ack/retransmit work. Our fabric instead exposes raw loss
+// (CostModel::loss_rate), so this sublayer rebuilds what SeaStar provides:
+//
+//   * per-(src,dst,protocol) data streams with 1-based sequence numbers
+//     carried in the packet framing (Packet::rel_seq, +20 wire bytes);
+//   * cumulative acknowledgements, piggybacked on reverse-direction data
+//     where possible and sent as standalone ack-only packets after a short
+//     delayed-ack window otherwise;
+//   * retransmission on timeout with exponential backoff (go-back-all on
+//     the unacked window; the receiver's reorder buffer absorbs the
+//     duplicates) and a bounded retry budget;
+//   * duplicate suppression and in-order delivery, so handlers observe
+//     exactly-once, in-order streams even though the wire may drop,
+//     duplicate, or (after a retransmission) reorder packets.
+//
+// Retransmission and delayed-ack timers are one-shot scheduled simulator
+// events guarded by generation counters — never time-polling daemons, which
+// would prevent Engine::run from terminating. When the retry budget is
+// exhausted the link degrades gracefully: a TransportError naming the link
+// and the oldest unacknowledged packet is thrown from the timer event and
+// surfaces out of Engine::run, instead of the opaque DeadlockError a lost
+// packet causes with reliability off.
+//
+// The sublayer is opt-in via CostModel::reliability. When disabled, Nic
+// bypasses it entirely: no framing bytes, no timers, no rng draws — runs
+// are byte-identical to a build without this file.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <unordered_map>
+
+#include "fabric/packet.hpp"
+#include "simtime/engine.hpp"
+
+namespace m3rma::fabric {
+
+class Nic;
+
+struct ReliabilityConfig {
+  /// Master switch. Off = Nic sends/delivers exactly as if this sublayer
+  /// did not exist (the Figure 2 benches depend on that).
+  bool enabled = false;
+  /// Initial retransmission timeout. Must comfortably exceed the link RTT
+  /// plus ack_delay_ns or every packet pays a spurious retransmission.
+  sim::Time retransmit_timeout_ns = 50'000;
+  /// Timeout multiplier per consecutive unanswered retransmission round.
+  double backoff_factor = 2.0;
+  /// Ceiling for the backed-off timeout.
+  sim::Time max_retransmit_timeout_ns = 2'000'000;
+  /// Retransmission rounds allowed per recovery episode before the link is
+  /// declared failed (TransportError). 0 = the first timeout is fatal.
+  int retry_budget = 10;
+  /// Delayed-ack window: a standalone cumulative ack goes out this long
+  /// after a data delivery unless reverse-direction data piggybacks it
+  /// first.
+  sim::Time ack_delay_ns = 1'000;
+};
+
+struct ReliabilityStats {
+  std::uint64_t data_packets = 0;    ///< first transmissions tracked
+  std::uint64_t retransmits = 0;     ///< data packets re-injected on timeout
+  std::uint64_t acks_sent = 0;       ///< standalone ack-only packets
+  std::uint64_t acks_piggybacked = 0;  ///< pending acks absorbed by data
+  std::uint64_t duplicates_suppressed = 0;  ///< re-deliveries dropped
+  std::uint64_t out_of_order_buffered = 0;  ///< held for resequencing
+};
+
+/// Per-NIC reliable transport endpoint. Owned by Nic (one per node) when
+/// CostModel::reliability.enabled; all methods run in simulation context
+/// (process or event), which the engine serializes.
+class LinkReliability {
+ public:
+  explicit LinkReliability(Nic& nic);
+
+  /// Track and inject an outgoing data packet (src/dst already set).
+  void send_data(Packet&& p);
+  /// Process an incoming packet: absorb acks, suppress duplicates,
+  /// resequence, and dispatch in-order data to the Nic's protocol handler.
+  void on_receive(Packet&& p);
+
+  const ReliabilityStats& stats() const { return stats_; }
+  /// Unacked data packets currently tracked toward (peer, protocol).
+  std::uint64_t unacked(int peer, int protocol) const;
+
+ private:
+  struct PendingPkt {
+    Packet pkt;            // retransmission copy
+    sim::Time first_sent;  // for the degradation report
+  };
+  struct TxStream {
+    std::uint64_t next_seq = 1;
+    std::uint64_t acked = 0;       // cumulative, from the peer
+    std::deque<PendingPkt> pending;  // unacked, ascending rel_seq
+    sim::Time rto = 0;             // current (backed-off) timeout
+    int retries = 0;               // rounds this recovery episode
+    std::uint64_t timer_gen = 0;   // invalidates superseded timer events
+    bool timer_armed = false;
+  };
+  struct RxStream {
+    std::uint64_t delivered = 0;            // cumulative in-order point
+    std::map<std::uint64_t, Packet> ooo;    // buffered out-of-order
+    bool ack_pending = false;               // delayed ack armed
+    std::uint64_t ack_gen = 0;
+  };
+
+  static std::uint64_t stream_key(int peer, int protocol) {
+    return (static_cast<std::uint64_t>(static_cast<std::uint32_t>(peer))
+            << 32) |
+           static_cast<std::uint32_t>(protocol);
+  }
+
+  void arm_retransmit(std::uint64_t key, TxStream& tx);
+  void on_retransmit_timer(std::uint64_t key, std::uint64_t gen);
+  void process_ack(int peer, int protocol, std::uint64_t ackno);
+  void arm_delayed_ack(int peer, int protocol, RxStream& rx);
+  void on_ack_timer(int peer, int protocol, std::uint64_t gen);
+  [[noreturn]] void fail_link(int peer, int protocol, const TxStream& tx);
+
+  Nic* nic_;
+  ReliabilityConfig cfg_;
+  ReliabilityStats stats_;
+  std::unordered_map<std::uint64_t, TxStream> tx_;
+  std::unordered_map<std::uint64_t, RxStream> rx_;
+};
+
+}  // namespace m3rma::fabric

@@ -80,6 +80,16 @@ Portals::Md& Portals::md_ref(MdHandle md) {
   return it->second;
 }
 
+void Portals::note_dropped(int initiator, std::uint64_t match,
+                           std::uint64_t remote_off, std::uint64_t length,
+                           std::uint64_t user_ptr) {
+  ++dropped_;
+  if (drop_eq_ != nullptr) {
+    drop_eq_->post(Event{EventType::dropped, initiator, match, remote_off,
+                         length, user_ptr});
+  }
+}
+
 std::uint64_t Portals::received_data_ops(int pt_index, int src) const {
   const std::uint64_t key =
       (static_cast<std::uint64_t>(static_cast<std::uint32_t>(pt_index))
@@ -252,7 +262,8 @@ void Portals::deliver(fabric::Packet&& p) {
     case WireHdr::Op::put: {
       Me* me = match_me(hdr.pt_index, hdr.match, hdr.remote_off, hdr.length);
       if (me == nullptr) {
-        ++dropped_;
+        note_dropped(p.src, hdr.match, hdr.remote_off, hdr.length,
+                     hdr.user_ptr);
         return;
       }
       if (hdr.length > 0) {
@@ -280,7 +291,8 @@ void Portals::deliver(fabric::Packet&& p) {
     case WireHdr::Op::get_req: {
       Me* me = match_me(hdr.pt_index, hdr.match, hdr.remote_off, hdr.length);
       if (me == nullptr) {
-        ++dropped_;
+        note_dropped(p.src, hdr.match, hdr.remote_off, hdr.length,
+                     hdr.user_ptr);
         return;
       }
       std::vector<std::byte> data(hdr.length);
@@ -302,7 +314,8 @@ void Portals::deliver(fabric::Packet&& p) {
     case WireHdr::Op::atomic: {
       Me* me = match_me(hdr.pt_index, hdr.match, hdr.remote_off, hdr.length);
       if (me == nullptr) {
-        ++dropped_;
+        note_dropped(p.src, hdr.match, hdr.remote_off, hdr.length,
+                     hdr.user_ptr);
         return;
       }
       if (hdr.length > 0) {
@@ -333,7 +346,7 @@ void Portals::deliver(fabric::Packet&& p) {
       const std::uint64_t elem = num_size(hdr.num_type);
       Me* me = match_me(hdr.pt_index, hdr.match, hdr.remote_off, elem);
       if (me == nullptr) {
-        ++dropped_;
+        note_dropped(p.src, hdr.match, hdr.remote_off, elem, hdr.user_ptr);
         return;
       }
       auto old = apply_rmw(hdr.rmw_op, hdr.num_type,
@@ -356,7 +369,8 @@ void Portals::deliver(fabric::Packet&& p) {
     case WireHdr::Op::reply: {
       auto it = mds_.find(hdr.md);
       if (it == mds_.end()) {
-        ++dropped_;  // MD released while the reply was in flight
+        // MD released while the reply was in flight.
+        note_dropped(p.src, hdr.match, 0, hdr.length, hdr.user_ptr);
         return;
       }
       if (hdr.length > 0) {
@@ -371,7 +385,7 @@ void Portals::deliver(fabric::Packet&& p) {
     case WireHdr::Op::ack: {
       auto it = mds_.find(hdr.md);
       if (it == mds_.end()) {
-        ++dropped_;
+        note_dropped(p.src, hdr.match, 0, hdr.length, hdr.user_ptr);
         return;
       }
       if (it->second.eq != nullptr) {

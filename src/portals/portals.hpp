@@ -140,6 +140,12 @@ class Portals {
   bool supports_atomics() const;
   bool supports_ack_events() const;
 
+  /// Drop notifications: a message that arrives with no matching ME (or a
+  /// reply/ack for an already-released MD) posts EventType::dropped here,
+  /// mirroring Portals' PTL_EVENT_*_DROPPED. Optional; the
+  /// dropped_messages() counter ticks regardless.
+  void set_drop_eq(EventQueue* eq) { drop_eq_ = eq; }
+
   int node() const { return nic_->node(); }
   fabric::Fabric& fabric() { return nic_->fabric(); }
   memsim::MemoryDomain& memory() { return *mem_; }
@@ -170,6 +176,9 @@ class Portals {
   struct WireHdr;
 
   void deliver(fabric::Packet&& p);
+  void note_dropped(int initiator, std::uint64_t match,
+                    std::uint64_t remote_off, std::uint64_t length,
+                    std::uint64_t user_ptr);
   Me* match_me(int pt_index, std::uint64_t bits, std::uint64_t offset,
                std::uint64_t length);
   Md& md_ref(MdHandle md);
@@ -185,6 +194,7 @@ class Portals {
   std::vector<MeHandle> me_order_;  // match priority = append order
   MdHandle next_md_ = 1;
   MeHandle next_me_ = 1;
+  EventQueue* drop_eq_ = nullptr;
   std::uint64_t dropped_ = 0;
   // (pt_index, src) -> matched data ops.
   std::unordered_map<std::uint64_t, std::uint64_t> matched_counts_;

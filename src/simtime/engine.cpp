@@ -38,7 +38,7 @@ void Condition::notify_all() {
 
 // ----------------------------------------------------------------- Engine
 
-Engine::Engine(std::uint64_t seed) : rng_(seed) {}
+Engine::Engine(std::uint64_t seed) : rng_(seed), seed_(seed) {}
 
 Engine::~Engine() { shutdown_all(); }
 

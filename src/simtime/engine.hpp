@@ -125,6 +125,11 @@ class Engine {
 
   Time now() const { return now_; }
   SplitMix64& rng() { return rng_; }
+  /// The seed this engine (and its rng stream) was constructed with.
+  /// Subsystems that need independent derived streams (e.g. per-link fabric
+  /// randomness) mix this with their own identity instead of consuming from
+  /// rng(), so their draws do not perturb anyone else's sequence.
+  std::uint64_t seed() const { return seed_; }
 
   std::uint64_t events_processed() const { return events_processed_; }
   std::uint64_t context_switches() const { return context_switches_; }
@@ -184,6 +189,7 @@ class Engine {
   bool in_run_ = false;
   std::exception_ptr failure_;
   SplitMix64 rng_;
+  std::uint64_t seed_;
 };
 
 }  // namespace m3rma::sim

@@ -62,6 +62,48 @@ TEST(FailureInjection, LossIsDeterministicPerSeed) {
   EXPECT_EQ(drops(42), drops(42));
 }
 
+TEST(FailureInjection, LossIsIndependentAcrossLinks) {
+  // Each (src,dst) link draws loss from its own derived rng stream, so
+  // adding traffic on one link cannot change which packets drop on another.
+  auto delivered_on_0_to_1 = [](bool extra_traffic) {
+    sim::Engine eng(2024);
+    fabric::CostModel costs;
+    costs.loss_rate = 0.3;
+    fabric::Fabric f(eng, 4, fabric::Capabilities{}, costs);
+    std::vector<int> got;
+    f.nic(1).register_protocol(1, [&](fabric::Packet&& p) {
+      int id = 0;
+      std::memcpy(&id, p.header.data(), sizeof(id));
+      got.push_back(id);
+    });
+    f.nic(3).register_protocol(1, [](fabric::Packet&&) {});
+    eng.spawn("s01", [&](sim::Context& ctx) {
+      for (int i = 0; i < 100; ++i) {
+        fabric::Packet p;
+        p.protocol = 1;
+        p.header.resize(sizeof(i));
+        std::memcpy(p.header.data(), &i, sizeof(i));
+        f.nic(0).send(1, std::move(p));
+        ctx.delay(500);
+      }
+    });
+    if (extra_traffic) {
+      eng.spawn("s23", [&](sim::Context& ctx) {
+        for (int i = 0; i < 100; ++i) {
+          fabric::Packet p;
+          p.protocol = 1;
+          p.header.resize(4);
+          f.nic(2).send(3, std::move(p));
+          ctx.delay(300);
+        }
+      });
+    }
+    eng.run();
+    return got;
+  };
+  EXPECT_EQ(delivered_on_0_to_1(false), delivered_on_0_to_1(true));
+}
+
 TEST(FailureInjection, LostPutSurfacesAsDetectedFailure) {
   // With rc completion, a lost put (or its lost ACK) means complete() can
   // never be satisfied: the run must end in DeadlockError or a flush panic,
@@ -93,6 +135,85 @@ TEST(FailureInjection, LostPutSurfacesAsDetectedFailure) {
   } catch (const Panic&) {
     EXPECT_FALSE(finished_cleanly);
     EXPECT_GT(w.fabric().dropped_packets(), 0u);
+  }
+}
+
+TEST(FailureInjection, ReliabilityRecoversRcPutsAtHighLoss) {
+  // The LostPutSurfacesAsDetectedFailure scenario, but with the reliable
+  // transport sublayer enabled: at loss_rate 0.2 every rc put must complete
+  // cleanly (data verified via one-sided get-back) even though the wire
+  // drops packets, because the sublayer retransmits them.
+  WorldConfig cfg;
+  cfg.ranks = 2;
+  cfg.costs.loss_rate = 0.2;
+  cfg.costs.reliability.enabled = true;
+  cfg.seed = 1234;
+  World w(cfg);
+  int verified = 0;
+  w.run([&](Rank& r) {
+    core::RmaEngine eng(r, r.comm_world());
+    auto [buf, mems] = eng.allocate_shared(256);
+    if (r.id() == 0) {
+      auto src = r.alloc(8);
+      for (std::uint64_t v = 1; v <= 30; ++v) {
+        r.memory().cpu_write(
+            src.addr, std::span(reinterpret_cast<const std::byte*>(&v), 8));
+        eng.put_bytes(src.addr, mems[1], (v - 1) * 8, 8, 1,
+                      core::Attrs(core::RmaAttr::blocking) |
+                          core::RmaAttr::remote_completion);
+      }
+      // Read every slot back one-sidedly and check the exact bytes.
+      auto probe = r.alloc(8);
+      for (std::uint64_t v = 1; v <= 30; ++v) {
+        eng.get_bytes(probe.addr, mems[1], (v - 1) * 8, 8, 1,
+                      core::Attrs(core::RmaAttr::blocking));
+        std::uint64_t got = 0;
+        std::vector<std::byte> out(8);
+        r.memory().cpu_read_uncached(probe.addr, out);
+        std::memcpy(&got, out.data(), 8);
+        EXPECT_EQ(got, v);
+        if (got == v) ++verified;
+      }
+    }
+    eng.complete_collective();
+  });
+  EXPECT_EQ(verified, 30);
+  EXPECT_GT(w.fabric().dropped_packets(), 0u)
+      << "the run must actually have survived wire loss";
+  EXPECT_GT(w.fabric().nic(0).reliability()->stats().retransmits, 0u);
+}
+
+TEST(FailureInjection, ExhaustedRetryBudgetRaisesTransportError) {
+  // Same run with the retry budget at 0: the first lost packet's timeout
+  // must degrade into TransportError naming the failing link — not the
+  // opaque DeadlockError that reliability-off produces.
+  WorldConfig cfg;
+  cfg.ranks = 2;
+  cfg.costs.loss_rate = 0.2;
+  cfg.costs.reliability.enabled = true;
+  cfg.costs.reliability.retry_budget = 0;
+  cfg.seed = 1234;
+  World w(cfg);
+  try {
+    w.run([&](Rank& r) {
+      core::RmaEngine eng(r, r.comm_world());
+      auto [buf, mems] = eng.allocate_shared(256);
+      if (r.id() == 0) {
+        auto src = r.alloc(8);
+        for (int i = 0; i < 30; ++i) {
+          eng.put_bytes(src.addr, mems[1], 0, 8, 1,
+                        core::Attrs(core::RmaAttr::blocking) |
+                            core::RmaAttr::remote_completion);
+        }
+      }
+      eng.complete_collective();
+    });
+    FAIL() << "expected TransportError at loss 0.2 with retry budget 0";
+  } catch (const TransportError& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find("reliable link"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("retry budget"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("unacknowledged"), std::string::npos) << msg;
   }
 }
 

@@ -183,6 +183,55 @@ TEST_F(PortalsTest, UnmatchedMessageIsDroppedAndCounted) {
   EXPECT_EQ(p1->dropped_messages(), 1u);
 }
 
+TEST_F(PortalsTest, UnmatchedMessagePostsDroppedEvent) {
+  // A message arriving with no matching ME posts EventType::dropped to the
+  // drop EQ, carrying the initiator's identity and the failed match bits.
+  build();
+  const auto src = mem0->alloc(8);
+  const auto md = p0->md_bind(src, 8, nullptr);
+  EventQueue drop_eq(eng);
+  p1->set_drop_eq(&drop_eq);
+  // An ME exists, but on a different portal index with different bits.
+  const auto elsewhere = mem1->alloc(8);
+  p1->me_append(kPt + 1, 0xbeef, 0, elsewhere, 8, nullptr);
+  eng.spawn("origin", [&](sim::Context& ctx) {
+    p0->put(ctx, md, 0, 8, 1, kPt, kMatch, 4, 77, false);
+  });
+  eng.run();
+  EXPECT_EQ(p1->dropped_messages(), 1u);
+  auto ev = drop_eq.poll();
+  ASSERT_TRUE(ev.has_value());
+  EXPECT_EQ(ev->type, EventType::dropped);
+  EXPECT_EQ(ev->initiator, 0);
+  EXPECT_EQ(ev->match_bits, kMatch);
+  EXPECT_EQ(ev->remote_offset, 4u);
+  EXPECT_EQ(ev->length, 8u);
+  EXPECT_EQ(ev->user_ptr, 77u);
+  EXPECT_FALSE(drop_eq.poll().has_value());
+}
+
+TEST_F(PortalsTest, StaleReplyPostsDroppedEvent) {
+  // A get whose MD is released while the reply is in flight: the reply has
+  // nowhere to land and must surface as a dropped event, not vanish.
+  build();
+  const auto src = mem0->alloc(8);
+  const auto dst = mem1->alloc(8);
+  EventQueue drop_eq(eng);
+  p0->set_drop_eq(&drop_eq);
+  p1->me_append(kPt, kMatch, 0, dst, 8, nullptr);
+  eng.spawn("origin", [&](sim::Context& ctx) {
+    const auto md = p0->md_bind(src, 8, nullptr);
+    p0->get(ctx, md, 0, 8, 1, kPt, kMatch, 0, 5);
+    p0->md_release(md);  // reply still on the wire
+  });
+  eng.run();
+  auto ev = drop_eq.poll();
+  ASSERT_TRUE(ev.has_value());
+  EXPECT_EQ(ev->type, EventType::dropped);
+  EXPECT_EQ(ev->initiator, 1);  // the replying target
+  EXPECT_EQ(ev->user_ptr, 5u);
+}
+
 TEST_F(PortalsTest, TruncatingPutIsDropped) {
   build();
   const auto src = mem0->alloc(64);

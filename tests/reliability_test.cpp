@@ -1,0 +1,246 @@
+// Reliable transport sublayer (fabric/reliability.hpp): ack/retransmit with
+// exponential backoff, duplicate suppression, in-order delivery, and
+// bounded-retry degradation to TransportError.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "fabric/fabric.hpp"
+#include "simtime/engine.hpp"
+
+namespace m3rma::fabric {
+namespace {
+
+struct TestHdr {
+  int id = 0;
+};
+
+Packet make_packet(int proto, int id, std::size_t payload = 8) {
+  Packet p;
+  p.protocol = proto;
+  set_header(p, TestHdr{id});
+  p.payload.assign(payload, std::byte{0xcd});
+  return p;
+}
+
+CostModel reliable_costs(double loss, int retry_budget = 10,
+                         sim::Time rto = 50'000) {
+  CostModel c;
+  c.loss_rate = loss;
+  c.reliability.enabled = true;
+  c.reliability.retry_budget = retry_budget;
+  c.reliability.retransmit_timeout_ns = rto;
+  return c;
+}
+
+TEST(Reliability, DisabledMeansNoEndpointAndNoFraming) {
+  sim::Engine eng(1);
+  Fabric f(eng, 2, Capabilities{}, CostModel{});
+  EXPECT_EQ(f.nic(0).reliability(), nullptr);
+  std::uint8_t seen_flags = 0xff;
+  f.nic(1).register_protocol(1, [&](Packet&& p) { seen_flags = p.rel_flags; });
+  eng.spawn("s", [&](sim::Context&) { f.nic(0).send(1, make_packet(1, 0)); });
+  eng.run();
+  EXPECT_EQ(seen_flags, 0);  // no reliability framing on the wire
+}
+
+TEST(Reliability, FramingBytesCountedOnlyWhenTagged) {
+  Packet plain = make_packet(1, 0, 100);
+  Packet tagged = make_packet(1, 0, 100);
+  tagged.rel_flags = kRelFlagData;
+  EXPECT_EQ(tagged.wire_size(), plain.wire_size() + kReliabilityFramingBytes);
+}
+
+TEST(Reliability, RecoversEveryPacketInOrderUnderLoss) {
+  sim::Engine eng(4242);
+  Fabric f(eng, 2, Capabilities{}, reliable_costs(0.3));
+  std::vector<int> got;
+  f.nic(1).register_protocol(1, [&](Packet&& p) {
+    got.push_back(get_header<TestHdr>(p).id);
+  });
+  eng.spawn("s", [&](sim::Context& ctx) {
+    for (int i = 0; i < 100; ++i) {
+      f.nic(0).send(1, make_packet(1, i));
+      ctx.delay(2000);
+    }
+  });
+  eng.run();
+  ASSERT_EQ(got.size(), 100u) << "every packet must be delivered exactly once";
+  EXPECT_TRUE(std::is_sorted(got.begin(), got.end()));
+  EXPECT_EQ(std::adjacent_find(got.begin(), got.end()), got.end());
+  EXPECT_GT(f.dropped_packets(), 0u);
+  EXPECT_GT(f.nic(0).reliability()->stats().retransmits, 0u);
+}
+
+TEST(Reliability, SuppressesDuplicatesWhenAcksAreLost) {
+  // High loss drops acks too; the sender then re-injects data the receiver
+  // already handed up, which must be swallowed, not re-delivered.
+  sim::Engine eng(7);
+  Fabric f(eng, 2, Capabilities{}, reliable_costs(0.4));
+  int delivered = 0;
+  f.nic(1).register_protocol(1, [&](Packet&&) { ++delivered; });
+  eng.spawn("s", [&](sim::Context& ctx) {
+    for (int i = 0; i < 200; ++i) {
+      f.nic(0).send(1, make_packet(1, i));
+      ctx.delay(1000);
+    }
+  });
+  eng.run();
+  EXPECT_EQ(delivered, 200);
+  EXPECT_GT(f.nic(1).reliability()->stats().duplicates_suppressed, 0u);
+}
+
+TEST(Reliability, ResequencesAfterRetransmissionOnOrderedFabric) {
+  // A lost packet's retransmission arrives after its successors; the
+  // receiver must buffer those successors rather than deliver them early.
+  sim::Engine eng(11);
+  Capabilities caps;
+  caps.ordered_delivery = true;
+  Fabric f(eng, 2, caps, reliable_costs(0.25));
+  std::vector<int> got;
+  f.nic(1).register_protocol(1, [&](Packet&& p) {
+    got.push_back(get_header<TestHdr>(p).id);
+  });
+  eng.spawn("s", [&](sim::Context&) {
+    for (int i = 0; i < 64; ++i) f.nic(0).send(1, make_packet(1, i));
+  });
+  eng.run();
+  ASSERT_EQ(got.size(), 64u);
+  EXPECT_TRUE(std::is_sorted(got.begin(), got.end()));
+  EXPECT_GT(f.nic(1).reliability()->stats().out_of_order_buffered, 0u);
+}
+
+TEST(Reliability, StandaloneAcksFlowOnOneWayTraffic) {
+  sim::Engine eng(1);
+  Fabric f(eng, 2, Capabilities{}, reliable_costs(0.0));
+  f.nic(1).register_protocol(1, [](Packet&&) {});
+  eng.spawn("s", [&](sim::Context& ctx) {
+    for (int i = 0; i < 10; ++i) {
+      f.nic(0).send(1, make_packet(1, i));
+      ctx.delay(20'000);
+    }
+  });
+  eng.run();
+  const auto& tx = f.nic(0).reliability()->stats();
+  const auto& rx = f.nic(1).reliability()->stats();
+  EXPECT_GT(rx.acks_sent, 0u);
+  EXPECT_EQ(tx.retransmits, 0u) << "lossless link must never retransmit";
+  EXPECT_EQ(f.nic(0).reliability()->unacked(1, 1), 0u);
+}
+
+TEST(Reliability, ReverseTrafficPiggybacksAcks) {
+  // Node 1 answers every delivery immediately, inside the delayed-ack
+  // window, so its data packets carry the acks and standalone acks stay
+  // rare.
+  sim::Engine eng(1);
+  CostModel costs = reliable_costs(0.0);
+  costs.reliability.ack_delay_ns = 30'000;
+  Fabric f(eng, 2, Capabilities{}, costs);
+  f.nic(0).register_protocol(1, [](Packet&&) {});
+  f.nic(1).register_protocol(1, [&](Packet&& p) {
+    f.nic(1).send(0, make_packet(1, get_header<TestHdr>(p).id + 1000));
+  });
+  eng.spawn("s", [&](sim::Context& ctx) {
+    for (int i = 0; i < 20; ++i) {
+      f.nic(0).send(1, make_packet(1, i));
+      ctx.delay(15'000);
+    }
+  });
+  eng.run();
+  const auto& st1 = f.nic(1).reliability()->stats();
+  EXPECT_GT(st1.acks_piggybacked, 0u);
+  EXPECT_LT(st1.acks_sent, 20u)
+      << "piggybacking should absorb most standalone acks";
+}
+
+TEST(Reliability, RetryBudgetZeroFailsFastWithLinkName) {
+  // Total blackout: the first timeout must degrade to TransportError that
+  // names the link and the oldest unacknowledged packet.
+  sim::Engine eng(3);
+  Fabric f(eng, 2, Capabilities{}, reliable_costs(1.0, /*retry_budget=*/0));
+  f.nic(1).register_protocol(1, [](Packet&&) {});
+  eng.spawn("s", [&](sim::Context&) { f.nic(0).send(1, make_packet(1, 7)); });
+  try {
+    eng.run();
+    FAIL() << "expected TransportError";
+  } catch (const TransportError& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find("link 0 -> 1"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("seq 1"), std::string::npos) << msg;
+  }
+}
+
+TEST(Reliability, ExhaustedBudgetReportsAfterBackedOffRetries) {
+  auto fail_time = [](double backoff) {
+    sim::Engine eng(3);
+    CostModel costs = reliable_costs(1.0, /*retry_budget=*/3,
+                                     /*rto=*/20'000);
+    costs.reliability.backoff_factor = backoff;
+    Fabric f(eng, 2, Capabilities{}, costs);
+    f.nic(1).register_protocol(1, [](Packet&&) {});
+    eng.spawn("s",
+              [&](sim::Context&) { f.nic(0).send(1, make_packet(1, 0)); });
+    sim::Time t = 0;
+    try {
+      eng.run();
+    } catch (const TransportError&) {
+      t = eng.now();
+    }
+    EXPECT_GT(t, 0u);
+    return t;
+  };
+  // rto chain 20+20+20+20 vs 20+40+80+160 us.
+  EXPECT_GT(fail_time(2.0), fail_time(1.0));
+  EXPECT_EQ(fail_time(1.0), 80'000u);
+  EXPECT_EQ(fail_time(2.0), 300'000u);
+}
+
+TEST(Reliability, StreamsArePerProtocol) {
+  // Loss on one protocol's stream must not stall another protocol sharing
+  // the link; each (src,dst,protocol) stream recovers independently.
+  sim::Engine eng(99);
+  Fabric f(eng, 2, Capabilities{}, reliable_costs(0.3));
+  std::vector<int> got1, got2;
+  f.nic(1).register_protocol(1, [&](Packet&& p) {
+    got1.push_back(get_header<TestHdr>(p).id);
+  });
+  f.nic(1).register_protocol(2, [&](Packet&& p) {
+    got2.push_back(get_header<TestHdr>(p).id);
+  });
+  eng.spawn("s", [&](sim::Context& ctx) {
+    for (int i = 0; i < 50; ++i) {
+      f.nic(0).send(1, make_packet(1, i));
+      f.nic(0).send(1, make_packet(2, i));
+      ctx.delay(3000);
+    }
+  });
+  eng.run();
+  ASSERT_EQ(got1.size(), 50u);
+  ASSERT_EQ(got2.size(), 50u);
+  EXPECT_TRUE(std::is_sorted(got1.begin(), got1.end()));
+  EXPECT_TRUE(std::is_sorted(got2.begin(), got2.end()));
+}
+
+TEST(Reliability, DeterministicPerSeed) {
+  auto run_once = [](std::uint64_t seed) {
+    sim::Engine eng(seed);
+    Fabric f(eng, 2, Capabilities{}, reliable_costs(0.3));
+    f.nic(1).register_protocol(1, [](Packet&&) {});
+    eng.spawn("s", [&](sim::Context& ctx) {
+      for (int i = 0; i < 60; ++i) {
+        f.nic(0).send(1, make_packet(1, i));
+        ctx.delay(2500);
+      }
+    });
+    eng.run();
+    return std::tuple{eng.now(), f.dropped_packets(),
+                      f.nic(0).reliability()->stats().retransmits};
+  };
+  EXPECT_EQ(run_once(5), run_once(5));
+}
+
+}  // namespace
+}  // namespace m3rma::fabric
