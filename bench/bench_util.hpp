@@ -8,11 +8,13 @@
 #pragma once
 
 #include <cstdio>
+#include <fstream>
 #include <functional>
 #include <string>
 #include <vector>
 
 #include "runtime/world.hpp"
+#include "trace/recorder.hpp"
 
 namespace benchutil {
 
@@ -92,6 +94,45 @@ inline m3rma::sim::Time run_world(
   m3rma::runtime::World w(std::move(cfg));
   w.run(fn);
   return w.duration();
+}
+
+// ----------------------------------------------------------------- tracing
+
+/// Parse `--trace=FILE` (or bare `--trace`, defaulting to <name>.json) from
+/// the bench's argv. Empty string = tracing off; table output is then
+/// byte-identical to a build without the trace layer.
+inline std::string trace_flag(int argc, char** argv,
+                              const std::string& default_file) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string a = argv[i];
+    if (a.rfind("--trace=", 0) == 0) return a.substr(8);
+    if (a == "--trace") return default_file;
+  }
+  return {};
+}
+
+/// Run `fn` on every rank of a fresh world with `rec` attached to the
+/// engine, grouped in the exported trace as a chrome process named `label`.
+inline m3rma::sim::Time run_world_traced(
+    m3rma::runtime::WorldConfig cfg, m3rma::trace::Recorder& rec,
+    const std::string& label,
+    const std::function<void(m3rma::runtime::Rank&)>& fn) {
+  m3rma::runtime::World w(std::move(cfg));
+  rec.begin_process(label);
+  w.engine().set_tracer(&rec);
+  w.run(fn);
+  return w.duration();
+}
+
+/// Write the Chrome trace JSON to `path` (load it in Perfetto /
+/// chrome://tracing) and print the plain-text metrics summary to stdout.
+inline void export_trace(const m3rma::trace::Recorder& rec,
+                         const std::string& path) {
+  std::ofstream os(path, std::ios::binary);
+  rec.write_chrome_trace(os);
+  std::printf("\ntrace: %zu records -> %s\n", rec.record_count(),
+              path.c_str());
+  std::fputs(rec.metrics_text().c_str(), stdout);
 }
 
 }  // namespace benchutil

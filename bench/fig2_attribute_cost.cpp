@@ -30,10 +30,12 @@ struct Series {
   core::Attrs attrs;
 };
 
-sim::Time run_fig2(const Series& s, std::uint64_t bytes) {
+sim::Time run_fig2(const Series& s, std::uint64_t bytes,
+                   trace::Recorder* rec = nullptr,
+                   const std::string& label = {}) {
   auto cfg = benchutil::xt5_config(8);
   std::vector<sim::Time> elapsed(8, 0);
-  benchutil::run_world(cfg, [&](runtime::Rank& r) {
+  auto body = std::function<void(runtime::Rank&)>([&](runtime::Rank& r) {
     core::EngineConfig ec;
     ec.serializer = s.serializer;
     core::RmaEngine rma(r, r.comm_world(), ec);
@@ -54,12 +56,17 @@ sim::Time run_fig2(const Series& s, std::uint64_t bytes) {
     }
     rma.complete_collective();
   });
+  if (rec != nullptr) {
+    benchutil::run_world_traced(cfg, *rec, label, body);
+  } else {
+    benchutil::run_world(cfg, body);
+  }
   return *std::max_element(elapsed.begin(), elapsed.end());
 }
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   const Series series[] = {
       {"no attributes", core::SerializerKind::comm_thread,
        core::Attrs::none()},
@@ -113,5 +120,18 @@ int main() {
               benchutil::fmt_ratio(r8[4], r8[0]).c_str());
   std::printf("  coarse-lock / comm-thread     : %s (paper: >>1)\n",
               benchutil::fmt_ratio(r8[3], r8[4]).c_str());
+
+  // Optional trace pass: re-run one representative size (64 B) per series
+  // with the recorder attached. Kept off the table path so the numbers above
+  // stay byte-identical whether or not --trace is given.
+  const std::string trace_file =
+      benchutil::trace_flag(argc, argv, "fig2_attribute_cost_trace.json");
+  if (!trace_file.empty()) {
+    trace::Recorder rec;
+    for (const Series& s : series) {
+      run_fig2(s, 64, &rec, std::string("fig2 64B ") + s.name);
+    }
+    benchutil::export_trace(rec, trace_file);
+  }
   return 0;
 }

@@ -30,13 +30,19 @@ struct CaseResult {
   std::uint64_t duplicates = 0;     // re-deliveries suppressed
 };
 
-CaseResult run_case(bool reliable, double loss, sim::Time rto) {
+CaseResult run_case(bool reliable, double loss, sim::Time rto,
+                    trace::Recorder* rec = nullptr,
+                    const std::string& label = {}) {
   auto cfg = benchutil::xt5_config(2);
   cfg.costs.loss_rate = loss;
   cfg.costs.reliability.enabled = reliable;
   cfg.costs.reliability.retransmit_timeout_ns = rto;
   CaseResult res;
   runtime::World w(cfg);
+  if (rec != nullptr) {
+    rec->begin_process(label);
+    w.engine().set_tracer(rec);
+  }
   w.run([&](runtime::Rank& r) {
     core::RmaEngine rma(r, r.comm_world());
     auto [buf, mems] = rma.allocate_shared(kBytes);
@@ -74,7 +80,7 @@ std::string fmt_goodput(sim::Time elapsed) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   const double losses[] = {0.0, 0.01, 0.05, 0.2};
   const sim::Time rtos[] = {20'000, 50'000, 200'000};
 
@@ -123,5 +129,16 @@ int main() {
   std::printf("  every case delivered all %d puts (completion converged "
               "despite drops)\n",
               kOps);
+
+  // Optional trace pass: one lossy case with the recorder attached, showing
+  // wire spans, retransmit/dup instants, and per-link counters. Off the
+  // table path so the numbers above never move.
+  const std::string trace_file =
+      benchutil::trace_flag(argc, argv, "tab_reliability_trace.json");
+  if (!trace_file.empty()) {
+    trace::Recorder rec;
+    run_case(true, 0.05, 50'000, &rec, "reliability loss=0.05 rto=50us");
+    benchutil::export_trace(rec, trace_file);
+  }
   return 0;
 }

@@ -5,6 +5,8 @@
 #include <string>
 #include <utility>
 
+#include "trace/recorder.hpp"
+
 namespace m3rma::core {
 
 // ----------------------------------------------------------- wire formats
@@ -65,6 +67,10 @@ struct Request::State {
   std::uint64_t rmw_value = 0;
   // rmi reply payload
   std::vector<std::byte> rmi_reply;
+  // tracing: open rma span (0 = untraced), issue time, histogram key
+  std::uint64_t trace_span = 0;
+  std::uint64_t trace_t0 = 0;
+  std::string trace_hist;
 };
 
 bool Request::done() const { return st_ == nullptr || st_->done; }
@@ -179,8 +185,17 @@ RmaEngine::RmaEngine(runtime::Rank& rank, runtime::Comm& comm,
           while (true) {
             AmMsg m = chan->recv(ctx);
             if (m.src == -2) return;  // shutdown sentinel
+            auto* tr = trace::want(ctx.engine().tracer(),
+                                   trace::Category::serializer);
+            const trace::SpanHandle h =
+                tr == nullptr
+                    ? 0
+                    : tr->span_begin(tr->track(ctx.name()),
+                                     trace::Category::serializer, "serialize",
+                                     "from=" + std::to_string(m.src));
             ctx.delay(cost);
             self->execute_am(std::move(m), 0);
+            if (h != 0) ctx.engine().tracer()->span_end(h);
           }
         },
         /*daemon=*/true);
@@ -373,6 +388,21 @@ Request RmaEngine::do_xfer(RmaOptype op, portals::AccOp acc_op,
   st->world_target = mem.owner;
   reqs_.emplace(st->id, st);
 
+  if (auto* tr = trace::want(rank_->world().engine().tracer(),
+                             trace::Category::rma)) {
+    const char* opname = op == RmaOptype::put         ? "rma.put"
+                         : op == RmaOptype::get       ? "rma.get"
+                                                      : "rma.accumulate";
+    st->trace_span = tr->span_begin(
+        tr->track("rank" + std::to_string(rank_->id())), trace::Category::rma,
+        opname,
+        "attrs=" + attrs.describe() +
+            " bytes=" + std::to_string(target_dt.size() * target_count) +
+            " target=" + std::to_string(mem.owner));
+    st->trace_t0 = tr->now();
+    st->trace_hist = std::string(opname) + "[" + attrs.describe() + "]";
+  }
+
   // Ordering property: on unordered networks an ordered op (or the first op
   // after order()) must not overtake earlier traffic — drain first.
   if (attrs.has(RmaAttr::ordering) || per(mem.owner).order_fence) {
@@ -404,6 +434,7 @@ Request RmaEngine::do_xfer(RmaOptype op, portals::AccOp acc_op,
   if (st->pending == 0 && !st->done) {
     // Degenerate zero-byte transfer.
     st->done = true;
+    finish_trace(*st);
     reqs_.erase(st->id);
   }
 
@@ -711,6 +742,7 @@ void RmaEngine::issue_locked_op(const std::shared_ptr<Request::State>& st,
       lock_release(t);
       progress_until([p] { return p->done; });
       st->done = true;
+      finish_trace(*st);
       reqs_.erase(st->id);
       return;
     }
@@ -722,6 +754,7 @@ void RmaEngine::issue_locked_op(const std::shared_ptr<Request::State>& st,
   }
   lock_release(t);
   st->done = true;
+  finish_trace(*st);
   reqs_.erase(st->id);
 }
 
@@ -823,6 +856,15 @@ void RmaEngine::flush_many(const std::vector<int>& world_targets) {
 
 void RmaEngine::complete(int target_rank) {
   stats_.completes += 1;
+  trace::SpanHandle h = 0;
+  if (auto* tr = trace::want(rank_->world().engine().tracer(),
+                             trace::Category::rma)) {
+    h = tr->span_begin(tr->track("rank" + std::to_string(rank_->id())),
+                       trace::Category::rma, "rma.complete",
+                       target_rank == kAllRanks
+                           ? std::string("target=all")
+                           : "target=" + std::to_string(target_rank));
+  }
   if (target_rank == kAllRanks) {
     std::vector<int> all;
     all.reserve(static_cast<std::size_t>(comm_->size()));
@@ -831,6 +873,7 @@ void RmaEngine::complete(int target_rank) {
   } else {
     flush_target(comm_->to_world(target_rank));
   }
+  if (h != 0) rank_->world().engine().tracer()->span_end(h);
 }
 
 void RmaEngine::complete_collective() {
@@ -892,6 +935,31 @@ std::uint64_t RmaEngine::rmw(portals::RmwOp op, const TargetMem& mem,
   M3RMA_REQUIRE(disp + 8 <= mem.length, "RMW exceeds the target memory");
   const int t = mem.owner;
 
+  // RMW mechanism: NIC-executed, lock-emulated, or serializer AM (§V).
+  const char* mech =
+      ptl_->supports_atomics()
+          ? "nic"
+          : (cfg_.serializer == SerializerKind::coarse_lock ? "lock" : "am");
+  trace::SpanHandle rmw_span = 0;
+  trace::Time rmw_t0 = 0;
+  if (auto* tr = trace::want(rank_->world().engine().tracer(),
+                             trace::Category::rma)) {
+    rmw_span = tr->span_begin(
+        tr->track("rank" + std::to_string(rank_->id())), trace::Category::rma,
+        "rma.rmw",
+        std::string("mech=") + mech + " target=" + std::to_string(t));
+    rmw_t0 = tr->now();
+  }
+  auto close_rmw = [&] {
+    if (rmw_span == 0) return;
+    trace::Recorder* tr = rank_->world().engine().tracer();
+    if (tr == nullptr) return;
+    tr->span_end(rmw_span);
+    tr->record_value(trace::Category::rma,
+                     std::string("rma.rmw[") + mech + "]",
+                     tr->now() - rmw_t0);
+  };
+
   if (ptl_->supports_atomics()) {
     // NIC-executed RMW through portals.
     auto st = std::make_shared<Request::State>();
@@ -914,6 +982,7 @@ std::uint64_t RmaEngine::rmw(portals::RmwOp op, const TargetMem& mem,
     const std::uint64_t old =
         u64_from_endian_bytes(rank_->memory().raw(buf + 16), mem.endian);
     rank_->memory().dealloc(buf);
+    close_rmw();
     return old;
   }
 
@@ -943,6 +1012,7 @@ std::uint64_t RmaEngine::rmw(portals::RmwOp op, const TargetMem& mem,
     flush_target(t);
     rank_->memory().dealloc(buf);
     lock_release(t);
+    close_rmw();
     return old;
   }
 
@@ -965,6 +1035,7 @@ std::uint64_t RmaEngine::rmw(portals::RmwOp op, const TargetMem& mem,
   send_am(t, h, {});
   per(t).pending_replies += 1;
   progress_until([st] { return st->done; });
+  close_rmw();
   return st->rmw_value;
 }
 
@@ -1013,7 +1084,17 @@ void RmaEngine::progress() {
     while (!pending_am_.empty()) {
       AmMsg m = std::move(pending_am_.front());
       pending_am_.pop_front();
+      auto* tr = trace::want(rank_->world().engine().tracer(),
+                             trace::Category::serializer);
+      const trace::SpanHandle h =
+          tr == nullptr
+              ? 0
+              : tr->span_begin(
+                    tr->track("rank" + std::to_string(rank_->id())),
+                    trace::Category::serializer, "serialize",
+                    "from=" + std::to_string(m.src));
       execute_am(std::move(m), cfg_.progress_apply_ns);
+      if (h != 0) rank_->world().engine().tracer()->span_end(h);
     }
   }
 }
@@ -1056,7 +1137,20 @@ void RmaEngine::finish_segment(const std::shared_ptr<Request::State>& st) {
     mem.dealloc(st->dest_addr);
   }
   st->done = true;
+  finish_trace(*st);
   reqs_.erase(st->id);
+}
+
+void RmaEngine::finish_trace(Request::State& st) {
+  if (st.trace_span == 0) return;
+  trace::Recorder* tr = rank_->world().engine().tracer();
+  if (tr == nullptr) return;
+  tr->span_end(st.trace_span);
+  st.trace_span = 0;
+  if (!st.trace_hist.empty()) {
+    tr->record_value(trace::Category::rma, st.trace_hist,
+                     tr->now() - st.trace_t0);
+  }
 }
 
 void RmaEngine::handle_eq_event(const portals::Event& ev) {
@@ -1295,6 +1389,14 @@ void RmaEngine::execute_am(AmMsg&& m, sim::Time apply_cost) {
 // --------------------------------------------------------------- lock ops
 
 void RmaEngine::lock_acquire(int world_target) {
+  auto* tr = trace::want(rank_->world().engine().tracer(),
+                         trace::Category::serializer);
+  trace::SpanHandle acq = 0;
+  if (tr != nullptr) {
+    acq = tr->span_begin(tr->track("rank" + std::to_string(rank_->id())),
+                         trace::Category::serializer, "lock.acquire",
+                         "target=" + std::to_string(world_target));
+  }
   auto st = std::make_shared<Request::State>();
   st->id = next_req_++;
   st->world_target = world_target;
@@ -1307,9 +1409,24 @@ void RmaEngine::lock_acquire(int world_target) {
   h.req_id = st->id;
   send_am(world_target, h, {});
   progress_until([st] { return st->done; });
+  if (acq != 0) {
+    trace::Recorder* rec = rank_->world().engine().tracer();
+    rec->span_end(acq);
+    lock_hold_spans_[world_target] = rec->span_begin(
+        rec->track("rank" + std::to_string(rank_->id())),
+        trace::Category::serializer, "lock.hold",
+        "target=" + std::to_string(world_target));
+  }
 }
 
 void RmaEngine::lock_release(int world_target) {
+  auto it = lock_hold_spans_.find(world_target);
+  if (it != lock_hold_spans_.end()) {
+    if (trace::Recorder* rec = rank_->world().engine().tracer()) {
+      rec->span_end(it->second);
+    }
+    lock_hold_spans_.erase(it);
+  }
   AmHdr h;
   h.kind = AmHdr::Kind::lock_release;
   send_am(world_target, h, {});
@@ -1319,6 +1436,13 @@ void RmaEngine::service_lock_request(int requester, std::uint64_t req_id) {
   if (lock_.held_by < 0) {
     lock_.held_by = requester;
     lock_grants_ += 1;
+    if (auto* tr = trace::want(rank_->world().engine().tracer(),
+                               trace::Category::serializer)) {
+      tr->instant(tr->track("rank" + std::to_string(rank_->id())),
+                  trace::Category::serializer, "lock.grant",
+                  "to=" + std::to_string(requester));
+      tr->add_counter(trace::Category::serializer, "serializer.lock_grants");
+    }
     AmHdr g;
     g.kind = AmHdr::Kind::lock_grant;
     g.req_id = req_id;
@@ -1342,6 +1466,13 @@ void RmaEngine::service_lock_release(int releaser) {
     lock_waiter_reqs_.pop_front();
     lock_.held_by = next;
     lock_grants_ += 1;
+    if (auto* tr = trace::want(rank_->world().engine().tracer(),
+                               trace::Category::serializer)) {
+      tr->instant(tr->track("rank" + std::to_string(rank_->id())),
+                  trace::Category::serializer, "lock.grant",
+                  "to=" + std::to_string(next));
+      tr->add_counter(trace::Category::serializer, "serializer.lock_grants");
+    }
     AmHdr g;
     g.kind = AmHdr::Kind::lock_grant;
     g.req_id = req_id;

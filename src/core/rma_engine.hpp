@@ -332,6 +332,9 @@ class RmaEngine {
 
   void handle_eq_event(const portals::Event& ev);
   void quiesce();
+  /// Tracing: close the request's rma span and record its latency sample.
+  /// No-op when the request was issued untraced.
+  void finish_trace(Request::State& st);
 
   PerTarget& per(int world_rank);
   const PerTarget& per(int world_rank) const;
@@ -361,6 +364,8 @@ class RmaEngine {
   LockState lock_;
   std::deque<std::uint64_t> lock_waiter_reqs_;
   std::uint64_t lock_grants_ = 0;
+  // Open "lock.hold" trace spans, keyed by lock-owning world rank.
+  std::unordered_map<int, std::uint64_t> lock_hold_spans_;
   std::unordered_map<int, RmiHandler> rmi_handlers_;
   OpStats stats_;
   bool shutting_down_ = false;

@@ -3,7 +3,22 @@
 #include <cmath>
 #include <utility>
 
+#include "trace/recorder.hpp"
+
 namespace m3rma::fabric {
+
+namespace {
+
+std::string link_name(int src, int dst) {
+  return "net:" + std::to_string(src) + "->" + std::to_string(dst);
+}
+
+std::string link_counter(int src, int dst, const char* what) {
+  return "fabric.link." + std::to_string(src) + "->" + std::to_string(dst) +
+         "." + what;
+}
+
+}  // namespace
 
 // -------------------------------------------------------------------- Nic
 
@@ -114,8 +129,22 @@ void Fabric::route(Packet&& p) {
   total_messages_ += 1;
   total_bytes_ += p.wire_size();
 
+  auto* tr = trace::want(eng_->tracer(), trace::Category::fabric);
+  if (tr != nullptr) {
+    tr->add_counter(trace::Category::fabric, link_counter(p.src, p.dst, "msgs"));
+    tr->add_counter(trace::Category::fabric, link_counter(p.src, p.dst, "bytes"),
+                    p.wire_size());
+  }
+
   if (costs_.loss_rate > 0.0 && link_rng(key).next_bool(costs_.loss_rate)) {
     ++dropped_packets_;
+    if (tr != nullptr) {
+      tr->instant(tr->track(link_name(p.src, p.dst)), trace::Category::fabric,
+                  "drop", "proto=" + std::to_string(p.protocol) +
+                              " seq=" + std::to_string(p.seq));
+      tr->add_counter(trace::Category::fabric,
+                      link_counter(p.src, p.dst, "drops"));
+    }
     return;  // failure injection: the packet vanishes on the wire
   }
 
@@ -140,10 +169,36 @@ void Fabric::route(Packet&& p) {
       last_arrival_[key] = std::max(last_arrival_[key], arrival);
     }
   }
+  trace::SpanHandle wire_span = 0;
+  if (tr != nullptr) {
+    wire_span = tr->span_begin(
+        tr->track(link_name(p.src, p.dst)), trace::Category::fabric, "wire",
+        "proto=" + std::to_string(p.protocol) +
+            " bytes=" + std::to_string(p.wire_size()));
+  }
   eng_->schedule_at(
-      arrival, [target, pkt = std::move(p)]() mutable {
+      arrival, [this, wire_span, target, pkt = std::move(p)]() mutable {
+        if (wire_span != 0 && eng_->tracer() != nullptr) {
+          eng_->tracer()->span_end(wire_span);
+        }
         target->deliver(std::move(pkt));
       });
+}
+
+ReliabilityStats Fabric::reliability_totals() const {
+  ReliabilityStats total{};
+  for (const auto& nic : nics_) {
+    const LinkReliability* rel = nic->reliability();
+    if (rel == nullptr) continue;
+    const ReliabilityStats& s = rel->stats();
+    total.data_packets += s.data_packets;
+    total.retransmits += s.retransmits;
+    total.acks_sent += s.acks_sent;
+    total.acks_piggybacked += s.acks_piggybacked;
+    total.duplicates_suppressed += s.duplicates_suppressed;
+    total.out_of_order_buffered += s.out_of_order_buffered;
+  }
+  return total;
 }
 
 }  // namespace m3rma::fabric

@@ -147,6 +147,10 @@ class Fabric {
   std::uint64_t total_bytes() const { return total_bytes_; }
   std::uint64_t dropped_packets() const { return dropped_packets_; }
 
+  /// Aggregate reliable-transport statistics across every NIC endpoint.
+  /// All zeros when the reliability sublayer is disabled.
+  ReliabilityStats reliability_totals() const;
+
  private:
   friend class Nic;
   void route(Packet&& p);

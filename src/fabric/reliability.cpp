@@ -6,8 +6,22 @@
 #include <utility>
 
 #include "fabric/fabric.hpp"
+#include "trace/recorder.hpp"
 
 namespace m3rma::fabric {
+
+namespace {
+
+std::string rel_counter(int src, int dst, const char* what) {
+  return "rel.link." + std::to_string(src) + "->" + std::to_string(dst) +
+         "." + what;
+}
+
+std::string rel_track(int src, int dst) {
+  return "rel:" + std::to_string(src) + "->" + std::to_string(dst);
+}
+
+}  // namespace
 
 LinkReliability::LinkReliability(Nic& nic)
     : nic_(&nic), cfg_(nic.fabric().costs().reliability) {
@@ -40,6 +54,11 @@ void LinkReliability::send_data(Packet&& p) {
   tx.pending.push_back(
       PendingPkt{p, nic_->fabric().engine().now()});  // retransmission copy
   ++stats_.data_packets;
+  if (auto* tr = trace::want(nic_->fabric().engine().tracer(),
+                             trace::Category::reliability)) {
+    tr->add_counter(trace::Category::reliability,
+                    rel_counter(nic_->node(), p.dst, "data_packets"));
+  }
   if (!tx.timer_armed) arm_retransmit(key, tx);
   nic_->raw_send(std::move(p));
 }
@@ -68,10 +87,20 @@ void LinkReliability::on_retransmit_timer(std::uint64_t key,
   // of the window was lost, so it re-injects every unacked one; the
   // receiver's dedup/reorder machinery absorbs the redundant copies.
   const std::uint64_t rev_ack = rx_[key].delivered;
+  auto* tr = trace::want(nic_->fabric().engine().tracer(),
+                         trace::Category::reliability);
   for (const PendingPkt& pp : tx.pending) {
     Packet copy = pp.pkt;
     copy.rel_ack = rev_ack;  // refresh the piggybacked ack
     ++stats_.retransmits;
+    if (tr != nullptr) {
+      tr->instant(tr->track(rel_track(nic_->node(), peer)),
+                  trace::Category::reliability, "retransmit",
+                  "seq=" + std::to_string(copy.rel_seq) +
+                      " round=" + std::to_string(tx.retries + 1));
+      tr->add_counter(trace::Category::reliability,
+                      rel_counter(nic_->node(), peer, "retransmits"));
+    }
     nic_->raw_send(std::move(copy));
   }
   tx.retries += 1;
@@ -131,6 +160,14 @@ void LinkReliability::on_receive(Packet&& p) {
     // Re-delivery of something already handed up: the sender evidently
     // missed our ack, so suppress the duplicate and re-ack.
     ++stats_.duplicates_suppressed;
+    if (auto* tr = trace::want(nic_->fabric().engine().tracer(),
+                               trace::Category::reliability)) {
+      tr->instant(tr->track(rel_track(src, nic_->node())),
+                  trace::Category::reliability, "dup_suppress",
+                  "seq=" + std::to_string(p.rel_seq));
+      tr->add_counter(trace::Category::reliability,
+                      rel_counter(src, nic_->node(), "duplicates_suppressed"));
+    }
   } else if (p.rel_seq == rx.delivered + 1) {
     rx.delivered += 1;
     nic_->dispatch(std::move(p));
@@ -146,10 +183,22 @@ void LinkReliability::on_receive(Packet&& p) {
       cur.delivered += 1;
       nic_->dispatch(std::move(buffered));
     }
-  } else if (rx.ooo.emplace(p.rel_seq, std::move(p)).second) {
-    ++stats_.out_of_order_buffered;
   } else {
-    ++stats_.duplicates_suppressed;  // already buffered
+    const std::uint64_t seq = p.rel_seq;
+    if (rx.ooo.emplace(seq, std::move(p)).second) {
+      ++stats_.out_of_order_buffered;
+    } else {
+      ++stats_.duplicates_suppressed;  // already buffered
+      if (auto* tr = trace::want(nic_->fabric().engine().tracer(),
+                                 trace::Category::reliability)) {
+        tr->instant(tr->track(rel_track(src, nic_->node())),
+                    trace::Category::reliability, "dup_suppress",
+                    "seq=" + std::to_string(seq));
+        tr->add_counter(
+            trace::Category::reliability,
+            rel_counter(src, nic_->node(), "duplicates_suppressed"));
+      }
+    }
   }
   arm_delayed_ack(src, protocol, rx_[key]);
 }
@@ -175,6 +224,14 @@ void LinkReliability::on_ack_timer(int peer, int protocol,
   ack.rel_flags = kRelFlagAck;
   ack.rel_ack = rx.delivered;
   ++stats_.acks_sent;
+  if (auto* tr = trace::want(nic_->fabric().engine().tracer(),
+                             trace::Category::reliability)) {
+    tr->instant(tr->track(rel_track(nic_->node(), peer)),
+                trace::Category::reliability, "ack",
+                "cum=" + std::to_string(ack.rel_ack));
+    tr->add_counter(trace::Category::reliability,
+                    rel_counter(nic_->node(), peer, "acks_sent"));
+  }
   nic_->raw_send(std::move(ack));
 }
 

@@ -3,6 +3,8 @@
 #include <cstring>
 #include <utility>
 
+#include "trace/recorder.hpp"
+
 namespace m3rma::portals {
 
 struct Portals::WireHdr {
@@ -85,8 +87,10 @@ void Portals::note_dropped(int initiator, std::uint64_t match,
                            std::uint64_t user_ptr) {
   ++dropped_;
   if (drop_eq_ != nullptr) {
-    drop_eq_->post(Event{EventType::dropped, initiator, match, remote_off,
-                         length, user_ptr});
+    const Event ev{EventType::dropped, initiator, match, remote_off, length,
+                   user_ptr};
+    trace_eq("dropped", ev);
+    drop_eq_->post(ev);
   }
 }
 
@@ -113,6 +117,18 @@ Portals::Me* Portals::match_me(int pt_index, std::uint64_t bits,
   return nullptr;
 }
 
+void Portals::trace_eq(const char* type, const Event& ev) {
+  auto* tr = trace::want(nic_->fabric().engine().tracer(),
+                         trace::Category::portals);
+  if (tr == nullptr) return;
+  tr->instant(tr->track("rank" + std::to_string(node())),
+              trace::Category::portals, std::string("eq:") + type,
+              "from=" + std::to_string(ev.initiator) +
+                  " len=" + std::to_string(ev.length));
+  tr->add_counter(trace::Category::portals,
+                  std::string("portals.eq.") + type);
+}
+
 void Portals::charge_inject(sim::Context& ctx) {
   ctx.delay(nic_->fabric().costs().inject_overhead_ns);
 }
@@ -125,7 +141,10 @@ void Portals::post_send_event(const Event& ev, EventQueue* eq,
   const auto serial = static_cast<sim::Time>(
       static_cast<double>(bytes) / costs.bytes_per_ns);
   nic_->fabric().engine().schedule_in(costs.local_completion_ns + serial,
-                                      [eq, ev] { eq->post(ev); });
+                                      [this, eq, ev] {
+                                        trace_eq("send", ev);
+                                        eq->post(ev);
+                                      });
 }
 
 void Portals::send_to(int target, const WireHdr& hdr,
@@ -274,8 +293,10 @@ void Portals::deliver(fabric::Packet&& p) {
                        << 32) |
                       static_cast<std::uint32_t>(p.src)] += 1;
       if (me->eq != nullptr) {
-        me->eq->post(Event{EventType::put, p.src, hdr.match, hdr.remote_off,
-                           hdr.length, hdr.user_ptr});
+        const Event ev{EventType::put, p.src, hdr.match, hdr.remote_off,
+                       hdr.length, hdr.user_ptr};
+        trace_eq("put", ev);
+        me->eq->post(ev);
       }
       if (hdr.want_ack && supports_ack_events()) {
         WireHdr ack;
@@ -298,8 +319,10 @@ void Portals::deliver(fabric::Packet&& p) {
       std::vector<std::byte> data(hdr.length);
       if (hdr.length > 0) mem_->nic_read(me->base + hdr.remote_off, data);
       if (me->eq != nullptr) {
-        me->eq->post(Event{EventType::get, p.src, hdr.match, hdr.remote_off,
-                           hdr.length, hdr.user_ptr});
+        const Event ev{EventType::get, p.src, hdr.match, hdr.remote_off,
+                       hdr.length, hdr.user_ptr};
+        trace_eq("get", ev);
+        me->eq->post(ev);
       }
       WireHdr reply;
       reply.op = WireHdr::Op::reply;
@@ -328,8 +351,10 @@ void Portals::deliver(fabric::Packet&& p) {
                        << 32) |
                       static_cast<std::uint32_t>(p.src)] += 1;
       if (me->eq != nullptr) {
-        me->eq->post(Event{EventType::atomic, p.src, hdr.match,
-                           hdr.remote_off, hdr.length, hdr.user_ptr});
+        const Event ev{EventType::atomic, p.src, hdr.match, hdr.remote_off,
+                       hdr.length, hdr.user_ptr};
+        trace_eq("atomic", ev);
+        me->eq->post(ev);
       }
       if (hdr.want_ack && supports_ack_events()) {
         WireHdr ack;
@@ -353,8 +378,10 @@ void Portals::deliver(fabric::Packet&& p) {
                            mem_->raw(me->base + hdr.remote_off), p.payload,
                            mem_->config().endian);
       if (me->eq != nullptr) {
-        me->eq->post(Event{EventType::atomic, p.src, hdr.match,
-                           hdr.remote_off, elem, hdr.user_ptr});
+        const Event ev{EventType::atomic, p.src, hdr.match, hdr.remote_off,
+                       elem, hdr.user_ptr};
+        trace_eq("atomic", ev);
+        me->eq->post(ev);
       }
       WireHdr reply;
       reply.op = WireHdr::Op::reply;
@@ -377,8 +404,10 @@ void Portals::deliver(fabric::Packet&& p) {
         mem_->nic_write(it->second.base + hdr.local_off, p.payload);
       }
       if (it->second.eq != nullptr) {
-        it->second.eq->post(Event{EventType::reply, p.src, hdr.match, 0,
-                                  hdr.length, hdr.user_ptr});
+        const Event ev{EventType::reply, p.src, hdr.match, 0, hdr.length,
+                       hdr.user_ptr};
+        trace_eq("reply", ev);
+        it->second.eq->post(ev);
       }
       break;
     }
@@ -389,8 +418,10 @@ void Portals::deliver(fabric::Packet&& p) {
         return;
       }
       if (it->second.eq != nullptr) {
-        it->second.eq->post(Event{EventType::ack, p.src, hdr.match, 0,
-                                  hdr.length, hdr.user_ptr});
+        const Event ev{EventType::ack, p.src, hdr.match, 0, hdr.length,
+                       hdr.user_ptr};
+        trace_eq("ack", ev);
+        it->second.eq->post(ev);
       }
       break;
     }

@@ -184,6 +184,8 @@ class Portals {
   Md& md_ref(MdHandle md);
   void charge_inject(sim::Context& ctx);
   void post_send_event(const Event& ev, EventQueue* eq, std::uint64_t bytes);
+  /// Tracing: record an EQ post of `type` on this node's rank track.
+  void trace_eq(const char* type, const Event& ev);
   void send_to(int target, const WireHdr& hdr,
                std::vector<std::byte> payload);
 

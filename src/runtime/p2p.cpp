@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/diagnostics.hpp"
+#include "trace/recorder.hpp"
 
 namespace m3rma::runtime {
 
@@ -15,6 +16,12 @@ P2p::P2p(sim::Engine& eng, fabric::Nic& nic) : nic_(&nic), cond_(eng) {
 void P2p::send(sim::Context& ctx, int dst, std::int64_t tag,
                std::span<const std::byte> data) {
   M3RMA_REQUIRE(tag >= 0, "message tags must be non-negative");
+  if (auto* tr = trace::want(ctx.engine().tracer(), trace::Category::p2p)) {
+    tr->instant(tr->track(ctx.name()), trace::Category::p2p, "p2p.send",
+                "dst=" + std::to_string(dst) + " tag=" + std::to_string(tag) +
+                    " bytes=" + std::to_string(data.size()));
+    tr->add_counter(trace::Category::p2p, "p2p.sends");
+  }
   ctx.delay(nic_->fabric().costs().inject_overhead_ns);
   fabric::Packet p;
   p.protocol = kP2pProtocolId;
@@ -25,9 +32,17 @@ void P2p::send(sim::Context& ctx, int dst, std::int64_t tag,
 
 Message P2p::recv(sim::Context& ctx, int src, std::int64_t tag) {
   if (auto m = try_recv(src, tag)) return std::move(*m);
+  trace::SpanHandle h = 0;
+  if (auto* tr = trace::want(ctx.engine().tracer(), trace::Category::p2p)) {
+    h = tr->span_begin(tr->track(ctx.name()), trace::Category::p2p,
+                       "p2p.recv",
+                       "src=" + std::to_string(src) +
+                           " tag=" + std::to_string(tag));
+  }
   Posted posted{src, tag, false, {}};
   posted_.push_back(&posted);
   ctx.await_until(cond_, [&] { return posted.done; });
+  if (h != 0) ctx.engine().tracer()->span_end(h);
   return std::move(posted.msg);
 }
 

@@ -2,6 +2,8 @@
 
 #include <sstream>
 
+#include "trace/recorder.hpp"
+
 namespace m3rma::sim {
 
 // ---------------------------------------------------------------- Context
@@ -16,6 +18,7 @@ void Context::delay(Time ns) {
   Engine* e = eng_;
   const int pid = pid_;
   e->schedule_in(ns, [e, pid] { e->dispatch(pid); });
+  e->note_block(pid, "delay");
   e->block_current(pid);
 }
 
@@ -24,6 +27,7 @@ void Context::yield() { delay(0); }
 void Context::await(Condition& c) {
   M3RMA_ENSURE(c.eng_ == eng_, "Condition belongs to a different engine");
   c.waiters_.push_back(pid_);
+  eng_->note_block(pid_, "await");
   eng_->block_current(pid_);
 }
 
@@ -41,6 +45,24 @@ void Condition::notify_all() {
 Engine::Engine(std::uint64_t seed) : rng_(seed), seed_(seed) {}
 
 Engine::~Engine() { shutdown_all(); }
+
+void Engine::set_tracer(trace::Recorder* t) {
+  tracer_ = t;
+  if (t != nullptr) t->bind_clock(&now_);
+}
+
+void Engine::note_block(int pid, const char* why) {
+  if (tracer_ == nullptr) return;
+  ProcessState& ps = *procs_[static_cast<std::size_t>(pid)];
+  // Snapshot first: the simulation is sequential, so the recorder's most
+  // recent (non-sim) record is what this process was doing when it blocked.
+  ps.last_site = tracer_->last_site();
+  if (auto* tr = trace::want(tracer_, trace::Category::sim)) {
+    if (ps.trace_track < 0) ps.trace_track = tr->track(ps.name);
+    ps.blocked_span =
+        tr->span_begin(ps.trace_track, trace::Category::sim, why);
+  }
+}
 
 int Engine::spawn(std::string name, std::function<void(Context&)> fn,
                   bool daemon) {
@@ -77,7 +99,12 @@ void Engine::run() {
       std::ostringstream os;
       os << "simulation deadlock at t=" << now_ << "ns; blocked processes:";
       for (const auto& p : procs_) {
-        if (!p->finished) os << " " << p->name;
+        if (!p->finished) {
+          os << " " << p->name;
+          if (tracer_ != nullptr && !p->last_site.empty()) {
+            os << " (last: " << p->last_site << ")";
+          }
+        }
       }
       failure_ = std::make_exception_ptr(DeadlockError(os.str()));
       break;
@@ -86,6 +113,9 @@ void Engine::run() {
     events_.pop();
     now_ = ev.t;
     ++events_processed_;
+    if (auto* tr = trace::want(tracer_, trace::Category::sim)) {
+      tr->add_counter(trace::Category::sim, "sim.events");
+    }
     try {
       ev.fn();
     } catch (...) {
@@ -137,6 +167,10 @@ void Engine::dispatch(int pid) {
   ProcessState& ps = *procs_[static_cast<std::size_t>(pid)];
   if (ps.finished) return;
   ps.wake_pending = false;
+  if (tracer_ != nullptr && ps.blocked_span != 0) {
+    tracer_->span_end(ps.blocked_span);
+    ps.blocked_span = 0;
+  }
   std::unique_lock<std::mutex> l(mu_);
   ++context_switches_;
   running_pid_ = pid;

@@ -31,6 +31,10 @@
 #include "common/diagnostics.hpp"
 #include "common/rng.hpp"
 
+namespace m3rma::trace {
+class Recorder;
+}
+
 namespace m3rma::sim {
 
 /// Virtual time in nanoseconds since simulation start.
@@ -135,6 +139,15 @@ class Engine {
   std::uint64_t context_switches() const { return context_switches_; }
   int live_process_count() const { return live_nondaemon_; }
 
+  /// Attach (or detach, with nullptr) a trace recorder. The engine stamps
+  /// the recorder with its virtual clock, records process block/wake spans
+  /// (Category::sim), and annotates DeadlockError with each blocked
+  /// process's last recorded trace site. Upper layers reach the recorder
+  /// through tracer() — with none attached, instrumentation costs one
+  /// null-pointer check and runs are byte-identical to untraced builds.
+  void set_tracer(trace::Recorder* t);
+  trace::Recorder* tracer() const { return tracer_; }
+
  private:
   friend class Context;
   friend class Condition;
@@ -150,6 +163,9 @@ class Engine {
     bool finished = false;
     bool daemon = false;
     bool wake_pending = false;
+    int trace_track = -1;           // lazily created recorder track
+    std::uint64_t blocked_span = 0;  // open Category::sim "blocked" span
+    std::string last_site;           // last trace site when it blocked
   };
 
   struct Event {
@@ -173,6 +189,9 @@ class Engine {
   /// blocking period).
   void wake(int pid);
   void shutdown_all();
+  /// Tracing: snapshot the process's last trace site and open its blocked
+  /// span. Called by the process itself right before it gives up the baton.
+  void note_block(int pid, const char* why);
 
   std::mutex mu_;
   std::condition_variable sched_cv_;
@@ -190,6 +209,7 @@ class Engine {
   std::exception_ptr failure_;
   SplitMix64 rng_;
   std::uint64_t seed_;
+  trace::Recorder* tracer_ = nullptr;
 };
 
 }  // namespace m3rma::sim

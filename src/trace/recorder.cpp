@@ -1,0 +1,309 @@
+#include "trace/recorder.hpp"
+
+#include <algorithm>
+#include <ostream>
+#include <sstream>
+
+#include "common/diagnostics.hpp"
+
+namespace m3rma::trace {
+
+const char* category_name(Category c) {
+  switch (c) {
+    case Category::sim:
+      return "sim";
+    case Category::fabric:
+      return "fabric";
+    case Category::reliability:
+      return "reliability";
+    case Category::portals:
+      return "portals";
+    case Category::rma:
+      return "rma";
+    case Category::serializer:
+      return "serializer";
+    case Category::p2p:
+      return "p2p";
+    case Category::runtime:
+      return "runtime";
+  }
+  return "?";
+}
+
+Recorder::Recorder() {
+  // Everything on except the engine-internal category: block/wake spans are
+  // the chattiest records by an order of magnitude, and mostly useful when
+  // debugging the scheduler itself.
+  category_mask_ = 0;
+  for (int i = 0; i < kCategoryCount; ++i) category_mask_ |= 1u << i;
+  set_category(Category::sim, false);
+  procs_.push_back(Process{"m3rma", {}, {}});
+}
+
+void Recorder::set_category(Category c, bool on) {
+  const auto bit = 1u << static_cast<unsigned>(c);
+  if (on) {
+    category_mask_ |= bit;
+  } else {
+    category_mask_ &= ~bit;
+  }
+}
+
+void Recorder::begin_process(const std::string& name) {
+  // Reuse the empty default process for the first named one, so traces that
+  // name every world do not carry a vacant "m3rma" group.
+  if (procs_.size() == 1 && recs_.empty() && procs_[0].tracks.empty()) {
+    procs_[0].name = name;
+    return;
+  }
+  procs_.push_back(Process{name, {}, {}});
+  cur_pid_ = static_cast<int>(procs_.size()) - 1;
+}
+
+int Recorder::track(const std::string& name) {
+  Process& p = procs_[static_cast<std::size_t>(cur_pid_)];
+  auto it = p.track_by_name.find(name);
+  if (it != p.track_by_name.end()) return it->second;
+  const int id = static_cast<int>(p.tracks.size());
+  p.tracks.push_back(name);
+  p.track_by_name.emplace(name, id);
+  return id;
+}
+
+void Recorder::note_site(Category cat, const std::string& name, Time t) {
+  max_ts_ = std::max(max_ts_, t);
+  // Engine-internal records would make every "last site" read "blocked";
+  // keep the last *meaningful* record for the deadlock report instead.
+  if (cat == Category::sim) return;
+  last_name_ = name;
+  last_time_ = t;
+}
+
+SpanHandle Recorder::span_begin(int track, Category cat, std::string name,
+                                std::string args) {
+  if (!enabled(cat)) return 0;
+  const Time t = now();
+  note_site(cat, name, t);
+  Rec r;
+  r.kind = Rec::Kind::span;
+  r.pid = cur_pid_;
+  r.track = track;
+  r.cat = cat;
+  r.name = std::move(name);
+  r.args = std::move(args);
+  r.t0 = t;
+  r.t1 = t;
+  r.open = true;
+  recs_.push_back(std::move(r));
+  return recs_.size();  // index + 1
+}
+
+void Recorder::span_end(SpanHandle h) {
+  if (h == 0) return;
+  M3RMA_ENSURE(h <= recs_.size(), "span_end with a foreign handle");
+  Rec& r = recs_[static_cast<std::size_t>(h - 1)];
+  M3RMA_ENSURE(r.kind == Rec::Kind::span && r.open,
+               "span_end on a non-span or already-ended record");
+  r.t1 = now();
+  r.open = false;
+  max_ts_ = std::max(max_ts_, r.t1);
+}
+
+void Recorder::instant(int track, Category cat, std::string name,
+                       std::string args) {
+  if (!enabled(cat)) return;
+  const Time t = now();
+  note_site(cat, name, t);
+  Rec r;
+  r.kind = Rec::Kind::instant;
+  r.pid = cur_pid_;
+  r.track = track;
+  r.cat = cat;
+  r.name = std::move(name);
+  r.args = std::move(args);
+  r.t0 = t;
+  r.t1 = t;
+  recs_.push_back(std::move(r));
+}
+
+void Recorder::add_counter(Category cat, const std::string& name,
+                           std::uint64_t delta) {
+  if (!enabled(cat)) return;
+  counters_[name] += delta;
+}
+
+void Recorder::record_value(Category cat, const std::string& name, Time v) {
+  if (!enabled(cat)) return;
+  hists_[name].push_back(v);
+}
+
+std::string Recorder::last_site() const {
+  if (last_name_.empty()) return {};
+  return last_name_ + " @" + std::to_string(last_time_) + "ns";
+}
+
+std::uint64_t Recorder::counter(const std::string& name) const {
+  auto it = counters_.find(name);
+  return it == counters_.end() ? 0 : it->second;
+}
+
+std::optional<Recorder::HistSummary> Recorder::histogram(
+    const std::string& name) const {
+  auto it = hists_.find(name);
+  if (it == hists_.end() || it->second.empty()) return std::nullopt;
+  std::vector<Time> v = it->second;
+  std::sort(v.begin(), v.end());
+  // Nearest-rank percentiles: exact on the recorded samples, no
+  // interpolation, so summaries are integers and deterministic.
+  auto pct = [&](unsigned q) {
+    const std::size_t rank = (q * v.size() + 99) / 100;  // ceil(q*n/100)
+    return v[std::max<std::size_t>(rank, 1) - 1];
+  };
+  HistSummary s;
+  s.count = v.size();
+  s.min = v.front();
+  s.max = v.back();
+  s.p50 = pct(50);
+  s.p90 = pct(90);
+  s.p99 = pct(99);
+  Time sum = 0;
+  for (Time x : v) sum += x;
+  s.mean = sum / v.size();
+  return s;
+}
+
+std::size_t Recorder::span_count(Category cat) const {
+  std::size_t n = 0;
+  for (const Rec& r : recs_) {
+    if (r.kind == Rec::Kind::span && r.cat == cat) ++n;
+  }
+  return n;
+}
+
+std::size_t Recorder::open_span_count() const {
+  std::size_t n = 0;
+  for (const Rec& r : recs_) n += r.open ? 1 : 0;
+  return n;
+}
+
+// ---------------------------------------------------------------- exporters
+
+namespace {
+
+/// Nanoseconds -> Chrome's microsecond "ts"/"dur" fields, via integer math
+/// only ("12345" ns -> "12.345") so output is byte-stable across runs.
+std::string us_field(Time ns) {
+  std::string s = std::to_string(ns / 1000);
+  const Time frac = ns % 1000;
+  s += '.';
+  s += static_cast<char>('0' + frac / 100);
+  s += static_cast<char>('0' + frac / 10 % 10);
+  s += static_cast<char>('0' + frac % 10);
+  return s;
+}
+
+std::string json_escape(const std::string& in) {
+  std::string out;
+  out.reserve(in.size());
+  for (char c : in) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          out += ' ';
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+void Recorder::write_chrome_trace(std::ostream& os) const {
+  os << "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[\n";
+  bool first = true;
+  auto sep = [&] {
+    if (!first) os << ",\n";
+    first = false;
+  };
+  for (std::size_t pid = 0; pid < procs_.size(); ++pid) {
+    const Process& p = procs_[pid];
+    sep();
+    os << "{\"ph\":\"M\",\"name\":\"process_name\",\"pid\":" << pid
+       << ",\"tid\":0,\"args\":{\"name\":\"" << json_escape(p.name)
+       << "\"}}";
+    for (std::size_t tid = 0; tid < p.tracks.size(); ++tid) {
+      sep();
+      os << "{\"ph\":\"M\",\"name\":\"thread_name\",\"pid\":" << pid
+         << ",\"tid\":" << tid << ",\"args\":{\"name\":\""
+         << json_escape(p.tracks[tid]) << "\"}}";
+    }
+  }
+  for (const Rec& r : recs_) {
+    sep();
+    os << "{\"name\":\"" << json_escape(r.name) << "\",\"cat\":\""
+       << category_name(r.cat) << "\",\"ph\":\""
+       << (r.kind == Rec::Kind::span ? "X" : "i") << "\",\"ts\":"
+       << us_field(r.t0);
+    if (r.kind == Rec::Kind::span) {
+      // Spans still open at export (e.g. a daemon blocked at shutdown) are
+      // extended to the last recorded timestamp rather than dropped.
+      const Time end = r.open ? std::max(max_ts_, r.t0) : r.t1;
+      os << ",\"dur\":" << us_field(end - r.t0);
+    } else {
+      os << ",\"s\":\"t\"";
+    }
+    os << ",\"pid\":" << r.pid << ",\"tid\":" << r.track;
+    if (!r.args.empty() || r.open) {
+      os << ",\"args\":{";
+      if (!r.args.empty()) {
+        os << "\"info\":\"" << json_escape(r.args) << "\"";
+      }
+      if (r.open) {
+        os << (r.args.empty() ? "" : ",") << "\"unfinished\":\"true\"";
+      }
+      os << "}";
+    }
+    os << "}";
+  }
+  os << "\n]}\n";
+}
+
+void Recorder::write_metrics(std::ostream& os) const {
+  os << "# m3rma metrics (virtual-time ns)\n";
+  for (const auto& [name, value] : counters_) {
+    os << "counter " << name << " " << value << "\n";
+  }
+  for (const auto& [name, samples] : hists_) {
+    (void)samples;
+    const auto s = histogram(name);
+    if (!s) continue;
+    os << "hist " << name << " count=" << s->count << " min=" << s->min
+       << " p50=" << s->p50 << " p90=" << s->p90 << " p99=" << s->p99
+       << " max=" << s->max << " mean=" << s->mean << "\n";
+  }
+}
+
+std::string Recorder::chrome_json() const {
+  std::ostringstream os;
+  write_chrome_trace(os);
+  return os.str();
+}
+
+std::string Recorder::metrics_text() const {
+  std::ostringstream os;
+  write_metrics(os);
+  return os.str();
+}
+
+}  // namespace m3rma::trace

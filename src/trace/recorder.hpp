@@ -1,0 +1,187 @@
+// Deterministic tracing + metrics for the simulated machine.
+//
+// A Recorder hangs off sim::Engine (Engine::set_tracer) and collects, in
+// recording order:
+//   * spans    — named intervals of virtual time on a track (one track per
+//                rank, comm thread, or link), e.g. an RMA put from issue to
+//                remote completion, or a packet's flight on a link;
+//   * instants — point events (a drop, a retransmission, an EQ post);
+//   * counters — monotonically increasing named totals (per-link message
+//                counts, reliability retransmits, ...);
+//   * value histograms — named virtual-time samples summarized at export
+//                as count/min/p50/p90/p99/max/mean (per-attribute RMA op
+//                latencies).
+//
+// Design constraints (see DESIGN.md §6):
+//   * The simulator serializes everything, so the Recorder needs no real
+//     synchronization — and must never add any. Recording never advances
+//     virtual time, schedules events, or consumes rng draws: a traced run
+//     takes exactly the same virtual-time trajectory as an untraced one.
+//   * With no Recorder attached the only cost anywhere is a null-pointer
+//     check; runs are byte-identical to a build without this subsystem.
+//   * Recording order is deterministic, every container exported is either
+//     insertion-ordered or sorted, and timestamps are formatted with
+//     integer math only, so the same seed produces byte-identical exports.
+//
+// Every record carries a category; disabled categories (Category::sim by
+// default — per-process block/wake spans are voluminous) are dropped at the
+// recording call site before any strings are built.
+//
+// Timestamps are plain std::uint64_t nanoseconds (== sim::Time) so this
+// library sits below simtime and depends only on m3rma_common; the engine
+// binds its clock via bind_clock() when the tracer is attached.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace m3rma::trace {
+
+/// Virtual time in nanoseconds (mirrors sim::Time; kept as a raw integer so
+/// trace does not depend on simtime).
+using Time = std::uint64_t;
+
+enum class Category : std::uint8_t {
+  sim,          ///< engine internals: process block/wake, event dispatch
+  fabric,       ///< raw network: per-link packet flights, drops
+  reliability,  ///< reliable sublayer: retransmits, dups, acks
+  portals,      ///< portals transport: EQ event posts
+  rma,          ///< core::RmaEngine data ops, completion, RMW
+  serializer,   ///< atomicity serializers: comm-thread occupancy, locks
+  p2p,          ///< two-sided runtime messaging
+  runtime,      ///< collectives and world-level milestones
+};
+inline constexpr int kCategoryCount = 8;
+const char* category_name(Category c);
+
+/// Opaque handle returned by span_begin; 0 means "not recorded" and makes
+/// span_end a no-op, so call sites need no branches of their own.
+using SpanHandle = std::uint64_t;
+
+class Recorder {
+ public:
+  Recorder();
+
+  // ----- configuration ------------------------------------------------------
+
+  /// Enable/disable a category. Disabled categories record nothing (the
+  /// helper `want` lets call sites skip even string building).
+  void set_category(Category c, bool on);
+  bool enabled(Category c) const {
+    return (category_mask_ & (1u << static_cast<unsigned>(c))) != 0;
+  }
+
+  /// Bind the virtual clock used to stamp records. Called by
+  /// sim::Engine::set_tracer; points at the engine's now() storage.
+  void bind_clock(const Time* now) { clock_ = now; }
+  Time now() const { return clock_ != nullptr ? *clock_ : 0; }
+
+  // ----- structure ----------------------------------------------------------
+
+  /// Start a new trace process (a Chrome `pid`): an independent group of
+  /// tracks. Benches running several Worlds sequentially give each one its
+  /// own process so their overlapping virtual-time axes do not collide.
+  /// A default process ("m3rma") exists from construction.
+  void begin_process(const std::string& name);
+
+  /// Id of the named track (Chrome `tid`) in the current process, created
+  /// on first use. One track per rank ("rank3"), comm thread
+  /// ("commthread3"), or link ("net:0->1"); creation order is
+  /// deterministic because the simulation is sequential.
+  int track(const std::string& name);
+
+  // ----- recording ----------------------------------------------------------
+
+  SpanHandle span_begin(int track, Category cat, std::string name,
+                        std::string args = {});
+  /// Stamp the span's end with the current virtual time. Safe on handle 0.
+  void span_end(SpanHandle h);
+  void instant(int track, Category cat, std::string name,
+               std::string args = {});
+  void add_counter(Category cat, const std::string& name,
+                   std::uint64_t delta = 1);
+  /// Record one histogram sample (virtual-time nanoseconds).
+  void record_value(Category cat, const std::string& name, Time v);
+
+  // ----- introspection ------------------------------------------------------
+
+  /// The most recent non-sim record ("rma.complete @184200ns"), used by the
+  /// engine to annotate DeadlockError with each process's last trace site.
+  bool has_last_site() const { return !last_name_.empty(); }
+  std::string last_site() const;
+
+  std::uint64_t counter(const std::string& name) const;
+
+  struct HistSummary {
+    std::uint64_t count = 0;
+    Time min = 0;
+    Time max = 0;
+    Time p50 = 0;
+    Time p90 = 0;
+    Time p99 = 0;
+    Time mean = 0;
+  };
+  std::optional<HistSummary> histogram(const std::string& name) const;
+
+  std::size_t record_count() const { return recs_.size(); }
+  std::size_t span_count(Category cat) const;
+  std::size_t open_span_count() const;
+
+  // ----- export -------------------------------------------------------------
+
+  /// Chrome trace-event JSON (load at ui.perfetto.dev or
+  /// chrome://tracing): one trace process per begin_process, one thread
+  /// track per registered track, spans as "X" events, instants as "i".
+  void write_chrome_trace(std::ostream& os) const;
+  std::string chrome_json() const;
+
+  /// Plain-text metrics: counters, then histogram percentile summaries,
+  /// both sorted by name.
+  void write_metrics(std::ostream& os) const;
+  std::string metrics_text() const;
+
+ private:
+  struct Process {
+    std::string name;
+    std::vector<std::string> tracks;          // index == track id
+    std::map<std::string, int> track_by_name;
+  };
+  struct Rec {
+    enum class Kind : std::uint8_t { span, instant };
+    Kind kind = Kind::span;
+    int pid = 0;
+    int track = 0;
+    Category cat = Category::sim;
+    std::string name;
+    std::string args;
+    Time t0 = 0;
+    Time t1 = 0;
+    bool open = false;  // span never ended (still live at export)
+  };
+
+  void note_site(Category cat, const std::string& name, Time t);
+
+  const Time* clock_ = nullptr;
+  std::uint32_t category_mask_;
+  std::vector<Process> procs_;
+  int cur_pid_ = 0;
+  std::vector<Rec> recs_;
+  std::map<std::string, std::uint64_t> counters_;
+  std::map<std::string, std::vector<Time>> hists_;
+  std::string last_name_;
+  Time last_time_ = 0;
+  Time max_ts_ = 0;  // closes still-open spans at export
+};
+
+/// Recording guard for call sites: returns `r` if it is attached and `cat`
+/// is enabled, else nullptr — so argument strings are only built when the
+/// record will actually be kept.
+inline Recorder* want(Recorder* r, Category cat) {
+  return r != nullptr && r->enabled(cat) ? r : nullptr;
+}
+
+}  // namespace m3rma::trace

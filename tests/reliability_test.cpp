@@ -10,6 +10,7 @@
 
 #include "fabric/fabric.hpp"
 #include "simtime/engine.hpp"
+#include "trace/recorder.hpp"
 
 namespace m3rma::fabric {
 namespace {
@@ -222,6 +223,42 @@ TEST(Reliability, StreamsArePerProtocol) {
   ASSERT_EQ(got2.size(), 50u);
   EXPECT_TRUE(std::is_sorted(got1.begin(), got1.end()));
   EXPECT_TRUE(std::is_sorted(got2.begin(), got2.end()));
+}
+
+TEST(Reliability, TotalsAccessorAggregatesEndpointsAndMatchesTrace) {
+  // Fabric::reliability_totals() sums both endpoints' counters; when a
+  // tracer is attached, the per-link trace counters tell the same story.
+  sim::Engine eng(4242);
+  trace::Recorder rec;
+  eng.set_tracer(&rec);
+  Fabric f(eng, 2, Capabilities{}, reliable_costs(0.3));
+  f.nic(1).register_protocol(1, [](Packet&&) {});
+  eng.spawn("s", [&](sim::Context& ctx) {
+    for (int i = 0; i < 100; ++i) {
+      f.nic(0).send(1, make_packet(1, i));
+      ctx.delay(2000);
+    }
+  });
+  eng.run();
+
+  const ReliabilityStats totals = f.reliability_totals();
+  const auto& tx = f.nic(0).reliability()->stats();
+  const auto& rx = f.nic(1).reliability()->stats();
+  EXPECT_EQ(totals.data_packets, tx.data_packets + rx.data_packets);
+  EXPECT_EQ(totals.retransmits, tx.retransmits + rx.retransmits);
+  EXPECT_EQ(totals.acks_sent, tx.acks_sent + rx.acks_sent);
+  EXPECT_EQ(totals.duplicates_suppressed,
+            tx.duplicates_suppressed + rx.duplicates_suppressed);
+  EXPECT_GT(totals.data_packets, 0u);
+  EXPECT_GT(totals.retransmits, 0u);
+
+  // Only nic 0 sends data, only nic 1 acks: the per-link trace counters
+  // mirror the per-endpoint statistics exactly.
+  EXPECT_EQ(rec.counter("rel.link.0->1.data_packets"), tx.data_packets);
+  EXPECT_EQ(rec.counter("rel.link.0->1.retransmits"), tx.retransmits);
+  EXPECT_EQ(rec.counter("rel.link.1->0.acks_sent"), rx.acks_sent);
+  EXPECT_EQ(rec.counter("rel.link.0->1.duplicates_suppressed"),
+            rx.duplicates_suppressed);
 }
 
 TEST(Reliability, DeterministicPerSeed) {

@@ -1,0 +1,316 @@
+// Tests for the virtual-time tracing and metrics layer (src/trace) and its
+// instrumentation hooks across the stack: recorder semantics, exporter
+// byte-determinism, tracing-off invariance, per-attribute histograms,
+// per-link counters, and the DeadlockError last-site enrichment.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "common/diagnostics.hpp"
+#include "core/rma_engine.hpp"
+#include "runtime/comm.hpp"
+#include "runtime/world.hpp"
+#include "simtime/engine.hpp"
+#include "trace/recorder.hpp"
+
+namespace m3rma::trace {
+namespace {
+
+using runtime::Rank;
+using runtime::World;
+using runtime::WorldConfig;
+
+WorldConfig small_cfg(int ranks) {
+  WorldConfig c;
+  c.ranks = ranks;
+  c.seed = 42;
+  return c;
+}
+
+// ----------------------------------------------------------- recorder core
+
+TEST(RecorderTest, SpansInstantsCountersRecorded) {
+  Recorder rec;
+  Time clock = 0;
+  rec.bind_clock(&clock);
+  const int t = rec.track("rank0");
+  clock = 1000;
+  const SpanHandle h = rec.span_begin(t, Category::rma, "rma.put", "bytes=8");
+  clock = 2500;
+  rec.instant(t, Category::portals, "eq:ack");
+  rec.span_end(h);
+  rec.add_counter(Category::fabric, "fabric.link.0->1.msgs", 3);
+  EXPECT_EQ(rec.record_count(), 2u);
+  EXPECT_EQ(rec.span_count(Category::rma), 1u);
+  EXPECT_EQ(rec.open_span_count(), 0u);
+  EXPECT_EQ(rec.counter("fabric.link.0->1.msgs"), 3u);
+  EXPECT_EQ(rec.counter("missing"), 0u);
+}
+
+TEST(RecorderTest, DisabledCategoryIsDropped) {
+  Recorder rec;
+  rec.set_category(Category::rma, false);
+  const int t = rec.track("rank0");
+  EXPECT_EQ(rec.span_begin(t, Category::rma, "rma.put"), 0u);
+  rec.instant(t, Category::rma, "x");
+  rec.add_counter(Category::rma, "c");
+  rec.record_value(Category::rma, "h", 10);
+  EXPECT_EQ(rec.record_count(), 0u);
+  EXPECT_EQ(rec.counter("c"), 0u);
+  EXPECT_FALSE(rec.histogram("h").has_value());
+  // sim is off by default; want() reflects the mask.
+  EXPECT_EQ(want(&rec, Category::sim), nullptr);
+  EXPECT_NE(want(&rec, Category::fabric), nullptr);
+  EXPECT_EQ(want(static_cast<Recorder*>(nullptr), Category::fabric), nullptr);
+}
+
+TEST(RecorderTest, SpanEndIsNoopForNullHandle) {
+  Recorder rec;
+  rec.span_end(0);  // must not throw
+  EXPECT_EQ(rec.record_count(), 0u);
+}
+
+TEST(RecorderTest, HistogramNearestRankPercentiles) {
+  Recorder rec;
+  for (Time v = 1; v <= 100; ++v) {
+    rec.record_value(Category::rma, "lat", v);
+  }
+  const auto s = rec.histogram("lat");
+  ASSERT_TRUE(s.has_value());
+  EXPECT_EQ(s->count, 100u);
+  EXPECT_EQ(s->min, 1u);
+  EXPECT_EQ(s->max, 100u);
+  EXPECT_EQ(s->p50, 50u);
+  EXPECT_EQ(s->p90, 90u);
+  EXPECT_EQ(s->p99, 99u);
+  EXPECT_EQ(s->mean, 50u);
+}
+
+TEST(RecorderTest, LastSiteTracksMeaningfulRecords) {
+  Recorder rec;
+  Time clock = 0;
+  rec.bind_clock(&clock);
+  rec.set_category(Category::sim, true);
+  const int t = rec.track("rank0");
+  clock = 700;
+  rec.instant(t, Category::rma, "rma.put");
+  clock = 900;
+  rec.span_begin(t, Category::sim, "delay");  // engine-internal: not a site
+  ASSERT_TRUE(rec.has_last_site());
+  EXPECT_EQ(rec.last_site(), "rma.put @700ns");
+}
+
+// ------------------------------------------------------------- exporters
+
+TEST(ExportTest, ChromeJsonShape) {
+  Recorder rec;
+  Time clock = 0;
+  rec.bind_clock(&clock);
+  rec.begin_process("world A");
+  const int t = rec.track("rank0");
+  clock = 1234;
+  const SpanHandle h = rec.span_begin(t, Category::rma, "rma.put", "b=\"8\"");
+  clock = 5234;
+  rec.span_end(h);
+  rec.instant(t, Category::portals, "eq:ack");
+  const std::string js = rec.chrome_json();
+  EXPECT_NE(js.find("\"displayTimeUnit\":\"ms\""), std::string::npos);
+  EXPECT_NE(js.find("\"traceEvents\":["), std::string::npos);
+  EXPECT_NE(js.find("\"name\":\"process_name\""), std::string::npos);
+  EXPECT_NE(js.find("\"world A\""), std::string::npos);
+  EXPECT_NE(js.find("\"thread_name\""), std::string::npos);
+  // 1234 ns -> 1.234 us, duration 4 us; quotes in args escaped.
+  EXPECT_NE(js.find("\"ts\":1.234,\"dur\":4.000"), std::string::npos);
+  EXPECT_NE(js.find("b=\\\"8\\\""), std::string::npos);
+  EXPECT_NE(js.find("\"ph\":\"i\""), std::string::npos);
+}
+
+TEST(ExportTest, OpenSpansAreFlushedAsUnfinished) {
+  Recorder rec;
+  Time clock = 1000;
+  rec.bind_clock(&clock);
+  const int t = rec.track("rank0");
+  rec.span_begin(t, Category::serializer, "serialize");
+  clock = 9000;
+  rec.instant(t, Category::portals, "eq:ack");  // advances max_ts
+  EXPECT_EQ(rec.open_span_count(), 1u);
+  const std::string js = rec.chrome_json();
+  EXPECT_NE(js.find("\"unfinished\":\"true\""), std::string::npos);
+  EXPECT_NE(js.find("\"ts\":1.000,\"dur\":8.000"), std::string::npos);
+}
+
+TEST(ExportTest, MetricsTextListsCountersAndHistograms) {
+  Recorder rec;
+  rec.add_counter(Category::fabric, "fabric.link.0->1.msgs", 7);
+  rec.record_value(Category::rma, "rma.put[none]", 10);
+  rec.record_value(Category::rma, "rma.put[none]", 30);
+  const std::string m = rec.metrics_text();
+  EXPECT_NE(m.find("counter fabric.link.0->1.msgs 7"), std::string::npos);
+  EXPECT_NE(m.find("hist rma.put[none] count=2 min=10 p50=10 p90=30 p99=30 "
+                   "max=30 mean=20"),
+            std::string::npos);
+}
+
+// --------------------------------------------- instrumented RMA workloads
+
+void rma_workload(Rank& r) {
+  core::RmaEngine rma(r, r.comm_world());
+  auto [buf, mems] = rma.allocate_shared(1024);
+  auto src = r.alloc(1024);
+  r.comm_world().barrier();
+  const int peer = (r.id() + 1) % r.size();
+  for (int i = 0; i < 4; ++i) {
+    rma.put_bytes(src.addr, mems[static_cast<std::size_t>(peer)], 0, 64,
+                  peer, core::Attrs(core::RmaAttr::blocking));
+  }
+  rma.put_bytes(src.addr, mems[static_cast<std::size_t>(peer)], 64, 64, peer,
+                core::RmaAttr::blocking | core::RmaAttr::remote_completion);
+  rma.get_bytes(src.addr, mems[static_cast<std::size_t>(peer)], 0, 64, peer,
+                core::Attrs(core::RmaAttr::blocking));
+  rma.accumulate(portals::AccOp::sum, src.addr, 8,
+                 dt::Datatype::int64(), mems[static_cast<std::size_t>(peer)],
+                 128, 8, dt::Datatype::int64(), peer,
+                 core::RmaAttr::blocking | core::RmaAttr::atomicity);
+  rma.fetch_add(mems[static_cast<std::size_t>(peer)], 256, 1, peer);
+  rma.complete_collective();
+}
+
+TEST(TraceWorldTest, RmaSpansHistogramsAndLinkCounters) {
+  Recorder rec;
+  World w(small_cfg(2));
+  rec.begin_process("trace world");
+  w.engine().set_tracer(&rec);
+  w.run(rma_workload);
+
+  // One rma span per op, per rank: 2 ranks x (5 puts + 1 get + 1 acc + 1
+  // rmw) plus rma.complete spans.
+  EXPECT_GE(rec.span_count(Category::rma), 16u);
+  EXPECT_EQ(rec.open_span_count(), 0u);
+  // Comm-thread serializer occupancy spans (atomicity accumulate).
+  EXPECT_GE(rec.span_count(Category::serializer), 2u);
+
+  // Per-attribute latency histograms with percentiles.
+  const auto put_h = rec.histogram("rma.put[blocking]");
+  ASSERT_TRUE(put_h.has_value());
+  EXPECT_EQ(put_h->count, 8u);  // 4 per rank
+  EXPECT_LE(put_h->p50, put_h->p99);
+  EXPECT_GT(put_h->min, 0u);
+  EXPECT_TRUE(
+      rec.histogram("rma.put[remote_completion+blocking]").has_value());
+  EXPECT_TRUE(rec.histogram("rma.get[blocking]").has_value());
+  EXPECT_TRUE(
+      rec.histogram("rma.accumulate[atomicity+blocking]").has_value());
+  EXPECT_TRUE(rec.histogram("rma.rmw[nic]").has_value());
+
+  // Per-link fabric counters: both directions saw traffic.
+  EXPECT_GT(rec.counter("fabric.link.0->1.msgs"), 0u);
+  EXPECT_GT(rec.counter("fabric.link.1->0.msgs"), 0u);
+  EXPECT_GT(rec.counter("fabric.link.0->1.bytes"),
+            rec.counter("fabric.link.0->1.msgs"));
+  // Portals EQ instants flowed (SEND at least).
+  EXPECT_GT(rec.counter("portals.eq.send"), 0u);
+}
+
+TEST(TraceWorldTest, SameSeedSameTraceBytes) {
+  auto run_once = [](std::string& json, std::string& metrics) {
+    Recorder rec;
+    World w(small_cfg(2));
+    rec.begin_process("det world");
+    w.engine().set_tracer(&rec);
+    w.run(rma_workload);
+    json = rec.chrome_json();
+    metrics = rec.metrics_text();
+  };
+  std::string j1, m1, j2, m2;
+  run_once(j1, m1);
+  run_once(j2, m2);
+  EXPECT_EQ(j1, j2);  // byte-identical chrome trace
+  EXPECT_EQ(m1, m2);  // byte-identical metrics summary
+  EXPECT_FALSE(j1.empty());
+}
+
+TEST(TraceWorldTest, TracingOffDoesNotPerturbTheSimulation) {
+  std::uint64_t traced_now = 0, traced_events = 0;
+  {
+    Recorder rec;
+    World w(small_cfg(2));
+    w.engine().set_tracer(&rec);
+    w.run(rma_workload);
+    traced_now = w.engine().now();
+    traced_events = w.engine().events_processed();
+  }
+  std::uint64_t bare_now = 0, bare_events = 0;
+  {
+    World w(small_cfg(2));
+    w.run(rma_workload);
+    bare_now = w.engine().now();
+    bare_events = w.engine().events_processed();
+  }
+  // Recording must not advance virtual time, schedule events, or draw RNG:
+  // the traced and untraced runs are the same simulation.
+  EXPECT_EQ(traced_now, bare_now);
+  EXPECT_EQ(traced_events, bare_events);
+}
+
+TEST(TraceWorldTest, CoarseLockSerializerEmitsLockSpans) {
+  Recorder rec;
+  World w(small_cfg(2));
+  w.engine().set_tracer(&rec);
+  w.run([](Rank& r) {
+    core::EngineConfig ec;
+    ec.serializer = core::SerializerKind::coarse_lock;
+    core::RmaEngine rma(r, r.comm_world(), ec);
+    auto [buf, mems] = rma.allocate_shared(256);
+    auto src = r.alloc(256);
+    r.comm_world().barrier();
+    const int peer = (r.id() + 1) % r.size();
+    rma.put_bytes(src.addr, mems[static_cast<std::size_t>(peer)], 0, 32,
+                  peer,
+                  core::RmaAttr::blocking | core::RmaAttr::atomicity);
+    rma.complete_collective();
+  });
+  EXPECT_GT(rec.counter("serializer.lock_grants"), 0u);
+  const std::string js = rec.chrome_json();
+  EXPECT_NE(js.find("lock.acquire"), std::string::npos);
+  EXPECT_NE(js.find("lock.hold"), std::string::npos);
+  EXPECT_NE(js.find("lock.grant"), std::string::npos);
+}
+
+// -------------------------------------------------- deadlock enrichment
+
+TEST(DeadlockSiteTest, ReportNamesLastTraceSiteWhenTracing) {
+  sim::Engine eng;
+  Recorder rec;
+  eng.set_tracer(&rec);
+  sim::Condition never(eng);
+  eng.spawn("the-stuck-one", [&](sim::Context& ctx) {
+    rec.instant(rec.track("rank0"), Category::rma, "rma.put");
+    ctx.await(never);
+  });
+  try {
+    eng.run();
+    FAIL() << "expected DeadlockError";
+  } catch (const DeadlockError& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find("the-stuck-one"), std::string::npos);
+    EXPECT_NE(msg.find("(last: rma.put @"), std::string::npos);
+  }
+}
+
+TEST(DeadlockSiteTest, FallsBackToPlainRankListWithoutTracer) {
+  sim::Engine eng;
+  sim::Condition never(eng);
+  eng.spawn("blocked-proc", [&](sim::Context& ctx) { ctx.await(never); });
+  try {
+    eng.run();
+    FAIL() << "expected DeadlockError";
+  } catch (const DeadlockError& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find("blocked-proc"), std::string::npos);
+    EXPECT_EQ(msg.find("(last:"), std::string::npos);
+  }
+}
+
+}  // namespace
+}  // namespace m3rma::trace
