@@ -1,0 +1,163 @@
+// Fault-recovery table (Table S10): what a fail-stop crash costs the
+// survivor, as a function of how the death is learned.
+//
+// The paper's interfaces assume a reliable, fully-alive machine; this bench
+// measures the fault extension (runtime/world.hpp FaultPlan + the engine's
+// failure detector). Rank 1 is killed mid-stream while rank 0 puts at it
+// with blocking rc puts. Two detection regimes:
+//
+//   * announced — the launcher broadcasts the death; detection is
+//     immediate and the in-flight ops drain at the crash instant.
+//   * endogenous (silent crash) — nobody tells rank 0; the reliable
+//     transport's retry budget must exhaust first, so detection latency is
+//     the backed-off retransmission chain and grows with the budget.
+//
+// Columns: virtual detection latency (engine learns - crash time), the
+// survivor's total time for the put stream vs a fault-free run, and the
+// op drain/fail-fast split at the survivor.
+//
+//   build/bench/tab_fault_recovery [--trace[=FILE]]
+#include <vector>
+
+#include "bench/bench_util.hpp"
+#include "core/rma_engine.hpp"
+
+using namespace m3rma;
+using benchutil::Table;
+
+namespace {
+
+constexpr int kOps = 64;
+constexpr std::uint64_t kBytes = 1024;
+constexpr sim::Time kCrashAt = 150'000;
+constexpr sim::Time kVictimIdle = 1'000'000'000;
+
+struct CaseResult {
+  sim::Time elapsed = 0;      // rank 0: first put .. complete() returned
+  sim::Time detected_at = 0;  // rank 0's engine learned of the death
+  std::uint64_t drained = 0;      // in-flight ops completed with error
+  std::uint64_t failed_fast = 0;  // ops refused after detection
+  std::uint64_t ok = 0;           // puts that completed cleanly
+  std::uint64_t blackholed = 0;   // packets destroyed at the dead NIC
+  std::uint64_t retransmits = 0;  // rounds spent probing the silence
+};
+
+// faulty=false gives the fault-free baseline for the same put stream.
+CaseResult run_case(bool faulty, bool announce, int retry_budget,
+                    trace::Recorder* rec = nullptr,
+                    const std::string& label = {}) {
+  auto cfg = benchutil::xt5_config(2);
+  cfg.costs.reliability.enabled = true;
+  cfg.costs.reliability.retry_budget = retry_budget;
+  if (faulty) {
+    cfg.faults.schedule = {{/*rank=*/1, /*at=*/kCrashAt}};
+    cfg.faults.announce = announce;
+  }
+  CaseResult res;
+  runtime::World w(cfg);
+  if (rec != nullptr) {
+    rec->begin_process(label);
+    w.engine().set_tracer(rec);
+  }
+  w.run([&](runtime::Rank& r) {
+    core::RmaEngine rma(r, r.comm_world());
+    auto [buf, mems] = rma.allocate_shared(kBytes);
+    auto src = r.alloc(kBytes);
+    r.comm_world().barrier();
+    if (r.id() == 0) {
+      const sim::Time t0 = r.ctx().now();
+      for (int i = 0; i < kOps; ++i) {
+        core::Request req =
+            rma.put_bytes(src.addr, mems[1], 0, kBytes, 1,
+                          core::Attrs(core::RmaAttr::blocking) |
+                              core::RmaAttr::remote_completion);
+        if (!req.failed()) res.ok += 1;
+      }
+      rma.complete(1);
+      res.elapsed = r.ctx().now() - t0;
+      res.detected_at = rma.target_failed_at(1);
+      res.drained = rma.stats().drained_ops;
+      res.failed_fast = rma.stats().failed_fast;
+    } else if (faulty) {
+      // The victim sits in an idle loop until the scheduled kill; it must
+      // not exit on its own or the "crash" would be a clean shutdown.
+      r.ctx().delay(kVictimIdle);
+    }
+    rma.complete_collective();
+  });
+  res.blackholed = w.fabric().blackholed_packets();
+  res.retransmits = w.fabric().reliability_totals().retransmits;
+  return res;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const int budgets[] = {0, 2, 5, 10};
+
+  // Fault-free baseline: same stream, nobody dies (budget is irrelevant
+  // without loss; use the middle of the sweep).
+  const CaseResult bare = run_case(false, true, 5);
+
+  Table t;
+  t.title =
+      "Fault recovery (Table S10) — 64 blocking rc puts of 1 KiB, rank 0 -> "
+      "1, crash at t=150 us, Cray-XT5-like calibration; fault-free stream "
+      "takes " +
+      benchutil::fmt_us(bare.elapsed) +
+      " us. Detection latency is virtual time from the crash to the "
+      "survivor's engine declaring the target failed";
+  t.header = {"detection",  "retry budget", "detect lat (us)",
+              "total (us)", "vs fault-free", "ok",
+              "drained",    "failed fast",  "retransmits",
+              "blackholed"};
+  auto add_row = [&](const char* mode, int budget, const CaseResult& c) {
+    t.rows.push_back(
+        {mode, benchutil::fmt_u64(static_cast<std::uint64_t>(budget)),
+         benchutil::fmt_us(c.detected_at - kCrashAt),
+         benchutil::fmt_us(c.elapsed),
+         benchutil::fmt_ratio(c.elapsed, bare.elapsed),
+         benchutil::fmt_u64(c.ok), benchutil::fmt_u64(c.drained),
+         benchutil::fmt_u64(c.failed_fast),
+         benchutil::fmt_u64(c.retransmits),
+         benchutil::fmt_u64(c.blackholed)});
+  };
+
+  // Oracle: the launcher announces the death the instant it happens.
+  const CaseResult oracle = run_case(true, /*announce=*/true, 5);
+  add_row("announced", 5, oracle);
+
+  // Silent crash: detection must come from retry-budget exhaustion.
+  std::vector<CaseResult> silent;
+  for (int b : budgets) {
+    silent.push_back(run_case(true, /*announce=*/false, b));
+    add_row("endogenous", b, silent.back());
+  }
+  t.print();
+
+  std::printf("\nshape checks:\n");
+  std::printf("  announced detection latency   : %s us (immediate)\n",
+              benchutil::fmt_us(oracle.detected_at - kCrashAt).c_str());
+  std::printf(
+      "  endogenous latency grows with the budget: %s -> %s -> %s -> %s us\n",
+      benchutil::fmt_us(silent[0].detected_at - kCrashAt).c_str(),
+      benchutil::fmt_us(silent[1].detected_at - kCrashAt).c_str(),
+      benchutil::fmt_us(silent[2].detected_at - kCrashAt).c_str(),
+      benchutil::fmt_us(silent[3].detected_at - kCrashAt).c_str());
+  std::printf(
+      "  every case accounts for all %d puts (ok + drained + failed fast)\n",
+      kOps);
+
+  // Optional trace pass: one endogenous case with the recorder attached —
+  // fault.detect/fault.drain instants, quarantine and drained-op counters.
+  // Off the table path so the numbers above never move.
+  const std::string trace_file =
+      benchutil::trace_flag(argc, argv, "tab_fault_recovery_trace.json");
+  if (!trace_file.empty()) {
+    trace::Recorder rec;
+    run_case(true, /*announce=*/false, 2, &rec,
+             "fault recovery budget=2 silent crash");
+    benchutil::export_trace(rec, trace_file);
+  }
+  return 0;
+}

@@ -32,6 +32,16 @@ class TransportError : public Panic {
   explicit TransportError(std::string what) : Panic(std::move(what)) {}
 };
 
+/// Thrown by blocking calls (RMW, invoke, targeted recv) whose peer has been
+/// declared failed under the fail-stop fault model: the result can never
+/// arrive, so the call reports the dead rank instead of hanging. Nonblocking
+/// RMA surfaces the same condition as a per-request error status rather than
+/// an exception.
+class RankFailedError : public Panic {
+ public:
+  explicit RankFailedError(std::string what) : Panic(std::move(what)) {}
+};
+
 /// Thrown on misuse of a public API (bad rank, bad datatype, out-of-range
 /// displacement, ...). Mirrors what an MPI implementation would report via
 /// MPI_ERR_* classes.

@@ -47,6 +47,7 @@ struct Request::State {
   std::uint64_t id = 0;
   int world_target = -1;
   bool done = false;
+  OpStatus status = OpStatus::ok;
   std::uint32_t pending = 0;  // segment completions still expected
   bool counts_send = true;    // decrement on SEND (local) vs ACK (remote)
   // get finalization
@@ -74,6 +75,10 @@ struct Request::State {
 };
 
 bool Request::done() const { return st_ == nullptr || st_->done; }
+
+OpStatus Request::status() const {
+  return st_ == nullptr ? OpStatus::ok : st_->status;
+}
 
 bool Request::test() {
   if (done()) return true;
@@ -166,12 +171,16 @@ RmaEngine::RmaEngine(runtime::Rank& rank, runtime::Comm& comm,
       ptl_(&rank.portals()),
       eq_(rank.world().engine()) {
   targets_.resize(static_cast<std::size_t>(rank.world().size()));
+  target_failed_.assign(static_cast<std::size_t>(rank.world().size()), 0);
+  target_failed_at_.assign(static_cast<std::size_t>(rank.world().size()), 0);
   md_all_ = ptl_->md_bind(0, rank.memory().config().size, &eq_);
   auto& nic = rank.world().fabric().nic(rank.id());
   M3RMA_REQUIRE(!nic.protocol_registered(kAmProtocolId),
                 "one live RmaEngine per rank at a time");
   nic.register_protocol(kAmProtocolId,
                         [this](fabric::Packet&& p) { on_am(std::move(p)); });
+  death_listener_ = rank.world().fabric().add_death_listener(
+      [this](int node) { on_target_failed(node); });
 
   if (cfg_.serializer == SerializerKind::comm_thread) {
     // The dedicated communication thread: the cheap serializer of §V-A.
@@ -200,7 +209,14 @@ RmaEngine::RmaEngine(runtime::Rank& rank, runtime::Comm& comm,
         },
         /*daemon=*/true);
   }
-  comm_->barrier();  // everyone is wired up before any RMA flows
+  try {
+    comm_->barrier();  // everyone is wired up before any RMA flows
+  } catch (...) {
+    // Killed (or failed) during the wire-up barrier: release the protocol
+    // and the death listener before the half-built engine is abandoned.
+    dispose();
+    throw;
+  }
 }
 
 RmaEngine::~RmaEngine() {
@@ -209,13 +225,24 @@ RmaEngine::~RmaEngine() {
   } catch (...) {
     // Teardown during stack unwinding: skip the collective handshake.
   }
+  dispose();
+}
+
+void RmaEngine::dispose() {
+  if (disposed_) return;
+  disposed_ = true;
   shutting_down_ = true;
+  if (death_listener_ != -1) {
+    rank_->world().fabric().remove_death_listener(death_listener_);
+    death_listener_ = -1;
+  }
   if (am_chan_) am_chan_->push(AmMsg{-2, {}, {}});
   auto& nic = rank_->world().fabric().nic(rank_->id());
   if (nic.protocol_registered(kAmProtocolId)) {
     nic.unregister_protocol(kAmProtocolId);
   }
   for (auto& [id, a] : attached_) ptl_->me_unlink(a.me);
+  attached_.clear();
   ptl_->md_release(md_all_);
 }
 
@@ -269,7 +296,11 @@ std::vector<TargetMem> RmaEngine::exchange_all(const TargetMem& mine) {
   auto all = comm_->allgather(blob);
   std::vector<TargetMem> out;
   out.reserve(all.size());
-  for (const auto& b : all) out.push_back(TargetMem::deserialize(b));
+  for (const auto& b : all) {
+    // Dead ranks contribute an empty slot to the degraded allgather; give
+    // the caller an invalid handle rather than panicking in deserialize.
+    out.push_back(b.empty() ? TargetMem{} : TargetMem::deserialize(b));
+  }
   return out;
 }
 
@@ -381,6 +412,22 @@ Request RmaEngine::do_xfer(RmaOptype op, portals::AccOp acc_op,
     case RmaOptype::accumulate:
       stats_.accumulates += 1;
       break;
+  }
+
+  if (target_failed_[static_cast<std::size_t>(mem.owner)] != 0) {
+    // Fail fast: the target is already known dead, so don't touch the wire
+    // — hand back a pre-completed request carrying the error.
+    stats_.failed_fast += 1;
+    if (auto* tr = trace::want(rank_->world().engine().tracer(),
+                               trace::Category::rma)) {
+      tr->add_counter(trace::Category::rma, "rma.failed_fast");
+    }
+    auto dead = std::make_shared<Request::State>();
+    dead->id = next_req_++;
+    dead->world_target = mem.owner;
+    dead->done = true;
+    dead->status = OpStatus::target_failed;
+    return Request(this, std::move(dead));
   }
 
   auto st = std::make_shared<Request::State>();
@@ -678,7 +725,22 @@ void RmaEngine::issue_locked_op(const std::shared_ptr<Request::State>& st,
                                 const dt::Datatype& target_dt, Attrs attrs) {
   (void)attrs;
   const int t = mem.owner;
-  lock_acquire(t);
+  // Mid-operation target death: the outer request may already have been
+  // drained by on_target_failed; otherwise complete it with the error here.
+  // Either way there is no lock manager left, so skip the release.
+  auto fail_out = [&] {
+    if (!st->done) {
+      st->status = OpStatus::target_failed;
+      st->pending = 0;
+      st->done = true;
+      finish_trace(*st);
+      reqs_.erase(st->id);
+    }
+  };
+  if (!lock_acquire(t)) {
+    fail_out();
+    return;
+  }
   const Attrs inner = Attrs(RmaAttr::blocking) | RmaAttr::remote_completion;
   if (op == RmaOptype::accumulate && !ptl_->supports_atomics()) {
     // Get-modify-put under the lock: the classic emulation when neither NIC
@@ -698,6 +760,11 @@ void RmaEngine::issue_locked_op(const std::shared_ptr<Request::State>& st,
     issue_direct_get(g, tmp, 1, local_dt, mem, target_disp, target_count,
                      target_dt);
     progress_until([g] { return g->done; });
+    if (g->status == OpStatus::target_failed) {
+      rank_->memory().dealloc(tmp);
+      fail_out();
+      return;
+    }
     // Combine with the packed operand (both sides in this node's order).
     const std::uint64_t staging =
         rank_->memory().alloc(std::max<std::uint64_t>(bytes, 1));
@@ -714,6 +781,12 @@ void RmaEngine::issue_locked_op(const std::shared_ptr<Request::State>& st,
     issue_direct_put(p, portals::AccOp::replace, false, tmp, 1, local_dt,
                      mem, target_disp, target_count, target_dt, inner);
     progress_until([p] { return p->done; });
+    if (p->status == OpStatus::target_failed) {
+      rank_->memory().dealloc(staging);
+      rank_->memory().dealloc(tmp);
+      fail_out();
+      return;
+    }
     flush_target(t);
     rank_->memory().dealloc(staging);
     rank_->memory().dealloc(tmp);
@@ -725,6 +798,10 @@ void RmaEngine::issue_locked_op(const std::shared_ptr<Request::State>& st,
     issue_direct_get(g, origin_addr, origin_count, origin_dt, mem,
                      target_disp, target_count, target_dt);
     progress_until([g] { return g->done; });
+    if (g->status == OpStatus::target_failed) {
+      fail_out();
+      return;
+    }
   } else {
     auto p = std::make_shared<Request::State>();
     p->id = next_req_++;
@@ -741,21 +818,33 @@ void RmaEngine::issue_locked_op(const std::shared_ptr<Request::State>& st,
                        Attrs(RmaAttr::remote_completion));
       lock_release(t);
       progress_until([p] { return p->done; });
-      st->done = true;
-      finish_trace(*st);
-      reqs_.erase(st->id);
+      if (p->status == OpStatus::target_failed) {
+        fail_out();
+        return;
+      }
+      if (!st->done) {
+        st->done = true;
+        finish_trace(*st);
+        reqs_.erase(st->id);
+      }
       return;
     }
     issue_direct_put(p, acc_op, op == RmaOptype::accumulate, origin_addr,
                      origin_count, origin_dt, mem, target_disp, target_count,
                      target_dt, inner);
     progress_until([p] { return p->done; });
+    if (p->status == OpStatus::target_failed) {
+      fail_out();
+      return;
+    }
     flush_target(t);
   }
   lock_release(t);
-  st->done = true;
-  finish_trace(*st);
-  reqs_.erase(st->id);
+  if (!st->done) {
+    st->done = true;
+    finish_trace(*st);
+    reqs_.erase(st->id);
+  }
 }
 
 // ----------------------------------------------------------------- staging
@@ -809,10 +898,18 @@ void RmaEngine::flush_target(int world_target) {
 }
 
 void RmaEngine::flush_many(const std::vector<int>& world_targets) {
+  // Failed targets are excluded throughout: their ops were drained with an
+  // error status and their counters reconciled by on_target_failed, and a
+  // target that dies while we wait flips its flag and wakes us via the same
+  // notification, so neither phase can hang on a dead rank.
+  auto dead = [&](int t) {
+    return target_failed_[static_cast<std::size_t>(t)] != 0;
+  };
   // Phase 1: wait for outstanding get/RMW replies and all expected
   // confirmations (hardware ACKs / software op_acks).
   progress_until([&] {
     for (int t : world_targets) {
+      if (dead(t)) continue;
       const PerTarget& pt = per(t);
       if (pt.pending_replies != 0 || pt.acked < pt.issued_rc) return false;
     }
@@ -820,6 +917,7 @@ void RmaEngine::flush_many(const std::vector<int>& world_targets) {
   });
   // ACKs prove remote completion op-for-op when every op requested one.
   for (int t : world_targets) {
+    if (dead(t)) continue;
     PerTarget& pt = per(t);
     if (pt.issued_rc == pt.issued) pt.confirmed = pt.issued;
   }
@@ -829,7 +927,7 @@ void RmaEngine::flush_many(const std::vector<int>& world_targets) {
   std::vector<std::shared_ptr<Request::State>> probes;
   std::vector<int> probe_targets;
   for (int t : world_targets) {
-    if (target_quiet(t)) continue;
+    if (dead(t) || target_quiet(t)) continue;
     auto st = std::make_shared<Request::State>();
     st->id = next_req_++;
     st->world_target = t;
@@ -851,10 +949,16 @@ void RmaEngine::flush_many(const std::vector<int>& world_targets) {
     }
     return true;
   });
-  for (int t : probe_targets) per(t).confirmed = per(t).issued;
+  for (std::size_t i = 0; i < probes.size(); ++i) {
+    // A probe whose target died mid-flush was drained, not answered; that
+    // target's ops are error-completed, not confirmed.
+    if (probes[i]->status == OpStatus::ok) {
+      per(probe_targets[i]).confirmed = per(probe_targets[i]).issued;
+    }
+  }
 }
 
-void RmaEngine::complete(int target_rank) {
+std::vector<int> RmaEngine::complete(int target_rank) {
   stats_.completes += 1;
   trace::SpanHandle h = 0;
   if (auto* tr = trace::want(rank_->world().engine().tracer(),
@@ -865,20 +969,37 @@ void RmaEngine::complete(int target_rank) {
                            ? std::string("target=all")
                            : "target=" + std::to_string(target_rank));
   }
+  std::vector<int> comm_targets;
   if (target_rank == kAllRanks) {
-    std::vector<int> all;
-    all.reserve(static_cast<std::size_t>(comm_->size()));
-    for (int r = 0; r < comm_->size(); ++r) all.push_back(comm_->to_world(r));
-    flush_many(all);
+    comm_targets.reserve(static_cast<std::size_t>(comm_->size()));
+    for (int r = 0; r < comm_->size(); ++r) comm_targets.push_back(r);
   } else {
-    flush_target(comm_->to_world(target_rank));
+    comm_targets.push_back(target_rank);
+  }
+  std::vector<int> world_targets;
+  world_targets.reserve(comm_targets.size());
+  for (int r : comm_targets) world_targets.push_back(comm_->to_world(r));
+  try {
+    flush_many(world_targets);
+  } catch (...) {
+    // This rank was killed mid-flush: close the span before unwinding.
+    if (h != 0) rank_->world().engine().tracer()->span_end(h);
+    throw;
+  }
+  std::vector<int> failed;
+  for (std::size_t i = 0; i < comm_targets.size(); ++i) {
+    if (target_failed_[static_cast<std::size_t>(world_targets[i])] != 0) {
+      failed.push_back(comm_targets[i]);
+    }
   }
   if (h != 0) rank_->world().engine().tracer()->span_end(h);
+  return failed;
 }
 
-void RmaEngine::complete_collective() {
-  complete(kAllRanks);
+std::vector<int> RmaEngine::complete_collective() {
+  std::vector<int> failed = complete(kAllRanks);
   comm_->barrier();
+  return failed;
 }
 
 void RmaEngine::order(int target_rank) {
@@ -902,6 +1023,91 @@ std::uint64_t RmaEngine::outstanding(int target_rank) const {
   const PerTarget& pt = per(comm_->to_world(target_rank));
   return (pt.issued - std::min(pt.confirmed, pt.issued)) +
          pt.pending_replies;
+}
+
+bool RmaEngine::target_failed(int target_rank) const {
+  const int w = comm_->to_world(target_rank);
+  return target_failed_[static_cast<std::size_t>(w)] != 0;
+}
+
+sim::Time RmaEngine::target_failed_at(int target_rank) const {
+  const int w = comm_->to_world(target_rank);
+  return target_failed_at_[static_cast<std::size_t>(w)];
+}
+
+// ---------------------------------------------------------- failure detector
+
+void RmaEngine::on_target_failed(int node) {
+  if (node == rank_->id()) return;  // our own death; the process is unwinding
+  const auto n = static_cast<std::size_t>(node);
+  if (target_failed_[n] != 0) return;
+  target_failed_[n] = 1;
+  target_failed_at_[n] = rank_->world().engine().now();
+  stats_.target_failures += 1;
+  auto* tr =
+      trace::want(rank_->world().engine().tracer(), trace::Category::rma);
+  if (tr != nullptr) {
+    tr->instant(tr->track("rank" + std::to_string(rank_->id())),
+                trace::Category::rma, "fault.detect",
+                "target=" + std::to_string(node));
+    tr->add_counter(trace::Category::rma, "rma.target_failures");
+  }
+
+  // Drain every pending op addressed to the dead target: complete it now
+  // with an error status instead of leaving it waiting for replies that can
+  // never arrive. Sorted by id — unordered_map order is not deterministic.
+  std::vector<std::shared_ptr<Request::State>> victims;
+  for (auto& [id, st] : reqs_) {
+    if (st->world_target == node && !st->done) victims.push_back(st);
+  }
+  std::sort(victims.begin(), victims.end(),
+            [](const auto& a, const auto& b) { return a->id < b->id; });
+  for (auto& st : victims) {
+    st->status = OpStatus::target_failed;
+    if (st->is_get && st->needs_unpack) {
+      // The staging buffer holds garbage; skip the unpack, free it.
+      rank_->memory().dealloc(st->dest_addr);
+    }
+    st->pending = 0;
+    st->done = true;
+    stats_.drained_ops += 1;
+    if (tr != nullptr) {
+      tr->instant(tr->track("rank" + std::to_string(rank_->id())),
+                  trace::Category::rma, "fault.drain",
+                  "req=" + std::to_string(st->id) +
+                      " target=" + std::to_string(node));
+      tr->add_counter(trace::Category::rma, "rma.drained_ops");
+    }
+    finish_trace(*st);
+    reqs_.erase(st->id);
+  }
+
+  // Reconcile the per-target ledger so flush predicates hold trivially and
+  // no completion path ever waits on the dead rank again.
+  PerTarget& pt = per(node);
+  pt.acked = pt.issued_rc;
+  pt.confirmed = pt.issued;
+  pt.pending_replies = 0;
+  pt.order_fence = false;
+
+  // Serializer lock repair: purge the dead rank from the wait queue first
+  // (so a release cannot grant to it), then release on its behalf if it
+  // died holding our lock.
+  for (std::size_t i = 0; i < lock_.waiters.size();) {
+    if (lock_.waiters[i] == node) {
+      lock_.waiters.erase(lock_.waiters.begin() +
+                          static_cast<std::ptrdiff_t>(i));
+      lock_waiter_reqs_.erase(lock_waiter_reqs_.begin() +
+                              static_cast<std::ptrdiff_t>(i));
+    } else {
+      ++i;
+    }
+  }
+  if (lock_.held_by == node) service_lock_release(node);
+
+  // Wake any process blocked in progress_until so it re-evaluates its
+  // predicate against the reconciled state.
+  eq_.condition().notify_all();
 }
 
 // --------------------------------------------------------------------- RMW
@@ -934,6 +1140,10 @@ std::uint64_t RmaEngine::rmw(portals::RmwOp op, const TargetMem& mem,
                 "target_rank does not own this TargetMem");
   M3RMA_REQUIRE(disp + 8 <= mem.length, "RMW exceeds the target memory");
   const int t = mem.owner;
+  if (target_failed_[static_cast<std::size_t>(t)] != 0) {
+    stats_.failed_fast += 1;
+    throw RankFailedError("RMW to failed rank " + std::to_string(t));
+  }
 
   // RMW mechanism: NIC-executed, lock-emulated, or serializer AM (§V).
   const char* mech =
@@ -979,6 +1189,12 @@ std::uint64_t RmaEngine::rmw(portals::RmwOp op, const TargetMem& mem,
                        buf + 16, t, kPtData, mem.id, disp, st->id);
     per(t).pending_replies += 1;
     progress_until([st] { return st->done; });
+    if (st->status == OpStatus::target_failed) {
+      rank_->memory().dealloc(buf);
+      close_rmw();
+      throw RankFailedError("RMW target rank " + std::to_string(t) +
+                            " failed before replying");
+    }
     const std::uint64_t old =
         u64_from_endian_bytes(rank_->memory().raw(buf + 16), mem.endian);
     rank_->memory().dealloc(buf);
@@ -987,11 +1203,23 @@ std::uint64_t RmaEngine::rmw(portals::RmwOp op, const TargetMem& mem,
   }
 
   if (cfg_.serializer == SerializerKind::coarse_lock) {
-    // Lock; read; modify; write; unlock.
-    lock_acquire(t);
+    // Lock; read; modify; write; unlock. On target death anywhere in the
+    // sequence there is no lock manager left: skip the release and throw.
+    if (!lock_acquire(t)) {
+      close_rmw();
+      throw RankFailedError("RMW lock target rank " + std::to_string(t) +
+                            " failed");
+    }
     const std::uint64_t buf = rank_->memory().alloc(8);
     const auto u = dt::Datatype::uint64();
-    get(buf, 1, u, mem, disp, 1, u, target_rank, Attrs(RmaAttr::blocking));
+    Request gr =
+        get(buf, 1, u, mem, disp, 1, u, target_rank, Attrs(RmaAttr::blocking));
+    if (gr.failed()) {
+      rank_->memory().dealloc(buf);
+      close_rmw();
+      throw RankFailedError("RMW target rank " + std::to_string(t) +
+                            " failed before replying");
+    }
     std::uint64_t old = 0;
     std::memcpy(&old, rank_->memory().raw(buf), 8);
     std::uint64_t next = old;
@@ -1007,8 +1235,14 @@ std::uint64_t RmaEngine::rmw(portals::RmwOp op, const TargetMem& mem,
         break;
     }
     std::memcpy(rank_->memory().raw(buf), &next, 8);
-    put(buf, 1, u, mem, disp, 1, u, target_rank,
-        Attrs(RmaAttr::blocking) | RmaAttr::remote_completion);
+    Request pr = put(buf, 1, u, mem, disp, 1, u, target_rank,
+                     Attrs(RmaAttr::blocking) | RmaAttr::remote_completion);
+    if (pr.failed()) {
+      rank_->memory().dealloc(buf);
+      close_rmw();
+      throw RankFailedError("RMW target rank " + std::to_string(t) +
+                            " failed before the writeback landed");
+    }
     flush_target(t);
     rank_->memory().dealloc(buf);
     lock_release(t);
@@ -1036,6 +1270,10 @@ std::uint64_t RmaEngine::rmw(portals::RmwOp op, const TargetMem& mem,
   per(t).pending_replies += 1;
   progress_until([st] { return st->done; });
   close_rmw();
+  if (st->status == OpStatus::target_failed) {
+    throw RankFailedError("RMW target rank " + std::to_string(t) +
+                          " failed before replying");
+  }
   return st->rmw_value;
 }
 
@@ -1051,6 +1289,15 @@ Request RmaEngine::signal(int target_rank, int id,
                           std::span<const std::byte> args) {
   stats_.rmis += 1;
   const int t = comm_->to_world(target_rank);
+  if (target_failed_[static_cast<std::size_t>(t)] != 0) {
+    stats_.failed_fast += 1;
+    auto dead = std::make_shared<Request::State>();
+    dead->id = next_req_++;
+    dead->world_target = t;
+    dead->done = true;
+    dead->status = OpStatus::target_failed;
+    return Request(this, std::move(dead));
+  }
   auto st = std::make_shared<Request::State>();
   st->id = next_req_++;
   st->world_target = t;
@@ -1073,6 +1320,11 @@ std::vector<std::byte> RmaEngine::invoke(int target_rank, int id,
   Request req = signal(target_rank, id, args);
   auto st = req.st_;
   progress_until([st] { return st->done; });
+  if (st->status == OpStatus::target_failed) {
+    throw RankFailedError("RMI target rank " +
+                          std::to_string(st->world_target) +
+                          " failed before replying");
+  }
   return std::move(st->rmi_reply);
 }
 
@@ -1388,7 +1640,10 @@ void RmaEngine::execute_am(AmMsg&& m, sim::Time apply_cost) {
 
 // --------------------------------------------------------------- lock ops
 
-void RmaEngine::lock_acquire(int world_target) {
+bool RmaEngine::lock_acquire(int world_target) {
+  if (target_failed_[static_cast<std::size_t>(world_target)] != 0) {
+    return false;  // no lock manager to ask
+  }
   auto* tr = trace::want(rank_->world().engine().tracer(),
                          trace::Category::serializer);
   trace::SpanHandle acq = 0;
@@ -1409,6 +1664,11 @@ void RmaEngine::lock_acquire(int world_target) {
   h.req_id = st->id;
   send_am(world_target, h, {});
   progress_until([st] { return st->done; });
+  if (st->status == OpStatus::target_failed) {
+    // The manager died while we queued; the pending request was drained.
+    if (acq != 0) rank_->world().engine().tracer()->span_end(acq);
+    return false;
+  }
   if (acq != 0) {
     trace::Recorder* rec = rank_->world().engine().tracer();
     rec->span_end(acq);
@@ -1417,6 +1677,7 @@ void RmaEngine::lock_acquire(int world_target) {
         trace::Category::serializer, "lock.hold",
         "target=" + std::to_string(world_target));
   }
+  return true;
 }
 
 void RmaEngine::lock_release(int world_target) {

@@ -67,6 +67,14 @@ enum class SerializerKind : std::uint8_t {
 /// the three data ops.
 enum class RmaOptype : std::uint8_t { put, get, accumulate };
 
+/// Per-operation completion status. Nonblocking ops never throw on target
+/// death: the request completes and carries the error here; blocking calls
+/// that cannot return a status (RMW, invoke) throw RankFailedError instead.
+enum class OpStatus : std::uint8_t {
+  ok,
+  target_failed,  ///< the target rank died before the op was confirmed
+};
+
 /// Operation counters for observability (tests, benches, tracing).
 struct OpStats {
   std::uint64_t puts = 0;
@@ -76,6 +84,9 @@ struct OpStats {
   std::uint64_t rmis = 0;
   std::uint64_t completes = 0;
   std::uint64_t orders = 0;
+  std::uint64_t target_failures = 0;  ///< dead targets detected
+  std::uint64_t drained_ops = 0;      ///< in-flight ops completed with error
+  std::uint64_t failed_fast = 0;      ///< ops refused: target already dead
 };
 
 struct EngineConfig {
@@ -109,6 +120,11 @@ class Request {
   bool test();
   /// Drive progress until done.
   void wait();
+  /// Completion status; meaningful once done(). A drained op (target died
+  /// mid-flight) and a failed-fast op (target already known dead at issue)
+  /// both report target_failed.
+  OpStatus status() const;
+  bool failed() const { return status() == OpStatus::target_failed; }
 
  private:
   friend class RmaEngine;
@@ -182,10 +198,13 @@ class RmaEngine {
   // ----- completion and ordering -------------------------------------------
 
   /// Wait until all previous RMA to `target_rank` (or every rank, with
-  /// kAllRanks) are remotely complete.
-  void complete(int target_rank = kAllRanks);
-  /// Collective variant (all members participate; ends with a barrier).
-  void complete_collective();
+  /// kAllRanks) are remotely complete. Returns the comm-relative ranks in
+  /// the completion set that are failed: their ops were drained with
+  /// target_failed status instead of confirmed (empty on a healthy run).
+  std::vector<int> complete(int target_rank = kAllRanks);
+  /// Collective variant (all surviving members participate; ends with a
+  /// barrier). Same failed-target report as complete().
+  std::vector<int> complete_collective();
   /// shmem_fence-like: RMA issued after this call will not overtake RMA
   /// issued before it, per target (free on ordered networks).
   void order(int target_rank = kAllRanks);
@@ -242,6 +261,10 @@ class RmaEngine {
   std::uint64_t am_ops_applied() const { return am_applied_total_; }
   std::uint64_t lock_acquisitions() const { return lock_grants_; }
   const OpStats& stats() const { return stats_; }
+  /// Failure detector view: has `target_rank` (comm-relative) been declared
+  /// dead, and when did this engine learn of it (virtual time; 0 if alive).
+  bool target_failed(int target_rank) const;
+  sim::Time target_failed_at(int target_rank) const;
 
  private:
   friend class Request;
@@ -325,12 +348,23 @@ class RmaEngine {
   void execute_am(AmMsg&& m, sim::Time apply_cost);
   void send_am(int world_target, const AmHdr& hdr,
                std::vector<std::byte> payload);
-  void lock_acquire(int world_target);
+  /// False when the lock target is (or dies while we wait to become) a
+  /// failed rank — there is no lock manager left to grant.
+  bool lock_acquire(int world_target);
   void lock_release(int world_target);
   void service_lock_request(int requester, std::uint64_t req_id);
   void service_lock_release(int releaser);
 
   void handle_eq_event(const portals::Event& ev);
+  /// Failure detector: `node` (world rank) was announced dead. Drains every
+  /// pending op addressed to it with target_failed status, reconciles the
+  /// per-target counters so flush predicates converge, and repairs the
+  /// serializer lock if the dead rank held or awaited it.
+  void on_target_failed(int node);
+  /// Idempotent teardown shared by the destructor and the constructor's
+  /// failure path (a rank killed during the wire-up barrier must not leave
+  /// a dangling death listener or claimed AM protocol behind).
+  void dispose();
   void quiesce();
   /// Tracing: close the request's rma span and record its latency sample.
   /// No-op when the request was issued untraced.
@@ -368,6 +402,12 @@ class RmaEngine {
   std::unordered_map<int, std::uint64_t> lock_hold_spans_;
   std::unordered_map<int, RmiHandler> rmi_handlers_;
   OpStats stats_;
+  // Failure detector state, indexed by world rank. Healthy-path code only
+  // reads these flags, so fault-free runs are byte-identical.
+  std::vector<char> target_failed_;
+  std::vector<sim::Time> target_failed_at_;
+  int death_listener_ = -1;
+  bool disposed_ = false;
   bool shutting_down_ = false;
 };
 

@@ -92,6 +92,8 @@ Fabric::Fabric(sim::Engine& eng, int nodes, Capabilities caps,
   for (int n = 0; n < nodes; ++n) {
     nics_.push_back(std::unique_ptr<Nic>(new Nic(this, n)));
   }
+  alive_.assign(static_cast<std::size_t>(nodes), 1);
+  announced_.assign(static_cast<std::size_t>(nodes), 0);
 }
 
 Nic& Fabric::nic(int node) {
@@ -121,6 +123,14 @@ SplitMix64& Fabric::link_rng(std::uint64_t key) {
 }
 
 void Fabric::route(Packet&& p) {
+  // Dead endpoints blackhole before any counter or rng touch, so a run with
+  // no failed nodes draws exactly the same loss/jitter sequence as one
+  // without the fault model.
+  if (alive_[static_cast<std::size_t>(p.src)] == 0 ||
+      alive_[static_cast<std::size_t>(p.dst)] == 0) {
+    blackhole(p, "inject");
+    return;
+  }
   const std::uint64_t key = static_cast<std::uint64_t>(p.src) *
                                 static_cast<std::uint64_t>(nodes()) +
                             static_cast<std::uint64_t>(p.dst);
@@ -181,8 +191,81 @@ void Fabric::route(Packet&& p) {
         if (wire_span != 0 && eng_->tracer() != nullptr) {
           eng_->tracer()->span_end(wire_span);
         }
+        // Fail-stop is a power-off: a packet in flight when either endpoint
+        // dies is lost at delivery time (the dead NIC can neither receive
+        // nor have usefully sent it).
+        if (alive_[static_cast<std::size_t>(pkt.src)] == 0 ||
+            alive_[static_cast<std::size_t>(pkt.dst)] == 0) {
+          blackhole(pkt, "in_flight");
+          return;
+        }
         target->deliver(std::move(pkt));
       });
+}
+
+void Fabric::blackhole(const Packet& p, const char* where) {
+  ++blackholed_packets_;
+  if (auto* tr = trace::want(eng_->tracer(), trace::Category::fabric)) {
+    tr->instant(tr->track(link_name(p.src, p.dst)), trace::Category::fabric,
+                "blackhole", std::string("at=") + where +
+                                 " proto=" + std::to_string(p.protocol));
+    tr->add_counter(trace::Category::fabric,
+                    link_counter(p.src, p.dst, "blackholed"));
+  }
+}
+
+void Fabric::fail_node(int node, bool announce) {
+  M3RMA_REQUIRE(node >= 0 && node < nodes(), "fail_node index out of range");
+  const auto n = static_cast<std::size_t>(node);
+  if (alive_[n] != 0) {
+    alive_[n] = 0;
+    ++failed_nodes_;
+    // Power off the dead node's own endpoint: cancel its timers and drain
+    // its streams so it generates no further wire traffic or events.
+    if (auto* rel = nics_[n]->reliability()) rel->quarantine_all();
+    if (auto* tr = trace::want(eng_->tracer(), trace::Category::fabric)) {
+      tr->instant(tr->track("fault"), trace::Category::fabric, "crash",
+                  "node=" + std::to_string(node));
+      tr->add_counter(trace::Category::fabric, "fault.crashes");
+    }
+  }
+  if (!announce || announced_[n] != 0) return;
+  announced_[n] = 1;
+  for (auto& nic : nics_) {
+    if (nic->node() == node || alive_[static_cast<std::size_t>(nic->node())] == 0) {
+      continue;
+    }
+    if (auto* rel = nic->reliability()) rel->quarantine_peer(node);
+  }
+  // Copy: a listener may register/remove listeners while running.
+  auto listeners = death_listeners_;
+  for (auto& [token, fn] : listeners) fn(node);
+}
+
+int Fabric::add_death_listener(DeathListener fn) {
+  const int token = next_listener_token_++;
+  death_listeners_.emplace_back(token, std::move(fn));
+  return token;
+}
+
+void Fabric::remove_death_listener(int token) {
+  for (auto it = death_listeners_.begin(); it != death_listeners_.end();
+       ++it) {
+    if (it->first == token) {
+      death_listeners_.erase(it);
+      return;
+    }
+  }
+}
+
+void Fabric::set_link_failure_policy(LinkFailurePolicy p) {
+  link_failure_policy_ = std::move(p);
+}
+
+bool Fabric::report_link_failure(const LinkFailure& lf) {
+  link_failures_.push_back(lf);
+  if (!link_failure_policy_) return false;
+  return link_failure_policy_(lf);
 }
 
 ReliabilityStats Fabric::reliability_totals() const {
@@ -195,8 +278,12 @@ ReliabilityStats Fabric::reliability_totals() const {
     total.retransmits += s.retransmits;
     total.acks_sent += s.acks_sent;
     total.acks_piggybacked += s.acks_piggybacked;
+    total.ack_arms += s.ack_arms;
     total.duplicates_suppressed += s.duplicates_suppressed;
     total.out_of_order_buffered += s.out_of_order_buffered;
+    total.links_failed += s.links_failed;
+    total.drained_packets += s.drained_packets;
+    total.sends_suppressed += s.sends_suppressed;
   }
   return total;
 }

@@ -151,12 +151,54 @@ class Fabric {
   /// All zeros when the reliability sublayer is disabled.
   ReliabilityStats reliability_totals() const;
 
+  // ----- fail-stop fault model ---------------------------------------------
+
+  /// Declare `node` failed (fail-stop): its NIC powers off, packets to or
+  /// from it — including ones already in flight — blackhole, and its
+  /// reliability timers are cancelled. With `announce`, every live
+  /// endpoint's reliability streams toward the node are quarantined and the
+  /// registered death listeners fire (the "job launcher broadcasts the
+  /// death" model); without it, survivors must detect the silence
+  /// endogenously via retry-budget exhaustion. Idempotent per phase: a
+  /// silent failure can be announced later (that is exactly what the
+  /// link-failure policy does).
+  void fail_node(int node, bool announce = true);
+  bool alive(int node) const {
+    return alive_[static_cast<std::size_t>(node)] != 0;
+  }
+  int failed_nodes() const { return failed_nodes_; }
+  /// Packets destroyed because an endpoint was dead (distinct from random
+  /// wire loss, which counts as dropped_packets).
+  std::uint64_t blackholed_packets() const { return blackholed_packets_; }
+
+  /// Death listeners run in event context when a node's failure is
+  /// announced, in registration order. Returns a token for remove.
+  using DeathListener = std::function<void(int)>;
+  int add_death_listener(DeathListener fn);
+  void remove_death_listener(int token);
+
+  /// Decides what happens when a reliability endpoint exhausts its retry
+  /// budget. Return true to absorb the failure (the peer is quarantined and
+  /// the run continues degraded); false to fall back to the legacy fatal
+  /// TransportError. The runtime installs a policy that declares the
+  /// unreachable peer failed; raw-fabric users get the legacy throw.
+  using LinkFailurePolicy = std::function<bool(const LinkFailure&)>;
+  void set_link_failure_policy(LinkFailurePolicy p);
+  /// Called by LinkReliability on budget exhaustion; records the report and
+  /// consults the policy. True = absorbed.
+  bool report_link_failure(const LinkFailure& lf);
+  const std::vector<LinkFailure>& link_failures() const {
+    return link_failures_;
+  }
+
  private:
   friend class Nic;
   void route(Packet&& p);
   /// Derived per-(src,dst) rng stream for loss/jitter draws: traffic on one
   /// link cannot change which packets drop or how they jitter on another.
   SplitMix64& link_rng(std::uint64_t key);
+
+  void blackhole(const Packet& p, const char* where);
 
   sim::Engine* eng_;
   Capabilities caps_;
@@ -168,6 +210,16 @@ class Fabric {
   std::uint64_t total_messages_ = 0;
   std::uint64_t total_bytes_ = 0;
   std::uint64_t dropped_packets_ = 0;
+  // Fault model. alive_/announced_ are plain flag reads on healthy paths so
+  // fault-free runs stay byte-identical to builds without the fault model.
+  std::vector<char> alive_;
+  std::vector<char> announced_;
+  int failed_nodes_ = 0;
+  std::uint64_t blackholed_packets_ = 0;
+  std::vector<std::pair<int, DeathListener>> death_listeners_;
+  int next_listener_token_ = 1;
+  LinkFailurePolicy link_failure_policy_;
+  std::vector<LinkFailure> link_failures_;
 };
 
 }  // namespace m3rma::fabric

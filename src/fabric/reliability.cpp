@@ -23,6 +23,19 @@ std::string rel_track(int src, int dst) {
 
 }  // namespace
 
+std::string LinkFailure::describe() const {
+  std::ostringstream os;
+  os << "reliable link " << src << " -> " << peer << " (protocol " << protocol
+     << "): retry budget (" << retry_budget
+     << ") exhausted; oldest unacknowledged packet seq " << oldest_seq << ", "
+     << oldest_bytes << " payload bytes, first sent at t=" << oldest_first_sent
+     << "ns, " << unacked << " packet(s) unacked; gave up after " << attempts
+     << " retransmission round(s), final rto " << final_rto
+     << "ns, last cumulative ack " << last_ack << ", detected at t="
+     << detected_at << "ns";
+  return os.str();
+}
+
 LinkReliability::LinkReliability(Nic& nic)
     : nic_(&nic), cfg_(nic.fabric().costs().reliability) {
   M3RMA_REQUIRE(cfg_.retransmit_timeout_ns > 0,
@@ -35,6 +48,20 @@ LinkReliability::LinkReliability(Nic& nic)
 // ------------------------------------------------------------------ sender
 
 void LinkReliability::send_data(Packet&& p) {
+  if (peer_quarantined(p.dst)) {
+    // The peer was declared failed: delivery can never be confirmed, so the
+    // packet is drained here instead of feeding a retransmission loop.
+    ++stats_.sends_suppressed;
+    if (auto* tr = trace::want(nic_->fabric().engine().tracer(),
+                               trace::Category::reliability)) {
+      tr->instant(tr->track(rel_track(nic_->node(), p.dst)),
+                  trace::Category::reliability, "send_suppressed",
+                  "proto=" + std::to_string(p.protocol));
+      tr->add_counter(trace::Category::reliability,
+                      rel_counter(nic_->node(), p.dst, "sends_suppressed"));
+    }
+    return;
+  }
   const std::uint64_t key = stream_key(p.dst, p.protocol);
   TxStream& tx = tx_[key];
   if (tx.rto == 0) tx.rto = cfg_.retransmit_timeout_ns;
@@ -81,7 +108,10 @@ void LinkReliability::on_retransmit_timer(std::uint64_t key,
 
   const int peer = static_cast<int>(key >> 32);
   const int protocol = static_cast<int>(static_cast<std::uint32_t>(key));
-  if (tx.retries >= cfg_.retry_budget) fail_link(peer, protocol, tx);
+  if (tx.retries >= cfg_.retry_budget) {
+    on_budget_exhausted(peer, protocol, tx);
+    return;  // tx may have been drained (quarantine) — do not touch it
+  }
 
   // Go-back-all: with cumulative acks the sender cannot tell which packet
   // of the window was lost, so it re-injects every unacked one; the
@@ -111,16 +141,80 @@ void LinkReliability::on_retransmit_timer(std::uint64_t key,
   arm_retransmit(key, tx);
 }
 
-void LinkReliability::fail_link(int peer, int protocol, const TxStream& tx) {
+void LinkReliability::on_budget_exhausted(int peer, int protocol,
+                                          const TxStream& tx) {
+  // Snapshot everything first: accepting the report quarantines the peer,
+  // which destroys the very TxStream this timer fired about.
   const PendingPkt& oldest = tx.pending.front();
-  std::ostringstream os;
-  os << "reliable link " << nic_->node() << " -> " << peer << " (protocol "
-     << protocol << "): retry budget (" << cfg_.retry_budget
-     << ") exhausted; oldest unacknowledged packet seq "
-     << oldest.pkt.rel_seq << ", " << oldest.pkt.payload.size()
-     << " payload bytes, first sent at t=" << oldest.first_sent << "ns, "
-     << tx.pending.size() << " packet(s) unacked";
-  throw TransportError(os.str());
+  LinkFailure lf;
+  lf.src = nic_->node();
+  lf.peer = peer;
+  lf.protocol = protocol;
+  lf.attempts = tx.retries;
+  lf.final_rto = tx.rto;
+  lf.last_ack = tx.acked;
+  lf.oldest_seq = oldest.pkt.rel_seq;
+  lf.oldest_bytes = oldest.pkt.payload.size();
+  lf.oldest_first_sent = oldest.first_sent;
+  lf.unacked = tx.pending.size();
+  lf.detected_at = nic_->fabric().engine().now();
+  lf.retry_budget = cfg_.retry_budget;
+  if (auto* tr = trace::want(nic_->fabric().engine().tracer(),
+                             trace::Category::reliability)) {
+    tr->instant(tr->track(rel_track(lf.src, peer)),
+                trace::Category::reliability, "link_fail",
+                "proto=" + std::to_string(protocol) +
+                    " rounds=" + std::to_string(lf.attempts) +
+                    " unacked=" + std::to_string(lf.unacked));
+    tr->add_counter(trace::Category::reliability,
+                    rel_counter(lf.src, peer, "link_failures"));
+  }
+  if (!nic_->fabric().report_link_failure(lf)) {
+    throw TransportError(lf.describe());
+  }
+  // The policy accepted the failure. It normally declares the peer dead
+  // (which quarantines this endpoint); guarantee the stream cannot stall
+  // silently even under a policy that merely acknowledges.
+  if (!peer_quarantined(peer)) quarantine_peer(peer);
+}
+
+void LinkReliability::drain_tx(TxStream& tx) {
+  stats_.drained_packets += tx.pending.size();
+  tx.pending.clear();
+  ++tx.timer_gen;  // invalidate any armed retransmit event
+  tx.timer_armed = false;
+  tx.retries = 0;
+}
+
+void LinkReliability::quarantine_peer(int peer) {
+  if (failed_peers_.contains(peer)) return;
+  failed_peers_.insert(peer);
+  ++stats_.links_failed;
+  for (auto& [key, tx] : tx_) {
+    if (static_cast<int>(key >> 32) == peer) drain_tx(tx);
+  }
+  for (auto& [key, rx] : rx_) {
+    if (static_cast<int>(key >> 32) != peer) continue;
+    rx.ack_pending = false;  // never ack a dead peer
+    ++rx.ack_gen;
+  }
+  if (auto* tr = trace::want(nic_->fabric().engine().tracer(),
+                             trace::Category::reliability)) {
+    tr->instant(tr->track(rel_track(nic_->node(), peer)),
+                trace::Category::reliability, "quarantine",
+                "peer=" + std::to_string(peer));
+    tr->add_counter(trace::Category::reliability,
+                    rel_counter(nic_->node(), peer, "quarantined"));
+  }
+}
+
+void LinkReliability::quarantine_all() {
+  dead_ = true;
+  for (auto& [key, tx] : tx_) drain_tx(tx);
+  for (auto& [key, rx] : rx_) {
+    rx.ack_pending = false;
+    ++rx.ack_gen;
+  }
 }
 
 void LinkReliability::process_ack(int peer, int protocol,
@@ -206,6 +300,7 @@ void LinkReliability::on_receive(Packet&& p) {
 void LinkReliability::arm_delayed_ack(int peer, int protocol, RxStream& rx) {
   if (rx.ack_pending) return;
   rx.ack_pending = true;
+  ++stats_.ack_arms;
   const std::uint64_t gen = ++rx.ack_gen;
   nic_->fabric().engine().schedule_in(
       cfg_.ack_delay_ns,

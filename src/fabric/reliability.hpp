@@ -20,8 +20,14 @@
 // Retransmission and delayed-ack timers are one-shot scheduled simulator
 // events guarded by generation counters — never time-polling daemons, which
 // would prevent Engine::run from terminating. When the retry budget is
-// exhausted the link degrades gracefully: a TransportError naming the link
-// and the oldest unacknowledged packet is thrown from the timer event and
+// exhausted the endpoint builds a LinkFailure record (who, what stream, how
+// many rounds, final backed-off RTO, last cumulative ack) and reports it to
+// the Fabric's link-failure policy. A policy that accepts the report (the
+// runtime installs one that declares the unreachable peer failed) leaves the
+// stream quarantined — unacked packets drained, timers cancelled, future
+// sends to the peer suppressed — and the simulation keeps running degraded.
+// With no policy installed (raw-fabric users), the old behavior stands: a
+// TransportError carrying the same record is thrown from the timer event and
 // surfaces out of Engine::run, instead of the opaque DeadlockError a lost
 // packet causes with reliability off.
 //
@@ -33,7 +39,9 @@
 #include <cstdint>
 #include <deque>
 #include <map>
+#include <string>
 #include <unordered_map>
+#include <unordered_set>
 
 #include "fabric/packet.hpp"
 #include "simtime/engine.hpp"
@@ -54,7 +62,8 @@ struct ReliabilityConfig {
   /// Ceiling for the backed-off timeout.
   sim::Time max_retransmit_timeout_ns = 2'000'000;
   /// Retransmission rounds allowed per recovery episode before the link is
-  /// declared failed (TransportError). 0 = the first timeout is fatal.
+  /// declared failed (LinkFailure report / TransportError). 0 = the first
+  /// timeout is fatal.
   int retry_budget = 10;
   /// Delayed-ack window: a standalone cumulative ack goes out this long
   /// after a data delivery unless reverse-direction data piggybacks it
@@ -67,8 +76,35 @@ struct ReliabilityStats {
   std::uint64_t retransmits = 0;     ///< data packets re-injected on timeout
   std::uint64_t acks_sent = 0;       ///< standalone ack-only packets
   std::uint64_t acks_piggybacked = 0;  ///< pending acks absorbed by data
+  std::uint64_t ack_arms = 0;        ///< delayed-ack windows opened; each is
+                                     ///< resolved by exactly one standalone
+                                     ///< or piggybacked ack (conservation)
   std::uint64_t duplicates_suppressed = 0;  ///< re-deliveries dropped
   std::uint64_t out_of_order_buffered = 0;  ///< held for resequencing
+  std::uint64_t links_failed = 0;     ///< peers quarantined at this endpoint
+  std::uint64_t drained_packets = 0;  ///< unacked packets dropped by
+                                      ///< quarantine
+  std::uint64_t sends_suppressed = 0;  ///< sends to quarantined peers
+};
+
+/// Everything known about a retry-budget exhaustion, for failure reports and
+/// the enriched TransportError message.
+struct LinkFailure {
+  int src = -1;        ///< reporting endpoint's node
+  int peer = -1;       ///< unreachable peer
+  int protocol = 0;    ///< stream's protocol id
+  int attempts = 0;    ///< retransmission rounds before giving up
+  sim::Time final_rto = 0;          ///< backed-off timeout at failure
+  std::uint64_t last_ack = 0;       ///< highest cumulative ack from the peer
+  std::uint64_t oldest_seq = 0;     ///< oldest unacknowledged rel_seq
+  std::uint64_t oldest_bytes = 0;   ///< its payload size
+  sim::Time oldest_first_sent = 0;  ///< when it was first injected
+  std::size_t unacked = 0;          ///< packets still unacknowledged
+  sim::Time detected_at = 0;        ///< virtual time of the report
+  int retry_budget = 0;             ///< the budget that was exhausted
+
+  /// Human-readable failure report (the TransportError message).
+  std::string describe() const;
 };
 
 /// Per-NIC reliable transport endpoint. Owned by Nic (one per node) when
@@ -87,6 +123,18 @@ class LinkReliability {
   const ReliabilityStats& stats() const { return stats_; }
   /// Unacked data packets currently tracked toward (peer, protocol).
   std::uint64_t unacked(int peer, int protocol) const;
+
+  /// Quarantine every stream toward `peer` (all protocols): drain unacked
+  /// packets, cancel timers, and silently drop future sends to it. Called by
+  /// Fabric::fail_node and by budget exhaustion once the failure policy
+  /// accepts the report. Idempotent.
+  void quarantine_peer(int peer);
+  /// Power-off for this endpoint's own node: drain every tx stream and
+  /// cancel every timer so a dead node's NIC generates no further events.
+  void quarantine_all();
+  bool peer_quarantined(int peer) const {
+    return dead_ || failed_peers_.contains(peer);
+  }
 
  private:
   struct PendingPkt {
@@ -120,13 +168,20 @@ class LinkReliability {
   void process_ack(int peer, int protocol, std::uint64_t ackno);
   void arm_delayed_ack(int peer, int protocol, RxStream& rx);
   void on_ack_timer(int peer, int protocol, std::uint64_t gen);
-  [[noreturn]] void fail_link(int peer, int protocol, const TxStream& tx);
+  /// Budget exhaustion: snapshot a LinkFailure, offer it to the fabric's
+  /// failure policy; quarantine the peer if accepted, throw TransportError
+  /// if not. May destroy the TxStream it was called about — callers return
+  /// immediately.
+  void on_budget_exhausted(int peer, int protocol, const TxStream& tx);
+  void drain_tx(TxStream& tx);
 
   Nic* nic_;
   ReliabilityConfig cfg_;
   ReliabilityStats stats_;
   std::unordered_map<std::uint64_t, TxStream> tx_;
   std::unordered_map<std::uint64_t, RxStream> rx_;
+  std::unordered_set<int> failed_peers_;
+  bool dead_ = false;  // this endpoint's own node was powered off
 };
 
 }  // namespace m3rma::fabric

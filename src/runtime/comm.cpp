@@ -70,6 +70,26 @@ Message Comm::recv(int src, std::int64_t tag) {
 
 // ------------------------------------------------------------ collectives
 
+bool Comm::member_alive(int r) const {
+  return rank_->world().alive(to_world(r));
+}
+
+bool Comm::all_alive() const {
+  for (int m : members_) {
+    if (!rank_->world().alive(m)) return false;
+  }
+  return true;
+}
+
+std::optional<Message> Comm::recv_from_live(int r, std::int64_t wtag) {
+  if (!member_alive(r)) return std::nullopt;
+  try {
+    return rank_->p2p().recv(rank_->ctx(), to_world(r), wtag);
+  } catch (const RankFailedError&) {
+    return std::nullopt;  // r died while we waited
+  }
+}
+
 void Comm::barrier() {
   ++coll_seq_;
   const int n = size();
@@ -77,8 +97,10 @@ void Comm::barrier() {
   for (int k = 1; k < n; k <<= 1) {
     const int to = (me + k) % n;
     const int from = (me - k % n + n) % n;
-    rank_->p2p().send(rank_->ctx(), to_world(to), coll_tag(0), {});
-    (void)rank_->p2p().recv(rank_->ctx(), to_world(from), coll_tag(0));
+    if (member_alive(to)) {
+      rank_->p2p().send(rank_->ctx(), to_world(to), coll_tag(0), {});
+    }
+    (void)recv_from_live(from, coll_tag(0));
   }
 }
 
@@ -92,9 +114,11 @@ void Comm::bcast(std::vector<std::byte>& data, int root) {
   while (mask < n) {
     if ((vr & mask) != 0) {
       const int parent = ((vr - mask) + root) % n;
-      Message m = rank_->p2p().recv(rank_->ctx(), to_world(parent),
-                                    coll_tag(1));
-      data = std::move(m.data);
+      // A dead parent means this subtree can never learn the payload; keep
+      // the caller's buffer and carry on.
+      if (auto m = recv_from_live(parent, coll_tag(1))) {
+        data = std::move(m->data);
+      }
       break;
     }
     mask <<= 1;
@@ -103,7 +127,9 @@ void Comm::bcast(std::vector<std::byte>& data, int root) {
   while (mask > 0) {
     if (vr + mask < n) {
       const int child = ((vr + mask) + root) % n;
-      rank_->p2p().send(rank_->ctx(), to_world(child), coll_tag(1), data);
+      if (member_alive(child)) {
+        rank_->p2p().send(rank_->ctx(), to_world(child), coll_tag(1), data);
+      }
     }
     mask >>= 1;
   }
@@ -117,11 +143,17 @@ std::vector<std::vector<std::byte>> Comm::gather(
   if (rank() == root) {
     out.resize(static_cast<std::size_t>(n));
     out[static_cast<std::size_t>(root)].assign(mine.begin(), mine.end());
-    for (int i = 0; i < n - 1; ++i) {
-      Message m = rank_->p2p().recv(rank_->ctx(), kAnySource, coll_tag(2));
-      out[static_cast<std::size_t>(from_world(m.src))] = std::move(m.data);
+    std::vector<int> pending;
+    for (int i = 0; i < n; ++i) {
+      if (i != root) pending.push_back(to_world(i));
     }
-  } else {
+    while (!pending.empty()) {
+      auto m = rank_->p2p().recv_any_live(rank_->ctx(), coll_tag(2), pending);
+      if (!m) break;  // every remaining contributor died; slots stay empty
+      std::erase(pending, m->src);
+      out[static_cast<std::size_t>(from_world(m->src))] = std::move(m->data);
+    }
+  } else if (member_alive(root)) {
     rank_->p2p().send(rank_->ctx(), to_world(root), coll_tag(2), mine);
   }
   return out;
@@ -153,8 +185,11 @@ std::vector<std::vector<std::byte>> Comm::allgather(
       off += len;
     }
   }
-  M3RMA_ENSURE(parts.size() == static_cast<std::size_t>(size()),
-               "allgather part count mismatch");
+  if (parts.size() != static_cast<std::size_t>(size())) {
+    // Only tolerable when the shortfall is explained by failed members.
+    M3RMA_ENSURE(!all_alive(), "allgather part count mismatch");
+    parts.resize(static_cast<std::size_t>(size()));
+  }
   return parts;
 }
 
@@ -195,17 +230,25 @@ std::uint64_t Comm::reduce_sum(std::uint64_t v, int root) {
   const int n = size();
   if (rank() == root) {
     std::uint64_t acc = v;
-    for (int i = 0; i < n - 1; ++i) {
-      Message m = rank_->p2p().recv(rank_->ctx(), kAnySource, coll_tag(3));
+    std::vector<int> pending;
+    for (int i = 0; i < n; ++i) {
+      if (i != root) pending.push_back(to_world(i));
+    }
+    while (!pending.empty()) {
+      auto m = rank_->p2p().recv_any_live(rank_->ctx(), coll_tag(3), pending);
+      if (!m) break;  // dead members contribute nothing
+      std::erase(pending, m->src);
       std::uint64_t x = 0;
-      M3RMA_ENSURE(m.data.size() == 8, "reduce payload size");
-      std::memcpy(&x, m.data.data(), 8);
+      M3RMA_ENSURE(m->data.size() == 8, "reduce payload size");
+      std::memcpy(&x, m->data.data(), 8);
       acc += x;
     }
     return acc;
   }
-  rank_->p2p().send(rank_->ctx(), to_world(root), coll_tag(3),
-                    std::span(reinterpret_cast<const std::byte*>(&v), 8));
+  if (member_alive(root)) {
+    rank_->p2p().send(rank_->ctx(), to_world(root), coll_tag(3),
+                      std::span(reinterpret_cast<const std::byte*>(&v), 8));
+  }
   return 0;
 }
 
@@ -217,14 +260,14 @@ std::vector<std::byte> Comm::scatter(
     M3RMA_REQUIRE(parts.size() == static_cast<std::size_t>(n),
                   "scatter needs one part per rank");
     for (int i = 0; i < n; ++i) {
-      if (i == root) continue;
+      if (i == root || !member_alive(i)) continue;
       rank_->p2p().send(rank_->ctx(), to_world(i), coll_tag(4),
                         parts[static_cast<std::size_t>(i)]);
     }
     return parts[static_cast<std::size_t>(root)];
   }
-  Message m = rank_->p2p().recv(rank_->ctx(), to_world(root), coll_tag(4));
-  return std::move(m.data);
+  if (auto m = recv_from_live(root, coll_tag(4))) return std::move(m->data);
+  return {};  // root died before our part arrived
 }
 
 std::vector<std::vector<std::byte>> Comm::alltoall(
@@ -241,10 +284,13 @@ std::vector<std::vector<std::byte>> Comm::alltoall(
   for (int k = 1; k < n; ++k) {
     const int to = (rank() + k) % n;
     const int from = (rank() - k + n) % n;
-    rank_->p2p().send(rank_->ctx(), to_world(to), coll_tag(5),
-                      mine[static_cast<std::size_t>(to)]);
-    Message m = rank_->p2p().recv(rank_->ctx(), to_world(from), coll_tag(5));
-    out[static_cast<std::size_t>(from)] = std::move(m.data);
+    if (member_alive(to)) {
+      rank_->p2p().send(rank_->ctx(), to_world(to), coll_tag(5),
+                        mine[static_cast<std::size_t>(to)]);
+    }
+    if (auto m = recv_from_live(from, coll_tag(5))) {
+      out[static_cast<std::size_t>(from)] = std::move(m->data);
+    }
   }
   return out;
 }

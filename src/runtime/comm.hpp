@@ -10,6 +10,7 @@
 #include <cstdint>
 #include <cstring>
 #include <memory>
+#include <optional>
 #include <span>
 #include <vector>
 
@@ -60,6 +61,16 @@ class Comm {
   }
 
   // ----- collectives --------------------------------------------------------
+  //
+  // Fault semantics: with failed members, collectives keep their healthy
+  // message schedule but skip edges to dead ranks, so they terminate instead
+  // of hanging and a rank that entered before a death interoperates with one
+  // that entered after. Degraded results are best-effort: gathered/reduced
+  // slots of dead ranks are empty/zero, bcast payloads are lost for the
+  // subtree behind a dead interior node, and a degraded barrier no longer
+  // separates rounds. allgather_value/allreduce/dup/split stay strict and
+  // panic on short results — rebuild the communicator after a failure if you
+  // need them.
 
   void barrier();
   /// Broadcast `data` from root; non-roots receive into `data`.
@@ -105,6 +116,14 @@ class Comm {
   int from_world(int world_rank) const;
   std::int64_t wire_tag(std::int64_t user_tag) const;
   std::int64_t coll_tag(int phase);
+  bool member_alive(int r) const;
+  bool all_alive() const;
+  /// recv from `r` that degrades instead of hanging or throwing: returns
+  /// nullopt if `r` is already dead or dies while we wait. Collectives keep
+  /// their healthy message pattern and use this to skip dead partners, so
+  /// ranks that entered a collective before and after a death still exchange
+  /// compatible traffic.
+  std::optional<Message> recv_from_live(int r, std::int64_t wtag);
 
   Rank* rank_;
   std::uint32_t context_id_;

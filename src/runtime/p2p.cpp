@@ -11,6 +11,32 @@ P2p::P2p(sim::Engine& eng, fabric::Nic& nic) : nic_(&nic), cond_(eng) {
   nic_->register_protocol(kP2pProtocolId, [this](fabric::Packet&& p) {
     deliver(std::move(p));
   });
+  // Wake blocked receivers when any node dies: a recv whose source just
+  // failed must stop waiting and raise RankFailedError instead of hanging.
+  death_listener_ =
+      nic_->fabric().add_death_listener([this](int) { cond_.notify_all(); });
+}
+
+P2p::~P2p() {
+  if (death_listener_ != -1) {
+    nic_->fabric().remove_death_listener(death_listener_);
+  }
+}
+
+bool P2p::node_alive(int node) const { return nic_->fabric().alive(node); }
+
+void P2p::await_posted(sim::Context& ctx, Posted& posted,
+                       const std::function<bool()>& give_up) {
+  posted_.push_back(&posted);
+  try {
+    ctx.await_until(cond_, [&] { return posted.done || give_up(); });
+  } catch (...) {
+    // KillSignal (this rank died mid-recv): unlink the stack-allocated
+    // posted record before unwinding past it.
+    if (!posted.done) std::erase(posted_, &posted);
+    throw;
+  }
+  if (!posted.done) std::erase(posted_, &posted);
 }
 
 void P2p::send(sim::Context& ctx, int dst, std::int64_t tag,
@@ -32,6 +58,9 @@ void P2p::send(sim::Context& ctx, int dst, std::int64_t tag,
 
 Message P2p::recv(sim::Context& ctx, int src, std::int64_t tag) {
   if (auto m = try_recv(src, tag)) return std::move(*m);
+  if (src != kAnySource && !node_alive(src)) {
+    throw RankFailedError("p2p recv from failed rank " + std::to_string(src));
+  }
   trace::SpanHandle h = 0;
   if (auto* tr = trace::want(ctx.engine().tracer(), trace::Category::p2p)) {
     h = tr->span_begin(tr->track(ctx.name()), trace::Category::p2p,
@@ -40,9 +69,47 @@ Message P2p::recv(sim::Context& ctx, int src, std::int64_t tag) {
                            " tag=" + std::to_string(tag));
   }
   Posted posted{src, tag, false, {}};
-  posted_.push_back(&posted);
-  ctx.await_until(cond_, [&] { return posted.done; });
+  try {
+    await_posted(ctx, posted,
+                 [&] { return src != kAnySource && !node_alive(src); });
+  } catch (...) {
+    if (h != 0) ctx.engine().tracer()->span_end(h);
+    throw;
+  }
   if (h != 0) ctx.engine().tracer()->span_end(h);
+  if (!posted.done) {
+    throw RankFailedError("p2p recv from failed rank " + std::to_string(src));
+  }
+  return std::move(posted.msg);
+}
+
+std::optional<Message> P2p::recv_any_live(sim::Context& ctx, std::int64_t tag,
+                                          const std::vector<int>& srcs) {
+  for (int s : srcs) {
+    if (auto m = try_recv(s, tag)) return m;
+  }
+  auto any_alive = [&] {
+    return std::any_of(srcs.begin(), srcs.end(),
+                       [&](int s) { return node_alive(s); });
+  };
+  if (!any_alive()) return std::nullopt;
+  trace::SpanHandle h = 0;
+  if (auto* tr = trace::want(ctx.engine().tracer(), trace::Category::p2p)) {
+    h = tr->span_begin(tr->track(ctx.name()), trace::Category::p2p,
+                       "p2p.recv",
+                       "src=-1 tag=" + std::to_string(tag));
+  }
+  // Tags are unique per collective instance, so an any-source match can only
+  // pick up a message from one of `srcs`.
+  Posted posted{kAnySource, tag, false, {}};
+  try {
+    await_posted(ctx, posted, [&] { return !any_alive(); });
+  } catch (...) {
+    if (h != 0) ctx.engine().tracer()->span_end(h);
+    throw;
+  }
+  if (h != 0) ctx.engine().tracer()->span_end(h);
+  if (!posted.done) return std::nullopt;
   return std::move(posted.msg);
 }
 

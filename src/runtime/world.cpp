@@ -12,6 +12,17 @@ World::World(WorldConfig cfg) : cfg_(std::move(cfg)), eng_(cfg_.seed) {
   M3RMA_REQUIRE(cfg_.ranks > 0, "world needs at least one rank");
   fabric_ = std::make_unique<fabric::Fabric>(eng_, cfg_.ranks, cfg_.caps,
                                              cfg_.costs);
+  if (cfg_.faults.isolate_on_link_failure) {
+    // STONITH convergence: a reliability endpoint that exhausted its budget
+    // cannot tell a dead peer from a partitioned one; declaring the peer
+    // failed makes every rank's membership view agree, so survivors drain
+    // their pending ops instead of waiting on messages the quarantined
+    // endpoint would silently drop.
+    fabric_->set_link_failure_policy([this](const fabric::LinkFailure& lf) {
+      kill_rank(lf.peer, /*announce=*/true);
+      return true;
+    });
+  }
   for (int n = 0; n < cfg_.ranks; ++n) {
     auto it = cfg_.node_overrides.find(n);
     const memsim::DomainConfig& dc =
@@ -44,12 +55,31 @@ void World::run(const std::function<void(Rank&)>& fn) {
   M3RMA_REQUIRE(!ran_, "World::run is one-shot; create a new World");
   ran_ = true;
   for (int i = 0; i < cfg_.ranks; ++i) {
-    eng_.spawn("rank" + std::to_string(i), [this, i, &fn](sim::Context& ctx) {
-      Rank r(*this, ctx, i);
-      fn(r);
-    });
+    rank_pids_.push_back(eng_.spawn(
+        "rank" + std::to_string(i), [this, i, &fn](sim::Context& ctx) {
+          Rank r(*this, ctx, i);
+          fn(r);
+        }));
+  }
+  for (const FaultEvent& fe : cfg_.faults.schedule) {
+    M3RMA_REQUIRE(fe.rank >= 0 && fe.rank < cfg_.ranks,
+                  "fault schedule names an out-of-range rank");
+    eng_.schedule_at(fe.at,
+                     [this, fe] { kill_rank(fe.rank, cfg_.faults.announce); });
   }
   eng_.run();
+}
+
+void World::kill_rank(int rank, bool announce) {
+  M3RMA_REQUIRE(rank >= 0 && rank < cfg_.ranks, "kill of an out-of-range rank");
+  if (fabric_->alive(rank)) {
+    failed_ranks_.push_back(rank);
+    if (static_cast<std::size_t>(rank) < rank_pids_.size()) {
+      eng_.kill(rank_pids_[static_cast<std::size_t>(rank)]);
+    }
+  }
+  // Always forwarded: a silent death recorded earlier may be announced now.
+  fabric_->fail_node(rank, announce);
 }
 
 // ------------------------------------------------------------------- Rank

@@ -25,6 +25,29 @@ namespace m3rma::runtime {
 class Comm;
 class Rank;
 
+/// One entry of the fault schedule: rank `rank` dies (fail-stop) at virtual
+/// time `at`.
+struct FaultEvent {
+  int rank = -1;
+  sim::Time at = 0;
+};
+
+/// Deterministic fail-stop fault plan. Replays byte-identically under the
+/// seed discipline: the schedule is fixed virtual-time events, detection and
+/// drain are deterministic functions of the same event sequence.
+struct FaultPlan {
+  std::vector<FaultEvent> schedule;
+  /// true: survivors learn of a scheduled death the instant it happens (the
+  /// job launcher broadcasts it — fabric death listeners fire immediately).
+  /// false: the crash is silent and survivors must detect it endogenously
+  /// through reliability retry-budget exhaustion.
+  bool announce = true;
+  /// true: a retry-budget exhaustion declares the unreachable peer failed
+  /// (kill + announce), converging every rank's view of the membership,
+  /// instead of throwing TransportError across the simulator.
+  bool isolate_on_link_failure = true;
+};
+
 struct WorldConfig {
   int ranks = 8;
   fabric::Capabilities caps{};
@@ -34,6 +57,9 @@ struct WorldConfig {
   /// ...except nodes listed here (heterogeneous systems, §III-B3).
   std::unordered_map<int, memsim::DomainConfig> node_overrides;
   std::uint64_t seed = 1;
+  /// Fail-stop fault injection; empty schedule = no faults, byte-identical
+  /// to a world without the fault model.
+  FaultPlan faults{};
 };
 
 class World {
@@ -58,18 +84,30 @@ class World {
   /// Virtual time consumed by the whole run (valid after run()).
   sim::Time duration() const { return eng_.now(); }
 
+  /// Fail-stop kill `rank` now (event or rank context): its process dies at
+  /// its current blocking point, its node's links blackhole, and the death
+  /// is announced to survivors. Scheduled FaultPlan entries route through
+  /// this with the plan's announce flag instead.
+  void kill_rank(int rank) { kill_rank(rank, /*announce=*/true); }
+  bool alive(int rank) const { return fabric_->alive(rank); }
+  const std::vector<int>& failed_ranks() const { return failed_ranks_; }
+
   /// Fresh communicator context id. Safe to call from rank code: the
   /// simulation is sequential, so this acts like a coordinated counter
   /// (callers still must agree on the value, e.g. leader + bcast).
   std::uint32_t alloc_context_id() { return next_ctx_++; }
 
  private:
+  void kill_rank(int rank, bool announce);
+
   WorldConfig cfg_;
   sim::Engine eng_;
   std::unique_ptr<fabric::Fabric> fabric_;
   std::vector<std::unique_ptr<memsim::MemoryDomain>> mems_;
   std::vector<std::unique_ptr<portals::Portals>> portals_;
   std::vector<std::unique_ptr<P2p>> p2ps_;
+  std::vector<int> rank_pids_;   // engine pid of each rank's process
+  std::vector<int> failed_ranks_;  // in death order
   std::uint32_t next_ctx_ = 1;  // 0 is reserved for comm_world
   bool ran_ = false;
 };

@@ -17,6 +17,7 @@ const std::string& Context::name() const {
 void Context::delay(Time ns) {
   Engine* e = eng_;
   const int pid = pid_;
+  e->check_killed(pid);
   e->schedule_in(ns, [e, pid] { e->dispatch(pid); });
   e->note_block(pid, "delay");
   e->block_current(pid);
@@ -26,6 +27,7 @@ void Context::yield() { delay(0); }
 
 void Context::await(Condition& c) {
   M3RMA_ENSURE(c.eng_ == eng_, "Condition belongs to a different engine");
+  eng_->check_killed(pid_);
   c.waiters_.push_back(pid_);
   eng_->note_block(pid_, "await");
   eng_->block_current(pid_);
@@ -150,6 +152,9 @@ void Engine::process_main(int pid) {
     ps.fn(ctx);
   } catch (const ShutdownSignal&) {
     // Normal teardown of a blocked process.
+  } catch (const KillSignal&) {
+    // Fail-stop death (Engine::kill): the body unwound mid-simulation and
+    // the rest of the world keeps running.
   } catch (...) {
     err = std::current_exception();
   }
@@ -185,6 +190,7 @@ void Engine::block_current(int pid) {
   sched_cv_.notify_one();
   ps.cv.wait(l, [&] { return running_pid_ == pid || shutdown_; });
   if (shutdown_) throw ShutdownSignal{};
+  if (ps.killed) throw KillSignal{};
 }
 
 void Engine::wake(int pid) {
@@ -192,6 +198,28 @@ void Engine::wake(int pid) {
   if (ps.finished || ps.wake_pending) return;
   ps.wake_pending = true;
   schedule_in(0, [this, pid] { dispatch(pid); });
+}
+
+void Engine::check_killed(int pid) {
+  if (procs_[static_cast<std::size_t>(pid)]->killed) throw KillSignal{};
+}
+
+void Engine::kill(int pid) {
+  M3RMA_REQUIRE(pid >= 0 && pid < static_cast<int>(procs_.size()),
+                "kill of an unknown process");
+  ProcessState& ps = *procs_[static_cast<std::size_t>(pid)];
+  if (ps.finished || ps.killed) return;
+  // The flag is only read while the process (or the scheduler) holds the
+  // baton, so the baton handoff already orders this write; the wake makes a
+  // blocked victim re-examine it at the current instant.
+  ps.killed = true;
+  wake(pid);
+}
+
+bool Engine::kill_requested(int pid) const {
+  if (pid < 0 || pid >= static_cast<int>(procs_.size())) return false;
+  const ProcessState& ps = *procs_[static_cast<std::size_t>(pid)];
+  return ps.killed && !ps.finished;
 }
 
 void Engine::shutdown_all() {

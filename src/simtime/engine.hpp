@@ -127,6 +127,15 @@ class Engine {
   /// first exception escaping any process body.
   void run();
 
+  /// Fail-stop kill: the process stops executing at its current (or next)
+  /// blocking point — its stack unwinds via an internal signal its body
+  /// cannot catch, destructors run, and it counts as finished. Idempotent;
+  /// a no-op on already-finished processes. Callable from event or process
+  /// context (a process may even kill itself; it dies at its next block).
+  void kill(int pid);
+  /// True when kill() has been requested for a live process.
+  bool kill_requested(int pid) const;
+
   Time now() const { return now_; }
   SplitMix64& rng() { return rng_; }
   /// The seed this engine (and its rng stream) was constructed with.
@@ -153,6 +162,10 @@ class Engine {
   friend class Condition;
 
   struct ShutdownSignal {};
+  /// Like ShutdownSignal, but for a single fail-stop-killed process: thrown
+  /// out of its blocking calls so its stack unwinds mid-simulation while the
+  /// rest of the world keeps running.
+  struct KillSignal {};
 
   struct ProcessState {
     std::string name;
@@ -163,6 +176,7 @@ class Engine {
     bool finished = false;
     bool daemon = false;
     bool wake_pending = false;
+    bool killed = false;
     int trace_track = -1;           // lazily created recorder track
     std::uint64_t blocked_span = 0;  // open Category::sim "blocked" span
     std::string last_site;           // last trace site when it blocked
@@ -188,6 +202,10 @@ class Engine {
   /// Schedule `pid` to be dispatched at the current instant (idempotent per
   /// blocking period).
   void wake(int pid);
+  /// Entry guard of every blocking primitive: a killed process dies at the
+  /// point it would next give up the baton (covers blocking calls made while
+  /// its destructors unwind, too).
+  void check_killed(int pid);
   void shutdown_all();
   /// Tracing: snapshot the process's last trace site and open its blocked
   /// span. Called by the process itself right before it gives up the baton.

@@ -183,9 +183,71 @@ TEST(FailureInjection, ReliabilityRecoversRcPutsAtHighLoss) {
   EXPECT_GT(w.fabric().nic(0).reliability()->stats().retransmits, 0u);
 }
 
-TEST(FailureInjection, ExhaustedRetryBudgetRaisesTransportError) {
+TEST(FailureInjection, ExhaustedRetryBudgetIsolatesUnreachablePeer) {
   // Same run with the retry budget at 0: the first lost packet's timeout
-  // must degrade into TransportError naming the failing link — not the
+  // exhausts the budget, and the World's default link-failure policy
+  // declares the unreachable peer dead (STONITH) instead of aborting the
+  // whole simulation. Both ranks put at each other; whichever rank survives
+  // must finish with every op to the dead rank carrying an error status
+  // rather than hanging.
+  WorldConfig cfg;
+  cfg.ranks = 2;
+  cfg.costs.loss_rate = 0.2;
+  cfg.costs.reliability.enabled = true;
+  cfg.costs.reliability.retry_budget = 0;
+  cfg.seed = 1234;
+  World w(cfg);
+  bool finished[2] = {false, false};
+  std::vector<int> failed_targets[2];
+  std::uint64_t target_failures[2] = {0, 0};
+  int ok_puts[2] = {0, 0};
+  int failed_puts[2] = {0, 0};
+  w.run([&](Rank& r) {
+    const int me = r.id();
+    const int peer = 1 - me;
+    core::RmaEngine eng(r, r.comm_world());
+    auto [buf, mems] = eng.allocate_shared(256);
+    auto src = r.alloc(8);
+    // The slot can be empty if the peer died before the shared allocation's
+    // exchange finished; then there is nothing left to address.
+    if (mems[static_cast<std::size_t>(peer)].valid()) {
+      for (int i = 0; i < 30; ++i) {
+        core::Request req =
+            eng.put_bytes(src.addr, mems[static_cast<std::size_t>(peer)], 0, 8,
+                          peer,
+                          core::Attrs(core::RmaAttr::blocking) |
+                              core::RmaAttr::remote_completion);
+        (req.failed() ? failed_puts : ok_puts)[me] += 1;
+      }
+    }
+    failed_targets[me] = eng.complete_collective();
+    target_failures[me] = eng.stats().target_failures;
+    finished[me] = true;
+  });
+  ASSERT_EQ(w.failed_ranks().size(), 1u);
+  const int dead = w.failed_ranks()[0];
+  const int surv = 1 - dead;
+  EXPECT_TRUE(finished[surv]);
+  EXPECT_FALSE(finished[dead]);
+  EXPECT_EQ(failed_targets[surv], std::vector<int>{dead});
+  EXPECT_EQ(target_failures[surv], 1u);
+  if (ok_puts[surv] + failed_puts[surv] > 0) {
+    EXPECT_EQ(ok_puts[surv] + failed_puts[surv], 30);
+    EXPECT_GT(failed_puts[surv], 0);
+  }
+  // The failure report that triggered the isolation is on record with its
+  // retry history.
+  ASSERT_FALSE(w.fabric().link_failures().empty());
+  const fabric::LinkFailure& lf = w.fabric().link_failures().front();
+  EXPECT_EQ(lf.src, surv);
+  EXPECT_EQ(lf.peer, dead);
+  EXPECT_EQ(lf.retry_budget, 0u);
+  EXPECT_EQ(lf.attempts, lf.retry_budget);
+}
+
+TEST(FailureInjection, ExhaustedRetryBudgetRaisesTransportErrorWhenNotIsolating) {
+  // With peer isolation opted out, budget exhaustion must still degrade into
+  // TransportError naming the failing link and its retry history — not the
   // opaque DeadlockError that reliability-off produces.
   WorldConfig cfg;
   cfg.ranks = 2;
@@ -193,6 +255,7 @@ TEST(FailureInjection, ExhaustedRetryBudgetRaisesTransportError) {
   cfg.costs.reliability.enabled = true;
   cfg.costs.reliability.retry_budget = 0;
   cfg.seed = 1234;
+  cfg.faults.isolate_on_link_failure = false;
   World w(cfg);
   try {
     w.run([&](Rank& r) {
@@ -214,6 +277,9 @@ TEST(FailureInjection, ExhaustedRetryBudgetRaisesTransportError) {
     EXPECT_NE(msg.find("reliable link"), std::string::npos) << msg;
     EXPECT_NE(msg.find("retry budget"), std::string::npos) << msg;
     EXPECT_NE(msg.find("unacknowledged"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("retransmission round"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("final rto"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("last cumulative ack"), std::string::npos) << msg;
   }
 }
 

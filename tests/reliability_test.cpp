@@ -171,11 +171,27 @@ TEST(Reliability, RetryBudgetZeroFailsFastWithLinkName) {
     const std::string msg = e.what();
     EXPECT_NE(msg.find("link 0 -> 1"), std::string::npos) << msg;
     EXPECT_NE(msg.find("seq 1"), std::string::npos) << msg;
+    // The report carries the full retry history: rounds, the backed-off
+    // timeout in force at failure, and the last cumulative ack seen.
+    EXPECT_NE(msg.find("gave up after 0 retransmission round(s)"),
+              std::string::npos)
+        << msg;
+    EXPECT_NE(msg.find("final rto"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("last cumulative ack 0"), std::string::npos) << msg;
   }
+  // The same history is available structurally on the fabric's record.
+  ASSERT_EQ(f.link_failures().size(), 1u);
+  const LinkFailure& lf = f.link_failures().front();
+  EXPECT_EQ(lf.src, 0);
+  EXPECT_EQ(lf.peer, 1);
+  EXPECT_EQ(lf.attempts, 0);
+  EXPECT_EQ(lf.last_ack, 0u);
+  EXPECT_EQ(lf.unacked, 1u);
+  EXPECT_EQ(lf.detected_at, eng.now());
 }
 
 TEST(Reliability, ExhaustedBudgetReportsAfterBackedOffRetries) {
-  auto fail_time = [](double backoff) {
+  auto fail_time = [](double backoff, sim::Time expect_final_rto) {
     sim::Engine eng(3);
     CostModel costs = reliable_costs(1.0, /*retry_budget=*/3,
                                      /*rto=*/20'000);
@@ -185,18 +201,38 @@ TEST(Reliability, ExhaustedBudgetReportsAfterBackedOffRetries) {
     eng.spawn("s",
               [&](sim::Context&) { f.nic(0).send(1, make_packet(1, 0)); });
     sim::Time t = 0;
+    std::string msg;
     try {
       eng.run();
-    } catch (const TransportError&) {
+    } catch (const TransportError& e) {
       t = eng.now();
+      msg = e.what();
     }
     EXPECT_GT(t, 0u);
+    // Retry history in the failure report: every budgeted round ran, with
+    // the advertised rto being the one in force when the link was declared
+    // dead, and no ack ever seen.
+    EXPECT_NE(msg.find("gave up after 3 retransmission round(s)"),
+              std::string::npos)
+        << msg;
+    EXPECT_NE(msg.find("final rto " + std::to_string(expect_final_rto) +
+                       "ns"),
+              std::string::npos)
+        << msg;
+    EXPECT_NE(msg.find("last cumulative ack 0"), std::string::npos) << msg;
+    EXPECT_EQ(f.link_failures().size(), 1u);
+    if (!f.link_failures().empty()) {
+      const LinkFailure& lf = f.link_failures().front();
+      EXPECT_EQ(lf.attempts, 3);
+      EXPECT_EQ(lf.final_rto, expect_final_rto);
+      EXPECT_EQ(lf.detected_at, t);
+    }
     return t;
   };
   // rto chain 20+20+20+20 vs 20+40+80+160 us.
-  EXPECT_GT(fail_time(2.0), fail_time(1.0));
-  EXPECT_EQ(fail_time(1.0), 80'000u);
-  EXPECT_EQ(fail_time(2.0), 300'000u);
+  EXPECT_GT(fail_time(2.0, 160'000), fail_time(1.0, 20'000));
+  EXPECT_EQ(fail_time(1.0, 20'000), 80'000u);
+  EXPECT_EQ(fail_time(2.0, 160'000), 300'000u);
 }
 
 TEST(Reliability, StreamsArePerProtocol) {

@@ -262,6 +262,57 @@ TEST(Engine, TimeNeverGoesBackward) {
   EXPECT_TRUE(monotone);
 }
 
+TEST(Engine, KillUnwindsBlockedProcessAndRunTerminates) {
+  // A killed process dies at its blocking point: the statement after the
+  // interrupted delay never executes, destructors run, and the simulation
+  // terminates normally for everyone else.
+  Engine e;
+  bool victim_resumed = false;
+  bool victim_cleaned_up = false;
+  bool other_finished = false;
+  const int victim = e.spawn("victim", [&](Context& ctx) {
+    struct Guard {
+      bool* flag;
+      ~Guard() { *flag = true; }
+    } g{&victim_cleaned_up};
+    ctx.delay(10'000);
+    victim_resumed = true;
+  });
+  e.spawn("killer", [&](Context& ctx) {
+    ctx.delay(1'000);
+    ctx.engine().kill(victim);
+  });
+  e.spawn("other", [&](Context& ctx) {
+    ctx.delay(20'000);
+    other_finished = true;
+  });
+  e.run();
+  EXPECT_FALSE(victim_resumed);
+  EXPECT_TRUE(victim_cleaned_up);
+  EXPECT_TRUE(other_finished);
+  EXPECT_EQ(e.now(), 20'000u);
+}
+
+TEST(Engine, KillIsIdempotentAndImmediateOnNextBlock) {
+  // Killing twice is harmless; the victim dies at its current blocking
+  // point without ever resuming the statement after it.
+  Engine e;
+  int steps = 0;
+  const int victim = e.spawn("victim", [&](Context& ctx) {
+    steps = 1;
+    ctx.delay(5'000);
+    steps = 2;
+  });
+  e.spawn("killer", [&](Context& ctx) {
+    ctx.engine().kill(victim);
+    ctx.engine().kill(victim);
+    EXPECT_TRUE(ctx.engine().kill_requested(victim));
+    ctx.delay(1);
+  });
+  e.run();
+  EXPECT_EQ(steps, 1);
+}
+
 // ---------------------------------------------------------------- Channel
 
 TEST(Channel, PushThenRecv) {
