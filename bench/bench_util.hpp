@@ -111,6 +111,19 @@ inline std::string trace_flag(int argc, char** argv,
   return {};
 }
 
+/// Parse `--trace-flame=FILE` (or bare `--trace-flame`, defaulting to
+/// <name>.flame): flame-style span aggregation of the traced pass
+/// (Recorder::write_flame). Empty string = off.
+inline std::string flame_flag(int argc, char** argv,
+                              const std::string& default_file) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string a = argv[i];
+    if (a.rfind("--trace-flame=", 0) == 0) return a.substr(14);
+    if (a == "--trace-flame") return default_file;
+  }
+  return {};
+}
+
 /// Run `fn` on every rank of a fresh world with `rec` attached to the
 /// engine, grouped in the exported trace as a chrome process named `label`.
 inline m3rma::sim::Time run_world_traced(
@@ -133,6 +146,15 @@ inline void export_trace(const m3rma::trace::Recorder& rec,
   std::printf("\ntrace: %zu records -> %s\n", rec.record_count(),
               path.c_str());
   std::fputs(rec.metrics_text().c_str(), stdout);
+}
+
+/// Write the flame-style aggregation ("stack total_ns count" lines, see
+/// Recorder::write_flame) to `path`.
+inline void export_flame(const m3rma::trace::Recorder& rec,
+                         const std::string& path) {
+  std::ofstream os(path, std::ios::binary);
+  rec.write_flame(os);
+  std::printf("flame: -> %s\n", path.c_str());
 }
 
 }  // namespace benchutil

@@ -123,15 +123,18 @@ int main(int argc, char** argv) {
 
   // Optional trace pass: re-run one representative size (64 B) per series
   // with the recorder attached. Kept off the table path so the numbers above
-  // stay byte-identical whether or not --trace is given.
+  // stay byte-identical whether or not --trace / --trace-flame is given.
   const std::string trace_file =
       benchutil::trace_flag(argc, argv, "fig2_attribute_cost_trace.json");
-  if (!trace_file.empty()) {
+  const std::string flame_file =
+      benchutil::flame_flag(argc, argv, "fig2_attribute_cost.flame");
+  if (!trace_file.empty() || !flame_file.empty()) {
     trace::Recorder rec;
     for (const Series& s : series) {
       run_fig2(s, 64, &rec, std::string("fig2 64B ") + s.name);
     }
-    benchutil::export_trace(rec, trace_file);
+    if (!trace_file.empty()) benchutil::export_trace(rec, trace_file);
+    if (!flame_file.empty()) benchutil::export_flame(rec, flame_file);
   }
   return 0;
 }

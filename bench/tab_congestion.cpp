@@ -1,0 +1,310 @@
+// Table S11: link congestion under the Figure 2 incast — 3D torus vs. flat
+// crossbar.
+//
+// The paper's Figure 2 workload (seven origins hammering rank 0 with 100
+// puts each) is the textbook incast. On the paper's Cray XT5 the SeaStar
+// NICs sit on a 3D torus, so those seven flows do not get seven private
+// wires: dimension-ordered routing folds them onto the handful of physical
+// links entering rank 0's node, and the last link saturates. The flat
+// crossbar the fabric modeled before src/topo existed cannot express that.
+//
+// This bench runs the incast on 8 ranks over both a dedicated-link
+// crossbar and a 2x2x2 torus, at two payload sizes: the paper's 512 B
+// (latency-bound — routing folds the flows but the hot link stays
+// unsaturated, so completion time is unchanged) and 8 KiB (bandwidth-bound
+// — the hot link saturates and the torus incast visibly stretches). It
+// reports per-physical-link traffic, the hot link, and a
+// link-utilization-over-virtual-time heatmap (ASCII to stdout; long-form
+// CSV via --heatmap-csv=FILE). Utilization is the fraction of virtual time
+// the link's serializer is busy, derived from the trace layer's per-link
+// xmit spans, so the heatmap is byte-deterministic per seed.
+//
+//   build/bench/tab_congestion [--heatmap-csv=FILE] [--trace[=FILE]]
+//                              [--trace-flame[=FILE]]
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+#include <map>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "bench/bench_util.hpp"
+#include "core/rma_engine.hpp"
+#include "topo/topology.hpp"
+
+using namespace m3rma;
+using benchutil::Table;
+
+namespace {
+
+constexpr int kRanks = 8;
+constexpr int kPuts = 100;
+constexpr std::uint64_t kSmallPut = 512;   // paper's Figure 2 regime
+constexpr std::uint64_t kLargePut = 8192;  // bandwidth-bound regime
+constexpr int kBuckets = 40;
+constexpr std::size_t kHeatmapRows = 16;  // ASCII cap; CSV is uncapped
+
+struct LinkStat {
+  std::string name;
+  int src = 0;
+  int dst = 0;
+  std::uint64_t msgs = 0;
+  std::uint64_t bytes = 0;
+  sim::Time busy_ns = 0;
+};
+
+struct RunResult {
+  std::string label;
+  sim::Time duration = 0;    // whole run, virtual
+  sim::Time incast_ns = 0;   // max over the seven origins, like Figure 2
+  std::uint64_t wire_msgs = 0;
+  std::vector<LinkStat> links;  // LinkId order
+};
+
+RunResult run_incast(const topo::TopoConfig& tc, std::uint64_t bytes_per_put,
+                     const std::string& label, trace::Recorder& rec) {
+  auto cfg = benchutil::xt5_config(kRanks);
+  cfg.topo = tc;
+  std::vector<sim::Time> elapsed(kRanks, 0);
+  runtime::World w(std::move(cfg));
+  rec.begin_process(label);
+  w.engine().set_tracer(&rec);
+  w.run([&](runtime::Rank& r) {
+    core::RmaEngine rma(r, r.comm_world());
+    auto buf = r.alloc(2 * kLargePut);
+    auto mems = rma.exchange_all(rma.attach(buf.addr, buf.size));
+    auto src = r.alloc(2 * kLargePut);
+    r.comm_world().barrier();
+    if (r.id() != 0) {
+      const sim::Time t0 = r.ctx().now();
+      for (int i = 0; i < kPuts; ++i) {
+        rma.put_bytes(src.addr, mems[0], 0, bytes_per_put, 0,
+                      core::Attrs(core::RmaAttr::blocking));
+      }
+      rma.complete(0);
+      elapsed[static_cast<std::size_t>(r.id())] = r.ctx().now() - t0;
+    }
+    rma.complete_collective();
+  });
+  RunResult res;
+  res.label = label;
+  res.duration = w.duration();
+  res.incast_ns = *std::max_element(elapsed.begin(), elapsed.end());
+  res.wire_msgs = w.fabric().total_messages();
+  const topo::TopologyModel* model = w.fabric().topology();
+  const topo::Topology& t = model->topology();
+  for (int l = 0; l < t.link_count(); ++l) {
+    const auto& st = model->state(l);
+    res.links.push_back(LinkStat{t.link_name(l), t.link_src(l),
+                                 t.link_dst(l), st.msgs, st.bytes,
+                                 st.busy_ns});
+  }
+  return res;
+}
+
+/// Utilization of the whole run, in integer basis points (1/100 %).
+std::uint64_t util_bp(sim::Time busy, sim::Time total) {
+  return total == 0 ? 0 : busy * 10'000 / total;
+}
+
+std::string fmt_pct(std::uint64_t bp) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%llu.%02llu%%",
+                static_cast<unsigned long long>(bp / 100),
+                static_cast<unsigned long long>(bp % 100));
+  return buf;
+}
+
+/// Hottest utilization among links delivering into rank 0's node.
+std::uint64_t hot_rank0_util_bp(const RunResult& r) {
+  std::uint64_t best = 0;
+  for (const LinkStat& l : r.links) {
+    if (l.dst != 0) continue;
+    best = std::max(best, util_bp(l.busy_ns, r.duration));
+  }
+  return best;
+}
+
+const LinkStat* hottest_link(const RunResult& r) {
+  const LinkStat* best = nullptr;
+  for (const LinkStat& l : r.links) {
+    if (best == nullptr || l.busy_ns > best->busy_ns) best = &l;
+  }
+  return best;
+}
+
+/// Per-link per-bucket busy ns, from the trace layer's xmit spans.
+std::map<std::string, std::vector<sim::Time>> bucketize(
+    const trace::Recorder& rec, const RunResult& r, sim::Time bucket_ns) {
+  std::map<std::string, std::vector<sim::Time>> out;
+  rec.for_each_span([&](const std::string& proc, const std::string& track,
+                        const std::string& name, trace::Category cat,
+                        trace::Time t0, trace::Time t1) {
+    (void)cat;
+    if (proc != r.label || name != "xmit") return;
+    if (track.rfind("plink:", 0) != 0) return;
+    auto& row = out[track];
+    if (row.empty()) row.assign(kBuckets, 0);
+    for (trace::Time t = t0; t < t1;) {
+      const std::size_t b =
+          std::min<std::size_t>(t / bucket_ns, kBuckets - 1);
+      const trace::Time bucket_end = (static_cast<trace::Time>(b) + 1) *
+                                     bucket_ns;
+      const trace::Time step = std::min(t1, bucket_end);
+      row[b] += step - t;
+      t = step;
+    }
+  });
+  return out;
+}
+
+void print_heatmap(const RunResult& r, const trace::Recorder& rec) {
+  const sim::Time bucket_ns = (r.duration + kBuckets - 1) / kBuckets;
+  const auto rows = bucketize(rec, r, bucket_ns);
+  // Rank rows by total traffic so the hot links are on top.
+  std::vector<std::pair<std::string, sim::Time>> order;
+  for (const auto& [link, cells] : rows) {
+    sim::Time total = 0;
+    for (sim::Time c : cells) total += c;
+    order.emplace_back(link, total);
+  }
+  std::stable_sort(order.begin(), order.end(),
+                   [](const auto& a, const auto& b) {
+                     return a.second != b.second ? a.second > b.second
+                                                 : a.first < b.first;
+                   });
+  std::printf(
+      "\nlink utilization heatmap — %s (%% of each %s us bucket busy; "
+      "ramp \" .:-=+*#%%@\")\n",
+      r.label.c_str(), benchutil::fmt_us(bucket_ns).c_str());
+  const std::size_t shown = std::min(order.size(), kHeatmapRows);
+  for (std::size_t i = 0; i < shown; ++i) {
+    const auto& cells = rows.at(order[i].first);
+    std::printf("  %-14s ", order[i].first.c_str());
+    for (sim::Time c : cells) {
+      static const char ramp[] = " .:-=+*#%@";
+      const std::uint64_t bp = util_bp(c, bucket_ns);
+      std::printf("%c", ramp[std::min<std::uint64_t>(bp / 1000, 9)]);
+    }
+    std::printf(" %s\n", fmt_pct(util_bp(order[i].second, r.duration)).c_str());
+  }
+  if (order.size() > shown) {
+    std::printf("  (showing top %zu of %zu active links; CSV has all)\n",
+                shown, order.size());
+  }
+}
+
+void write_heatmap_csv(std::ostream& os, const RunResult& r,
+                       const trace::Recorder& rec) {
+  const sim::Time bucket_ns = (r.duration + kBuckets - 1) / kBuckets;
+  const auto rows = bucketize(rec, r, bucket_ns);
+  for (const auto& [link, cells] : rows) {
+    for (int b = 0; b < kBuckets; ++b) {
+      const sim::Time b0 = static_cast<sim::Time>(b) * bucket_ns;
+      const std::uint64_t bp = util_bp(cells[static_cast<std::size_t>(b)],
+                                       bucket_ns);
+      os << r.label << "," << link << "," << b0 << "," << b0 + bucket_ns
+         << "," << cells[static_cast<std::size_t>(b)] << "," << bp / 100
+         << "." << bp % 100 / 10 << bp % 10 << "\n";
+    }
+  }
+}
+
+std::string csv_flag(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string a = argv[i];
+    if (a.rfind("--heatmap-csv=", 0) == 0) return a.substr(14);
+    if (a == "--heatmap-csv") return "tab_congestion_heatmap.csv";
+  }
+  return {};
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  trace::Recorder rec;
+  topo::TopoConfig crossbar;
+  crossbar.kind = topo::Kind::crossbar;
+  topo::TopoConfig torus;
+  torus.kind = topo::Kind::torus3d;
+  torus.dim_x = torus.dim_y = torus.dim_z = 2;
+
+  const RunResult xb_s = run_incast(crossbar, kSmallPut, "crossbar 512B", rec);
+  const RunResult t3_s = run_incast(torus, kSmallPut, "torus3d 512B", rec);
+  const RunResult xb_l = run_incast(crossbar, kLargePut, "crossbar 8KiB", rec);
+  const RunResult t3_l = run_incast(torus, kLargePut, "torus3d 8KiB", rec);
+
+  Table t;
+  t.title =
+      "Table S11 — Figure 2 incast (7 origins x 100 puts to rank 0) on "
+      "physical topologies (Cray-XT5-like simulator; torus is 2x2x2)";
+  t.header = {"topology",      "bytes/put",    "incast (ms)",
+              "wire msgs",     "phys links",   "hot link",
+              "hot link bytes", "hot link util", "max util into rank 0"};
+  const struct {
+    const RunResult* r;
+    std::uint64_t bytes;
+  } rows[] = {{&xb_s, kSmallPut},
+              {&t3_s, kSmallPut},
+              {&xb_l, kLargePut},
+              {&t3_l, kLargePut}};
+  for (const auto& row : rows) {
+    const RunResult& r = *row.r;
+    const LinkStat* hot = hottest_link(r);
+    t.rows.push_back({r.label.substr(0, r.label.find(' ')),
+                      std::to_string(row.bytes), benchutil::fmt_ms(r.incast_ns),
+                      benchutil::fmt_u64(r.wire_msgs),
+                      std::to_string(r.links.size()), hot->name,
+                      benchutil::fmt_u64(hot->bytes),
+                      fmt_pct(util_bp(hot->busy_ns, r.duration)),
+                      fmt_pct(hot_rank0_util_bp(r))});
+  }
+  t.print();
+
+  std::printf("\nshape checks:\n");
+  std::printf(
+      "  512B: torus hot-rank0-link util / crossbar : %s / %s = %.1fx (>= "
+      "2x: dimension-ordered routing folds 4 of the 7 flows onto one "
+      "wire)\n",
+      fmt_pct(hot_rank0_util_bp(t3_s)).c_str(),
+      fmt_pct(hot_rank0_util_bp(xb_s)).c_str(),
+      static_cast<double>(hot_rank0_util_bp(t3_s)) /
+          static_cast<double>(
+              std::max<std::uint64_t>(hot_rank0_util_bp(xb_s), 1)));
+  std::printf(
+      "  512B: torus incast / crossbar incast       : %s (latency-bound: "
+      "hot link unsaturated, no stretch)\n",
+      benchutil::fmt_ratio(t3_s.incast_ns, xb_s.incast_ns).c_str());
+  std::printf(
+      "  8KiB: torus hot-rank0-link util / crossbar : %s / %s = %.1fx\n",
+      fmt_pct(hot_rank0_util_bp(t3_l)).c_str(),
+      fmt_pct(hot_rank0_util_bp(xb_l)).c_str(),
+      static_cast<double>(hot_rank0_util_bp(t3_l)) /
+          static_cast<double>(
+              std::max<std::uint64_t>(hot_rank0_util_bp(xb_l), 1)));
+  std::printf(
+      "  8KiB: torus incast / crossbar incast       : %s (bandwidth-bound: "
+      "the saturated z link stretches the incast)\n",
+      benchutil::fmt_ratio(t3_l.incast_ns, xb_l.incast_ns).c_str());
+
+  // Heatmaps for the bandwidth-bound regime, where contention is visible.
+  print_heatmap(xb_l, rec);
+  print_heatmap(t3_l, rec);
+
+  const std::string csv_file = csv_flag(argc, argv);
+  if (!csv_file.empty()) {
+    std::ofstream os(csv_file, std::ios::binary);
+    os << "config,link,bucket_start_ns,bucket_end_ns,busy_ns,utilization_"
+          "pct\n";
+    for (const auto& row : rows) write_heatmap_csv(os, *row.r, rec);
+    std::printf("\nheatmap csv: -> %s\n", csv_file.c_str());
+  }
+  const std::string trace_file =
+      benchutil::trace_flag(argc, argv, "tab_congestion_trace.json");
+  if (!trace_file.empty()) benchutil::export_trace(rec, trace_file);
+  const std::string flame_file =
+      benchutil::flame_flag(argc, argv, "tab_congestion.flame");
+  if (!flame_file.empty()) benchutil::export_flame(rec, flame_file);
+  return 0;
+}

@@ -18,6 +18,13 @@ std::string link_counter(int src, int dst, const char* what) {
          "." + what;
 }
 
+/// Counter key for a physical link, e.g. "fabric.plink.5->1.busy_ns".
+std::string plink_counter(const topo::Topology& t, topo::LinkId l,
+                          const char* what) {
+  return "fabric.plink." + std::to_string(t.link_src(l)) + "->" +
+         std::to_string(t.link_dst(l)) + "." + what;
+}
+
 }  // namespace
 
 // -------------------------------------------------------------------- Nic
@@ -110,6 +117,14 @@ sim::Time Fabric::transfer_time(int src, int dst,
   return wire + serial + costs_.delivery_overhead_ns;
 }
 
+void Fabric::set_topology(const topo::TopoConfig& cfg) {
+  M3RMA_REQUIRE(topo_ == nullptr, "topology already configured");
+  M3RMA_REQUIRE(total_messages_ == 0,
+                "configure the topology before any traffic is injected");
+  topo_ = std::make_unique<topo::TopologyModel>(topo::TopologyModel::build(
+      cfg, nodes(), costs_.latency_ns, costs_.bytes_per_ns));
+}
+
 SplitMix64& Fabric::link_rng(std::uint64_t key) {
   auto it = link_rngs_.find(key);
   if (it == link_rngs_.end()) {
@@ -144,6 +159,14 @@ void Fabric::route(Packet&& p) {
     tr->add_counter(trace::Category::fabric, link_counter(p.src, p.dst, "msgs"));
     tr->add_counter(trace::Category::fabric, link_counter(p.src, p.dst, "bytes"),
                     p.wire_size());
+  }
+
+  if (topo_ != nullptr && p.src != p.dst) {
+    // Physical-topology path: traverse the dimension-ordered hop chain.
+    // Self-sends stay on the loopback path below — they never touch wires.
+    topo_hop(std::move(p), topo_->topology().route(p.src, p.dst), 0,
+             eng_->now());
+    return;
   }
 
   if (costs_.loss_rate > 0.0 && link_rng(key).next_bool(costs_.loss_rate)) {
@@ -201,6 +224,103 @@ void Fabric::route(Packet&& p) {
         }
         target->deliver(std::move(pkt));
       });
+}
+
+void Fabric::topo_hop(Packet&& p, std::vector<topo::LinkId>&& path,
+                      std::size_t idx, sim::Time ready) {
+  const topo::Topology& t = topo_->topology();
+  const topo::LinkId link = path[idx];
+  auto* tr = trace::want(eng_->tracer(), trace::Category::fabric);
+
+  // Loss is per hop, drawn from the physical link's own rng stream: one
+  // link's traffic cannot change which packets drop on another, and a
+  // packet crossing k hops faces k independent drop decisions.
+  if (costs_.loss_rate > 0.0 &&
+      link_rng(topo_link_key(link)).next_bool(costs_.loss_rate)) {
+    ++dropped_packets_;
+    if (tr != nullptr) {
+      tr->instant(tr->track(t.link_name(link)), trace::Category::fabric,
+                  "drop",
+                  "proto=" + std::to_string(p.protocol) +
+                      " seq=" + std::to_string(p.seq) + " hop=" +
+                      std::to_string(idx));
+      tr->add_counter(trace::Category::fabric,
+                      plink_counter(t, link, "drops"));
+    }
+    return;
+  }
+
+  // Store-and-forward: FIFO-queue on the link's serialization window; the
+  // packet is whole at the next router only after xmit + wire latency.
+  const topo::TopologyModel::Transit tx =
+      topo_->reserve(link, ready, p.wire_size());
+  if (tr != nullptr) {
+    tr->span_at(tr->track(t.link_name(link)), trace::Category::fabric,
+                "xmit", tx.depart, tx.depart + tx.serial,
+                "proto=" + std::to_string(p.protocol) +
+                    " bytes=" + std::to_string(p.wire_size()) + " hop=" +
+                    std::to_string(idx));
+    tr->add_counter(trace::Category::fabric, plink_counter(t, link, "msgs"));
+    tr->add_counter(trace::Category::fabric, plink_counter(t, link, "bytes"),
+                    p.wire_size());
+    tr->add_counter(trace::Category::fabric,
+                    plink_counter(t, link, "busy_ns"), tx.serial);
+  }
+
+  sim::Time arrive = tx.arrive;
+  if (!caps_.ordered_delivery && p.src != p.dst && costs_.jitter_ns > 0) {
+    // Adaptive routing spread, per hop, from the per-link stream.
+    arrive += link_rng(topo_link_key(link)).next_below(costs_.jitter_ns + 1);
+  }
+
+  eng_->schedule_at(arrive, [this, pkt = std::move(p), pth = std::move(path),
+                             idx]() mutable {
+    // Fail-stop quarantines a dead node's physical links too: a packet
+    // reaching a dead router — or whose endpoints died mid-flight — is
+    // lost at that hop.
+    const int here = topo_->topology().link_dst(pth[idx]);
+    if (alive_[static_cast<std::size_t>(pkt.src)] == 0 ||
+        alive_[static_cast<std::size_t>(pkt.dst)] == 0 ||
+        alive_[static_cast<std::size_t>(here)] == 0) {
+      blackhole(pkt, idx + 1 == pth.size() ? "in_flight" : "topo_transit");
+      return;
+    }
+    if (idx + 1 == pth.size()) {
+      topo_deliver(std::move(pkt));
+    } else {
+      topo_hop(std::move(pkt), std::move(pth), idx + 1, eng_->now());
+    }
+  });
+}
+
+void Fabric::topo_deliver(Packet&& p) {
+  // Endpoint tail, identical to the flat path: target NIC processing cost,
+  // per-(src,dst) FIFO on ordered networks, receive-pipeline occupancy.
+  const std::uint64_t key = static_cast<std::uint64_t>(p.src) *
+                                static_cast<std::uint64_t>(nodes()) +
+                            static_cast<std::uint64_t>(p.dst);
+  sim::Time arrival = eng_->now() + costs_.delivery_overhead_ns;
+  if (caps_.ordered_delivery) {
+    auto& last = last_arrival_[key];
+    if (arrival <= last) arrival = last + 1;
+    last = arrival;
+  }
+  Nic* target = nics_[static_cast<std::size_t>(p.dst)].get();
+  if (costs_.delivery_occupancy_ns > 0) {
+    if (arrival < target->rx_busy_until_) arrival = target->rx_busy_until_;
+    target->rx_busy_until_ = arrival + costs_.delivery_occupancy_ns;
+    if (caps_.ordered_delivery) {
+      last_arrival_[key] = std::max(last_arrival_[key], arrival);
+    }
+  }
+  eng_->schedule_at(arrival, [this, target, pkt = std::move(p)]() mutable {
+    if (alive_[static_cast<std::size_t>(pkt.src)] == 0 ||
+        alive_[static_cast<std::size_t>(pkt.dst)] == 0) {
+      blackhole(pkt, "in_flight");
+      return;
+    }
+    target->deliver(std::move(pkt));
+  });
 }
 
 void Fabric::blackhole(const Packet& p, const char* where) {

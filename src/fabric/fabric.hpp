@@ -20,6 +20,7 @@
 #include "fabric/packet.hpp"
 #include "fabric/reliability.hpp"
 #include "simtime/engine.hpp"
+#include "topo/topology.hpp"
 
 namespace m3rma::fabric {
 
@@ -140,8 +141,29 @@ class Fabric {
   sim::Engine& engine() { return *eng_; }
 
   /// Pure cost-model query: transfer time of `wire_bytes` between src and
-  /// dst, excluding jitter and ordering adjustments.
+  /// dst, excluding jitter and ordering adjustments. Flat-crossbar model;
+  /// with a topology configured the actual per-packet time additionally
+  /// depends on hop count and link queuing.
   sim::Time transfer_time(int src, int dst, std::size_t wire_bytes) const;
+
+  // ----- topology-aware interconnect (src/topo) ---------------------------
+
+  /// Install a physical-topology model built from `cfg`, with unset link
+  /// parameters derived from this fabric's CostModel (bandwidth =
+  /// bytes_per_ns; per-hop latency = latency_ns / diameter, so end-to-end
+  /// latency across the longest route matches the flat model). From then on
+  /// every packet between distinct nodes traverses its dimension-ordered
+  /// hop chain as scheduled events, store-and-forward, queuing on each
+  /// link's serialization window; loss and jitter draw from per-physical-
+  /// link rng streams so drop decisions are independent per hop. Self-sends
+  /// keep the loopback path. Must be called before any traffic; one-shot.
+  /// Never calling it keeps the legacy full-crossbar path, byte-identical
+  /// to builds without the topo subsystem.
+  void set_topology(const topo::TopoConfig& cfg);
+  /// The installed model (mutable: tests/benches may override per-link
+  /// parameters before traffic), or nullptr when none is configured.
+  topo::TopologyModel* topology() { return topo_.get(); }
+  const topo::TopologyModel* topology() const { return topo_.get(); }
 
   std::uint64_t total_messages() const { return total_messages_; }
   std::uint64_t total_bytes() const { return total_bytes_; }
@@ -194,15 +216,33 @@ class Fabric {
  private:
   friend class Nic;
   void route(Packet&& p);
-  /// Derived per-(src,dst) rng stream for loss/jitter draws: traffic on one
-  /// link cannot change which packets drop or how they jitter on another.
+  /// Topology path: move `p` across hop `idx` of `path`, ready to start
+  /// serializing at `ready`; schedules the next hop (or final delivery) as
+  /// an event at the store-and-forward arrival time.
+  void topo_hop(Packet&& p, std::vector<topo::LinkId>&& path,
+                std::size_t idx, sim::Time ready);
+  /// Topology path tail: endpoint delivery at the destination node, with
+  /// the same per-(src,dst) FIFO clamp and receive-occupancy queuing as the
+  /// flat path.
+  void topo_deliver(Packet&& p);
+  /// Derived rng stream for loss/jitter draws, keyed by endpoint pair on
+  /// the flat path and by physical link id (see topo_link_key) with a
+  /// topology: traffic on one link cannot change which packets drop or how
+  /// they jitter on another, and drop decisions are independent per hop.
   SplitMix64& link_rng(std::uint64_t key);
+  static std::uint64_t topo_link_key(topo::LinkId l) {
+    // Disjoint from the flat path's src*nodes+dst key space ("topo" tag in
+    // the high bits).
+    return 0x746F'706F'0000'0000ULL | static_cast<std::uint64_t>(
+                                          static_cast<std::uint32_t>(l));
+  }
 
   void blackhole(const Packet& p, const char* where);
 
   sim::Engine* eng_;
   Capabilities caps_;
   CostModel costs_;
+  std::unique_ptr<topo::TopologyModel> topo_;
   std::vector<std::unique_ptr<Nic>> nics_;
   std::unordered_map<std::uint64_t, sim::Time> last_arrival_;
   std::unordered_map<std::uint64_t, std::uint64_t> next_seq_;

@@ -12,6 +12,7 @@ World::World(WorldConfig cfg) : cfg_(std::move(cfg)), eng_(cfg_.seed) {
   M3RMA_REQUIRE(cfg_.ranks > 0, "world needs at least one rank");
   fabric_ = std::make_unique<fabric::Fabric>(eng_, cfg_.ranks, cfg_.caps,
                                              cfg_.costs);
+  if (cfg_.topo.has_value()) fabric_->set_topology(*cfg_.topo);
   if (cfg_.faults.isolate_on_link_failure) {
     // STONITH convergence: a reliability endpoint that exhausted its budget
     // cannot tell a dead peer from a partitioned one; declaring the peer

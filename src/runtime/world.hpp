@@ -10,6 +10,7 @@
 #include <cstdint>
 #include <functional>
 #include <memory>
+#include <optional>
 #include <span>
 #include <unordered_map>
 #include <vector>
@@ -60,6 +61,11 @@ struct WorldConfig {
   /// Fail-stop fault injection; empty schedule = no faults, byte-identical
   /// to a world without the fault model.
   FaultPlan faults{};
+  /// Physical interconnect topology (src/topo): packets then traverse
+  /// dimension-ordered hop chains with per-link contention. nullopt = the
+  /// legacy flat crossbar, byte-identical to a world without the topo
+  /// subsystem.
+  std::optional<topo::TopoConfig> topo{};
 };
 
 class World {

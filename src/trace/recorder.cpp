@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <ostream>
 #include <sstream>
+#include <utility>
 
 #include "common/diagnostics.hpp"
 
@@ -109,6 +110,23 @@ void Recorder::span_end(SpanHandle h) {
   max_ts_ = std::max(max_ts_, r.t1);
 }
 
+void Recorder::span_at(int track, Category cat, std::string name, Time t0,
+                       Time t1, std::string args) {
+  if (!enabled(cat)) return;
+  M3RMA_ENSURE(t1 >= t0, "span_at interval must not be inverted");
+  note_site(cat, name, t1);
+  Rec r;
+  r.kind = Rec::Kind::span;
+  r.pid = cur_pid_;
+  r.track = track;
+  r.cat = cat;
+  r.name = std::move(name);
+  r.args = std::move(args);
+  r.t0 = t0;
+  r.t1 = t1;
+  recs_.push_back(std::move(r));
+}
+
 void Recorder::instant(int track, Category cat, std::string name,
                        std::string args) {
   if (!enabled(cat)) return;
@@ -170,6 +188,16 @@ std::optional<Recorder::HistSummary> Recorder::histogram(
   for (Time x : v) sum += x;
   s.mean = sum / v.size();
   return s;
+}
+
+void Recorder::for_each_span(const SpanVisitor& fn) const {
+  for (const Rec& r : recs_) {
+    if (r.kind != Rec::Kind::span) continue;
+    const Time end = r.open ? std::max(max_ts_, r.t0) : r.t1;
+    const Process& p = procs_[static_cast<std::size_t>(r.pid)];
+    fn(p.name, p.tracks[static_cast<std::size_t>(r.track)], r.name, r.cat,
+       r.t0, end);
+  }
 }
 
 std::size_t Recorder::span_count(Category cat) const {
@@ -292,6 +320,65 @@ void Recorder::write_metrics(std::ostream& os) const {
        << " p50=" << s->p50 << " p90=" << s->p90 << " p99=" << s->p99
        << " max=" << s->max << " mean=" << s->mean << "\n";
   }
+}
+
+void Recorder::write_flame(std::ostream& os) const {
+  // Group span record indices per (process, track); recording order within
+  // a track is begin-time order (the virtual clock is monotone), which the
+  // nesting sweep below relies on. span_at records can carry future
+  // timestamps, so re-sort defensively — stable, so the export stays
+  // deterministic.
+  std::map<std::pair<int, int>, std::vector<std::size_t>> by_track;
+  for (std::size_t i = 0; i < recs_.size(); ++i) {
+    const Rec& r = recs_[i];
+    if (r.kind != Rec::Kind::span) continue;
+    by_track[{r.pid, r.track}].push_back(i);
+  }
+  struct Agg {
+    Time total = 0;
+    std::uint64_t count = 0;
+  };
+  std::map<std::string, Agg> stacks;
+  for (auto& [key, idxs] : by_track) {
+    (void)key;
+    auto end_of = [&](const Rec& r) {
+      return r.open ? std::max(max_ts_, r.t0) : r.t1;
+    };
+    std::stable_sort(idxs.begin(), idxs.end(),
+                     [&](std::size_t a, std::size_t b) {
+                       const Rec& ra = recs_[a];
+                       const Rec& rb = recs_[b];
+                       if (ra.t0 != rb.t0) return ra.t0 < rb.t0;
+                       return end_of(ra) > end_of(rb);  // parent first
+                     });
+    // Sweep: a span nests inside the nearest earlier span on its track
+    // whose interval contains it.
+    std::vector<std::pair<Time, std::string>> open;  // (end, stack path)
+    for (std::size_t i : idxs) {
+      const Rec& r = recs_[i];
+      const Time end = end_of(r);
+      while (!open.empty() &&
+             (open.back().first <= r.t0 || open.back().first < end)) {
+        open.pop_back();
+      }
+      std::string path =
+          open.empty() ? r.name : open.back().second + ";" + r.name;
+      Agg& a = stacks[path];
+      a.total += end - r.t0;
+      a.count += 1;
+      open.emplace_back(end, std::move(path));
+    }
+  }
+  os << "# m3rma flame: stack total_virtual_time_ns count\n";
+  for (const auto& [path, a] : stacks) {
+    os << path << " " << a.total << " " << a.count << "\n";
+  }
+}
+
+std::string Recorder::flame_text() const {
+  std::ostringstream os;
+  write_flame(os);
+  return os.str();
 }
 
 std::string Recorder::chrome_json() const {

@@ -33,6 +33,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <iosfwd>
 #include <map>
 #include <optional>
@@ -100,6 +101,13 @@ class Recorder {
                         std::string args = {});
   /// Stamp the span's end with the current virtual time. Safe on handle 0.
   void span_end(SpanHandle h);
+  /// Record an already-closed span with explicit timestamps. Used when the
+  /// interval is known at recording time but lies (partly) in the virtual
+  /// future — e.g. a physical-link transmission window the topology model
+  /// just reserved. Recording it immediately keeps the no-extra-events rule:
+  /// a traced run schedules exactly what an untraced one does.
+  void span_at(int track, Category cat, std::string name, Time t0, Time t1,
+               std::string args = {});
   void instant(int track, Category cat, std::string name,
                std::string args = {});
   void add_counter(Category cat, const std::string& name,
@@ -131,6 +139,17 @@ class Recorder {
   std::size_t span_count(Category cat) const;
   std::size_t open_span_count() const;
 
+  /// Visit every recorded span in recording order: (process name, track
+  /// name, span name, category, t0, t1). Open spans report t1 extended to
+  /// the last recorded timestamp, matching the Chrome export. Consumers:
+  /// the congestion heatmap (bench/tab_congestion) buckets physical-link
+  /// transmission spans by virtual time.
+  using SpanVisitor =
+      std::function<void(const std::string& process, const std::string& track,
+                         const std::string& name, Category cat, Time t0,
+                         Time t1)>;
+  void for_each_span(const SpanVisitor& fn) const;
+
   // ----- export -------------------------------------------------------------
 
   /// Chrome trace-event JSON (load at ui.perfetto.dev or
@@ -143,6 +162,16 @@ class Recorder {
   /// both sorted by name.
   void write_metrics(std::ostream& os) const;
   std::string metrics_text() const;
+
+  /// Flame-style aggregation: spans collapsed by their name stack. Each
+  /// line is `name;child;... total_virtual_time_ns count`, where the stack
+  /// is the chain of enclosing spans on the same track (a span nests inside
+  /// the innermost earlier span on its track whose interval contains it).
+  /// Totals are inclusive virtual time; lines are sorted by stack, so the
+  /// export is byte-deterministic. A quick "where does virtual time go"
+  /// summary without loading Perfetto.
+  void write_flame(std::ostream& os) const;
+  std::string flame_text() const;
 
  private:
   struct Process {

@@ -11,6 +11,7 @@
 #include "core/rma_engine.hpp"
 #include "runtime/comm.hpp"
 #include "runtime/world.hpp"
+#include "topo/topology.hpp"
 #include "trace/recorder.hpp"
 
 namespace m3rma {
@@ -383,6 +384,84 @@ TEST(FaultInjection, CollectivesDegradeWithDeadMember) {
   EXPECT_TRUE(gathered[3].empty()) << "dead rank contributes nothing";
   EXPECT_EQ(reduced, 1u + 2u + 3u);  // ranks 0,1,2; rank 3's 4 is lost
   EXPECT_EQ(bcast_seen, std::vector<std::byte>(5, std::byte{0x7e}));
+}
+
+// Fail-stop on a physical topology: a crash mid-incast quarantines the
+// dead node's links — its in-flight packets vanish at the next hop instead
+// of delivering. Survivor routes that avoid the dead node keep working,
+// the degraded collectives finish, and the whole thing replays
+// byte-identically down to per-physical-link byte totals.
+//
+// Geometry (2x2x2 torus, node = x + 2y + 4z): the corner 7 = (1,1,1) is
+// transit only for traffic the survivors never exchange here — incast
+// routes into 0 transit nodes {2,4,6}, the flush-probe replies out of 0
+// transit {1,2}, and the dissemination barrier's surviving pairs are all
+// routed off-corner — so killing 7 leaves every survivor path functional.
+// (Flows that DO route through a dead transit node are covered at the
+// fabric level by TopoFabricTest.DeadTransitNodeBlackholesRoutedPackets:
+// with non-adaptive dimension-ordered routing such a directed pair is
+// simply severed.)
+TEST(FaultInjection, TorusCrashQuarantinesLinksButSurvivorsFinishIncast) {
+  struct Outcome {
+    sim::Time duration = 0;
+    std::uint64_t at_root = 0;  // data ops delivered to rank 0
+    std::uint64_t blackholed = 0;
+    std::vector<int> failed;
+    std::vector<std::uint64_t> link_bytes;
+    int finished = 0;
+    bool operator==(const Outcome&) const = default;
+  };
+  constexpr int kPuts = 30;
+  auto run_once = [&] {
+    WorldConfig cfg;
+    cfg.ranks = 8;
+    cfg.seed = 1337;
+    cfg.costs.latency_ns = 4200;
+    cfg.costs.bytes_per_ns = 1.6;
+    topo::TopoConfig tc;
+    tc.kind = topo::Kind::torus3d;
+    tc.dim_x = tc.dim_y = tc.dim_z = 2;
+    cfg.topo = tc;
+    // Lands mid-stream: every origin is still issuing, so rank 7 dies with
+    // packets of its own on the wire (quarantined at their next hop).
+    cfg.faults.schedule = {{/*rank=*/7, /*at=*/295'000}};
+    World w(cfg);
+    Outcome o;
+    w.run([&](Rank& r) {
+      RmaEngine eng(r, r.comm_world());
+      auto [buf, mems] = eng.allocate_shared(1024);
+      auto src = r.alloc(256);
+      if (r.id() != 0) {
+        for (int i = 0; i < kPuts; ++i) {
+          // The incast: everyone hammers rank 0. Local completion only, so
+          // no ack has to find its way back through the dead region.
+          eng.put_bytes(src.addr, mems[0], 0, 256, 0,
+                        Attrs(RmaAttr::blocking));
+          r.ctx().delay(10'000);
+        }
+      }
+      o.failed = eng.complete_collective();
+      o.finished += 1;
+    });
+    o.duration = w.duration();
+    for (int src = 1; src < 8; ++src) {
+      o.at_root += w.portals(0).received_data_ops(core::kPtData, src);
+    }
+    o.blackholed = w.fabric().blackholed_packets();
+    o.link_bytes = w.fabric().topology()->byte_totals();
+    return o;
+  };
+  const Outcome o = run_once();
+  EXPECT_EQ(o.finished, 7);  // all survivors, not rank 7
+  EXPECT_EQ(o.failed, std::vector<int>{7});
+  // Every survivor origin's route to rank 0 avoids node 7, so all their
+  // puts land; rank 7 itself delivered only what it issued before dying.
+  EXPECT_GE(o.at_root, static_cast<std::uint64_t>(6 * kPuts));
+  EXPECT_LT(o.at_root, static_cast<std::uint64_t>(7 * kPuts));
+  // The quarantine ate rank 7's in-flight packets.
+  EXPECT_GT(o.blackholed, 0u);
+  // Deterministic replay, down to per-physical-link byte totals.
+  EXPECT_EQ(o, run_once());
 }
 
 // The failure path is observable in the trace: detection instants and the

@@ -10,6 +10,7 @@
 #include "common/rng.hpp"
 #include "core/rma_engine.hpp"
 #include "runtime/world.hpp"
+#include "topo/topology.hpp"
 
 namespace m3rma {
 namespace {
@@ -413,6 +414,110 @@ TEST_P(ConservationProperty, LossyLinkConservesOpsAndAcks) {
 
 INSTANTIATE_TEST_SUITE_P(Seeds, ConservationProperty,
                          ::testing::Values(11, 12, 13, 14, 15));
+
+// ---------------------------------------------------------------------------
+// Property 7: routing invariants, for every (src,dst) pair of every
+// topology kind — routes are cycle-free chains whose length equals the
+// wrap-aware Manhattan distance, and the fabric's per-link byte totals are
+// a deterministic function of (seed, topology).
+// ---------------------------------------------------------------------------
+
+class TopoRoutingProperty : public ::testing::TestWithParam<int> {
+ public:
+  static topo::Topology make(int which) {
+    switch (which) {
+      case 0:
+        return topo::Topology::crossbar(9);
+      case 1:
+        return topo::Topology::ring(5);
+      case 2:
+        return topo::Topology::ring(8);
+      case 3:
+        return topo::Topology::mesh2d(4, 3);
+      default:
+        return topo::Topology::torus3d(3, 2, 2);
+    }
+  }
+};
+
+TEST_P(TopoRoutingProperty, RoutesAreCycleFreeShortestChains) {
+  const topo::Topology t = make(GetParam());
+  for (int s = 0; s < t.nodes(); ++s) {
+    for (int d = 0; d < t.nodes(); ++d) {
+      const auto route = t.route(s, d);
+      // Chain contiguity and cycle freedom: every visited node is new.
+      std::vector<bool> seen(static_cast<std::size_t>(t.nodes()), false);
+      seen[static_cast<std::size_t>(s)] = true;
+      int at = s;
+      for (topo::LinkId l : route) {
+        ASSERT_EQ(t.link_src(l), at);
+        at = t.link_dst(l);
+        ASSERT_FALSE(seen[static_cast<std::size_t>(at)])
+            << "route " << s << "->" << d << " revisits node " << at;
+        seen[static_cast<std::size_t>(at)] = true;
+      }
+      EXPECT_EQ(at, d);
+      // Dimension-ordered routes are shortest: hop count equals the
+      // wrap-aware Manhattan distance.
+      EXPECT_EQ(static_cast<int>(route.size()), t.distance(s, d));
+      EXPECT_EQ(t.hops(s, d), static_cast<int>(route.size()));
+    }
+  }
+}
+
+TEST_P(TopoRoutingProperty, SameSeedSameTopologySameLinkBytes) {
+  // Only kinds whose dims fit the 8-rank world run the fabric half.
+  topo::TopoConfig tc;
+  switch (GetParam()) {
+    case 0:
+      tc.kind = topo::Kind::crossbar;
+      break;
+    case 2:
+      tc.kind = topo::Kind::ring;
+      tc.dim_x = 8;
+      break;
+    case 4:
+      tc.kind = topo::Kind::torus3d;
+      tc.dim_x = tc.dim_y = tc.dim_z = 2;
+      break;
+    default:
+      GTEST_SKIP() << "dims do not tile 8 ranks";
+  }
+  auto run_once = [&]() {
+    WorldConfig cfg;
+    cfg.ranks = 8;
+    cfg.caps.ordered_delivery = false;  // jitter draws exercise link rng
+    cfg.costs.jitter_ns = 5000;
+    cfg.seed = 4242;
+    cfg.topo = tc;
+    World w(cfg);
+    w.run([](Rank& r) {
+      core::RmaEngine rma(r, r.comm_world());
+      auto [buf, mems] = rma.allocate_shared(512);
+      auto src = r.alloc(512);
+      for (int i = 0; i < 5; ++i) {
+        const int dst = (r.id() + 1 + i) % 8;
+        if (dst != r.id()) {
+          rma.put_bytes(src.addr, mems[static_cast<std::size_t>(dst)], 0,
+                        128, dst, core::Attrs(core::RmaAttr::blocking));
+        }
+      }
+      rma.complete_collective();
+    });
+    return std::make_pair(w.fabric().topology()->byte_totals(),
+                          w.duration());
+  };
+  const auto a = run_once();
+  const auto b = run_once();
+  EXPECT_EQ(a.first, b.first);
+  EXPECT_EQ(a.second, b.second);
+  std::uint64_t total = 0;
+  for (std::uint64_t v : a.first) total += v;
+  EXPECT_GT(total, 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Kinds, TopoRoutingProperty,
+                         ::testing::Values(0, 1, 2, 3, 4));
 
 }  // namespace
 }  // namespace m3rma
