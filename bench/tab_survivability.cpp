@@ -1,0 +1,320 @@
+// Survivability table (Table S12): what a mid-run server crash costs a
+// replicated-RMA workload, end to end.
+//
+// Eight ranks on a 2x2x2 torus (Cray-XT5-like calibration), window
+// replication on (backup of rank r is r+1 mod 8). Two client streams:
+//
+//   * rank 2 -> rank 7's window  (puts + gets, blocking rc) — rank 7 is
+//     killed mid-stream, so this stream rides through a failover onto the
+//     backup (rank 0): in-flight ops are rescued via their mirrors, gets
+//     are re-driven, later ops transparently retarget.
+//   * rank 6 -> rank 5's window  — on this torus the dimension-ordered
+//     route 6 -> 5 transits node 7, so after the crash every packet of a
+//     perfectly healthy stream crosses a dead router: the fabric's
+//     minimal-adaptive fallback (route_avoiding) must keep the survivor
+//     pair connected.
+//
+// Columns: detection latency (crash -> the client engine declares the
+// target failed), failover stall (last completion before the crash -> first
+// completion after it), re-sync traffic, rescue/retarget counters, client-2
+// stream time, and post-failover throughput relative to the crash-free
+// baseline (acceptance floor: >= 50%).
+//
+//   build/bench/tab_survivability [--csv=FILE] [--trace[=FILE]]
+//
+// --csv dumps the client-2 op-completion timeline bucketed at 250 us —
+// byte-identical across runs (CI double-runs the binary and diffs it).
+#include <algorithm>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "bench/bench_util.hpp"
+#include "core/rma_engine.hpp"
+#include "topo/topology.hpp"
+
+using namespace m3rma;
+using benchutil::Table;
+
+namespace {
+
+constexpr int kOps = 240;             // per client stream
+constexpr std::uint64_t kBytes = 2048;
+constexpr sim::Time kCrashAt = 350'000;
+constexpr sim::Time kVictimIdle = 1'000'000'000;
+constexpr sim::Time kBucket = 250'000;  // csv timeline resolution
+
+struct CaseResult {
+  sim::Time elapsed = 0;        // client 2: first op .. stream complete
+  sim::Time detected_at = 0;    // client 2's engine learned of the death
+  sim::Time stall = 0;          // completion gap straddling the crash
+  std::uint64_t ok = 0;         // client-2 ops that completed cleanly
+  std::uint64_t failed = 0;     // client-2 ops that failed
+  std::uint64_t ok_side = 0;    // client-6 ops that completed cleanly
+  std::uint64_t mirrored = 0, mirror_bytes = 0;
+  std::uint64_t rescued = 0, reissued = 0, retargeted = 0;
+  std::uint64_t resync_ops = 0, resync_bytes = 0;
+  std::uint64_t rerouted = 0;   // fabric packets sent around the corpse
+  std::vector<sim::Time> done_at;  // client-2 completion timestamps
+  // ops/us over the post-failover (or whole, when crash-free) phase.
+  double tput_post = 0.0;
+};
+
+CaseResult run_case(bool crash, bool announce, bool reliability,
+                    bool replicated, trace::Recorder* rec = nullptr,
+                    const std::string& label = {}) {
+  auto cfg = benchutil::xt5_config(8);
+  topo::TopoConfig tc;
+  tc.kind = topo::Kind::torus3d;
+  tc.dim_x = 2;
+  tc.dim_y = 2;
+  tc.dim_z = 2;
+  cfg.topo = tc;
+  cfg.replication.enabled = replicated;
+  if (reliability) {
+    cfg.costs.reliability.enabled = true;
+    cfg.costs.reliability.retry_budget = 2;
+  }
+  if (crash) {
+    cfg.faults.schedule = {{/*rank=*/7, /*at=*/kCrashAt}};
+    cfg.faults.announce = announce;
+  }
+  CaseResult res;
+  runtime::World w(cfg);
+  if (rec != nullptr) {
+    rec->begin_process(label);
+    w.engine().set_tracer(rec);
+  }
+  w.run([&](runtime::Rank& r) {
+    const int me = r.id();
+    core::RmaEngine rma(r, r.comm_world());
+    auto [buf, mems] = rma.allocate_shared(64 * 1024);
+    r.comm_world().barrier();
+    if (crash && me == 7) {
+      // The victim idles until the scheduled kill; it must not exit on its
+      // own or the "crash" would be a clean shutdown.
+      r.ctx().delay(kVictimIdle);
+      return;  // unreachable
+    }
+    if (me == 2) {
+      auto src = r.alloc(kBytes);
+      auto dst = r.alloc(kBytes);
+      const sim::Time t0 = r.ctx().now();
+      // Windowed stream, 8 ops outstanding: the crash lands with several
+      // remote-completion puts (and their mirrors) in the air, exercising
+      // the rescue/park path and the unacked-mirror re-sync.
+      constexpr int kWindow = 8;
+      for (int i = 0; i < kOps; i += kWindow) {
+        std::vector<core::Request> win;
+        for (int j = i; j < i + kWindow && j < kOps; ++j) {
+          const std::uint64_t disp =
+              kBytes * static_cast<std::uint64_t>(j % 16);
+          win.push_back(
+              (j % 3 == 2)
+                  ? rma.get_bytes(dst.addr, mems[7], disp, kBytes, 7)
+                  : rma.put_bytes(src.addr, mems[7], disp, kBytes, 7,
+                                  core::Attrs(
+                                      core::RmaAttr::remote_completion)));
+        }
+        for (auto& req : win) {
+          req.wait();
+          if (req.failed()) {
+            res.failed += 1;
+          } else {
+            res.ok += 1;
+          }
+          res.done_at.push_back(r.ctx().now());
+        }
+      }
+      rma.complete(core::kAllRanks);
+      res.elapsed = r.ctx().now() - t0;
+      res.detected_at = rma.target_failed_at(7);
+      res.mirrored = rma.stats().mirrored_ops;
+      res.mirror_bytes = rma.stats().mirror_bytes;
+      res.rescued = rma.stats().rescued_ops;
+      res.reissued = rma.stats().reissued_gets;
+      res.retargeted = rma.stats().retargeted_ops;
+      res.resync_ops = rma.stats().resync_ops;
+      res.resync_bytes = rma.stats().resync_bytes;
+    } else if (me == 6) {
+      // The healthy stream whose route transits the (future) corpse.
+      auto src = r.alloc(kBytes);
+      for (int i = 0; i < kOps; ++i) {
+        core::Request req =
+            rma.put_bytes(src.addr, mems[5],
+                          kBytes * static_cast<std::uint64_t>(i % 16),
+                          kBytes, 5,
+                          core::Attrs(core::RmaAttr::blocking) |
+                              core::RmaAttr::remote_completion);
+        if (!req.failed()) res.ok_side += 1;
+      }
+      rma.complete(core::kAllRanks);
+    }
+    rma.complete_collective();
+  });
+  res.rerouted = w.fabric().rerouted_packets();
+
+  // Failover stall: the largest completion gap that straddles the crash
+  // instant (crash-free cases report the plain max gap, i.e. op cost).
+  sim::Time resume_at = res.done_at.empty() ? 0 : res.done_at.front();
+  for (std::size_t i = 1; i < res.done_at.size(); ++i) {
+    const sim::Time gap = res.done_at[i] - res.done_at[i - 1];
+    if (crash && res.done_at[i - 1] <= kCrashAt && res.done_at[i] > kCrashAt) {
+      res.stall = gap;
+      resume_at = res.done_at[i];
+    } else if (!crash) {
+      res.stall = std::max(res.stall, gap);
+    }
+  }
+  // Post-failover throughput: ops completed after service resumed, per us.
+  std::uint64_t post_ops = 0;
+  for (sim::Time t : res.done_at) {
+    if (t >= resume_at) post_ops += 1;
+  }
+  const sim::Time post_span = res.done_at.empty()
+                                  ? 1
+                                  : std::max<sim::Time>(
+                                        res.done_at.back() - resume_at, 1);
+  res.tput_post = static_cast<double>(post_ops) /
+                  (static_cast<double>(post_span) / 1e3);
+  return res;
+}
+
+std::string fmt_tput(double ops_per_us) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.3f", ops_per_us);
+  return buf;
+}
+
+std::string fmt_pct(double num, double den) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.0f%%", 100.0 * num / den);
+  return buf;
+}
+
+std::string csv_flag(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string a = argv[i];
+    if (a.rfind("--csv=", 0) == 0) return a.substr(6);
+    if (a == "--csv") return "tab_survivability.csv";
+  }
+  return {};
+}
+
+void write_csv(std::ostream& os, const std::string& name,
+               const CaseResult& r) {
+  // Bucketed client-2 completion timeline; virtual time, so byte-identical
+  // run to run.
+  std::vector<std::uint64_t> buckets;
+  for (sim::Time t : r.done_at) {
+    const auto b = static_cast<std::size_t>(t / kBucket);
+    if (b >= buckets.size()) buckets.resize(b + 1, 0);
+    buckets[b] += 1;
+  }
+  for (std::size_t b = 0; b < buckets.size(); ++b) {
+    os << name << ',' << b * (kBucket / 1000) << ',' << buckets[b] << ','
+       << buckets[b] * kBytes << '\n';
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  // Crash-free baselines (reliability changes every op's cost, so the
+  // silent-crash case gets its own).
+  const CaseResult base = run_case(false, true, false, true);
+  const CaseResult base_rel = run_case(false, true, true, true);
+
+  // The headline cases: announced crash, silent crash (endogenous
+  // detection through retry-budget exhaustion), and — for contrast — the
+  // same announced crash without replication.
+  const CaseResult ann = run_case(true, true, false, true);
+  const CaseResult sil = run_case(true, false, true, true);
+  const CaseResult unrep = run_case(true, true, false, false);
+
+  Table t;
+  t.title =
+      "Survivability (Table S12) — 240-op get/put server workload (2 KiB, "
+      "blocking rc) rank 2 -> 7 on a 2x2x2 torus, replication on (backup = "
+      "rank 0), rank 7 killed at t=350 us; a second healthy stream 6 -> 5 "
+      "transits the corpse and must be re-routed. Crash-free client-2 "
+      "stream takes " +
+      benchutil::fmt_us(base.elapsed) + " us";
+  t.header = {"case",         "detect lat (us)", "stall (us)",
+              "ok",           "failed",          "rescued+reissued",
+              "retargeted",   "resync ops/KiB",  "rerouted pkts",
+              "total (us)",   "post-fail tput",  "vs crash-free"};
+  auto add_row = [&](const char* name, const CaseResult& c,
+                     const CaseResult& b, bool crashed, bool survived) {
+    t.rows.push_back(
+        {name,
+         crashed ? benchutil::fmt_us(c.detected_at - kCrashAt) : "-",
+         benchutil::fmt_us(c.stall), benchutil::fmt_u64(c.ok),
+         benchutil::fmt_u64(c.failed),
+         benchutil::fmt_u64(c.rescued + c.reissued),
+         benchutil::fmt_u64(c.retargeted),
+         benchutil::fmt_u64(c.resync_ops) + "/" +
+             benchutil::fmt_u64(c.resync_bytes / 1024),
+         benchutil::fmt_u64(c.rerouted), benchutil::fmt_us(c.elapsed),
+         // A stream that lost both copies "completes" its tail instantly
+         // with errors; throughput is meaningless there.
+         survived ? fmt_tput(c.tput_post) + " op/us" : "-",
+         survived ? fmt_pct(c.tput_post, b.tput_post) : "-"});
+  };
+  add_row("crash-free (repl)", base, base, false, true);
+  add_row("announced crash", ann, base, true, true);
+  add_row("crash-free (repl+rel)", base_rel, base_rel, false, true);
+  add_row("silent crash (budget=2)", sil, base_rel, true, true);
+  add_row("announced, no replication", unrep, base, true, false);
+  t.print();
+
+  std::printf("\nshape checks:\n");
+  std::printf(
+      "  failover keeps the stream whole: %llu/%d ops ok (announced), "
+      "%llu/%d (silent)\n",
+      static_cast<unsigned long long>(ann.ok), kOps,
+      static_cast<unsigned long long>(sil.ok), kOps);
+  std::printf(
+      "  post-failover throughput >= 50%% of crash-free: %s (announced), "
+      "%s (silent)\n",
+      fmt_pct(ann.tput_post, base.tput_post).c_str(),
+      fmt_pct(sil.tput_post, base_rel.tput_post).c_str());
+  std::printf(
+      "  survivor pair 6->5 stays connected across the corpse: %llu "
+      "rerouted packets, %llu/%d side-stream ops ok\n",
+      static_cast<unsigned long long>(ann.rerouted),
+      static_cast<unsigned long long>(ann.ok_side), kOps);
+  std::printf(
+      "  without replication the same crash strands the stream: %llu ops "
+      "failed\n",
+      static_cast<unsigned long long>(unrep.failed));
+  std::printf(
+      "  mirror stream: %llu mirrors / %llu KiB; failover re-sync resent "
+      "%llu (%llu KiB)\n",
+      static_cast<unsigned long long>(ann.mirrored),
+      static_cast<unsigned long long>(ann.mirror_bytes / 1024),
+      static_cast<unsigned long long>(ann.resync_ops),
+      static_cast<unsigned long long>(ann.resync_bytes / 1024));
+
+  const std::string csv_file = csv_flag(argc, argv);
+  if (!csv_file.empty()) {
+    std::ofstream os(csv_file, std::ios::binary);
+    os << "case,bucket_start_us,ops,bytes\n";
+    write_csv(os, "crash-free", base);
+    write_csv(os, "announced", ann);
+    write_csv(os, "silent", sil);
+    std::printf("\ntimeline csv: -> %s\n", csv_file.c_str());
+  }
+
+  // Optional trace pass (off the table path so the numbers never move):
+  // failover.park/rescue/resync instants, reroute instants, mirror counters.
+  const std::string trace_file =
+      benchutil::trace_flag(argc, argv, "tab_survivability_trace.json");
+  if (!trace_file.empty()) {
+    trace::Recorder rec;
+    run_case(true, /*announce=*/true, false, true, &rec,
+             "survivability announced crash");
+    benchutil::export_trace(rec, trace_file);
+  }
+  return 0;
+}

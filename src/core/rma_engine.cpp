@@ -25,6 +25,11 @@ struct RmaEngine::AmHdr {
     lock_release,
     rmi_op,       // remote method invocation (§V optype expansion)
     rmi_reply,
+    repl_create,      // owner -> backup: register a replica region
+    repl_ready,       // backup -> owner: replica registered (or refused)
+    repl_mirror,      // origin -> backup: mirrored put/accumulate block
+    repl_mirror_rmw,  // origin -> backup: mirrored RMW (semantic replay)
+    repl_mirror_ack,  // backup -> origin: cumulative applied mirror seq
   };
 
   Kind kind = Kind::data_op;
@@ -72,6 +77,15 @@ struct Request::State {
   std::uint64_t trace_span = 0;
   std::uint64_t trace_t0 = 0;
   std::string trace_hist;
+  // replication/failover: live backup adopted at issue (-1 = none), highest
+  // mirror seq covering this op, and the issue parameters needed to re-drive
+  // a get at the backup. A rescued request no longer completes through
+  // finish_segment — only through the failover machinery.
+  int repl_backup = -1;
+  std::uint64_t repl_mirror_seq = 0;
+  bool repl_rescued = false;
+  TargetMem repl_mem;
+  std::uint64_t repl_disp = 0;
 };
 
 bool Request::done() const { return st_ == nullptr || st_->done; }
@@ -243,11 +257,29 @@ void RmaEngine::dispose() {
   }
   for (auto& [id, a] : attached_) ptl_->me_unlink(a.me);
   attached_.clear();
+  // Replica regions hosted for other ranks (std::map: deterministic
+  // dealloc order, so the domain's free list evolves identically run-to-run).
+  for (const auto& [id, buf] : replica_bufs_) rank_->memory().dealloc(buf);
+  replica_bufs_.clear();
   ptl_->md_release(md_all_);
 }
 
 void RmaEngine::quiesce() {
   complete(kAllRanks);
+  if (!repl_out_.empty()) {
+    // Drain the mirror streams before the teardown barrier: every mirror
+    // must be applied and acked (or its backup dead) while both engines
+    // still hold the AM protocol.
+    progress_until([&] {
+      for (const auto& [b, led] : repl_out_) {
+        if (target_failed_[static_cast<std::size_t>(b)] == 0 &&
+            led.acked < led.sent) {
+          return false;
+        }
+      }
+      return true;
+    });
+  }
   comm_->barrier();
 }
 
@@ -274,6 +306,37 @@ TargetMem RmaEngine::attach(std::uint64_t addr, std::uint64_t length) {
   t.endian = mc.endian;
   t.addr_bits = static_cast<std::uint8_t>(mc.addr_bits);
   t.noncoherent = mc.coherence == memsim::Coherence::noncoherent_writethrough;
+
+  const auto& rp = rank_->world().config().replication;
+  if (rp.enabled && rank_->world().size() > 1) {
+    const int nranks = rank_->world().size();
+    int backup = (rank_->id() + rp.backup_offset) % nranks;
+    if (backup < 0) backup += nranks;
+    if (backup != rank_->id() &&
+        target_failed_[static_cast<std::size_t>(backup)] == 0) {
+      // Synchronous replica registration round trip. Origins can only learn
+      // of the handle after attach returns, so every mirror strictly follows
+      // the backup's repl_ready — a mirror can never race its replica's
+      // creation. If the backup dies mid-wait, the pending request is
+      // drained with an error and the window is created unreplicated.
+      auto st = std::make_shared<Request::State>();
+      st->id = next_req_++;
+      st->world_target = backup;
+      st->pending = 1;
+      st->counts_send = false;
+      reqs_.emplace(st->id, st);
+      rank_->ctx().delay(rank_->world().config().costs.inject_overhead_ns);
+      AmHdr h;
+      h.kind = AmHdr::Kind::repl_create;
+      h.mem_id = id;
+      h.length = length;
+      h.req_id = st->id;
+      h.value_a = static_cast<std::uint64_t>(mc.endian);
+      send_am(backup, h, {});
+      progress_until([st] { return st->done; });
+      if (st->status == OpStatus::ok && st->rmw_value == 1) t.backup = backup;
+    }
+  }
   return t;
 }
 
@@ -414,9 +477,13 @@ Request RmaEngine::do_xfer(RmaOptype op, portals::AccOp acc_op,
       break;
   }
 
-  if (target_failed_[static_cast<std::size_t>(mem.owner)] != 0) {
-    // Fail fast: the target is already known dead, so don't touch the wire
-    // — hand back a pre-completed request carrying the error.
+  bool can_serve = true;
+  OpStatus fail_status = OpStatus::ok;
+  const TargetMem eff = effective_mem(mem, &can_serve, &fail_status);
+  if (!can_serve) {
+    // Fail fast: neither the target nor a replica can serve the op, so
+    // don't touch the wire — hand back a pre-completed request carrying
+    // the error.
     stats_.failed_fast += 1;
     if (auto* tr = trace::want(rank_->world().engine().tracer(),
                                trace::Category::rma)) {
@@ -426,13 +493,13 @@ Request RmaEngine::do_xfer(RmaOptype op, portals::AccOp acc_op,
     dead->id = next_req_++;
     dead->world_target = mem.owner;
     dead->done = true;
-    dead->status = OpStatus::target_failed;
+    dead->status = fail_status;
     return Request(this, std::move(dead));
   }
 
   auto st = std::make_shared<Request::State>();
   st->id = next_req_++;
-  st->world_target = mem.owner;
+  st->world_target = eff.owner;
   reqs_.emplace(st->id, st);
 
   if (auto* tr = trace::want(rank_->world().engine().tracer(),
@@ -445,36 +512,36 @@ Request RmaEngine::do_xfer(RmaOptype op, portals::AccOp acc_op,
         opname,
         "attrs=" + attrs.describe() +
             " bytes=" + std::to_string(target_dt.size() * target_count) +
-            " target=" + std::to_string(mem.owner));
+            " target=" + std::to_string(eff.owner));
     st->trace_t0 = tr->now();
     st->trace_hist = std::string(opname) + "[" + attrs.describe() + "]";
   }
 
   // Ordering property: on unordered networks an ordered op (or the first op
   // after order()) must not overtake earlier traffic — drain first.
-  if (attrs.has(RmaAttr::ordering) || per(mem.owner).order_fence) {
-    stall_for_order(mem.owner);
+  if (attrs.has(RmaAttr::ordering) || per(eff.owner).order_fence) {
+    stall_for_order(eff.owner);
   }
 
   if (attrs.has(RmaAttr::atomicity)) {
     if (cfg_.serializer == SerializerKind::coarse_lock) {
       issue_locked_op(st, op, acc_op, origin_addr, origin_count, origin_dt,
-                      mem, target_disp, target_count, target_dt, attrs);
+                      eff, target_disp, target_count, target_dt, attrs);
     } else {
-      issue_am_op(st, op, acc_op, origin_addr, origin_count, origin_dt, mem,
+      issue_am_op(st, op, acc_op, origin_addr, origin_count, origin_dt, eff,
                   target_disp, target_count, target_dt);
     }
   } else if (op == RmaOptype::get) {
-    issue_direct_get(st, origin_addr, origin_count, origin_dt, mem,
+    issue_direct_get(st, origin_addr, origin_count, origin_dt, eff,
                      target_disp, target_count, target_dt);
   } else if (op == RmaOptype::accumulate && !ptl_->supports_atomics()) {
     // No NIC atomics: element-atomic accumulate needs target-side software
     // (§III-B1), even without the atomicity attribute.
-    issue_am_op(st, op, acc_op, origin_addr, origin_count, origin_dt, mem,
+    issue_am_op(st, op, acc_op, origin_addr, origin_count, origin_dt, eff,
                 target_disp, target_count, target_dt);
   } else {
     issue_direct_put(st, acc_op, op == RmaOptype::accumulate, origin_addr,
-                     origin_count, origin_dt, mem, target_disp, target_count,
+                     origin_count, origin_dt, eff, target_disp, target_count,
                      target_dt, attrs);
   }
 
@@ -485,6 +552,26 @@ Request RmaEngine::do_xfer(RmaOptype op, portals::AccOp acc_op,
     reqs_.erase(st->id);
   }
 
+  if (st->done && st->status == OpStatus::target_failed && mem.backup >= 0) {
+    // The target died while this op was still being injected: the fault
+    // drain found a request with no block (and hence no mirror) on the wire
+    // yet, which it cannot rescue. Nothing was sent, so reissue from
+    // scratch — the effective-target resolution now lands on the backup,
+    // or fails fast for real if the backup is gone too.
+    switch (op) {
+      case RmaOptype::put:
+        stats_.puts -= 1;
+        break;
+      case RmaOptype::get:
+        stats_.gets -= 1;
+        break;
+      case RmaOptype::accumulate:
+        stats_.accumulates -= 1;
+        break;
+    }
+    return do_xfer(op, acc_op, origin_addr, origin_count, origin_dt, mem,
+                   target_disp, target_count, target_dt, target_rank, attrs);
+  }
   Request req(this, st);
   if (attrs.has(RmaAttr::blocking)) req.wait();
   return req;
@@ -521,6 +608,9 @@ void RmaEngine::issue_direct_put(const std::shared_ptr<Request::State>& st,
   const bool rc = attrs.has(RmaAttr::remote_completion);
   const bool want_ack = rc && acks;
   st->counts_send = !want_ack;
+  const bool mirror =
+      mem.backup >= 0 &&
+      target_failed_[static_cast<std::size_t>(mem.backup)] == 0;
 
   sim::Context& ctx = rank_->ctx();
   auto issue_block = [&](std::uint64_t mem_off, std::uint64_t packed_off,
@@ -536,6 +626,12 @@ void RmaEngine::issue_direct_put(const std::shared_ptr<Request::State>& st,
     per(t).issued += 1;
     if (want_ack) per(t).issued_rc += 1;
     st->pending += 1;
+    if (mirror) {
+      // The packed bytes are already in the primary's byte order, which the
+      // backup shares (replicas are endian-matched at creation).
+      mirror_block(st, is_acc, acc_op, nt, mem, target_disp + mem_off,
+                   src_base + packed_off, len);
+    }
   };
 
   if (fast) {
@@ -578,6 +674,14 @@ void RmaEngine::issue_direct_get(const std::shared_ptr<Request::State>& st,
   st->origin_dt = origin_dt;
   st->target_dt = target_dt;
   st->target_count = target_count;
+  if (mem.backup >= 0 &&
+      target_failed_[static_cast<std::size_t>(mem.backup)] == 0) {
+    // Rescue parameters: if the owner dies mid-flight this get is re-driven
+    // at the backup (drain_reissues).
+    st->repl_backup = mem.backup;
+    st->repl_mem = mem;
+    st->repl_disp = target_disp;
+  }
 
   const std::uint64_t packed_len = target_dt.size() * target_count;
   if (fast) {
@@ -634,6 +738,14 @@ void RmaEngine::issue_am_op(const std::shared_ptr<Request::State>& st,
     st->origin_dt = origin_dt;
     st->target_dt = target_dt;
     st->target_count = target_count;
+    if (mem.backup >= 0 &&
+        target_failed_[static_cast<std::size_t>(mem.backup)] == 0) {
+      // Re-driven at the backup as a direct get if the owner dies: replica
+      // reads need no serializer (mirrors apply in stream order there).
+      st->repl_backup = mem.backup;
+      st->repl_mem = mem;
+      st->repl_disp = target_disp;
+    }
     const std::uint64_t packed_len = target_dt.size() * target_count;
     const bool fast = origin_dt.is_contiguous() &&
                       target_dt.is_contiguous() && same_endian;
@@ -684,6 +796,9 @@ void RmaEngine::issue_am_op(const std::shared_ptr<Request::State>& st,
                           target_count, mem.endian);
     src_base = staging;
   }
+  const bool mirror =
+      mem.backup >= 0 &&
+      target_failed_[static_cast<std::size_t>(mem.backup)] == 0;
   auto issue_block = [&](std::uint64_t mem_off, std::uint64_t packed_off,
                          std::uint64_t len) {
     if (len == 0) return;
@@ -703,6 +818,10 @@ void RmaEngine::issue_am_op(const std::shared_ptr<Request::State>& st,
     per(t).issued += 1;
     per(t).issued_rc += 1;  // software op_acks always confirm AM ops
     st->pending += 1;
+    if (mirror) {
+      mirror_block(st, op == RmaOptype::accumulate, acc_op, nt, mem,
+                   target_disp + mem_off, src_base + packed_off, len);
+    }
   };
   if (fast) {
     issue_block(0, 0, target_dt.size() * target_count);
@@ -723,22 +842,44 @@ void RmaEngine::issue_locked_op(const std::shared_ptr<Request::State>& st,
                                 std::uint64_t target_disp,
                                 std::uint64_t target_count,
                                 const dt::Datatype& target_dt, Attrs attrs) {
-  (void)attrs;
   const int t = mem.owner;
   // Mid-operation target death: the outer request may already have been
   // drained by on_target_failed; otherwise complete it with the error here.
   // Either way there is no lock manager left, so skip the release.
-  auto fail_out = [&] {
+  auto fail_out = [&](OpStatus s) {
     if (!st->done) {
-      st->status = OpStatus::target_failed;
+      st->status = s;
       st->pending = 0;
       st->done = true;
       finish_trace(*st);
       reqs_.erase(st->id);
     }
   };
+  // Mid-sequence death of a replicated target: re-drive the whole locked
+  // sequence at the backup (whose own lock manager serializes there). The
+  // retried mem carries backup = -1, so this recurses at most once.
+  auto retry_at_backup = [&]() -> bool {
+    if (mem.backup < 0 ||
+        target_failed_[static_cast<std::size_t>(mem.backup)] != 0) {
+      return false;
+    }
+    failover_sync(mem.backup);
+    if (target_failed_[static_cast<std::size_t>(mem.backup)] != 0) {
+      return false;
+    }
+    TargetMem eff = mem;
+    eff.owner = mem.backup;
+    eff.backup = -1;
+    stats_.retargeted_ops += 1;
+    issue_locked_op(st, op, acc_op, origin_addr, origin_count, origin_dt, eff,
+                    target_disp, target_count, target_dt, attrs);
+    return true;
+  };
   if (!lock_acquire(t)) {
-    fail_out();
+    if (!retry_at_backup()) {
+      fail_out(mem.backup >= 0 ? OpStatus::replica_lost
+                               : OpStatus::target_failed);
+    }
     return;
   }
   const Attrs inner = Attrs(RmaAttr::blocking) | RmaAttr::remote_completion;
@@ -760,9 +901,9 @@ void RmaEngine::issue_locked_op(const std::shared_ptr<Request::State>& st,
     issue_direct_get(g, tmp, 1, local_dt, mem, target_disp, target_count,
                      target_dt);
     progress_until([g] { return g->done; });
-    if (g->status == OpStatus::target_failed) {
+    if (g->status != OpStatus::ok) {
       rank_->memory().dealloc(tmp);
-      fail_out();
+      if (!retry_at_backup()) fail_out(g->status);
       return;
     }
     // Combine with the packed operand (both sides in this node's order).
@@ -781,10 +922,10 @@ void RmaEngine::issue_locked_op(const std::shared_ptr<Request::State>& st,
     issue_direct_put(p, portals::AccOp::replace, false, tmp, 1, local_dt,
                      mem, target_disp, target_count, target_dt, inner);
     progress_until([p] { return p->done; });
-    if (p->status == OpStatus::target_failed) {
+    if (p->status != OpStatus::ok) {
       rank_->memory().dealloc(staging);
       rank_->memory().dealloc(tmp);
-      fail_out();
+      if (!retry_at_backup()) fail_out(p->status);
       return;
     }
     flush_target(t);
@@ -798,8 +939,8 @@ void RmaEngine::issue_locked_op(const std::shared_ptr<Request::State>& st,
     issue_direct_get(g, origin_addr, origin_count, origin_dt, mem,
                      target_disp, target_count, target_dt);
     progress_until([g] { return g->done; });
-    if (g->status == OpStatus::target_failed) {
-      fail_out();
+    if (g->status != OpStatus::ok) {
+      if (!retry_at_backup()) fail_out(g->status);
       return;
     }
   } else {
@@ -818,8 +959,8 @@ void RmaEngine::issue_locked_op(const std::shared_ptr<Request::State>& st,
                        Attrs(RmaAttr::remote_completion));
       lock_release(t);
       progress_until([p] { return p->done; });
-      if (p->status == OpStatus::target_failed) {
-        fail_out();
+      if (p->status != OpStatus::ok) {
+        if (!retry_at_backup()) fail_out(p->status);
         return;
       }
       if (!st->done) {
@@ -833,8 +974,8 @@ void RmaEngine::issue_locked_op(const std::shared_ptr<Request::State>& st,
                      origin_count, origin_dt, mem, target_disp, target_count,
                      target_dt, inner);
     progress_until([p] { return p->done; });
-    if (p->status == OpStatus::target_failed) {
-      fail_out();
+    if (p->status != OpStatus::ok) {
+      if (!retry_at_backup()) fail_out(p->status);
       return;
     }
     flush_target(t);
@@ -912,6 +1053,15 @@ void RmaEngine::flush_many(const std::vector<int>& world_targets) {
       if (dead(t)) continue;
       const PerTarget& pt = per(t);
       if (pt.pending_replies != 0 || pt.acked < pt.issued_rc) return false;
+      if (!repl_out_.empty()) {
+        // t may be a backup whose mirror stream carries rescued ops:
+        // completion must wait for the stream to flush (which also finishes
+        // every parked waiter and unblocks queued get re-drives).
+        const auto lit = repl_out_.find(t);
+        if (lit != repl_out_.end() && lit->second.acked < lit->second.sent) {
+          return false;
+        }
+      }
     }
     return true;
   });
@@ -1063,7 +1213,67 @@ void RmaEngine::on_target_failed(int node) {
   std::sort(victims.begin(), victims.end(),
             [](const auto& a, const auto& b) { return a->id < b->id; });
   for (auto& st : victims) {
-    st->status = OpStatus::target_failed;
+    const bool rescuable =
+        st->repl_backup >= 0 && st->repl_backup != node &&
+        target_failed_[static_cast<std::size_t>(st->repl_backup)] == 0;
+    if (rescuable && !st->is_get && st->counts_send &&
+        st->flush_threshold == 0) {
+      // Plain local-completion put: its SEND events are already queued and
+      // complete it normally; its mirrors preserve the remote effect.
+      continue;
+    }
+    if (rescuable && !st->is_get) {
+      // Remote-completion put/acc: the mirrors carry its effect — complete
+      // it once the backup has acked the highest covering mirror seq.
+      st->repl_rescued = true;
+      const auto lit = repl_out_.find(st->repl_backup);
+      const std::uint64_t acked =
+          lit == repl_out_.end() ? 0 : lit->second.acked;
+      if (acked >= st->repl_mirror_seq) {
+        st->pending = 0;
+        st->done = true;
+        stats_.rescued_ops += 1;
+        if (tr != nullptr) {
+          tr->instant(tr->track("rank" + std::to_string(rank_->id())),
+                      trace::Category::rma, "failover.rescue",
+                      "req=" + std::to_string(st->id) +
+                          " backup=" + std::to_string(st->repl_backup));
+          tr->add_counter(trace::Category::rma, "rma.rescued_ops");
+        }
+        finish_trace(*st);
+        reqs_.erase(st->id);
+      } else {
+        repl_waiters_[st->repl_backup].push_back(st->id);
+        if (tr != nullptr) {
+          tr->instant(tr->track("rank" + std::to_string(rank_->id())),
+                      trace::Category::rma, "failover.park",
+                      "req=" + std::to_string(st->id) +
+                          " backup=" + std::to_string(st->repl_backup));
+        }
+      }
+      continue;
+    }
+    if (rescuable && st->is_get) {
+      // In-flight get: re-drive it at the backup once the mirror stream
+      // there is flushed (drain_reissues).
+      st->repl_rescued = true;
+      if (st->needs_unpack) {
+        rank_->memory().dealloc(st->dest_addr);
+        st->needs_unpack = false;
+      }
+      st->pending = 0;
+      repl_reissue_.push_back(st->id);
+      if (tr != nullptr) {
+        tr->instant(tr->track("rank" + std::to_string(rank_->id())),
+                    trace::Category::rma, "failover.park",
+                    "req=" + std::to_string(st->id) +
+                        " backup=" + std::to_string(st->repl_backup));
+      }
+      continue;
+    }
+    st->status = st->repl_backup >= 0 ? OpStatus::replica_lost
+                                      : OpStatus::target_failed;
+    if (st->status == OpStatus::replica_lost) stats_.replica_lost_ops += 1;
     if (st->is_get && st->needs_unpack) {
       // The staging buffer holds garbage; skip the unpack, free it.
       rank_->memory().dealloc(st->dest_addr);
@@ -1105,6 +1315,89 @@ void RmaEngine::on_target_failed(int node) {
   }
   if (lock_.held_by == node) service_lock_release(node);
 
+  // The dead node may also have been someone's backup.
+  // Rescued puts parked on its acks can never complete: both copies of
+  // their window are gone.
+  if (auto wit = repl_waiters_.find(node); wit != repl_waiters_.end()) {
+    for (const std::uint64_t id : wit->second) {
+      auto st = find_req(id);
+      if (!st || st->done) continue;
+      st->status = OpStatus::replica_lost;
+      st->pending = 0;
+      st->done = true;
+      stats_.replica_lost_ops += 1;
+      stats_.drained_ops += 1;
+      if (tr != nullptr) {
+        tr->instant(tr->track("rank" + std::to_string(rank_->id())),
+                    trace::Category::rma, "failover.replica_lost",
+                    "req=" + std::to_string(id) +
+                        " backup=" + std::to_string(node));
+      }
+      finish_trace(*st);
+      reqs_.erase(id);
+    }
+    repl_waiters_.erase(wit);
+  }
+  // Rescued gets queued for re-drive at it: same.
+  for (std::size_t i = 0; i < repl_reissue_.size();) {
+    auto st = find_req(repl_reissue_[i]);
+    if (!st || st->done) {
+      repl_reissue_.erase(repl_reissue_.begin() +
+                          static_cast<std::ptrdiff_t>(i));
+      continue;
+    }
+    if (st->repl_backup == node) {
+      st->status = OpStatus::replica_lost;
+      st->done = true;
+      stats_.replica_lost_ops += 1;
+      stats_.drained_ops += 1;
+      if (tr != nullptr) {
+        tr->instant(tr->track("rank" + std::to_string(rank_->id())),
+                    trace::Category::rma, "failover.replica_lost",
+                    "req=" + std::to_string(st->id) +
+                        " backup=" + std::to_string(node));
+      }
+      finish_trace(*st);
+      reqs_.erase(st->id);
+      repl_reissue_.erase(repl_reissue_.begin() +
+                          static_cast<std::ptrdiff_t>(i));
+    } else {
+      ++i;
+    }
+  }
+  // Mirrors toward it are undeliverable, and its stream into us is closed.
+  repl_out_.erase(node);
+  repl_in_.erase(node);
+
+  // Re-sync: mirrors covering windows whose PRIMARY is the dead node and
+  // that their backup has not yet acked are re-sent (the backup dedups by
+  // seq), bounding the "acked by the primary but not yet mirrored" window.
+  // Sorted backup order — unordered_map order is not deterministic.
+  std::vector<int> backups;
+  backups.reserve(repl_out_.size());
+  for (const auto& [b, led] : repl_out_) backups.push_back(b);
+  std::sort(backups.begin(), backups.end());
+  for (const int b : backups) {
+    if (target_failed_[static_cast<std::size_t>(b)] != 0) continue;
+    std::uint64_t ops = 0;
+    std::uint64_t bytes = 0;
+    for (const ReplPending& pnd : repl_out_[b].pending) {
+      if (pnd.primary != node) continue;
+      send_am_raw(b, pnd.hdr_bytes, pnd.payload);
+      ops += 1;
+      bytes += pnd.payload.size();
+    }
+    stats_.resync_ops += ops;
+    stats_.resync_bytes += bytes;
+    if (ops > 0 && tr != nullptr) {
+      tr->instant(tr->track("rank" + std::to_string(rank_->id())),
+                  trace::Category::rma, "failover.resync",
+                  "backup=" + std::to_string(b) +
+                      " ops=" + std::to_string(ops) +
+                      " bytes=" + std::to_string(bytes));
+    }
+  }
+
   // Wake any process blocked in progress_until so it re-evaluates its
   // predicate against the reconciled state.
   eq_.condition().notify_all();
@@ -1139,11 +1432,25 @@ std::uint64_t RmaEngine::rmw(portals::RmwOp op, const TargetMem& mem,
   M3RMA_REQUIRE(comm_->to_world(target_rank) == mem.owner,
                 "target_rank does not own this TargetMem");
   M3RMA_REQUIRE(disp + 8 <= mem.length, "RMW exceeds the target memory");
-  const int t = mem.owner;
-  if (target_failed_[static_cast<std::size_t>(t)] != 0) {
+  bool can_serve = true;
+  OpStatus fail_status = OpStatus::ok;
+  const TargetMem eff = effective_mem(mem, &can_serve, &fail_status);
+  if (!can_serve) {
     stats_.failed_fast += 1;
-    throw RankFailedError("RMW to failed rank " + std::to_string(t));
+    throw RankFailedError("RMW to failed rank " + std::to_string(mem.owner) +
+                          (fail_status == OpStatus::replica_lost
+                               ? " (replica lost)"
+                               : ""));
   }
+  const int t = eff.owner;
+  // True while this is the primary attempt of a replicated window with a
+  // live backup: successes are mirrored there, and a mid-sequence death
+  // retries once against it (the re-entry recomputes eff with the primary
+  // now known dead, so eff.backup is -1 and recursion terminates).
+  auto backup_live = [&] {
+    return eff.backup >= 0 &&
+           target_failed_[static_cast<std::size_t>(eff.backup)] == 0;
+  };
 
   // RMW mechanism: NIC-executed, lock-emulated, or serializer AM (§V).
   const char* mech =
@@ -1180,33 +1487,39 @@ std::uint64_t RmaEngine::rmw(portals::RmwOp op, const TargetMem& mem,
     reqs_.emplace(st->id, st);
     const std::uint64_t buf = rank_->memory().alloc(24);
     std::byte tmp[16];
-    u64_to_endian_bytes(a, mem.endian, tmp);
-    u64_to_endian_bytes(b, mem.endian, tmp + 8);
+    u64_to_endian_bytes(a, eff.endian, tmp);
+    u64_to_endian_bytes(b, eff.endian, tmp + 8);
     const std::uint64_t oplen =
         op == portals::RmwOp::compare_swap ? 16u : 8u;
     rank_->memory().nic_write(buf, std::span(tmp, oplen));
     ptl_->fetch_atomic(rank_->ctx(), op, portals::NumType::u64, md_all_, buf,
-                       buf + 16, t, kPtData, mem.id, disp, st->id);
+                       buf + 16, t, kPtData, eff.id, disp, st->id);
     per(t).pending_replies += 1;
     progress_until([st] { return st->done; });
-    if (st->status == OpStatus::target_failed) {
+    if (st->status != OpStatus::ok) {
       rank_->memory().dealloc(buf);
       close_rmw();
+      if (backup_live()) return rmw(op, mem, disp, a, b, target_rank);
       throw RankFailedError("RMW target rank " + std::to_string(t) +
                             " failed before replying");
     }
     const std::uint64_t old =
-        u64_from_endian_bytes(rank_->memory().raw(buf + 16), mem.endian);
+        u64_from_endian_bytes(rank_->memory().raw(buf + 16), eff.endian);
     rank_->memory().dealloc(buf);
+    if (backup_live()) mirror_rmw(op, eff, disp, a, b);
     close_rmw();
     return old;
   }
 
   if (cfg_.serializer == SerializerKind::coarse_lock) {
     // Lock; read; modify; write; unlock. On target death anywhere in the
-    // sequence there is no lock manager left: skip the release and throw.
+    // sequence there is no lock manager left: skip the release and retry at
+    // the backup, or throw. The inner get/put go through do_xfer with the
+    // ORIGINAL mem, so the writeback is mirrored (and re-targeted) by the
+    // regular data paths — no explicit mirror_rmw here.
     if (!lock_acquire(t)) {
       close_rmw();
+      if (backup_live()) return rmw(op, mem, disp, a, b, target_rank);
       throw RankFailedError("RMW lock target rank " + std::to_string(t) +
                             " failed");
     }
@@ -1217,6 +1530,7 @@ std::uint64_t RmaEngine::rmw(portals::RmwOp op, const TargetMem& mem,
     if (gr.failed()) {
       rank_->memory().dealloc(buf);
       close_rmw();
+      if (backup_live()) return rmw(op, mem, disp, a, b, target_rank);
       throw RankFailedError("RMW target rank " + std::to_string(t) +
                             " failed before replying");
     }
@@ -1240,6 +1554,7 @@ std::uint64_t RmaEngine::rmw(portals::RmwOp op, const TargetMem& mem,
     if (pr.failed()) {
       rank_->memory().dealloc(buf);
       close_rmw();
+      if (backup_live()) return rmw(op, mem, disp, a, b, target_rank);
       throw RankFailedError("RMW target rank " + std::to_string(t) +
                             " failed before the writeback landed");
     }
@@ -1261,7 +1576,7 @@ std::uint64_t RmaEngine::rmw(portals::RmwOp op, const TargetMem& mem,
   AmHdr h;
   h.kind = AmHdr::Kind::rmw_op;
   h.rmw = op;
-  h.mem_id = mem.id;
+  h.mem_id = eff.id;
   h.offset = disp;
   h.req_id = st->id;
   h.value_a = a;
@@ -1269,11 +1584,14 @@ std::uint64_t RmaEngine::rmw(portals::RmwOp op, const TargetMem& mem,
   send_am(t, h, {});
   per(t).pending_replies += 1;
   progress_until([st] { return st->done; });
-  close_rmw();
-  if (st->status == OpStatus::target_failed) {
+  if (st->status != OpStatus::ok) {
+    close_rmw();
+    if (backup_live()) return rmw(op, mem, disp, a, b, target_rank);
     throw RankFailedError("RMW target rank " + std::to_string(t) +
                           " failed before replying");
   }
+  if (backup_live()) mirror_rmw(op, eff, disp, a, b);
+  close_rmw();
   return st->rmw_value;
 }
 
@@ -1349,6 +1667,7 @@ void RmaEngine::progress() {
       if (h != 0) rank_->world().engine().tracer()->span_end(h);
     }
   }
+  if (!repl_reissue_.empty()) drain_reissues();
 }
 
 void RmaEngine::progress_poll(sim::Time duration, sim::Time interval) {
@@ -1375,6 +1694,10 @@ std::shared_ptr<Request::State> RmaEngine::find_req(std::uint64_t id) {
 }
 
 void RmaEngine::finish_segment(const std::shared_ptr<Request::State>& st) {
+  // A rescued request completes only through the failover machinery; stale
+  // events from the dead primary (e.g. SENDs already queued at its death)
+  // must not touch it.
+  if (st->repl_rescued) return;
   M3RMA_ENSURE(st->pending > 0, "completion event for a finished request");
   st->pending -= 1;
   if (st->pending > 0) return;
@@ -1446,6 +1769,199 @@ void RmaEngine::send_am(int world_target, const AmHdr& hdr,
   fabric::set_header(p, hdr);
   p.payload = std::move(payload);
   rank_->world().fabric().nic(rank_->id()).send(world_target, std::move(p));
+}
+
+void RmaEngine::send_am_raw(int world_target,
+                            std::vector<std::byte> hdr_bytes,
+                            std::vector<std::byte> payload) {
+  fabric::Packet p;
+  p.protocol = kAmProtocolId;
+  p.header = std::move(hdr_bytes);
+  p.payload = std::move(payload);
+  rank_->world().fabric().nic(rank_->id()).send(world_target, std::move(p));
+}
+
+// ------------------------------------------------------ window replication
+
+TargetMem RmaEngine::effective_mem(const TargetMem& mem, bool* ok,
+                                   OpStatus* status) {
+  *ok = true;
+  *status = OpStatus::ok;
+  if (target_failed_[static_cast<std::size_t>(mem.owner)] == 0) return mem;
+  if (mem.backup >= 0 &&
+      target_failed_[static_cast<std::size_t>(mem.backup)] == 0) {
+    // Adopt the replica only after the mirror stream is flushed: everything
+    // the dead primary acked must be applied at the backup first.
+    failover_sync(mem.backup);
+  }
+  if (mem.backup >= 0 &&
+      target_failed_[static_cast<std::size_t>(mem.backup)] == 0) {
+    TargetMem eff = mem;
+    eff.owner = mem.backup;
+    eff.backup = -1;
+    stats_.retargeted_ops += 1;
+    if (auto* tr = trace::want(rank_->world().engine().tracer(),
+                               trace::Category::rma)) {
+      tr->add_counter(trace::Category::rma, "rma.failover_retargets");
+    }
+    return eff;
+  }
+  *ok = false;
+  *status =
+      mem.backup >= 0 ? OpStatus::replica_lost : OpStatus::target_failed;
+  if (*status == OpStatus::replica_lost) stats_.replica_lost_ops += 1;
+  return mem;
+}
+
+void RmaEngine::failover_sync(int backup) {
+  {
+    const auto it = repl_out_.find(backup);
+    if (it == repl_out_.end() || it->second.acked >= it->second.sent) return;
+  }
+  const auto bi = static_cast<std::size_t>(backup);
+  progress_until([&] {
+    const auto it = repl_out_.find(backup);
+    return it == repl_out_.end() || it->second.acked >= it->second.sent ||
+           target_failed_[bi] != 0;
+  });
+}
+
+void RmaEngine::mirror_block(const std::shared_ptr<Request::State>& st,
+                             bool is_acc, portals::AccOp acc_op,
+                             portals::NumType nt, const TargetMem& mem,
+                             std::uint64_t offset, std::uint64_t src_addr,
+                             std::uint64_t len) {
+  ReplLedger& led = repl_out_[mem.backup];
+  AmHdr h;
+  h.kind = AmHdr::Kind::repl_mirror;
+  h.op = is_acc ? RmaOptype::accumulate : RmaOptype::put;
+  h.acc = acc_op;
+  h.nt = nt;
+  h.mem_id = mem.id;
+  h.offset = offset;
+  h.length = len;
+  h.req_id = ++led.sent;  // per-(origin, backup) mirror stream seq
+  std::vector<std::byte> payload(len);
+  rank_->memory().nic_read(src_addr, payload);
+  fabric::Packet p;
+  p.protocol = kAmProtocolId;
+  fabric::set_header(p, h);
+  // The resync log keeps a copy until the backup's cumulative ack covers it.
+  led.pending.push_back(ReplPending{h.req_id, mem.owner, p.header, payload});
+  p.payload = std::move(payload);
+  rank_->ctx().delay(rank_->world().config().costs.inject_overhead_ns);
+  rank_->world().fabric().nic(rank_->id()).send(mem.backup, std::move(p));
+  st->repl_backup = mem.backup;
+  st->repl_mirror_seq = h.req_id;
+  stats_.mirrored_ops += 1;
+  stats_.mirror_bytes += len;
+  if (auto* tr = trace::want(rank_->world().engine().tracer(),
+                             trace::Category::rma)) {
+    tr->add_counter(trace::Category::rma, "rma.mirrors");
+  }
+}
+
+void RmaEngine::mirror_rmw(portals::RmwOp op, const TargetMem& mem,
+                           std::uint64_t disp, std::uint64_t a,
+                           std::uint64_t b) {
+  // Sent AFTER the primary's reply: the mirror replays exactly the ops the
+  // primary committed, in this origin's program order.
+  ReplLedger& led = repl_out_[mem.backup];
+  AmHdr h;
+  h.kind = AmHdr::Kind::repl_mirror_rmw;
+  h.rmw = op;
+  h.mem_id = mem.id;
+  h.offset = disp;
+  h.req_id = ++led.sent;
+  h.value_a = a;
+  h.value_b = b;
+  fabric::Packet p;
+  p.protocol = kAmProtocolId;
+  fabric::set_header(p, h);
+  led.pending.push_back(ReplPending{h.req_id, mem.owner, p.header, {}});
+  rank_->ctx().delay(rank_->world().config().costs.inject_overhead_ns);
+  rank_->world().fabric().nic(rank_->id()).send(mem.backup, std::move(p));
+  stats_.mirrored_ops += 1;
+  if (auto* tr = trace::want(rank_->world().engine().tracer(),
+                             trace::Category::rma)) {
+    tr->add_counter(trace::Category::rma, "rma.mirrors");
+  }
+}
+
+void RmaEngine::apply_mirror(const AmHdr& h,
+                             std::span<const std::byte> payload) {
+  auto it = attached_.find(h.mem_id);
+  M3RMA_ENSURE(it != attached_.end(), "mirror for an unknown replica");
+  const Attached& a = it->second;
+  auto& mem = rank_->memory();
+  if (h.kind == AmHdr::Kind::repl_mirror_rmw) {
+    M3RMA_ENSURE(h.offset + 8 <= a.length, "mirror RMW exceeds the replica");
+    std::byte operand[16];
+    u64_to_endian_bytes(h.value_a, mem.config().endian, operand);
+    u64_to_endian_bytes(h.value_b, mem.config().endian, operand + 8);
+    const std::size_t oplen =
+        h.rmw == portals::RmwOp::compare_swap ? 16u : 8u;
+    portals::apply_rmw(h.rmw, portals::NumType::u64,
+                       mem.raw(a.base + h.offset), std::span(operand, oplen),
+                       mem.config().endian);
+  } else if (h.op == RmaOptype::accumulate) {
+    M3RMA_ENSURE(h.offset + h.length <= a.length,
+                 "mirror accumulate exceeds the replica");
+    portals::apply_acc(h.acc, h.nt, mem.raw(a.base + h.offset),
+                       payload.data(), h.length, mem.config().endian);
+  } else {
+    M3RMA_ENSURE(h.offset + h.length <= a.length,
+                 "mirror put exceeds the replica");
+    mem.nic_write(a.base + h.offset, payload);
+  }
+  mirrors_applied_total_ += 1;
+}
+
+void RmaEngine::drain_reissues() {
+  while (!repl_reissue_.empty()) {
+    const std::uint64_t id = repl_reissue_.front();
+    auto st = find_req(id);
+    if (!st || st->done) {
+      repl_reissue_.pop_front();
+      continue;
+    }
+    const int b = st->repl_backup;
+    if (target_failed_[static_cast<std::size_t>(b)] != 0) {
+      // Raced a backup death that has not yet swept the queue.
+      st->status = OpStatus::replica_lost;
+      st->done = true;
+      stats_.replica_lost_ops += 1;
+      finish_trace(*st);
+      reqs_.erase(id);
+      repl_reissue_.pop_front();
+      continue;
+    }
+    // A replica read is only trustworthy once every mirror the dead primary
+    // may have acked has been applied (and acked) there.
+    const auto lit = repl_out_.find(b);
+    if (lit != repl_out_.end() && lit->second.acked < lit->second.sent) {
+      break;
+    }
+    repl_reissue_.pop_front();
+    st->repl_rescued = false;
+    st->pending = 0;
+    TargetMem eff = st->repl_mem;
+    eff.owner = b;
+    eff.backup = -1;
+    st->world_target = b;
+    stats_.reissued_gets += 1;
+    stats_.retargeted_ops += 1;
+    if (auto* tr = trace::want(rank_->world().engine().tracer(),
+                               trace::Category::rma)) {
+      tr->instant(tr->track("rank" + std::to_string(rank_->id())),
+                  trace::Category::rma, "failover.reissue",
+                  "req=" + std::to_string(id) +
+                      " backup=" + std::to_string(b));
+      tr->add_counter(trace::Category::rma, "rma.reissued_gets");
+    }
+    issue_direct_get(st, st->origin_addr, st->origin_count, st->origin_dt,
+                     eff, st->repl_disp, st->target_count, st->target_dt);
+  }
 }
 
 void RmaEngine::on_am(fabric::Packet&& p) {
@@ -1549,6 +2065,112 @@ void RmaEngine::on_am(fabric::Packet&& p) {
     case AmHdr::Kind::lock_release:
       service_lock_release(p.src);
       break;
+    case AmHdr::Kind::repl_create: {
+      // NIC-side replica registration (no serializer dispatch, like
+      // count_query): allocate a shadow region and expose it under the SAME
+      // mem id, so post-failover direct ops match it with no origin-side
+      // address translation.
+      AmHdr r;
+      r.kind = AmHdr::Kind::repl_ready;
+      r.req_id = h.req_id;
+      const auto owner_endian = static_cast<Endian>(h.value_a);
+      if (owner_endian != rank_->memory().config().endian || shutting_down_) {
+        r.value_a = 0;  // refused: mirrors would be byte-order garbage here
+      } else {
+        const std::uint64_t buf =
+            rank_->memory().alloc(std::max<std::uint64_t>(h.length, 1));
+        const portals::MeHandle me =
+            ptl_->me_append(kPtData, h.mem_id, 0, buf, h.length, nullptr);
+        attached_.emplace(h.mem_id, Attached{buf, h.length, me});
+        replica_bufs_.emplace(h.mem_id, buf);
+        r.value_a = 1;
+      }
+      send_am(p.src, r, {});
+      break;
+    }
+    case AmHdr::Kind::repl_ready: {
+      if (auto st = find_req(h.req_id)) {
+        st->rmw_value = h.value_a;  // 1 = replica registered, 0 = refused
+        finish_segment(st);
+      }
+      break;
+    }
+    case AmHdr::Kind::repl_mirror:
+    case AmHdr::Kind::repl_mirror_rmw: {
+      // Apply in per-origin stream order, directly on the replica (never
+      // through the serializer, and never counted in am_applied_from_ —
+      // mirrors must not perturb the primary-path flush accounting).
+      ReplIn& in = repl_in_[p.src];
+      if (h.req_id == in.applied + 1) {
+        apply_mirror(h, p.payload);
+        in.applied += 1;
+        for (auto hit = in.held.find(in.applied + 1); hit != in.held.end();
+             hit = in.held.find(in.applied + 1)) {
+          fabric::Packet shim;
+          shim.header = std::move(hit->second.hdr_bytes);
+          const auto hh = fabric::get_header<AmHdr>(shim);
+          apply_mirror(hh, hit->second.payload);
+          in.applied += 1;
+          in.held.erase(hit);
+        }
+      } else if (h.req_id > in.applied + 1) {
+        // Out-of-order on an unordered network: hold until the gap closes.
+        in.held.emplace(h.req_id,
+                        ReplHeld{std::move(p.header), std::move(p.payload)});
+      }
+      // else: duplicate (failover re-sync) — already applied; just re-ack.
+      AmHdr r;
+      r.kind = AmHdr::Kind::repl_mirror_ack;
+      r.req_id = in.applied;  // cumulative
+      send_am(p.src, r, {});
+      break;
+    }
+    case AmHdr::Kind::repl_mirror_ack: {
+      const auto lit = repl_out_.find(p.src);
+      if (lit == repl_out_.end()) break;
+      ReplLedger& led = lit->second;
+      if (h.req_id > led.acked) {
+        led.acked = h.req_id;
+        while (!led.pending.empty() &&
+               led.pending.front().seq <= led.acked) {
+          led.pending.pop_front();
+        }
+        // Finish rescued ops whose highest mirror seq is now covered, in
+        // the order they were parked (request-id order).
+        if (auto wit = repl_waiters_.find(p.src);
+            wit != repl_waiters_.end()) {
+          auto& ids = wit->second;
+          for (std::size_t i = 0; i < ids.size();) {
+            auto st = find_req(ids[i]);
+            if (!st || st->done) {
+              ids.erase(ids.begin() + static_cast<std::ptrdiff_t>(i));
+              continue;
+            }
+            if (st->repl_mirror_seq <= led.acked) {
+              st->pending = 0;
+              st->status = OpStatus::ok;
+              st->done = true;
+              stats_.rescued_ops += 1;
+              if (auto* tr = trace::want(rank_->world().engine().tracer(),
+                                         trace::Category::rma)) {
+                tr->instant(tr->track("rank" + std::to_string(rank_->id())),
+                            trace::Category::rma, "failover.rescue",
+                            "req=" + std::to_string(st->id) +
+                                " backup=" + std::to_string(p.src));
+                tr->add_counter(trace::Category::rma, "rma.rescued_ops");
+              }
+              finish_trace(*st);
+              reqs_.erase(st->id);
+              ids.erase(ids.begin() + static_cast<std::ptrdiff_t>(i));
+            } else {
+              ++i;
+            }
+          }
+          if (ids.empty()) repl_waiters_.erase(wit);
+        }
+      }
+      break;
+    }
   }
   eq_.condition().notify_all();
 }

@@ -33,6 +33,7 @@
 
 #include <cstdint>
 #include <deque>
+#include <map>
 #include <memory>
 #include <optional>
 #include <unordered_map>
@@ -73,6 +74,9 @@ enum class RmaOptype : std::uint8_t { put, get, accumulate };
 enum class OpStatus : std::uint8_t {
   ok,
   target_failed,  ///< the target rank died before the op was confirmed
+  replica_lost,   ///< the window was replicated but neither the primary nor
+                  ///< the backup could serve the op (both dead, or the
+                  ///< backup died mid-failover)
 };
 
 /// Operation counters for observability (tests, benches, tracing).
@@ -87,6 +91,17 @@ struct OpStats {
   std::uint64_t target_failures = 0;  ///< dead targets detected
   std::uint64_t drained_ops = 0;      ///< in-flight ops completed with error
   std::uint64_t failed_fast = 0;      ///< ops refused: target already dead
+  // Replication / failover (all zero when replication is off).
+  std::uint64_t mirrored_ops = 0;     ///< put/acc blocks + RMWs mirrored
+  std::uint64_t mirror_bytes = 0;     ///< payload bytes mirrored
+  std::uint64_t retargeted_ops = 0;   ///< ops issued at the backup instead of
+                                      ///< the dead primary
+  std::uint64_t rescued_ops = 0;      ///< in-flight ops to a dead primary
+                                      ///< completed ok via their mirrors
+  std::uint64_t reissued_gets = 0;    ///< in-flight gets re-driven at backup
+  std::uint64_t resync_ops = 0;       ///< unacked mirrors re-sent at failover
+  std::uint64_t resync_bytes = 0;     ///< payload bytes of those re-sends
+  std::uint64_t replica_lost_ops = 0; ///< ops failed with replica_lost
 };
 
 struct EngineConfig {
@@ -122,9 +137,12 @@ class Request {
   void wait();
   /// Completion status; meaningful once done(). A drained op (target died
   /// mid-flight) and a failed-fast op (target already known dead at issue)
-  /// both report target_failed.
+  /// both report target_failed; an op whose replicated window lost both
+  /// copies reports replica_lost.
   OpStatus status() const;
-  bool failed() const { return status() == OpStatus::target_failed; }
+  /// True for ANY non-ok status — callers must not assume target_failed is
+  /// the only error.
+  bool failed() const { return status() != OpStatus::ok; }
 
  private:
   friend class RmaEngine;
@@ -265,6 +283,10 @@ class RmaEngine {
   /// dead, and when did this engine learn of it (virtual time; 0 if alive).
   bool target_failed(int target_rank) const;
   sim::Time target_failed_at(int target_rank) const;
+  /// Replication observability: mirrors this rank applied as a backup, and
+  /// how many replica regions it hosts.
+  std::uint64_t mirrors_applied() const { return mirrors_applied_total_; }
+  std::size_t replicas_hosted() const { return replica_bufs_.size(); }
 
  private:
   friend class Request;
@@ -293,6 +315,35 @@ class RmaEngine {
   struct LockState {
     int held_by = -1;
     std::deque<int> waiters;
+  };
+  // ----- window replication (runtime::ReplicationConfig) --------------------
+  //
+  // Origins mirror every put/accumulate/RMW on a replicated window to the
+  // backup rank over a per-(origin, backup) cumulatively-acked sequence
+  // stream, piggybacked on the AM channel. The backup applies mirrors
+  // in-order directly to its replica region (no serializer dispatch, no
+  // am_applied accounting). When the primary dies, in-flight puts complete
+  // once their highest mirror seq is acked, gets are re-driven at the
+  // backup, and unacked mirrors are re-sent (the "acked by primary but not
+  // yet mirrored" re-sync window).
+  struct ReplPending {  // origin-side resync log entry (one mirror message)
+    std::uint64_t seq = 0;
+    int primary = -1;  // world rank whose death makes this worth re-sending
+    std::vector<std::byte> hdr_bytes;
+    std::vector<std::byte> payload;
+  };
+  struct ReplLedger {  // origin-side stream state, one per backup rank
+    std::uint64_t sent = 0;
+    std::uint64_t acked = 0;
+    std::deque<ReplPending> pending;  // sent but not yet cumulatively acked
+  };
+  struct ReplHeld {  // backup-side out-of-order mirror (unordered networks)
+    std::vector<std::byte> hdr_bytes;
+    std::vector<std::byte> payload;
+  };
+  struct ReplIn {  // backup-side stream state, one per origin rank
+    std::uint64_t applied = 0;  // cumulative in-order seq applied
+    std::map<std::uint64_t, ReplHeld> held;
   };
 
   // Issue paths.
@@ -348,6 +399,31 @@ class RmaEngine {
   void execute_am(AmMsg&& m, sim::Time apply_cost);
   void send_am(int world_target, const AmHdr& hdr,
                std::vector<std::byte> payload);
+  /// Re-send a previously serialized AM (failover re-sync path).
+  void send_am_raw(int world_target, std::vector<std::byte> hdr_bytes,
+                   std::vector<std::byte> payload);
+
+  // Replication machinery.
+  /// Mirror one put/accumulate block to `mem.backup` (process context;
+  /// charges inject overhead) and stamp the request's rescue state.
+  void mirror_block(const std::shared_ptr<Request::State>& st, bool is_acc,
+                    portals::AccOp acc_op, portals::NumType nt,
+                    const TargetMem& mem, std::uint64_t offset,
+                    std::uint64_t src_addr, std::uint64_t len);
+  /// Mirror a completed RMW (semantic op + operands; the backup replays it).
+  void mirror_rmw(portals::RmwOp op, const TargetMem& mem, std::uint64_t disp,
+                  std::uint64_t a, std::uint64_t b);
+  /// Backup side: apply one in-order mirror to the replica region.
+  void apply_mirror(const AmHdr& h, std::span<const std::byte> payload);
+  /// Block until the mirror stream to `backup` is fully acked (or the
+  /// backup dies). Called before re-targeting ops at the replica.
+  void failover_sync(int backup);
+  /// Re-drive rescued gets at their backup once its mirror stream is flushed.
+  void drain_reissues();
+  /// Failover target resolution: owner if alive, else the live backup
+  /// (after failover_sync). Throws nothing; *ok=false when no copy can
+  /// serve and *status is the error to report.
+  TargetMem effective_mem(const TargetMem& mem, bool* ok, OpStatus* status);
   /// False when the lock target is (or dies while we wait to become) a
   /// failed rank — there is no lock manager left to grant.
   bool lock_acquire(int world_target);
@@ -402,6 +478,18 @@ class RmaEngine {
   std::unordered_map<int, std::uint64_t> lock_hold_spans_;
   std::unordered_map<int, RmiHandler> rmi_handlers_;
   OpStats stats_;
+  // Replication state. All maps stay empty with replication off, so
+  // healthy-path lookups are no-ops and fault-free runs are byte-identical.
+  std::unordered_map<int, ReplLedger> repl_out_;   // by backup world rank
+  std::unordered_map<int, ReplIn> repl_in_;        // by origin world rank
+  // Rescued puts parked until their mirror seq is acked, by backup rank
+  // (insertion = request-id order, preserved for deterministic completion).
+  std::unordered_map<int, std::vector<std::uint64_t>> repl_waiters_;
+  std::deque<std::uint64_t> repl_reissue_;  // rescued gets awaiting re-drive
+  // Replica regions this rank hosts as a backup: mem id -> allocated base
+  // (freed at dispose; also marks ids in attached_ that are replicas).
+  std::map<std::uint64_t, std::uint64_t> replica_bufs_;
+  std::uint64_t mirrors_applied_total_ = 0;
   // Failure detector state, indexed by world rank. Healthy-path code only
   // reads these flags, so fault-free runs are byte-identical.
   std::vector<char> target_failed_;

@@ -9,6 +9,24 @@ namespace m3rma::core {
 namespace {
 
 constexpr std::size_t kWireSize = 4 + 8 + 8 + 8 + 1 + 1 + 1;
+// Replicated handles append the backup world rank (4 bytes LE).
+constexpr std::size_t kWireSizeReplicated = kWireSize + 4;
+
+void put_u32_le(std::vector<std::byte>& out, std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) {
+    out.push_back(static_cast<std::byte>((v >> (8 * i)) & 0xff));
+  }
+}
+
+std::uint32_t get_u32_le(std::span<const std::byte> in, std::size_t off) {
+  std::uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) {
+    v |= static_cast<std::uint32_t>(std::to_integer<std::uint8_t>(
+             in[off + static_cast<std::size_t>(i)]))
+         << (8 * i);
+  }
+  return v;
+}
 
 void put_u64_le(std::vector<std::byte>& out, std::uint64_t v) {
   for (int i = 0; i < 8; ++i) {
@@ -30,37 +48,33 @@ std::uint64_t get_u64_le(std::span<const std::byte> in, std::size_t off) {
 
 std::vector<std::byte> TargetMem::serialize() const {
   std::vector<std::byte> out;
-  out.reserve(kWireSize);
-  const auto uowner = static_cast<std::uint32_t>(owner);
-  for (int i = 0; i < 4; ++i) {
-    out.push_back(static_cast<std::byte>((uowner >> (8 * i)) & 0xff));
-  }
+  out.reserve(backup >= 0 ? kWireSizeReplicated : kWireSize);
+  put_u32_le(out, static_cast<std::uint32_t>(owner));
   put_u64_le(out, id);
   put_u64_le(out, base);
   put_u64_le(out, length);
   out.push_back(static_cast<std::byte>(endian));
   out.push_back(static_cast<std::byte>(addr_bits));
   out.push_back(static_cast<std::byte>(noncoherent ? 1 : 0));
+  if (backup >= 0) put_u32_le(out, static_cast<std::uint32_t>(backup));
   return out;
 }
 
 TargetMem TargetMem::deserialize(std::span<const std::byte> bytes) {
-  M3RMA_REQUIRE(bytes.size() == kWireSize,
-                "TargetMem::deserialize: wrong blob size");
+  M3RMA_REQUIRE(
+      bytes.size() == kWireSize || bytes.size() == kWireSizeReplicated,
+      "TargetMem::deserialize: wrong blob size");
   TargetMem t;
-  std::uint32_t uowner = 0;
-  for (int i = 0; i < 4; ++i) {
-    uowner |= static_cast<std::uint32_t>(std::to_integer<std::uint8_t>(
-                  bytes[static_cast<std::size_t>(i)]))
-              << (8 * i);
-  }
-  t.owner = static_cast<std::int32_t>(uowner);
+  t.owner = static_cast<std::int32_t>(get_u32_le(bytes, 0));
   t.id = get_u64_le(bytes, 4);
   t.base = get_u64_le(bytes, 12);
   t.length = get_u64_le(bytes, 20);
   t.endian = static_cast<Endian>(std::to_integer<std::uint8_t>(bytes[28]));
   t.addr_bits = std::to_integer<std::uint8_t>(bytes[29]);
   t.noncoherent = std::to_integer<std::uint8_t>(bytes[30]) != 0;
+  if (bytes.size() == kWireSizeReplicated) {
+    t.backup = static_cast<std::int32_t>(get_u32_le(bytes, kWireSize));
+  }
   return t;
 }
 

@@ -37,11 +37,20 @@ struct TargetMem {
   /// True when the owner's memory is not cache-coherent (readers there must
   /// fence; see memsim).
   bool noncoherent = false;
+  /// World rank holding a live replica of this window, or -1 when the
+  /// window is unreplicated (runtime::ReplicationConfig). Origins mirror
+  /// every put/accumulate/RMW there and re-target ops at it once the owner
+  /// is declared dead.
+  std::int32_t backup = -1;
 
   bool valid() const { return owner >= 0; }
+  bool replicated() const { return backup >= 0; }
 
   /// Wire encoding for handing the handle to other processes. Fixed-layout
-  /// and endian-stable so heterogeneous peers decode it identically.
+  /// and endian-stable so heterogeneous peers decode it identically. The
+  /// backup rank is appended only when the window is replicated, so
+  /// unreplicated handles keep the original 31-byte blob (and the packets
+  /// shipping them keep their pre-replication sizes and timings).
   std::vector<std::byte> serialize() const;
   static TargetMem deserialize(std::span<const std::byte> bytes);
 

@@ -164,8 +164,26 @@ void Fabric::route(Packet&& p) {
   if (topo_ != nullptr && p.src != p.dst) {
     // Physical-topology path: traverse the dimension-ordered hop chain.
     // Self-sends stay on the loopback path below — they never touch wires.
-    topo_hop(std::move(p), topo_->topology().route(p.src, p.dst), 0,
-             eng_->now());
+    std::vector<topo::LinkId> path = topo_->topology().route(p.src, p.dst);
+    if (failed_nodes_ > 0 && path_transits_dead(path, 0, p.dst)) {
+      // Dimension-ordered routing would carry this packet through a
+      // quarantined router; divert onto the minimal-adaptive fallback. A
+      // severed pair keeps the original path and blackholes at the dead
+      // hop, exactly as before the fallback existed.
+      const std::vector<topo::LinkId>& alt = fallback_route(p.src, p.dst);
+      if (!alt.empty()) {
+        ++rerouted_packets_;
+        if (tr != nullptr) {
+          tr->instant(tr->track(link_name(p.src, p.dst)),
+                      trace::Category::fabric, "reroute",
+                      "at=inject proto=" + std::to_string(p.protocol) +
+                          " hops=" + std::to_string(alt.size()));
+          tr->add_counter(trace::Category::fabric, "fabric.reroutes");
+        }
+        path = alt;
+      }
+    }
+    topo_hop(std::move(p), std::move(path), 0, eng_->now());
     return;
   }
 
@@ -287,10 +305,57 @@ void Fabric::topo_hop(Packet&& p, std::vector<topo::LinkId>&& path,
     }
     if (idx + 1 == pth.size()) {
       topo_deliver(std::move(pkt));
-    } else {
-      topo_hop(std::move(pkt), std::move(pth), idx + 1, eng_->now());
+      return;
     }
+    if (failed_nodes_ > 0 && path_transits_dead(pth, idx + 1, pkt.dst)) {
+      // A router further down this packet's chain died while it was in
+      // flight: adapt from the current (live) router instead of carrying
+      // the packet into the blackhole. Severed pairs fall through and die
+      // at the dead hop, as before.
+      const std::vector<topo::LinkId>& alt = fallback_route(here, pkt.dst);
+      if (!alt.empty()) {
+        ++rerouted_packets_;
+        if (auto* rt = trace::want(eng_->tracer(), trace::Category::fabric)) {
+          rt->instant(rt->track(link_name(pkt.src, pkt.dst)),
+                      trace::Category::fabric, "reroute",
+                      "at=node" + std::to_string(here) +
+                          " proto=" + std::to_string(pkt.protocol) +
+                          " hops=" + std::to_string(alt.size()));
+          rt->add_counter(trace::Category::fabric, "fabric.reroutes");
+        }
+        topo_hop(std::move(pkt), std::vector<topo::LinkId>(alt), 0,
+                 eng_->now());
+        return;
+      }
+    }
+    topo_hop(std::move(pkt), std::move(pth), idx + 1, eng_->now());
   });
+}
+
+bool Fabric::path_transits_dead(const std::vector<topo::LinkId>& path,
+                                std::size_t idx, int dst) const {
+  const topo::Topology& t = topo_->topology();
+  for (std::size_t i = idx; i < path.size(); ++i) {
+    const int via = t.link_dst(path[i]);
+    if (via != dst && alive_[static_cast<std::size_t>(via)] == 0) {
+      return true;
+    }
+  }
+  return false;
+}
+
+const std::vector<topo::LinkId>& Fabric::fallback_route(int from, int dst) {
+  const std::uint64_t key = static_cast<std::uint64_t>(from) *
+                                static_cast<std::uint64_t>(nodes()) +
+                            static_cast<std::uint64_t>(dst);
+  auto it = fallback_routes_.find(key);
+  if (it == fallback_routes_.end()) {
+    it = fallback_routes_
+             .emplace(key,
+                      topo_->topology().route_avoiding(from, dst, alive_))
+             .first;
+  }
+  return it->second;
 }
 
 void Fabric::topo_deliver(Packet&& p) {
@@ -340,6 +405,9 @@ void Fabric::fail_node(int node, bool announce) {
   if (alive_[n] != 0) {
     alive_[n] = 0;
     ++failed_nodes_;
+    // The dead-node set changed: every cached fallback route is recomputed
+    // on next use (quarantine time), against the new alive mask.
+    fallback_routes_.clear();
     // Power off the dead node's own endpoint: cancel its timers and drain
     // its streams so it generates no further wire traffic or events.
     if (auto* rel = nics_[n]->reliability()) rel->quarantine_all();

@@ -192,6 +192,9 @@ class Fabric {
   /// Packets destroyed because an endpoint was dead (distinct from random
   /// wire loss, which counts as dropped_packets).
   std::uint64_t blackholed_packets() const { return blackholed_packets_; }
+  /// Packets diverted onto a minimal-adaptive fallback route because their
+  /// dimension-ordered path transited a dead router.
+  std::uint64_t rerouted_packets() const { return rerouted_packets_; }
 
   /// Death listeners run in event context when a node's failure is
   /// announced, in registration order. Returns a token for remove.
@@ -239,6 +242,15 @@ class Fabric {
 
   void blackhole(const Packet& p, const char* where);
 
+  /// True when any link of path[idx..] enters a dead router other than the
+  /// final destination (endpoint death is handled separately). Only called
+  /// when failed_nodes_ > 0, keeping healthy runs byte-identical.
+  bool path_transits_dead(const std::vector<topo::LinkId>& path,
+                          std::size_t idx, int dst) const;
+  /// Minimal-adaptive fallback (computed lazily, cached until the next
+  /// death): shortest live route from -> dst. Empty = pair severed.
+  const std::vector<topo::LinkId>& fallback_route(int from, int dst);
+
   sim::Engine* eng_;
   Capabilities caps_;
   CostModel costs_;
@@ -256,6 +268,12 @@ class Fabric {
   std::vector<char> announced_;
   int failed_nodes_ = 0;
   std::uint64_t blackholed_packets_ = 0;
+  std::uint64_t rerouted_packets_ = 0;
+  // Fallback routes around quarantined routers, keyed from*nodes+dst;
+  // invalidated whenever another node dies. Touched only on paths that
+  // already saw failed_nodes_ > 0.
+  std::unordered_map<std::uint64_t, std::vector<topo::LinkId>>
+      fallback_routes_;
   std::vector<std::pair<int, DeathListener>> death_listeners_;
   int next_listener_token_ = 1;
   LinkFailurePolicy link_failure_policy_;

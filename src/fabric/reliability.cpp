@@ -161,10 +161,20 @@ void LinkReliability::on_budget_exhausted(int peer, int protocol,
   lf.retry_budget = cfg_.retry_budget;
   if (auto* tr = trace::want(nic_->fabric().engine().tracer(),
                              trace::Category::reliability)) {
+    // Full retry history, so a trace viewer can reconstruct the endgame of
+    // the stream without the (possibly suppressed) TransportError text:
+    // how many rounds ran, how far backoff got, what the peer last acked,
+    // and how stale the oldest stuck packet is.
     tr->instant(tr->track(rel_track(lf.src, peer)),
                 trace::Category::reliability, "link_fail",
                 "proto=" + std::to_string(protocol) +
-                    " rounds=" + std::to_string(lf.attempts) +
+                    " rounds=" + std::to_string(lf.attempts) + "/" +
+                    std::to_string(lf.retry_budget) +
+                    " final_rto=" + std::to_string(lf.final_rto) +
+                    " last_ack=" + std::to_string(lf.last_ack) +
+                    " oldest_seq=" + std::to_string(lf.oldest_seq) +
+                    " oldest_age=" +
+                    std::to_string(lf.detected_at - lf.oldest_first_sent) +
                     " unacked=" + std::to_string(lf.unacked));
     tr->add_counter(trace::Category::reliability,
                     rel_counter(lf.src, peer, "link_failures"));

@@ -49,6 +49,19 @@ struct FaultPlan {
   bool isolate_on_link_failure = true;
 };
 
+/// Opt-in primary/backup window replication policy, consumed by
+/// core::RmaEngine::attach. Disabled (the default) is byte-identical to a
+/// build without the replication machinery: attach sends nothing, handles
+/// keep their unreplicated wire size, and no op is mirrored.
+struct ReplicationConfig {
+  bool enabled = false;
+  /// Deterministic backup placement: the backup of rank r is
+  /// (r + backup_offset) mod ranks. A window whose computed backup is the
+  /// owner itself, already dead, or refuses the replica (endianness
+  /// mismatch) is created unreplicated.
+  int backup_offset = 1;
+};
+
 struct WorldConfig {
   int ranks = 8;
   fabric::Capabilities caps{};
@@ -66,6 +79,9 @@ struct WorldConfig {
   /// legacy flat crossbar, byte-identical to a world without the topo
   /// subsystem.
   std::optional<topo::TopoConfig> topo{};
+  /// Primary/backup window replication (core::RmaEngine). Disabled =
+  /// byte-identical to a world without the replication subsystem.
+  ReplicationConfig replication{};
 };
 
 class World {

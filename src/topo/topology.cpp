@@ -1,5 +1,6 @@
 #include "topo/topology.hpp"
 
+#include <algorithm>
 #include <cmath>
 #include <utility>
 
@@ -235,6 +236,49 @@ std::vector<LinkId> Topology::route(int src, int dst) const {
     path.push_back(link_between(at, nxt));
     at = nxt;
   }
+  return path;
+}
+
+std::vector<LinkId> Topology::route_avoiding(
+    int src, int dst, const std::vector<char>& alive) const {
+  M3RMA_REQUIRE(src >= 0 && src < nodes_ && dst >= 0 && dst < nodes_,
+                "route_avoiding node out of range");
+  M3RMA_REQUIRE(static_cast<int>(alive.size()) == nodes_,
+                "route_avoiding alive mask size mismatch");
+  if (src == dst) return {};
+  // Breadth-first search over the directed link table. Neighbor order is
+  // node-id order (ascending dst scan of link_by_pair_), so the chosen path
+  // is a pure function of (topology, src, dst, dead set).
+  std::vector<int> prev_node(static_cast<std::size_t>(nodes_), -1);
+  std::vector<LinkId> prev_link(static_cast<std::size_t>(nodes_), -1);
+  std::vector<char> seen(static_cast<std::size_t>(nodes_), 0);
+  std::vector<int> frontier{src};
+  seen[static_cast<std::size_t>(src)] = 1;
+  while (!frontier.empty() &&
+         seen[static_cast<std::size_t>(dst)] == 0) {
+    std::vector<int> next;
+    for (int at : frontier) {
+      for (int nb = 0; nb < nodes_; ++nb) {
+        const int l = link_by_pair_[static_cast<std::size_t>(at) *
+                                        static_cast<std::size_t>(nodes_) +
+                                    static_cast<std::size_t>(nb)];
+        if (l < 0 || seen[static_cast<std::size_t>(nb)] != 0) continue;
+        // Only dst may be entered dead-or-alive; transit must be alive.
+        if (nb != dst && alive[static_cast<std::size_t>(nb)] == 0) continue;
+        seen[static_cast<std::size_t>(nb)] = 1;
+        prev_node[static_cast<std::size_t>(nb)] = at;
+        prev_link[static_cast<std::size_t>(nb)] = l;
+        next.push_back(nb);
+      }
+    }
+    frontier = std::move(next);
+  }
+  if (seen[static_cast<std::size_t>(dst)] == 0) return {};  // severed
+  std::vector<LinkId> path;
+  for (int at = dst; at != src; at = prev_node[static_cast<std::size_t>(at)]) {
+    path.push_back(prev_link[static_cast<std::size_t>(at)]);
+  }
+  std::reverse(path.begin(), path.end());
   return path;
 }
 

@@ -92,6 +92,15 @@ class Topology {
   /// topology — pinned by the property suite.
   int distance(int src, int dst) const;
 
+  /// Minimal-adaptive fault route: the shortest path from src to dst whose
+  /// transit routers are all alive (`alive[n] != 0`; src and dst must be
+  /// alive themselves). Falls back to non-minimal detours when every
+  /// minimal path is blocked. Deterministic — breadth-first over the link
+  /// table with neighbors visited in node-id order — and empty when src ==
+  /// dst or when the dead set disconnects the pair.
+  std::vector<LinkId> route_avoiding(int src, int dst,
+                                     const std::vector<char>& alive) const;
+
  private:
   Topology() = default;
   void add_link(int src, int dst);

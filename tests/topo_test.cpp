@@ -346,11 +346,12 @@ TEST(TopoFabricTest, LossOnTopoLinksRecoveredByReliability) {
             static_cast<std::uint64_t>(kPuts));
 }
 
-TEST(TopoFabricTest, DeadTransitNodeBlackholesRoutedPackets) {
+TEST(TopoFabricTest, DeadTransitNodeReroutesSurvivorTraffic) {
   // Raw fabric, 4-node ring: 0 -> 2 routes through node 1 (tie broken
-  // forward). Before the crash the packet delivers; after fail_node(1) the
-  // same send blackholes at the quarantined transit router, while 2 -> 0's
-  // reverse route (2 -> 3 -> 0) stays functional.
+  // forward). Before the crash the packet takes that route; after
+  // fail_node(1) the same send is re-routed around the corpse (0 -> 3 -> 2)
+  // and still delivers — survivor pairs stay connected across a dead
+  // transit node. Traffic addressed AT the dead node still blackholes.
   sim::Engine eng{7};
   fabric::Fabric f(eng, 4, fabric::Capabilities{}, fabric::CostModel{});
   topo::TopoConfig tc;
@@ -371,21 +372,24 @@ TEST(TopoFabricTest, DeadTransitNodeBlackholesRoutedPackets) {
     f.nic(0).send(2, make());
     ctx.delay(100'000);  // let it arrive
     f.fail_node(1, /*announce=*/true);
-    f.nic(0).send(2, make());  // transits dead node 1: blackholed
+    f.nic(0).send(2, make());  // would transit dead node 1: rerouted 0->3->2
     ctx.delay(100'000);
-    f.nic(2).send(0, make());  // reverse route 2->3->0 avoids the corpse
+    f.nic(0).send(1, make());  // addressed at the corpse itself: blackholed
+    ctx.delay(100'000);
+    f.nic(2).send(0, make());  // reverse route 2->3->0 never saw the corpse
   });
   eng.run();
-  EXPECT_EQ(got_at_2, 1) << "post-crash packet must not survive the transit";
+  EXPECT_EQ(got_at_2, 2) << "survivor pair must stay connected via fallback";
   EXPECT_EQ(got_at_0, 1);
-  EXPECT_GT(f.blackholed_packets(), 0u);
+  EXPECT_EQ(f.rerouted_packets(), 1u);
+  EXPECT_GT(f.blackholed_packets(), 0u);  // the send addressed at node 1
   // The quarantined router's links serialized nothing after the crash: the
-  // blackhole happens on arrival at the dead hop, before its outgoing link
-  // is reserved.
+  // fallback route is chosen at injection, before any dead hop is reserved.
   const topo::TopologyModel* m = f.topology();
   const topo::Topology& t = m->topology();
   EXPECT_EQ(m->state(t.link_between(1, 2)).msgs, 1u);  // pre-crash only
-  EXPECT_EQ(m->state(t.link_between(0, 1)).msgs, 2u);  // both attempts
+  EXPECT_EQ(m->state(t.link_between(0, 1)).msgs, 1u);  // pre-crash only
+  EXPECT_EQ(m->state(t.link_between(3, 2)).msgs, 1u);  // the fallback hop
 }
 
 TEST(TopoFabricTest, NoTopologyMeansNoModel) {
