@@ -64,6 +64,20 @@ struct Table {
     std::printf("\n");
     for (const auto& r : rows) print_row(r);
   }
+
+  /// Machine-readable dump of the same cells the markdown table prints
+  /// (header row first). Cells never contain commas, so no quoting.
+  void write_csv(std::ostream& os) const {
+    auto csv_row = [&os](const std::vector<std::string>& cells) {
+      for (std::size_t i = 0; i < cells.size(); ++i) {
+        if (i > 0) os << ',';
+        os << cells[i];
+      }
+      os << '\n';
+    };
+    csv_row(header);
+    for (const auto& r : rows) csv_row(r);
+  }
 };
 
 inline std::string fmt_ms(m3rma::sim::Time ns) {
@@ -120,6 +134,21 @@ inline std::string flame_flag(int argc, char** argv,
     const std::string a = argv[i];
     if (a.rfind("--trace-flame=", 0) == 0) return a.substr(14);
     if (a == "--trace-flame") return default_file;
+  }
+  return {};
+}
+
+/// Parse a CSV-output flag (`FLAG=FILE`, or bare `FLAG` defaulting to
+/// `default_file`) from the bench's argv. Empty string = no CSV. One parser
+/// for every table's machine-readable dump (S9-S13); `flag` keeps legacy
+/// spellings (e.g. tab_congestion's --heatmap-csv) on the same code path.
+inline std::string csv_flag(int argc, char** argv,
+                            const std::string& default_file,
+                            const std::string& flag = "--csv") {
+  for (int i = 1; i < argc; ++i) {
+    const std::string a = argv[i];
+    if (a.rfind(flag + "=", 0) == 0) return a.substr(flag.size() + 1);
+    if (a == flag) return default_file;
   }
   return {};
 }

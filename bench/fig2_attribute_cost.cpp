@@ -14,6 +14,8 @@
 //
 //   build/bench/fig2_attribute_cost
 #include <algorithm>
+#include <set>
+#include <string>
 #include <vector>
 
 #include "bench/bench_util.hpp"
@@ -135,6 +137,23 @@ int main(int argc, char** argv) {
     }
     if (!trace_file.empty()) benchutil::export_trace(rec, trace_file);
     if (!flame_file.empty()) benchutil::export_flame(rec, flame_file);
+    // Per-op tail latency by attribute set, through the recorder's
+    // nearest-rank percentile accessor: serializer queueing shows up as a
+    // fat tail long before it moves the median. Histograms are keyed by
+    // attrs, so the two atomicity serializers pool into one line.
+    std::printf("\nput tail latency by attrs (virtual us, 64 B):\n");
+    std::set<std::string> seen;
+    for (const Series& s : series) {
+      const std::string hist =
+          "rma.put[" + (s.attrs | core::RmaAttr::blocking).describe() + "]";
+      if (!seen.insert(hist).second) continue;
+      if (auto p50 = rec.percentile(hist, 50.0)) {
+        std::printf("  %-40s: p50=%s p99=%s p99.9=%s\n", hist.c_str(),
+                    benchutil::fmt_us(*p50).c_str(),
+                    benchutil::fmt_us(*rec.percentile(hist, 99.0)).c_str(),
+                    benchutil::fmt_us(*rec.percentile(hist, 99.9)).c_str());
+      }
+    }
   }
   return 0;
 }

@@ -211,15 +211,6 @@ void write_heatmap_csv(std::ostream& os, const RunResult& r,
   }
 }
 
-std::string csv_flag(int argc, char** argv) {
-  for (int i = 1; i < argc; ++i) {
-    const std::string a = argv[i];
-    if (a.rfind("--heatmap-csv=", 0) == 0) return a.substr(14);
-    if (a == "--heatmap-csv") return "tab_congestion_heatmap.csv";
-  }
-  return {};
-}
-
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -292,7 +283,8 @@ int main(int argc, char** argv) {
   print_heatmap(xb_l, rec);
   print_heatmap(t3_l, rec);
 
-  const std::string csv_file = csv_flag(argc, argv);
+  const std::string csv_file = benchutil::csv_flag(
+      argc, argv, "tab_congestion_heatmap.csv", "--heatmap-csv");
   if (!csv_file.empty()) {
     std::ofstream os(csv_file, std::ios::binary);
     os << "config,link,bucket_start_ns,bucket_end_ns,busy_ns,utilization_"

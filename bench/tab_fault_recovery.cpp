@@ -17,6 +17,7 @@
 // op drain/fail-fast split at the survivor.
 //
 //   build/bench/tab_fault_recovery [--trace[=FILE]]
+#include <fstream>
 #include <vector>
 
 #include "bench/bench_util.hpp"
@@ -147,6 +148,14 @@ int main(int argc, char** argv) {
   std::printf(
       "  every case accounts for all %d puts (ok + drained + failed fast)\n",
       kOps);
+
+  const std::string csv_file =
+      benchutil::csv_flag(argc, argv, "tab_fault_recovery.csv");
+  if (!csv_file.empty()) {
+    std::ofstream os(csv_file, std::ios::binary);
+    t.write_csv(os);
+    std::printf("\ntable csv: -> %s\n", csv_file.c_str());
+  }
 
   // Optional trace pass: one endogenous case with the recorder attached —
   // fault.detect/fault.drain instants, quarantine and drained-op counters.

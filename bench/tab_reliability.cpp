@@ -10,6 +10,7 @@
 // sublayer adds over the bare (reliability-off, lossless) wire.
 //
 //   build/bench/tab_reliability
+#include <fstream>
 #include <vector>
 
 #include "bench/bench_util.hpp"
@@ -130,6 +131,14 @@ int main(int argc, char** argv) {
               "despite drops)\n",
               kOps);
 
+  const std::string csv_file =
+      benchutil::csv_flag(argc, argv, "tab_reliability.csv");
+  if (!csv_file.empty()) {
+    std::ofstream os(csv_file, std::ios::binary);
+    t.write_csv(os);
+    std::printf("\ntable csv: -> %s\n", csv_file.c_str());
+  }
+
   // Optional trace pass: one lossy case with the recorder attached, showing
   // wire spans, retransmit/dup instants, and per-link counters. Off the
   // table path so the numbers above never move.
@@ -139,6 +148,17 @@ int main(int argc, char** argv) {
     trace::Recorder rec;
     run_case(true, 0.05, 50'000, &rec, "reliability loss=0.05 rto=50us");
     benchutil::export_trace(rec, trace_file);
+    // Per-op tail latency of the traced lossy case, through the recorder's
+    // nearest-rank percentile accessor: retransmit stalls live in the tail,
+    // not the median.
+    const std::string hist = "rma.put[remote_completion]";
+    if (auto p50 = rec.percentile(hist, 50.0)) {
+      std::printf("put latency (loss=0.05): p50=%s us p99=%s us "
+                  "p99.9=%s us\n",
+                  benchutil::fmt_us(*p50).c_str(),
+                  benchutil::fmt_us(*rec.percentile(hist, 99.0)).c_str(),
+                  benchutil::fmt_us(*rec.percentile(hist, 99.9)).c_str());
+    }
   }
   return 0;
 }

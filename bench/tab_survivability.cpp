@@ -192,15 +192,6 @@ std::string fmt_pct(double num, double den) {
   return buf;
 }
 
-std::string csv_flag(int argc, char** argv) {
-  for (int i = 1; i < argc; ++i) {
-    const std::string a = argv[i];
-    if (a.rfind("--csv=", 0) == 0) return a.substr(6);
-    if (a == "--csv") return "tab_survivability.csv";
-  }
-  return {};
-}
-
 void write_csv(std::ostream& os, const std::string& name,
                const CaseResult& r) {
   // Bucketed client-2 completion timeline; virtual time, so byte-identical
@@ -296,7 +287,8 @@ int main(int argc, char** argv) {
       static_cast<unsigned long long>(ann.resync_ops),
       static_cast<unsigned long long>(ann.resync_bytes / 1024));
 
-  const std::string csv_file = csv_flag(argc, argv);
+  const std::string csv_file =
+      benchutil::csv_flag(argc, argv, "tab_survivability.csv");
   if (!csv_file.empty()) {
     std::ofstream os(csv_file, std::ios::binary);
     os << "case,bucket_start_us,ops,bytes\n";

@@ -1,0 +1,68 @@
+#include "apps/stats_sink.hpp"
+
+#include <utility>
+
+namespace m3rma::apps {
+
+const char* op_kind_name(OpKind k) {
+  switch (k) {
+    case OpKind::get:
+      return "get";
+    case OpKind::put:
+      return "put";
+    case OpKind::rmw:
+      return "rmw";
+  }
+  return "?";
+}
+
+StatsSink::StatsSink(trace::Recorder* rec, std::string prefix)
+    : rec_(rec), prefix_(std::move(prefix)) {}
+
+std::string StatsSink::hist_name(OpKind kind) const {
+  return prefix_ + "." + op_kind_name(kind);
+}
+
+std::string StatsSink::shard_counter_name(int shard) const {
+  return prefix_ + ".shard" + std::to_string(shard) + ".ops";
+}
+
+void StatsSink::record_latency(OpKind kind, trace::Time ns) {
+  if (auto* r = trace::want(rec_, trace::Category::apps)) {
+    r->record_value(trace::Category::apps, hist_name(kind), ns);
+    r->record_value(trace::Category::apps, prefix_ + ".all", ns);
+  }
+}
+
+void StatsSink::count_shard_op(int shard, std::uint64_t delta) {
+  if (auto* r = trace::want(rec_, trace::Category::apps)) {
+    r->add_counter(trace::Category::apps, shard_counter_name(shard), delta);
+  }
+}
+
+std::optional<StatsSink::Tail> StatsSink::tail_of(
+    const std::string& name) const {
+  if (rec_ == nullptr) return std::nullopt;
+  const auto p50 = rec_->percentile(name, 50.0);
+  if (!p50) return std::nullopt;
+  Tail t;
+  t.count = rec_->histogram(name)->count;
+  t.p50 = *p50;
+  t.p99 = *rec_->percentile(name, 99.0);
+  t.p999 = *rec_->percentile(name, 99.9);
+  return t;
+}
+
+std::optional<StatsSink::Tail> StatsSink::tail(OpKind kind) const {
+  return tail_of(hist_name(kind));
+}
+
+std::optional<StatsSink::Tail> StatsSink::tail_all() const {
+  return tail_of(prefix_ + ".all");
+}
+
+std::uint64_t StatsSink::shard_ops(int shard) const {
+  return rec_ != nullptr ? rec_->counter(shard_counter_name(shard)) : 0;
+}
+
+}  // namespace m3rma::apps

@@ -1,0 +1,66 @@
+// apps::StatsSink — the KV workload's funnel into the trace layer.
+//
+// Recorder histograms are keyed globally by name (one Recorder serves every
+// World a bench runs), so the sink namespaces everything under a per-config
+// prefix: latencies land in value histograms "<prefix>.get" / ".put" /
+// ".rmw" (Category::apps) and per-shard completions in counters
+// "<prefix>.shard<i>.ops". Tail latency comes back out through
+// trace::Recorder::percentile — the single nearest-rank accessor — rather
+// than a private re-sort of samples.
+//
+// A null Recorder makes every method a no-op (queries return nullopt/0), so
+// rank bodies can record unconditionally; like all tracing, recording never
+// perturbs virtual time.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "trace/recorder.hpp"
+
+namespace m3rma::apps {
+
+/// The three KV data-path op kinds WorkloadGen issues.
+enum class OpKind : std::uint8_t { get, put, rmw };
+const char* op_kind_name(OpKind k);
+
+class StatsSink {
+ public:
+  /// `prefix` namespaces this sink's histograms/counters, e.g.
+  /// "kv[torus,zipf]". Null recorder = inert sink.
+  explicit StatsSink(trace::Recorder* rec, std::string prefix = "kv");
+
+  trace::Recorder* recorder() const { return rec_; }
+  const std::string& prefix() const { return prefix_; }
+
+  /// Record one completed op's virtual-time latency.
+  void record_latency(OpKind kind, trace::Time ns);
+  /// Count one data-path op against the shard it targeted.
+  void count_shard_op(int shard, std::uint64_t delta = 1);
+
+  // ----- queries (valid once the workload has run) -------------------------
+
+  struct Tail {
+    std::uint64_t count = 0;
+    trace::Time p50 = 0;
+    trace::Time p99 = 0;
+    trace::Time p999 = 0;
+  };
+  /// Tail latency of one op kind; nullopt when nothing was recorded.
+  std::optional<Tail> tail(OpKind kind) const;
+  /// Tail latency over all op kinds combined ("<prefix>.all").
+  std::optional<Tail> tail_all() const;
+  std::uint64_t shard_ops(int shard) const;
+
+  std::string hist_name(OpKind kind) const;
+  std::string shard_counter_name(int shard) const;
+
+ private:
+  std::optional<Tail> tail_of(const std::string& name) const;
+
+  trace::Recorder* rec_;
+  std::string prefix_;
+};
+
+}  // namespace m3rma::apps

@@ -1,0 +1,124 @@
+#include "apps/workload.hpp"
+
+#include <algorithm>
+#include <deque>
+
+#include "common/diagnostics.hpp"
+
+namespace m3rma::apps {
+
+WorkloadGen::WorkloadGen(runtime::Rank& rank, KvStore& kv, WorkloadConfig cfg,
+                         StatsSink* sink)
+    : rank_(&rank),
+      kv_(&kv),
+      cfg_(cfg),
+      sink_(sink),
+      keys_(kv.config().key_space, cfg.zipf_s,
+            mix64(cfg.seed ^ (0xC11E57ull + static_cast<std::uint64_t>(
+                                                rank.id())))),
+      mix_({cfg.get_frac, cfg.put_frac, cfg.rmw_frac},
+           mix64(cfg.seed ^ (0x0FF5E7ull + static_cast<std::uint64_t>(
+                                               rank.id())))) {
+  M3RMA_REQUIRE(cfg_.window >= 1, "closed loop needs a window of at least 1");
+  valbuf_.resize(kv.config().value_bytes);
+}
+
+std::byte WorkloadGen::value_byte(std::uint64_t key) const {
+  return static_cast<std::byte>(mix64(key) & 0xFF);
+}
+
+std::uint64_t WorkloadGen::preload(std::uint64_t client_index,
+                                   std::uint64_t num_clients) {
+  M3RMA_REQUIRE(num_clients >= 1 && client_index < num_clients,
+                "preload: client_index must be < num_clients");
+  std::uint64_t n = 0;
+  for (std::uint64_t key = client_index; key < kv_->config().key_space;
+       key += num_clients) {
+    std::fill(valbuf_.begin(), valbuf_.end(), value_byte(key));
+    const KvOutcome o = kv_->put(key, valbuf_);
+    M3RMA_ENSURE(o == KvOutcome::inserted || o == KvOutcome::updated,
+                 "preload insert did not land");
+    ++n;
+  }
+  return n;
+}
+
+void WorkloadGen::warm() {
+  for (std::uint64_t key = 0; key < kv_->config().key_space; ++key) {
+    kv_->get(key);
+  }
+}
+
+void WorkloadGen::retire(Inflight& f) {
+  const KvOutcome o = kv_->finish(f.op);
+  Completion c;
+  c.done_at = rank_->ctx().now();
+  c.latency = c.done_at - f.issued_at;
+  c.kind = f.kind;
+  c.shard = f.shard;
+  if (o == KvOutcome::hit || o == KvOutcome::updated) ++ok_;
+  if (sink_ != nullptr) {
+    sink_->record_latency(c.kind, c.latency);
+    sink_->count_shard_op(c.shard);
+  }
+  done_.push_back(c);
+}
+
+std::uint64_t WorkloadGen::run() {
+  std::deque<Inflight> inflight;
+  done_.reserve(done_.size() + cfg_.ops);
+  for (std::uint64_t i = 0; i < cfg_.ops; ++i) {
+    const std::uint64_t key = keys_.next();
+    const auto kind = static_cast<OpKind>(mix_.next());
+    const auto shard = static_cast<std::uint16_t>(kv_->shard_of(key));
+    if (kind == OpKind::rmw || !kv_->location_cached(key)) {
+      // Blocking path: NIC-executed RMW, or a cold key that still needs its
+      // probe walk. Counts against the budget as a full drain.
+      const trace::Time t0 = rank_->ctx().now();
+      bool okay = false;
+      if (kind == OpKind::rmw) {
+        okay = kv_->incr(key, 1).has_value();
+      } else if (kind == OpKind::put) {
+        std::fill(valbuf_.begin(), valbuf_.end(), value_byte(key));
+        const KvOutcome o = kv_->put(key, valbuf_);
+        okay = o == KvOutcome::inserted || o == KvOutcome::updated;
+      } else {
+        okay = kv_->get(key) == KvOutcome::hit;
+      }
+      Completion c;
+      c.done_at = rank_->ctx().now();
+      c.latency = c.done_at - t0;
+      c.kind = kind;
+      c.shard = shard;
+      if (okay) ++ok_;
+      if (sink_ != nullptr) {
+        sink_->record_latency(c.kind, c.latency);
+        sink_->count_shard_op(c.shard);
+      }
+      done_.push_back(c);
+      continue;
+    }
+    if (static_cast<int>(inflight.size()) >= cfg_.window) {
+      retire(inflight.front());
+      inflight.pop_front();
+    }
+    Inflight f;
+    f.issued_at = rank_->ctx().now();
+    f.kind = kind;
+    f.shard = shard;
+    if (kind == OpKind::get) {
+      f.op = kv_->start_get(key);
+    } else {
+      std::fill(valbuf_.begin(), valbuf_.end(), value_byte(key));
+      f.op = kv_->start_put(key, valbuf_);
+    }
+    inflight.push_back(std::move(f));
+  }
+  while (!inflight.empty()) {
+    retire(inflight.front());
+    inflight.pop_front();
+  }
+  return ok_;
+}
+
+}  // namespace m3rma::apps

@@ -1,0 +1,96 @@
+// apps::WorkloadGen — deterministic closed-loop client driver for
+// apps::KvStore.
+//
+// Each client rank owns one generator seeded from (seed, client index): keys
+// come from a ZipfSampler over the store's key space (s = 0 is uniform), op
+// kinds from a MixSampler over the get/put/rmw fractions. The driver keeps
+// at most `window` nonblocking ops outstanding (closed loop with an
+// outstanding-op budget): it issues via KvStore::start_get/start_put until
+// the window fills, then retires the oldest in FIFO order, stamping each
+// completed op's virtual-time latency into an apps::StatsSink histogram and
+// its completion time into a local log for timeline bucketing
+// (bench/tab_kvstore's --csv). RMW ops are engine-native blocking fetch_adds
+// and count against the window as a full drain (the NIC executes them
+// synchronously; paper §III-C).
+//
+// Everything downstream of the seed is deterministic: two runs of the same
+// configuration produce identical op sequences, identical virtual-time
+// trajectories, and byte-identical tables.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "apps/kv_store.hpp"
+#include "apps/stats_sink.hpp"
+#include "common/rng.hpp"
+
+namespace m3rma::apps {
+
+struct WorkloadConfig {
+  /// Zipf exponent for key popularity; 0 = uniform over the key space.
+  double zipf_s = 0.0;
+  /// Op mix; normalized, so any positive scale works.
+  double get_frac = 0.80;
+  double put_frac = 0.15;
+  double rmw_frac = 0.05;
+  /// Measured ops this client issues in run().
+  std::uint64_t ops = 1000;
+  /// Outstanding-op budget of the closed loop.
+  int window = 8;
+  std::uint64_t seed = 1;
+};
+
+class WorkloadGen {
+ public:
+  /// One completed op: when it retired (virtual time), what it was, where
+  /// it went, and how long it took end-to-end.
+  struct Completion {
+    trace::Time done_at = 0;
+    trace::Time latency = 0;
+    OpKind kind = OpKind::get;
+    std::uint16_t shard = 0;
+  };
+
+  /// `sink` may be null (latencies still accumulate in completions()).
+  WorkloadGen(runtime::Rank& rank, KvStore& kv, WorkloadConfig cfg,
+              StatsSink* sink = nullptr);
+
+  /// Blocking-insert this client's share of the key space: keys with
+  /// key % num_clients == client_index, round-robin, deterministic values.
+  /// Returns the number of keys inserted.
+  std::uint64_t preload(std::uint64_t client_index,
+                        std::uint64_t num_clients);
+  /// Blocking-get every key once so the location cache covers the whole
+  /// key space and run() measures the steady-state one-op data path.
+  void warm();
+  /// The measured closed loop: cfg.ops issued, window-limited. Returns the
+  /// number of ops that completed with a success outcome.
+  std::uint64_t run();
+
+  const std::vector<Completion>& completions() const { return done_; }
+  const WorkloadConfig& config() const { return cfg_; }
+
+ private:
+  struct Inflight {
+    KvStore::AsyncOp op;
+    trace::Time issued_at = 0;
+    OpKind kind = OpKind::get;
+    std::uint16_t shard = 0;
+  };
+
+  void retire(Inflight& f);
+  std::byte value_byte(std::uint64_t key) const;
+
+  runtime::Rank* rank_;
+  KvStore* kv_;
+  WorkloadConfig cfg_;
+  StatsSink* sink_;
+  ZipfSampler keys_;
+  MixSampler mix_;
+  std::vector<std::byte> valbuf_;
+  std::vector<Completion> done_;
+  std::uint64_t ok_ = 0;
+};
+
+}  // namespace m3rma::apps

@@ -1,5 +1,8 @@
 #include "common/rng.hpp"
 
+#include <algorithm>
+#include <cmath>
+
 #include "common/diagnostics.hpp"
 
 namespace m3rma {
@@ -33,5 +36,61 @@ double SplitMix64::next_unit() {
 }
 
 bool SplitMix64::next_bool(double p) { return next_unit() < p; }
+
+std::uint64_t mix64(std::uint64_t x) {
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+ZipfSampler::ZipfSampler(std::uint64_t n, double s, std::uint64_t seed)
+    : rng_(seed), s_(s) {
+  M3RMA_REQUIRE(n != 0, "ZipfSampler needs a nonempty key space");
+  M3RMA_REQUIRE(s >= 0.0, "ZipfSampler exponent must be >= 0");
+  cdf_.resize(static_cast<std::size_t>(n));
+  double total = 0.0;
+  for (std::size_t k = 0; k < cdf_.size(); ++k) {
+    total += s == 0.0 ? 1.0 : std::pow(static_cast<double>(k + 1), -s);
+    cdf_[k] = total;
+  }
+  for (double& c : cdf_) c /= total;
+  cdf_.back() = 1.0;  // guard against accumulated rounding
+}
+
+std::uint64_t ZipfSampler::next() {
+  const double u = rng_.next_unit();
+  const auto it = std::lower_bound(cdf_.begin(), cdf_.end(), u);
+  return static_cast<std::uint64_t>(it - cdf_.begin());
+}
+
+double ZipfSampler::pmf(std::uint64_t k) const {
+  M3RMA_REQUIRE(k < cdf_.size(), "pmf key outside the sampler's key space");
+  const auto i = static_cast<std::size_t>(k);
+  return i == 0 ? cdf_[0] : cdf_[i] - cdf_[i - 1];
+}
+
+MixSampler::MixSampler(std::vector<double> weights, std::uint64_t seed)
+    : rng_(seed) {
+  M3RMA_REQUIRE(!weights.empty(), "MixSampler needs at least one arm");
+  double total = 0.0;
+  for (double w : weights) {
+    M3RMA_REQUIRE(w >= 0.0, "MixSampler weights must be >= 0");
+    total += w;
+  }
+  M3RMA_REQUIRE(total > 0.0, "MixSampler needs a positive total weight");
+  cum_.resize(weights.size());
+  double run = 0.0;
+  for (std::size_t i = 0; i < weights.size(); ++i) {
+    run += weights[i] / total;
+    cum_[i] = run;
+  }
+  cum_.back() = 1.0;
+}
+
+std::size_t MixSampler::next() {
+  const double u = rng_.next_unit();
+  const auto it = std::lower_bound(cum_.begin(), cum_.end(), u);
+  return static_cast<std::size_t>(it - cum_.begin());
+}
 
 }  // namespace m3rma

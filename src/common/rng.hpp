@@ -1,11 +1,12 @@
 // Deterministic pseudo-random number generation.
 //
 // Everything in the simulator that needs randomness (unordered-network
-// jitter, property-test workloads) draws from SplitMix64 so that a run is
-// fully reproducible from a single seed.
+// jitter, property-test workloads, macro-workload key streams) draws from
+// SplitMix64 so that a run is fully reproducible from a single seed.
 #pragma once
 
 #include <cstdint>
+#include <vector>
 
 namespace m3rma {
 
@@ -30,6 +31,49 @@ class SplitMix64 {
 
  private:
   std::uint64_t state_;
+};
+
+/// Stateless 64-bit mix (the SplitMix64 finalizer): maps a key to a
+/// well-distributed hash. Used for deterministic key -> shard/slot routing.
+std::uint64_t mix64(std::uint64_t x);
+
+/// Seeded Zipfian key sampler over {0, 1, ..., n-1}: key k is drawn with
+/// probability proportional to 1/(k+1)^s. s = 0 degenerates to the uniform
+/// distribution; s ~ 1 is the classic "hot key" web/KV traffic skew.
+///
+/// Draws invert a precomputed cumulative table (exact inverse-CDF on the
+/// recorded weights, no rejection), so a (n, s, seed) triple always yields
+/// the same key stream — macro-workloads replay byte-identically.
+class ZipfSampler {
+ public:
+  ZipfSampler(std::uint64_t n, double s, std::uint64_t seed);
+
+  std::uint64_t next();
+
+  std::uint64_t n() const { return static_cast<std::uint64_t>(cdf_.size()); }
+  double s() const { return s_; }
+  /// Probability of key k under the configured distribution.
+  double pmf(std::uint64_t k) const;
+
+ private:
+  SplitMix64 rng_;
+  double s_ = 0.0;
+  std::vector<double> cdf_;  // cdf_[k] = P(key <= k); back() == 1.0
+};
+
+/// Deterministic categorical sampler: next() returns index i with
+/// probability weights[i] / sum(weights). The op-mix helper for workload
+/// generators (e.g. {get, put, rmw} fractions).
+class MixSampler {
+ public:
+  MixSampler(std::vector<double> weights, std::uint64_t seed);
+
+  std::size_t next();
+  std::size_t arms() const { return cum_.size(); }
+
+ private:
+  SplitMix64 rng_;
+  std::vector<double> cum_;  // normalized cumulative weights; back() == 1.0
 };
 
 }  // namespace m3rma

@@ -27,6 +27,8 @@ const char* category_name(Category c) {
       return "p2p";
     case Category::runtime:
       return "runtime";
+    case Category::apps:
+      return "apps";
   }
   return "?";
 }
@@ -172,22 +174,38 @@ std::optional<Recorder::HistSummary> Recorder::histogram(
   std::vector<Time> v = it->second;
   std::sort(v.begin(), v.end());
   // Nearest-rank percentiles: exact on the recorded samples, no
-  // interpolation, so summaries are integers and deterministic.
-  auto pct = [&](unsigned q) {
-    const std::size_t rank = (q * v.size() + 99) / 100;  // ceil(q*n/100)
+  // interpolation, so summaries are integers and deterministic. q is in
+  // permille so p99.9 stays integer math.
+  auto pct = [&](std::size_t q) {
+    const std::size_t rank = (q * v.size() + 999) / 1000;  // ceil(q*n/1000)
     return v[std::max<std::size_t>(rank, 1) - 1];
   };
   HistSummary s;
   s.count = v.size();
   s.min = v.front();
   s.max = v.back();
-  s.p50 = pct(50);
-  s.p90 = pct(90);
-  s.p99 = pct(99);
+  s.p50 = pct(500);
+  s.p90 = pct(900);
+  s.p99 = pct(990);
+  s.p999 = pct(999);
   Time sum = 0;
   for (Time x : v) sum += x;
   s.mean = sum / v.size();
   return s;
+}
+
+std::optional<Time> Recorder::percentile(const std::string& name,
+                                         double pct) const {
+  M3RMA_REQUIRE(pct > 0.0 && pct <= 100.0,
+                "percentile must be in (0, 100]");
+  auto it = hists_.find(name);
+  if (it == hists_.end() || it->second.empty()) return std::nullopt;
+  std::vector<Time> v = it->second;
+  std::sort(v.begin(), v.end());
+  // Same nearest-rank rule as histogram(), at 1/10-percent resolution.
+  const auto q = static_cast<std::size_t>(pct * 10.0 + 0.5);
+  const std::size_t rank = (q * v.size() + 999) / 1000;
+  return v[std::min(std::max<std::size_t>(rank, 1), v.size()) - 1];
 }
 
 void Recorder::for_each_span(const SpanVisitor& fn) const {
@@ -318,7 +336,8 @@ void Recorder::write_metrics(std::ostream& os) const {
     if (!s) continue;
     os << "hist " << name << " count=" << s->count << " min=" << s->min
        << " p50=" << s->p50 << " p90=" << s->p90 << " p99=" << s->p99
-       << " max=" << s->max << " mean=" << s->mean << "\n";
+       << " p99.9=" << s->p999 << " max=" << s->max << " mean=" << s->mean
+       << "\n";
   }
 }
 

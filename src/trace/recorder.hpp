@@ -55,8 +55,9 @@ enum class Category : std::uint8_t {
   serializer,   ///< atomicity serializers: comm-thread occupancy, locks
   p2p,          ///< two-sided runtime messaging
   runtime,      ///< collectives and world-level milestones
+  apps,         ///< application-layer workloads (src/apps): KV ops, shards
 };
-inline constexpr int kCategoryCount = 8;
+inline constexpr int kCategoryCount = 9;
 const char* category_name(Category c);
 
 /// Opaque handle returned by span_begin; 0 means "not recorded" and makes
@@ -131,9 +132,16 @@ class Recorder {
     Time p50 = 0;
     Time p90 = 0;
     Time p99 = 0;
+    Time p999 = 0;
     Time mean = 0;
   };
   std::optional<HistSummary> histogram(const std::string& name) const;
+
+  /// Nearest-rank percentile of one histogram: pct in (0, 100], e.g. 50,
+  /// 99, 99.9. nullopt when the histogram has no samples. The single
+  /// accessor every consumer (benches, apps::StatsSink) queries tail
+  /// latency through instead of re-sorting samples ad hoc.
+  std::optional<Time> percentile(const std::string& name, double pct) const;
 
   std::size_t record_count() const { return recs_.size(); }
   std::size_t span_count(Category cat) const;

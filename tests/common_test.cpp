@@ -123,6 +123,98 @@ TEST(ByteOrder, SingleByteElementsUntouched) {
   EXPECT_EQ(v[2], std::byte{3});
 }
 
+// --------------------------------------------------------------- samplers
+
+TEST(Mix64, DeterministicAndSpreads) {
+  EXPECT_EQ(mix64(1), mix64(1));
+  EXPECT_NE(mix64(1), mix64(2));
+  // Consecutive keys should not land in consecutive buckets.
+  std::set<std::uint64_t> buckets;
+  for (std::uint64_t k = 0; k < 64; ++k) buckets.insert(mix64(k) % 8);
+  EXPECT_EQ(buckets.size(), 8u);
+}
+
+TEST(ZipfSampler, DeterministicAcrossTwoRuns) {
+  ZipfSampler a(1024, 0.99, 7), b(1024, 0.99, 7);
+  for (int i = 0; i < 1000; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(ZipfSampler, SeedsDiverge) {
+  ZipfSampler a(1024, 0.99, 7), b(1024, 0.99, 8);
+  bool differ = false;
+  for (int i = 0; i < 100 && !differ; ++i) differ = a.next() != b.next();
+  EXPECT_TRUE(differ);
+}
+
+TEST(ZipfSampler, EmpiricalSkewMatchesExponent) {
+  // With s = 0.99 over 1024 keys the head is hot: key 0 alone carries
+  // ~13% of the mass and the top 8 keys a clear majority relative to
+  // uniform (8/1024 < 1%).
+  ZipfSampler z(1024, 0.99, 20090922);
+  std::uint64_t head = 0, top8 = 0;
+  const int kDraws = 20000;
+  for (int i = 0; i < kDraws; ++i) {
+    const std::uint64_t k = z.next();
+    if (k == 0) ++head;
+    if (k < 8) ++top8;
+  }
+  const double head_frac = static_cast<double>(head) / kDraws;
+  const double top8_frac = static_cast<double>(top8) / kDraws;
+  EXPECT_NEAR(head_frac, z.pmf(0), 0.02);
+  EXPECT_GT(head_frac, 0.08);
+  EXPECT_GT(top8_frac, 0.35);
+}
+
+TEST(ZipfSampler, ZeroExponentIsUniform) {
+  ZipfSampler z(16, 0.0, 3);
+  EXPECT_DOUBLE_EQ(z.pmf(0), z.pmf(15));
+  std::array<int, 16> counts{};
+  for (int i = 0; i < 16000; ++i) counts[z.next()] += 1;
+  for (int c : counts) {
+    EXPECT_GT(c, 700);
+    EXPECT_LT(c, 1300);
+  }
+}
+
+TEST(ZipfSampler, PmfSumsToOneAndDecreases) {
+  ZipfSampler z(64, 1.2, 1);
+  double sum = 0.0;
+  for (std::uint64_t k = 0; k < 64; ++k) {
+    sum += z.pmf(k);
+    if (k > 0) EXPECT_LT(z.pmf(k), z.pmf(k - 1));
+  }
+  EXPECT_NEAR(sum, 1.0, 1e-9);
+}
+
+TEST(ZipfSampler, RejectsBadConfig) {
+  EXPECT_THROW(ZipfSampler(0, 0.99, 1), UsageError);
+  EXPECT_THROW(ZipfSampler(8, -0.5, 1), UsageError);
+}
+
+TEST(MixSampler, DeterministicAndProportional) {
+  MixSampler a({0.8, 0.15, 0.05}, 5), b({0.8, 0.15, 0.05}, 5);
+  std::array<int, 3> counts{};
+  for (int i = 0; i < 10000; ++i) {
+    const std::size_t arm = a.next();
+    EXPECT_EQ(arm, b.next());
+    counts[arm] += 1;
+  }
+  EXPECT_NEAR(counts[0] / 10000.0, 0.80, 0.03);
+  EXPECT_NEAR(counts[1] / 10000.0, 0.15, 0.03);
+  EXPECT_NEAR(counts[2] / 10000.0, 0.05, 0.03);
+}
+
+TEST(MixSampler, ZeroWeightArmNeverDrawn) {
+  MixSampler m({1.0, 0.0, 1.0}, 9);
+  for (int i = 0; i < 1000; ++i) EXPECT_NE(m.next(), 1u);
+}
+
+TEST(MixSampler, RejectsBadWeights) {
+  EXPECT_THROW(MixSampler({}, 1), UsageError);
+  EXPECT_THROW(MixSampler({-1.0, 2.0}, 1), UsageError);
+  EXPECT_THROW(MixSampler({0.0, 0.0}, 1), UsageError);
+}
+
 TEST(ByteOrder, DoubleSwapIsIdentity) {
   std::uint64_t x = 0x1122334455667788ULL;
   std::uint64_t orig = x;

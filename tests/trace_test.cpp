@@ -85,7 +85,27 @@ TEST(RecorderTest, HistogramNearestRankPercentiles) {
   EXPECT_EQ(s->p50, 50u);
   EXPECT_EQ(s->p90, 90u);
   EXPECT_EQ(s->p99, 99u);
+  EXPECT_EQ(s->p999, 100u);
   EXPECT_EQ(s->mean, 50u);
+}
+
+TEST(RecorderTest, PercentileAccessorMatchesNearestRank) {
+  Recorder rec;
+  for (Time v = 1; v <= 1000; ++v) {
+    rec.record_value(Category::apps, "kv.get", v);
+  }
+  EXPECT_EQ(rec.percentile("kv.get", 50.0), 500u);
+  EXPECT_EQ(rec.percentile("kv.get", 99.0), 990u);
+  EXPECT_EQ(rec.percentile("kv.get", 99.9), 999u);
+  EXPECT_EQ(rec.percentile("kv.get", 100.0), 1000u);
+  // Consistent with the summary struct on the same samples.
+  const auto s = rec.histogram("kv.get");
+  ASSERT_TRUE(s.has_value());
+  EXPECT_EQ(s->p999, rec.percentile("kv.get", 99.9));
+  // Empty histogram -> nullopt; out-of-range pct -> usage error.
+  EXPECT_FALSE(rec.percentile("absent", 50.0).has_value());
+  EXPECT_THROW(rec.percentile("kv.get", 0.0), m3rma::UsageError);
+  EXPECT_THROW(rec.percentile("kv.get", 101.0), m3rma::UsageError);
 }
 
 TEST(RecorderTest, LastSiteTracksMeaningfulRecords) {
@@ -149,7 +169,7 @@ TEST(ExportTest, MetricsTextListsCountersAndHistograms) {
   const std::string m = rec.metrics_text();
   EXPECT_NE(m.find("counter fabric.link.0->1.msgs 7"), std::string::npos);
   EXPECT_NE(m.find("hist rma.put[none] count=2 min=10 p50=10 p90=30 p99=30 "
-                   "max=30 mean=20"),
+                   "p99.9=30 max=30 mean=20"),
             std::string::npos);
 }
 
