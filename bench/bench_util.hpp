@@ -10,13 +10,25 @@
 #include <cstdio>
 #include <fstream>
 #include <functional>
+#include <sstream>
 #include <string>
 #include <vector>
 
 #include "runtime/world.hpp"
+#include "trace/attribution.hpp"
 #include "trace/recorder.hpp"
 
 namespace benchutil {
+
+namespace detail {
+/// Hook run by run_world on every freshly built world, before any rank
+/// body executes. TraceSession uses it to attach its recorder without the
+/// bench threading one through every helper.
+inline std::function<void(m3rma::runtime::World&)>& world_hook() {
+  static std::function<void(m3rma::runtime::World&)> h;
+  return h;
+}
+}  // namespace detail
 
 /// Cray-XT5-like machine (the paper's testbed): SeaStar2+-ish latency and
 /// bandwidth, in-order delivery, Portals completion (ACK) events, NIC
@@ -106,6 +118,7 @@ inline m3rma::sim::Time run_world(
     m3rma::runtime::WorldConfig cfg,
     const std::function<void(m3rma::runtime::Rank&)>& fn) {
   m3rma::runtime::World w(std::move(cfg));
+  if (const auto& hook = detail::world_hook()) hook(w);
   w.run(fn);
   return w.duration();
 }
@@ -184,6 +197,174 @@ inline void export_flame(const m3rma::trace::Recorder& rec,
   std::ofstream os(path, std::ios::binary);
   rec.write_flame(os);
   std::printf("flame: -> %s\n", path.c_str());
+}
+
+// ----------------------------------------------- machine-readable metrics
+
+/// Parse `--metrics-json[=FILE]` from the bench's argv. Bare flag defaults
+/// to BENCH_<name>.json in the working directory. Empty string = off (the
+/// default, so bench stdout stays byte-identical).
+inline std::string metrics_json_flag(int argc, char** argv,
+                                     const std::string& bench_name) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string a = argv[i];
+    if (a.rfind("--metrics-json=", 0) == 0) return a.substr(15);
+    if (a == "--metrics-json") return "BENCH_" + bench_name + ".json";
+  }
+  return {};
+}
+
+inline std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+/// Collects every table a bench prints and emits them as one JSON document:
+///   {"bench": NAME, "tables": [{title, header, rows}], "attribution": {...}}
+/// `attribution` (optional) is an OpTimeline::write_json document — the
+/// per-segment latency breakdown of the bench's traced pass. Disabled (path
+/// empty) the sink is a no-op, keeping default runs allocation-identical.
+struct MetricsJson {
+  std::string bench;
+  std::string path;  // empty = disabled
+  std::vector<Table> tables;
+  std::string attribution;  // raw OpTimeline::write_json output, or empty
+
+  bool enabled() const { return !path.empty(); }
+  void add(const Table& t) {
+    if (enabled()) tables.push_back(t);
+  }
+  void write() const {
+    if (!enabled()) return;
+    std::ofstream os(path, std::ios::binary);
+    os << "{\"bench\":\"" << json_escape(bench) << "\",\"tables\":[";
+    for (std::size_t t = 0; t < tables.size(); ++t) {
+      const Table& tab = tables[t];
+      if (t > 0) os << ",";
+      os << "\n{\"title\":\"" << json_escape(tab.title) << "\",\"header\":[";
+      for (std::size_t i = 0; i < tab.header.size(); ++i) {
+        if (i > 0) os << ",";
+        os << "\"" << json_escape(tab.header[i]) << "\"";
+      }
+      os << "],\"rows\":[";
+      for (std::size_t r = 0; r < tab.rows.size(); ++r) {
+        if (r > 0) os << ",";
+        os << "[";
+        for (std::size_t i = 0; i < tab.rows[r].size(); ++i) {
+          if (i > 0) os << ",";
+          os << "\"" << json_escape(tab.rows[r][i]) << "\"";
+        }
+        os << "]";
+      }
+      os << "]}";
+    }
+    os << "]";
+    if (!attribution.empty()) {
+      // write_json ends with a newline; trim it so the document stays tight.
+      std::string a = attribution;
+      while (!a.empty() && a.back() == '\n') a.pop_back();
+      os << ",\"attribution\":" << a;
+    }
+    os << "}\n";
+    std::printf("metrics-json: -> %s\n", path.c_str());
+  }
+};
+
+// ------------------------------------------------- one-call trace wiring
+
+/// Wires --trace / --trace-flame / --metrics-json into a bench with one
+/// object: construct it first in main, call add() after each table's
+/// print(), finish() last. While any flag is given, every run_world()
+/// attaches the session's recorder (with an OpTimeline, so the breakdown
+/// rides along in the metrics JSON). Recording is zero-perturbation, so
+/// the tables stay byte-identical with and without flags — the flags only
+/// append a conservation line and export lines after the normal output.
+struct TraceSession {
+  std::string bench;
+  std::string trace_file, flame_file;
+  m3rma::trace::Recorder rec;
+  m3rma::trace::OpTimeline tl;
+  MetricsJson mj;
+  int worlds = 0;
+
+  TraceSession(int argc, char** argv, const std::string& name)
+      : bench(name),
+        trace_file(trace_flag(argc, argv, name + "_trace.json")),
+        flame_file(flame_flag(argc, argv, name + ".flame")),
+        mj{name, metrics_json_flag(argc, argv, name), {}, {}} {
+    if (active()) {
+      rec.set_op_timeline(&tl);
+      detail::world_hook() = [this](m3rma::runtime::World& w) {
+        rec.begin_process(bench + " world " + std::to_string(++worlds));
+        w.engine().set_tracer(&rec);
+      };
+    }
+  }
+  ~TraceSession() { detail::world_hook() = nullptr; }
+  TraceSession(const TraceSession&) = delete;
+  TraceSession& operator=(const TraceSession&) = delete;
+
+  bool active() const {
+    return !trace_file.empty() || !flame_file.empty() || mj.enabled();
+  }
+  void add(const Table& t) { mj.add(t); }
+
+  void finish() {
+    if (!active()) return;
+    std::printf("\nconservation self-check: %s (%llu ops, %llu open)\n",
+                tl.conservation_ok() ? "yes" : "NO",
+                static_cast<unsigned long long>(tl.completed_ops()),
+                static_cast<unsigned long long>(tl.open_ops()));
+    if (mj.enabled() && tl.completed_ops() > 0) {
+      std::ostringstream os;
+      tl.write_json(os);
+      std::string a = os.str();
+      while (!a.empty() && a.back() == '\n') a.pop_back();
+      mj.attribution = a;
+    }
+    if (!trace_file.empty()) export_trace(rec, trace_file);
+    if (!flame_file.empty()) export_flame(rec, flame_file);
+    mj.write();
+  }
+};
+
+/// Remove the bench_util flags from argv so google-benchmark-based benches
+/// can forward the remainder to benchmark::Initialize (which rejects
+/// unknown flags) after parsing ours.
+inline void strip_benchutil_flags(int& argc, char** argv) {
+  int w = 1;
+  for (int i = 1; i < argc; ++i) {
+    const std::string a = argv[i];
+    const bool ours = a.rfind("--trace", 0) == 0 ||
+                      a.rfind("--csv", 0) == 0 ||
+                      a.rfind("--metrics-json", 0) == 0 ||
+                      a.rfind("--breakdown-json", 0) == 0 ||
+                      a.rfind("--heatmap-csv", 0) == 0;
+    if (!ours) argv[w++] = argv[i];
+  }
+  argc = w;
 }
 
 }  // namespace benchutil

@@ -155,5 +155,12 @@ int main(int argc, char** argv) {
       }
     }
   }
+  benchutil::MetricsJson mj{
+      "fig2_attribute_cost",
+      benchutil::metrics_json_flag(argc, argv, "fig2_attribute_cost"),
+      {},
+      {}};
+  mj.add(t);
+  mj.write();
   return 0;
 }

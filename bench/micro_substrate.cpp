@@ -5,6 +5,7 @@
 //   build/bench/micro_substrate
 #include <benchmark/benchmark.h>
 
+#include "bench/bench_util.hpp"
 #include "fabric/fabric.hpp"
 #include "memsim/memory_domain.hpp"
 #include "runtime/comm.hpp"
@@ -138,4 +139,20 @@ BENCHMARK(BM_WorldBarrier)->Arg(4)->Arg(16);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+// Explicit main instead of BENCHMARK_MAIN() so the benchutil flags are
+// accepted (and stripped — google-benchmark rejects unknown flags). This
+// bench is host-time only, so --metrics-json emits an empty tables array;
+// its presence still lets drivers pass the flag to every build/bench/*.
+int main(int argc, char** argv) {
+  benchutil::MetricsJson mj{
+      "micro_substrate",
+      benchutil::metrics_json_flag(argc, argv, "micro_substrate"),
+      {},
+      {}};
+  mj.write();
+  benchutil::strip_benchutil_flags(argc, argv);
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

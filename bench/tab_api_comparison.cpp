@@ -10,7 +10,21 @@
 // UNORDERED put or complete a subset of ops; GASNet lacks accumulate and
 // non-contiguous transfers; MPI-2 needs an epoch around everything.
 //
-//   build/bench/tab_api_comparison
+// With --trace / --trace-flame / --metrics-json, a second pass re-runs the
+// 8 B put loop per API with a trace::OpTimeline attached and prints the
+// per-API latency waterfall (Table S6b): the same wire, so every segment
+// difference is interface tax — ARMCI's blocking put ends at local
+// completion (no completion leg at all), while GASNet, MPI-2, and the
+// strawman's rc put all pay the full ack round trip; MPI-2's lock-epoch
+// tax lives outside the put op (visible in Table S6, not the waterfall).
+// Kept off the default path so the table above
+// stays byte-identical without flags. --trace-flame here emits the
+// SEGMENT-keyed flame (OpTimeline::write_flame).
+//
+//   build/bench/tab_api_comparison [--trace[=FILE]] [--trace-flame=FILE]
+//                                  [--metrics-json[=FILE]]
+#include <fstream>
+#include <sstream>
 #include <vector>
 
 #include "armci/armci.hpp"
@@ -18,6 +32,7 @@
 #include "core/rma_engine.hpp"
 #include "gasnet/gasnet.hpp"
 #include "mpi2/win.hpp"
+#include "trace/attribution.hpp"
 
 using namespace m3rma;
 using benchutil::Table;
@@ -211,9 +226,71 @@ Row run_mpi2() {
 
 std::string cell(sim::Time v) { return benchutil::fmt_us(v); }
 
+// Attribution pass: the 8 B blocking put loop again per API, all four into
+// one OpTimeline (the engine's api_label / the baselines' own op_begin
+// calls key the by_api() split).
+void trace_pass(trace::Recorder& rec) {
+  benchutil::run_world_traced(
+      benchutil::xt5_config(2), rec, "S6 strawman 8B",
+      [&](runtime::Rank& r) {
+        core::RmaEngine rma(r, r.comm_world());
+        auto buf = r.alloc(2048);
+        auto mems = rma.exchange_all(rma.attach(buf.addr, buf.size));
+        auto src = r.alloc(2048);
+        r.comm_world().barrier();
+        if (r.id() == 0) {
+          const auto attrs = core::Attrs(core::RmaAttr::blocking) |
+                             core::RmaAttr::remote_completion;
+          for (int i = 0; i < kIters; ++i) {
+            rma.put_bytes(src.addr, mems[1], 0, 8, 1, attrs);
+          }
+        }
+        rma.complete_collective();
+      });
+  benchutil::run_world_traced(
+      benchutil::xt5_config(2), rec, "S6 armci 8B", [&](runtime::Rank& r) {
+        armci::Armci a(r, r.comm_world());
+        a.malloc_shared(2048);
+        a.barrier();
+        auto src = r.alloc(2048);
+        if (r.id() == 0) {
+          for (int i = 0; i < kIters; ++i) a.put(src.addr, 1, 0, 8);
+          a.fence(1);
+        }
+        a.barrier();
+      });
+  benchutil::run_world_traced(
+      benchutil::xt5_config(2), rec, "S6 gasnet 8B", [&](runtime::Rank& r) {
+        gasnet::Gasnet gn(r, r.comm_world());
+        auto seg = r.alloc(2048);
+        gn.attach_segment(seg.addr, seg.size);
+        r.comm_world().barrier();
+        auto src = r.alloc(2048);
+        if (r.id() == 0) {
+          for (int i = 0; i < kIters; ++i) gn.put(1, 0, src.addr, 8);
+        }
+        r.comm_world().barrier();
+      });
+  benchutil::run_world_traced(
+      benchutil::xt5_config(2), rec, "S6 mpi2 8B", [&](runtime::Rank& r) {
+        auto buf = r.alloc(2048);
+        mpi2::Win win(r, r.comm_world(), buf.addr, buf.size);
+        auto src = r.alloc(2048);
+        win.fence();
+        if (r.id() == 0) {
+          for (int i = 0; i < kIters; ++i) {
+            win.lock(mpi2::LockType::exclusive, 1);
+            win.put_bytes(src.addr, 1, 0, 8);
+            win.unlock(1);
+          }
+        }
+        win.fence();
+      });
+}
+
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   const Row straw = run_strawman();
   const Row armci_row = run_armci();
   const Row gn = run_gasnet();
@@ -258,5 +335,82 @@ int main() {
               benchutil::fmt_ratio(m2.small_put, straw.small_put).c_str());
   std::printf("  GASNet extended put == strawman rc put on this wire: %s\n",
               benchutil::fmt_ratio(gn.small_put, straw.small_put).c_str());
+
+  const std::string trace_file =
+      benchutil::trace_flag(argc, argv, "tab_api_comparison_trace.json");
+  const std::string flame_file =
+      benchutil::flame_flag(argc, argv, "tab_api_comparison.flame");
+  benchutil::MetricsJson mj{
+      "tab_api_comparison",
+      benchutil::metrics_json_flag(argc, argv, "tab_api_comparison"), {}, {}};
+  mj.add(t);
+  if (!trace_file.empty() || !flame_file.empty() || mj.enabled()) {
+    trace::Recorder rec;
+    trace::OpTimeline tl;
+    rec.set_op_timeline(&tl);
+    trace_pass(rec);
+
+    Table bt;
+    bt.title =
+        "Per-API latency attribution (Table S6b) — mean virtual us per op "
+        "in each critical-path segment, 8 B put x " +
+        std::to_string(kIters) +
+        " per API on the same wire; segment columns sum exactly to "
+        "end-to-end";
+    bt.header = {"segment"};
+    const auto by_api = tl.by_api();
+    for (const auto& [api, wf] : by_api) bt.header.push_back(api);
+    for (int seg = 0; seg < trace::kSegmentCount; ++seg) {
+      std::vector<std::string> row{
+          trace::segment_name(static_cast<trace::Segment>(seg))};
+      for (const auto& [api, wf] : by_api) {
+        char buf[32];
+        std::snprintf(buf, sizeof(buf), "%.2f",
+                      wf.count == 0
+                          ? 0.0
+                          : static_cast<double>(
+                                wf.seg[static_cast<std::size_t>(seg)]) /
+                                static_cast<double>(wf.count) / 1e3);
+        row.push_back(buf);
+      }
+      bt.rows.push_back(std::move(row));
+    }
+    {
+      std::vector<std::string> sum{"end-to-end"};
+      std::vector<std::string> cnt{"ops"};
+      for (const auto& [api, wf] : by_api) {
+        char buf[32];
+        std::snprintf(buf, sizeof(buf), "%.2f",
+                      wf.count == 0 ? 0.0
+                                    : static_cast<double>(wf.end_to_end) /
+                                          static_cast<double>(wf.count) /
+                                          1e3);
+        sum.push_back(buf);
+        cnt.push_back(benchutil::fmt_u64(wf.count));
+      }
+      bt.rows.push_back(std::move(sum));
+      bt.rows.push_back(std::move(cnt));
+    }
+    bt.print();
+    std::printf("\nconservation self-check: %s (%llu ops, %llu open)\n",
+                tl.conservation_ok() ? "yes" : "NO",
+                static_cast<unsigned long long>(tl.completed_ops()),
+                static_cast<unsigned long long>(tl.open_ops()));
+    mj.add(bt);
+    if (mj.enabled()) {
+      std::ostringstream os;
+      tl.write_json(os);
+      std::string a = os.str();
+      while (!a.empty() && a.back() == '\n') a.pop_back();
+      mj.attribution = a;
+    }
+    if (!trace_file.empty()) benchutil::export_trace(rec, trace_file);
+    if (!flame_file.empty()) {
+      std::ofstream os(flame_file, std::ios::binary);
+      tl.write_flame(os);
+      std::printf("segment flame: -> %s\n", flame_file.c_str());
+    }
+  }
+  mj.write();
   return 0;
 }

@@ -66,7 +66,8 @@ sim::Time run_case(int ranks, Mode mode) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  benchutil::TraceSession trace(argc, argv, "tab_completion_scaling");
   const int sizes[] = {2, 4, 8, 16, 32};
 
   Table t;
@@ -93,5 +94,7 @@ int main() {
               benchutil::fmt_ratio(raw[4][0], raw[0][0]).c_str());
   std::printf("  ALL_RANKS grows slowly:          32r/2r = %s\n",
               benchutil::fmt_ratio(raw[4][1], raw[0][1]).c_str());
+  trace.add(t);
+  trace.finish();
   return 0;
 }

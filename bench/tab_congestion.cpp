@@ -298,5 +298,10 @@ int main(int argc, char** argv) {
   const std::string flame_file =
       benchutil::flame_flag(argc, argv, "tab_congestion.flame");
   if (!flame_file.empty()) benchutil::export_flame(rec, flame_file);
+  benchutil::MetricsJson mj{
+      "tab_congestion", benchutil::metrics_json_flag(argc, argv, "tab_congestion"),
+      {}, {}};
+  mj.add(t);
+  mj.write();
   return 0;
 }

@@ -155,7 +155,14 @@ int main(int argc, char** argv) {
   std::printf("  heterogeneous adds only local swap cost: %s\n",
               benchutil::fmt_ratio(raw[4].per_op, raw[0].per_op).c_str());
 
-  // Host-time microbenches of the pack engine.
+  // Host-time microbenches of the pack engine. google-benchmark rejects
+  // unknown flags, so the benchutil ones must be stripped first.
+  benchutil::MetricsJson mj{
+      "tab_datatype", benchutil::metrics_json_flag(argc, argv, "tab_datatype"),
+      {}, {}};
+  mj.add(t);
+  mj.write();
+  benchutil::strip_benchutil_flags(argc, argv);
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   return 0;

@@ -168,5 +168,12 @@ int main(int argc, char** argv) {
              "fault recovery budget=2 silent crash");
     benchutil::export_trace(rec, trace_file);
   }
+  benchutil::MetricsJson mj{
+      "tab_fault_recovery",
+      benchutil::metrics_json_flag(argc, argv, "tab_fault_recovery"),
+      {},
+      {}};
+  mj.add(t);
+  mj.write();
   return 0;
 }

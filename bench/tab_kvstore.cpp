@@ -290,5 +290,10 @@ int main(int argc, char** argv) {
   const std::string trace_file =
       benchutil::trace_flag(argc, argv, "tab_kvstore_trace.json");
   if (!trace_file.empty()) benchutil::export_trace(rec, trace_file);
+  benchutil::MetricsJson mj{
+      "tab_kvstore", benchutil::metrics_json_flag(argc, argv, "tab_kvstore"),
+      {}, {}};
+  mj.add(t);
+  mj.write();
   return 0;
 }

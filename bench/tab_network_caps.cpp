@@ -52,7 +52,8 @@ sim::Time run_case(bool ordered, bool acks, core::Attrs attrs) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  benchutil::TraceSession trace(argc, argv, "tab_network_caps");
   struct Net {
     const char* name;
     bool ordered;
@@ -102,5 +103,7 @@ int main() {
   std::printf(
       "  worst case: unordered + no events, ordering  : %s (row 4)\n",
       benchutil::fmt_ratio(raw[3][1], raw[3][0]).c_str());
+  trace.add(t);
+  trace.finish();
   return 0;
 }

@@ -79,7 +79,8 @@ Result run_case(bool noncoherent) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  benchutil::TraceSession trace(argc, argv, "tab_noncoherent");
   const Result coh = run_case(false);
   const Result sx = run_case(true);
 
@@ -108,5 +109,7 @@ int main() {
   std::printf("  SX target needs the fence     : stale=%s, fence cost %llu\n",
               sx.stale_before_fence ? "yes" : "no",
               static_cast<unsigned long long>(sx.observe_time));
+  trace.add(t);
+  trace.finish();
   return 0;
 }

@@ -71,7 +71,8 @@ sim::Time run_case(Mode mode, sim::Time compute_ns) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  benchutil::TraceSession trace(argc, argv, "tab_overlap");
   const sim::Time grains[] = {0, 5000, 15000, 50000};
 
   Table t;
@@ -98,5 +99,7 @@ int main() {
   std::printf("  blocking local is already pipelined on the eager path: "
               "%s of nonblocking\n",
               benchutil::fmt_ratio(raw[2][1], raw[2][2]).c_str());
+  trace.add(t);
+  trace.finish();
   return 0;
 }

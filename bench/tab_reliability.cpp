@@ -160,5 +160,12 @@ int main(int argc, char** argv) {
                   benchutil::fmt_us(*rec.percentile(hist, 99.9)).c_str());
     }
   }
+  benchutil::MetricsJson mj{
+      "tab_reliability",
+      benchutil::metrics_json_flag(argc, argv, "tab_reliability"),
+      {},
+      {}};
+  mj.add(t);
+  mj.write();
   return 0;
 }

@@ -80,7 +80,8 @@ std::string throughput(const Result& r) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  benchutil::TraceSession trace(argc, argv, "tab_rmw");
   Table t;
   t.title =
       "Table S7 — contended RMW on one counter (7 origins x 30 ops, "
@@ -118,5 +119,7 @@ int main() {
                cas_native.correct && cas_thread.correct && cas_lock.correct)
                   ? "yes"
                   : "NO");
+  trace.add(t);
+  trace.finish();
   return 0;
 }

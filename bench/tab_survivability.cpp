@@ -308,5 +308,12 @@ int main(int argc, char** argv) {
              "survivability announced crash");
     benchutil::export_trace(rec, trace_file);
   }
+  benchutil::MetricsJson mj{
+      "tab_survivability",
+      benchutil::metrics_json_flag(argc, argv, "tab_survivability"),
+      {},
+      {}};
+  mj.add(t);
+  mj.write();
   return 0;
 }

@@ -116,7 +116,8 @@ sim::Time run_strawman(std::uint64_t bytes, bool rc) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  benchutil::TraceSession trace(argc, argv, "tab_sync_modes");
   const std::uint64_t sizes[] = {8, 64, 1024, 8192, 65536};
 
   Table t;
@@ -147,5 +148,7 @@ int main() {
               benchutil::fmt_ratio(raw[0][2], raw[0][3]).c_str());
   std::printf("  at 64 KiB the gap narrows : fence/strawman = %s\n",
               benchutil::fmt_ratio(raw[4][0], raw[4][3]).c_str());
+  trace.add(t);
+  trace.finish();
   return 0;
 }

@@ -14,6 +14,7 @@ Armci::Armci(runtime::Rank& rank, runtime::Comm& comm)
   core::EngineConfig cfg;
   // ARMCI serializes accumulates through a server/communication thread.
   cfg.serializer = core::SerializerKind::comm_thread;
+  cfg.api_label = "armci";  // Table S6/S14 attribution axis
   eng_ = std::make_unique<core::RmaEngine>(rank, comm, cfg);
 }
 

@@ -5,6 +5,7 @@
 #include <string>
 #include <utility>
 
+#include "trace/attribution.hpp"
 #include "trace/recorder.hpp"
 
 namespace m3rma::core {
@@ -77,6 +78,12 @@ struct Request::State {
   std::uint64_t trace_span = 0;
   std::uint64_t trace_t0 = 0;
   std::string trace_hist;
+  // latency attribution: op_begin was called for this request's tag (child
+  // and internal requests stay false — they alias into a parent op), and the
+  // failure-detection time when the op was rescued through failover (0 = no
+  // failover; the [failover_from, completion] window is the failover stall).
+  bool op_tracked = false;
+  sim::Time failover_from = 0;
   // replication/failover: live backup adopted at issue (-1 = none), highest
   // mirror seq covering this op, and the issue parameters needed to re-drive
   // a get at the backup. A rescued request no longer completes through
@@ -173,6 +180,22 @@ std::uint64_t u64_from_endian_bytes(const std::byte* in8, Endian e) {
   return v;
 }
 
+/// Scoped set/restore of the engine's attribution parent tag, so the locked
+/// issue paths stay exception- and early-return-safe.
+class TagScope {
+ public:
+  TagScope(std::uint64_t& slot, std::uint64_t v) : slot_(slot), prev_(slot) {
+    slot_ = v;
+  }
+  ~TagScope() { slot_ = prev_; }
+  TagScope(const TagScope&) = delete;
+  TagScope& operator=(const TagScope&) = delete;
+
+ private:
+  std::uint64_t& slot_;
+  std::uint64_t prev_;
+};
+
 }  // namespace
 
 // ------------------------------------------------------------ construction
@@ -216,8 +239,17 @@ RmaEngine::RmaEngine(runtime::Rank& rank, runtime::Comm& comm,
                     : tr->span_begin(tr->track(ctx.name()),
                                      trace::Category::serializer, "serialize",
                                      "from=" + std::to_string(m.src));
+            auto* tl = trace::timeline(ctx.engine().tracer());
+            const std::uint64_t op = m.op;
+            const sim::Time pickup = ctx.now();
+            if (tl != nullptr && tl->tracks(op)) {
+              tl->add(op, trace::Segment::serialize_wait, m.arrived, pickup);
+            }
             ctx.delay(cost);
             self->execute_am(std::move(m), 0);
+            if (tl != nullptr && tl->tracks(op)) {
+              tl->add(op, trace::Segment::apply, pickup, ctx.now());
+            }
             if (h != 0) ctx.engine().tracer()->span_end(h);
           }
         },
@@ -502,11 +534,11 @@ Request RmaEngine::do_xfer(RmaOptype op, portals::AccOp acc_op,
   st->world_target = eff.owner;
   reqs_.emplace(st->id, st);
 
+  const char* opname = op == RmaOptype::put         ? "rma.put"
+                       : op == RmaOptype::get       ? "rma.get"
+                                                    : "rma.accumulate";
   if (auto* tr = trace::want(rank_->world().engine().tracer(),
                              trace::Category::rma)) {
-    const char* opname = op == RmaOptype::put         ? "rma.put"
-                         : op == RmaOptype::get       ? "rma.get"
-                                                      : "rma.accumulate";
     st->trace_span = tr->span_begin(
         tr->track("rank" + std::to_string(rank_->id())), trace::Category::rma,
         opname,
@@ -515,6 +547,11 @@ Request RmaEngine::do_xfer(RmaOptype op, portals::AccOp acc_op,
             " target=" + std::to_string(eff.owner));
     st->trace_t0 = tr->now();
     st->trace_hist = std::string(opname) + "[" + attrs.describe() + "]";
+  }
+  if (auto* tl = trace::timeline(rank_->world().engine().tracer())) {
+    tl->op_begin(trace::op_tag(rank_->id(), st->id), opname, attrs.describe(),
+                 cfg_.api_label, rank_->world().engine().now());
+    st->op_tracked = true;
   }
 
   // Ordering property: on unordered networks an ordered op (or the first op
@@ -647,11 +684,17 @@ void RmaEngine::issue_direct_put(const std::shared_ptr<Request::State>& st,
     // Software remote completion: confirm with a landed-count query.
     st->pending += 1;
     st->flush_threshold = per(t).issued;
+    const std::uint64_t tag = trace::op_tag(rank_->id(), st->id);
+    auto* tl = trace::timeline(rank_->world().engine().tracer());
+    const sim::Time t_inj = rank_->ctx().now();
     rank_->ctx().delay(rank_->world().config().costs.inject_overhead_ns);
+    if (tl != nullptr && tl->tracks(tag)) {
+      tl->add(tag, trace::Segment::inject, t_inj, rank_->ctx().now());
+    }
     AmHdr q;
     q.kind = AmHdr::Kind::count_query;
     q.req_id = st->id;
-    send_am(t, q, {});
+    send_am(t, q, {}, tag);
   }
 }
 
@@ -729,6 +772,9 @@ void RmaEngine::issue_am_op(const std::shared_ptr<Request::State>& st,
                                   : portals::NumType::i8;
   sim::Context& ctx = rank_->ctx();
   const sim::Time inject = rank_->world().config().costs.inject_overhead_ns;
+  const std::uint64_t tag = trace::op_tag(rank_->id(), st->id);
+  auto* tl = trace::timeline(rank_->world().engine().tracer());
+  const bool attr = tl != nullptr && tl->tracks(tag);
 
   if (op == RmaOptype::get) {
     st->is_get = true;
@@ -761,7 +807,9 @@ void RmaEngine::issue_am_op(const std::shared_ptr<Request::State>& st,
     auto issue_block = [&](std::uint64_t mem_off, std::uint64_t packed_off,
                            std::uint64_t len) {
       if (len == 0) return;
+      const sim::Time t_inj = ctx.now();
       ctx.delay(inject);
+      if (attr) tl->add(tag, trace::Segment::inject, t_inj, ctx.now());
       AmHdr h;
       h.kind = AmHdr::Kind::data_op;
       h.op = RmaOptype::get;
@@ -770,7 +818,7 @@ void RmaEngine::issue_am_op(const std::shared_ptr<Request::State>& st,
       h.length = len;
       h.req_id = st->id;
       h.value_a = packed_off;  // echoed back as the reply's placement
-      send_am(t, h, {});
+      send_am(t, h, {}, tag);
       per(t).pending_replies += 1;
       st->pending += 1;
     };
@@ -802,7 +850,9 @@ void RmaEngine::issue_am_op(const std::shared_ptr<Request::State>& st,
   auto issue_block = [&](std::uint64_t mem_off, std::uint64_t packed_off,
                          std::uint64_t len) {
     if (len == 0) return;
+    const sim::Time t_inj = ctx.now();
     ctx.delay(inject);
+    if (attr) tl->add(tag, trace::Segment::inject, t_inj, ctx.now());
     AmHdr h;
     h.kind = AmHdr::Kind::data_op;
     h.op = op;
@@ -814,7 +864,7 @@ void RmaEngine::issue_am_op(const std::shared_ptr<Request::State>& st,
     h.req_id = st->id;
     std::vector<std::byte> payload(len);
     rank_->memory().nic_read(src_base + packed_off, payload);
-    send_am(t, h, std::move(payload));
+    send_am(t, h, std::move(payload), tag);
     per(t).issued += 1;
     per(t).issued_rc += 1;  // software op_acks always confirm AM ops
     st->pending += 1;
@@ -843,6 +893,15 @@ void RmaEngine::issue_locked_op(const std::shared_ptr<Request::State>& st,
                                 std::uint64_t target_count,
                                 const dt::Datatype& target_dt, Attrs attrs) {
   const int t = mem.owner;
+  // Attribution: the lock acquire and the inner get/put are child requests
+  // of this op — alias their tags so their work lands on the parent.
+  const std::uint64_t ptag = trace::op_tag(rank_->id(), st->id);
+  auto* tl = trace::timeline(rank_->world().engine().tracer());
+  const bool attr = tl != nullptr && tl->tracks(ptag);
+  TagScope parent_scope(attr_parent_, attr ? ptag : attr_parent_);
+  auto adopt = [&](const std::shared_ptr<Request::State>& child) {
+    if (attr) tl->alias(trace::op_tag(rank_->id(), child->id), ptag);
+  };
   // Mid-operation target death: the outer request may already have been
   // drained by on_target_failed; otherwise complete it with the error here.
   // Either way there is no lock manager left, so skip the release.
@@ -898,6 +957,7 @@ void RmaEngine::issue_locked_op(const std::shared_ptr<Request::State>& st,
     g->id = next_req_++;
     g->world_target = t;
     reqs_.emplace(g->id, g);
+    adopt(g);
     issue_direct_get(g, tmp, 1, local_dt, mem, target_disp, target_count,
                      target_dt);
     progress_until([g] { return g->done; });
@@ -919,6 +979,7 @@ void RmaEngine::issue_locked_op(const std::shared_ptr<Request::State>& st,
     p->id = next_req_++;
     p->world_target = t;
     reqs_.emplace(p->id, p);
+    adopt(p);
     issue_direct_put(p, portals::AccOp::replace, false, tmp, 1, local_dt,
                      mem, target_disp, target_count, target_dt, inner);
     progress_until([p] { return p->done; });
@@ -936,6 +997,7 @@ void RmaEngine::issue_locked_op(const std::shared_ptr<Request::State>& st,
     g->id = next_req_++;
     g->world_target = t;
     reqs_.emplace(g->id, g);
+    adopt(g);
     issue_direct_get(g, origin_addr, origin_count, origin_dt, mem,
                      target_disp, target_count, target_dt);
     progress_until([g] { return g->done; });
@@ -948,6 +1010,7 @@ void RmaEngine::issue_locked_op(const std::shared_ptr<Request::State>& st,
     p->id = next_req_++;
     p->world_target = t;
     reqs_.emplace(p->id, p);
+    adopt(p);
     const bool ordered = rank_->world().config().caps.ordered_delivery;
     if (ordered) {
       // FIFO delivery lets the release ride right behind the data: the
@@ -1226,6 +1289,7 @@ void RmaEngine::on_target_failed(int node) {
       // Remote-completion put/acc: the mirrors carry its effect — complete
       // it once the backup has acked the highest covering mirror seq.
       st->repl_rescued = true;
+      st->failover_from = target_failed_at_[n];
       const auto lit = repl_out_.find(st->repl_backup);
       const std::uint64_t acked =
           lit == repl_out_.end() ? 0 : lit->second.acked;
@@ -1257,6 +1321,7 @@ void RmaEngine::on_target_failed(int node) {
       // In-flight get: re-drive it at the backup once the mirror stream
       // there is flushed (drain_reissues).
       st->repl_rescued = true;
+      st->failover_from = target_failed_at_[n];
       if (st->needs_unpack) {
         rank_->memory().dealloc(st->dest_addr);
         st->needs_unpack = false;
@@ -1485,6 +1550,11 @@ std::uint64_t RmaEngine::rmw(portals::RmwOp op, const TargetMem& mem,
     st->pending = 1;
     st->counts_send = false;
     reqs_.emplace(st->id, st);
+    if (auto* tl = trace::timeline(rank_->world().engine().tracer())) {
+      tl->op_begin(trace::op_tag(rank_->id(), st->id), "rma.rmw", mech,
+                   cfg_.api_label, rank_->world().engine().now());
+      st->op_tracked = true;
+    }
     const std::uint64_t buf = rank_->memory().alloc(24);
     std::byte tmp[16];
     u64_to_endian_bytes(a, eff.endian, tmp);
@@ -1572,7 +1642,18 @@ std::uint64_t RmaEngine::rmw(portals::RmwOp op, const TargetMem& mem,
   st->pending = 1;
   st->counts_send = false;
   reqs_.emplace(st->id, st);
+  const std::uint64_t tag = trace::op_tag(rank_->id(), st->id);
+  auto* tl = trace::timeline(rank_->world().engine().tracer());
+  if (tl != nullptr) {
+    tl->op_begin(tag, "rma.rmw", mech, cfg_.api_label,
+                 rank_->world().engine().now());
+    st->op_tracked = true;
+  }
+  const sim::Time t_inj = rank_->ctx().now();
   rank_->ctx().delay(rank_->world().config().costs.inject_overhead_ns);
+  if (tl != nullptr) {
+    tl->add(tag, trace::Segment::inject, t_inj, rank_->ctx().now());
+  }
   AmHdr h;
   h.kind = AmHdr::Kind::rmw_op;
   h.rmw = op;
@@ -1581,7 +1662,7 @@ std::uint64_t RmaEngine::rmw(portals::RmwOp op, const TargetMem& mem,
   h.req_id = st->id;
   h.value_a = a;
   h.value_b = b;
-  send_am(t, h, {});
+  send_am(t, h, {}, tag);
   per(t).pending_replies += 1;
   progress_until([st] { return st->done; });
   if (st->status != OpStatus::ok) {
@@ -1663,7 +1744,16 @@ void RmaEngine::progress() {
                     tr->track("rank" + std::to_string(rank_->id())),
                     trace::Category::serializer, "serialize",
                     "from=" + std::to_string(m.src));
+      auto* tl = trace::timeline(rank_->world().engine().tracer());
+      const std::uint64_t op = m.op;
+      const sim::Time pickup = rank_->ctx().now();
+      if (tl != nullptr && tl->tracks(op)) {
+        tl->add(op, trace::Segment::serialize_wait, m.arrived, pickup);
+      }
       execute_am(std::move(m), cfg_.progress_apply_ns);
+      if (tl != nullptr && tl->tracks(op)) {
+        tl->add(op, trace::Segment::apply, pickup, rank_->ctx().now());
+      }
       if (h != 0) rank_->world().engine().tracer()->span_end(h);
     }
   }
@@ -1717,9 +1807,21 @@ void RmaEngine::finish_segment(const std::shared_ptr<Request::State>& st) {
 }
 
 void RmaEngine::finish_trace(Request::State& st) {
-  if (st.trace_span == 0) return;
   trace::Recorder* tr = rank_->world().engine().tracer();
-  if (tr == nullptr) return;
+  if (st.op_tracked) {
+    st.op_tracked = false;
+    if (auto* tl = trace::timeline(tr)) {
+      const std::uint64_t tag = trace::op_tag(rank_->id(), st.id);
+      const sim::Time now = rank_->world().engine().now();
+      if (st.failover_from != 0) {
+        // Failover stall: failure detection to rescued completion. Highest
+        // priority, so it subsumes whatever re-sync traffic ran underneath.
+        tl->add(tag, trace::Segment::failover, st.failover_from, now);
+      }
+      tl->op_end(tag, now);
+    }
+  }
+  if (st.trace_span == 0 || tr == nullptr) return;
   tr->span_end(st.trace_span);
   st.trace_span = 0;
   if (!st.trace_hist.empty()) {
@@ -1763,11 +1865,12 @@ void RmaEngine::handle_eq_event(const portals::Event& ev) {
 // -------------------------------------------------------- active messages
 
 void RmaEngine::send_am(int world_target, const AmHdr& hdr,
-                        std::vector<std::byte> payload) {
+                        std::vector<std::byte> payload, std::uint64_t op) {
   fabric::Packet p;
   p.protocol = kAmProtocolId;
   fabric::set_header(p, hdr);
   p.payload = std::move(payload);
+  p.op = op;
   rank_->world().fabric().nic(rank_->id()).send(world_target, std::move(p));
 }
 
@@ -1849,7 +1952,13 @@ void RmaEngine::mirror_block(const std::shared_ptr<Request::State>& st,
   // The resync log keeps a copy until the backup's cumulative ack covers it.
   led.pending.push_back(ReplPending{h.req_id, mem.owner, p.header, payload});
   p.payload = std::move(payload);
+  p.op = trace::op_tag(rank_->id(), st->id);
+  auto* tl = trace::timeline(rank_->world().engine().tracer());
+  const sim::Time t_inj = rank_->ctx().now();
   rank_->ctx().delay(rank_->world().config().costs.inject_overhead_ns);
+  if (tl != nullptr && tl->tracks(p.op)) {
+    tl->add(p.op, trace::Segment::inject, t_inj, rank_->ctx().now());
+  }
   rank_->world().fabric().nic(rank_->id()).send(mem.backup, std::move(p));
   st->repl_backup = mem.backup;
   st->repl_mirror_seq = h.req_id;
@@ -1974,6 +2083,8 @@ void RmaEngine::on_am(fabric::Packet&& p) {
       m.src = p.src;
       m.payload = std::move(p.payload);
       m.hdr_bytes = std::move(p.header);
+      m.op = p.op;
+      m.arrived = rank_->world().engine().now();
       if (cfg_.serializer == SerializerKind::comm_thread) {
         am_chan_->push(std::move(m));
       } else {
@@ -2022,7 +2133,7 @@ void RmaEngine::on_am(fabric::Packet&& p) {
       r.req_id = h.req_id;
       r.value_a = ptl_->received_data_ops(kPtData, p.src) +
                   am_applied_from_[p.src];
-      send_am(p.src, r, {});
+      send_am(p.src, r, {}, p.op);
       break;
     }
     case AmHdr::Kind::count_reply: {
@@ -2044,14 +2155,15 @@ void RmaEngine::on_am(fabric::Packet&& p) {
         }
         const std::uint64_t id = h.req_id;
         const int t = p.src;
+        const std::uint64_t tag = trace::op_tag(rank_->id(), id);
         rank_->world().engine().schedule_in(cfg_.flush_retry_ns,
-                                            [this, id, t] {
+                                            [this, id, t, tag] {
                                               if (!find_req(id)) return;
                                               AmHdr q;
                                               q.kind =
                                                   AmHdr::Kind::count_query;
                                               q.req_id = id;
-                                              send_am(t, q, {});
+                                              send_am(t, q, {}, tag);
                                             });
       }
       break;
@@ -2122,7 +2234,7 @@ void RmaEngine::on_am(fabric::Packet&& p) {
       AmHdr r;
       r.kind = AmHdr::Kind::repl_mirror_ack;
       r.req_id = in.applied;  // cumulative
-      send_am(p.src, r, {});
+      send_am(p.src, r, {}, p.op);
       break;
     }
     case AmHdr::Kind::repl_mirror_ack: {
@@ -2191,7 +2303,7 @@ void RmaEngine::execute_am(AmMsg&& m, sim::Time apply_cost) {
     AmHdr r;
     r.kind = AmHdr::Kind::rmi_reply;
     r.req_id = h.req_id;
-    send_am(m.src, r, std::move(result));
+    send_am(m.src, r, std::move(result), m.op);
     return;
   }
 
@@ -2220,7 +2332,7 @@ void RmaEngine::execute_am(AmMsg&& m, sim::Time apply_cost) {
     r.kind = AmHdr::Kind::rmw_reply;
     r.req_id = h.req_id;
     r.value_a = u64_from_endian_bytes(old.data(), mem.config().endian);
-    send_am(m.src, r, {});
+    send_am(m.src, r, {}, m.op);
     return;
   }
 
@@ -2232,7 +2344,7 @@ void RmaEngine::execute_am(AmMsg&& m, sim::Time apply_cost) {
       AmHdr r;
       r.kind = AmHdr::Kind::op_ack;
       r.req_id = h.req_id;
-      send_am(m.src, r, {});
+      send_am(m.src, r, {}, m.op);
       break;
     }
     case RmaOptype::accumulate: {
@@ -2243,7 +2355,7 @@ void RmaEngine::execute_am(AmMsg&& m, sim::Time apply_cost) {
       AmHdr r;
       r.kind = AmHdr::Kind::op_ack;
       r.req_id = h.req_id;
-      send_am(m.src, r, {});
+      send_am(m.src, r, {}, m.op);
       break;
     }
     case RmaOptype::get: {
@@ -2254,7 +2366,7 @@ void RmaEngine::execute_am(AmMsg&& m, sim::Time apply_cost) {
       r.kind = AmHdr::Kind::get_reply;
       r.req_id = h.req_id;
       r.offset = h.value_a;  // packed destination offset at the origin
-      send_am(m.src, r, std::move(data));
+      send_am(m.src, r, std::move(data), m.op);
       break;
     }
   }
@@ -2280,16 +2392,28 @@ bool RmaEngine::lock_acquire(int world_target) {
   st->pending = 1;
   st->counts_send = false;
   reqs_.emplace(st->id, st);
+  // Attribution: the acquire round trip is lock_wait on the parent op (if
+  // one is being issued — engine-internal acquires stay untracked).
+  const std::uint64_t tag = trace::op_tag(rank_->id(), st->id);
+  auto* tl = trace::timeline(rank_->world().engine().tracer());
+  const bool attr =
+      tl != nullptr && attr_parent_ != 0 && tl->tracks(attr_parent_);
+  const sim::Time t_req = rank_->world().engine().now();
+  if (attr) tl->alias(tag, attr_parent_);
   rank_->ctx().delay(rank_->world().config().costs.inject_overhead_ns);
   AmHdr h;
   h.kind = AmHdr::Kind::lock_req;
   h.req_id = st->id;
-  send_am(world_target, h, {});
+  send_am(world_target, h, {}, tag);
   progress_until([st] { return st->done; });
   if (st->status == OpStatus::target_failed) {
     // The manager died while we queued; the pending request was drained.
     if (acq != 0) rank_->world().engine().tracer()->span_end(acq);
     return false;
+  }
+  if (attr) {
+    tl->add(attr_parent_, trace::Segment::lock_wait, t_req,
+            rank_->world().engine().now());
   }
   if (acq != 0) {
     trace::Recorder* rec = rank_->world().engine().tracer();
@@ -2329,9 +2453,10 @@ void RmaEngine::service_lock_request(int requester, std::uint64_t req_id) {
     AmHdr g;
     g.kind = AmHdr::Kind::lock_grant;
     g.req_id = req_id;
+    const std::uint64_t tag = trace::op_tag(requester, req_id);
     rank_->world().engine().schedule_in(
         cfg_.lock_service_ns,
-        [this, requester, g] { send_am(requester, g, {}); });
+        [this, requester, g, tag] { send_am(requester, g, {}, tag); });
   } else {
     lock_.waiters.push_back(requester);
     lock_waiter_reqs_.push_back(req_id);
@@ -2359,8 +2484,10 @@ void RmaEngine::service_lock_release(int releaser) {
     AmHdr g;
     g.kind = AmHdr::Kind::lock_grant;
     g.req_id = req_id;
+    const std::uint64_t tag = trace::op_tag(next, req_id);
     rank_->world().engine().schedule_in(
-        cfg_.lock_service_ns, [this, next, g] { send_am(next, g, {}); });
+        cfg_.lock_service_ns,
+        [this, next, g, tag] { send_am(next, g, {}, tag); });
   }
 }
 

@@ -36,6 +36,7 @@
 #include <map>
 #include <memory>
 #include <optional>
+#include <string>
 #include <unordered_map>
 #include <vector>
 
@@ -119,6 +120,9 @@ struct EngineConfig {
   sim::Time flush_retry_ns = 2000;
   /// Local copy engine speed for pack/unpack staging (bytes per ns).
   double copy_bytes_per_ns = 8.0;
+  /// Interface name reported in latency-attribution breakdowns (the Table S6
+  /// axis). Wrapper layers (ARMCI, SHMEM, ...) set their own.
+  std::string api_label = "strawman";
 };
 
 class RmaEngine;
@@ -297,6 +301,10 @@ class RmaEngine {
     std::vector<std::byte> payload;
     // Decoded header fields live in `hdr_bytes` to keep AmHdr private.
     std::vector<std::byte> hdr_bytes;
+    // Latency attribution: the packet's op tag and its delivery time, so the
+    // serializer can report queueing (serialize_wait) vs execution (apply).
+    std::uint64_t op = 0;
+    sim::Time arrived = 0;
   };
   struct PerTarget {
     std::uint64_t issued = 0;     // put-like segments sent
@@ -397,8 +405,9 @@ class RmaEngine {
   // AM machinery.
   void on_am(fabric::Packet&& p);
   void execute_am(AmMsg&& m, sim::Time apply_cost);
+  /// `op` is the latency-attribution tag stamped on the packet (0 = none).
   void send_am(int world_target, const AmHdr& hdr,
-               std::vector<std::byte> payload);
+               std::vector<std::byte> payload, std::uint64_t op = 0);
   /// Re-send a previously serialized AM (failover re-sync path).
   void send_am_raw(int world_target, std::vector<std::byte> hdr_bytes,
                    std::vector<std::byte> payload);
@@ -472,6 +481,9 @@ class RmaEngine {
   std::uint64_t am_applied_total_ = 0;
 
   LockState lock_;
+  // Attribution tag of the op whose locked sequence is being issued: child
+  // requests (lock acquire, inner get/put) alias into it. 0 between ops.
+  std::uint64_t attr_parent_ = 0;
   std::deque<std::uint64_t> lock_waiter_reqs_;
   std::uint64_t lock_grants_ = 0;
   // Open "lock.hold" trace spans, keyed by lock-owning world rank.

@@ -3,11 +3,23 @@
 #include <cmath>
 #include <utility>
 
+#include "trace/attribution.hpp"
 #include "trace/recorder.hpp"
 
 namespace m3rma::fabric {
 
 namespace {
+
+/// Attribution leg of a tagged packet: work on the request leg splits into
+/// wire/contention/delivery; anything moving back toward the op's origin
+/// (acks, get replies, lock grants) is completion propagation.
+bool is_return_leg(const Packet& p) {
+  return p.dst == trace::op_origin(p.op);
+}
+
+trace::Segment leg(const Packet& p, trace::Segment request_leg_seg) {
+  return is_return_leg(p) ? trace::Segment::completion : request_leg_seg;
+}
 
 std::string link_name(int src, int dst) {
   return "net:" + std::to_string(src) + "->" + std::to_string(dst);
@@ -199,7 +211,9 @@ void Fabric::route(Packet&& p) {
     return;  // failure injection: the packet vanishes on the wire
   }
 
-  sim::Time arrival = eng_->now() + transfer_time(p.src, p.dst, p.wire_size());
+  const sim::Time uncontended =
+      eng_->now() + transfer_time(p.src, p.dst, p.wire_size());
+  sim::Time arrival = uncontended;
   if (caps_.ordered_delivery || p.src == p.dst) {
     // FIFO per pair: a packet never overtakes an earlier one.
     auto& last = last_arrival_[key];
@@ -226,6 +240,18 @@ void Fabric::route(Packet&& p) {
         tr->track(link_name(p.src, p.dst)), trace::Category::fabric, "wire",
         "proto=" + std::to_string(p.protocol) +
             " bytes=" + std::to_string(p.wire_size()));
+  }
+  if (auto* tl = trace::timeline(eng_->tracer()); tl != nullptr &&
+                                                  tl->tracks(p.op)) {
+    // Decompose the flat-path flight: serialization + link latency is wire,
+    // the NIC processing tail is delivery, and whatever the FIFO / jitter /
+    // rx-occupancy clamps added on top is contention stall.
+    const sim::Time wire_end = uncontended - costs_.delivery_overhead_ns;
+    tl->add(p.op, leg(p, trace::Segment::wire), eng_->now(), wire_end);
+    tl->add(p.op, leg(p, trace::Segment::delivery), wire_end, uncontended);
+    if (arrival > uncontended) {
+      tl->add(p.op, leg(p, trace::Segment::contention), uncontended, arrival);
+    }
   }
   eng_->schedule_at(
       arrival, [this, wire_span, target, pkt = std::move(p)]() mutable {
@@ -289,6 +315,15 @@ void Fabric::topo_hop(Packet&& p, std::vector<topo::LinkId>&& path,
   if (!caps_.ordered_delivery && p.src != p.dst && costs_.jitter_ns > 0) {
     // Adaptive routing spread, per hop, from the per-link stream.
     arrive += link_rng(topo_link_key(link)).next_below(costs_.jitter_ns + 1);
+  }
+  if (auto* tl = trace::timeline(eng_->tracer()); tl != nullptr &&
+                                                  tl->tracks(p.op)) {
+    // Per-hop decomposition: the wait for the link's serialization window
+    // is contention stall, the reserved window plus link flight is wire.
+    if (tx.depart > ready) {
+      tl->add(p.op, leg(p, trace::Segment::contention), ready, tx.depart);
+    }
+    tl->add(p.op, leg(p, trace::Segment::wire), tx.depart, arrive);
   }
 
   eng_->schedule_at(arrive, [this, pkt = std::move(p), pth = std::move(path),
@@ -364,7 +399,8 @@ void Fabric::topo_deliver(Packet&& p) {
   const std::uint64_t key = static_cast<std::uint64_t>(p.src) *
                                 static_cast<std::uint64_t>(nodes()) +
                             static_cast<std::uint64_t>(p.dst);
-  sim::Time arrival = eng_->now() + costs_.delivery_overhead_ns;
+  const sim::Time uncontended = eng_->now() + costs_.delivery_overhead_ns;
+  sim::Time arrival = uncontended;
   if (caps_.ordered_delivery) {
     auto& last = last_arrival_[key];
     if (arrival <= last) arrival = last + 1;
@@ -376,6 +412,13 @@ void Fabric::topo_deliver(Packet&& p) {
     target->rx_busy_until_ = arrival + costs_.delivery_occupancy_ns;
     if (caps_.ordered_delivery) {
       last_arrival_[key] = std::max(last_arrival_[key], arrival);
+    }
+  }
+  if (auto* tl = trace::timeline(eng_->tracer()); tl != nullptr &&
+                                                  tl->tracks(p.op)) {
+    tl->add(p.op, leg(p, trace::Segment::delivery), eng_->now(), uncontended);
+    if (arrival > uncontended) {
+      tl->add(p.op, leg(p, trace::Segment::contention), uncontended, arrival);
     }
   }
   eng_->schedule_at(arrival, [this, target, pkt = std::move(p)]() mutable {

@@ -42,6 +42,11 @@ struct Packet {
   /// Reassigned on every injection, including retransmissions.
   std::uint64_t seq = 0;
   sim::Time injected_at = 0;
+  /// Latency-attribution op tag (trace::op_tag): identifies the RMA op this
+  /// packet works on behalf of, 0 when untagged. Pure metadata like seq —
+  /// not part of the wire format, not counted by wire_size(), copied into
+  /// reliability retransmit duplicates.
+  std::uint64_t op = 0;
   /// Reliable-sublayer framing (all zero when reliability is disabled).
   /// rel_seq is the per-(src,dst,protocol) data stream sequence (1-based);
   /// rel_ack is the cumulative ack of the reverse stream.

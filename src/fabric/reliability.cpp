@@ -6,6 +6,7 @@
 #include <utility>
 
 #include "fabric/fabric.hpp"
+#include "trace/attribution.hpp"
 #include "trace/recorder.hpp"
 
 namespace m3rma::fabric {
@@ -119,10 +120,18 @@ void LinkReliability::on_retransmit_timer(std::uint64_t key,
   const std::uint64_t rev_ack = rx_[key].delivered;
   auto* tr = trace::want(nic_->fabric().engine().tracer(),
                          trace::Category::reliability);
+  auto* tl = trace::timeline(nic_->fabric().engine().tracer());
   for (const PendingPkt& pp : tx.pending) {
     Packet copy = pp.pkt;
     copy.rel_ack = rev_ack;  // refresh the piggybacked ack
     ++stats_.retransmits;
+    if (tl != nullptr && tl->tracks(copy.op)) {
+      // The whole stretch from the packet's first send to this re-injection
+      // is recovery delay chargeable to the reliability sublayer. Repeat
+      // rounds extend the same interval; the timeline merges the overlap.
+      tl->add(copy.op, trace::Segment::retransmit, pp.first_sent,
+              nic_->fabric().engine().now());
+    }
     if (tr != nullptr) {
       tr->instant(tr->track(rel_track(nic_->node(), peer)),
                   trace::Category::reliability, "retransmit",

@@ -16,6 +16,7 @@ Context::Context(runtime::Rank& rank, runtime::Comm& comm)
     : rank_(&rank), comm_(&comm) {
   core::EngineConfig cfg;
   cfg.serializer = core::SerializerKind::comm_thread;
+  cfg.api_label = "galib";  // Table S6/S14 attribution axis
   eng_ = std::make_unique<core::RmaEngine>(rank, comm, cfg);
 }
 

@@ -3,6 +3,8 @@
 #include <cstring>
 
 #include "common/diagnostics.hpp"
+#include "trace/attribution.hpp"
+#include "trace/recorder.hpp"
 
 namespace m3rma::gasnet {
 
@@ -187,6 +189,10 @@ Handle Gasnet::put_nb(int rank, std::uint64_t dst_off,
   auto& op = ops_[id];
   op.pending = 1;
   outstanding_ += 1;
+  if (auto* tl = trace::timeline(rank_->world().engine().tracer())) {
+    tl->op_begin(trace::op_tag(rank_->id(), id), "gasnet.put", "nb",
+                 "gasnet", rank_->ctx().now());
+  }
   ptl_->put(rank_->ctx(), md_, src_addr, bytes, comm_->to_world(rank),
             kPtSegment, seg.match, dst_off, id,
             ptl_->supports_ack_events());
@@ -208,6 +214,10 @@ Handle Gasnet::get_nb(std::uint64_t dst_addr, int rank,
   auto& op = ops_[id];
   op.pending = 1;
   outstanding_ += 1;
+  if (auto* tl = trace::timeline(rank_->world().engine().tracer())) {
+    tl->op_begin(trace::op_tag(rank_->id(), id), "gasnet.get", "nb",
+                 "gasnet", rank_->ctx().now());
+  }
   ptl_->get(rank_->ctx(), md_, dst_addr, bytes, comm_->to_world(rank),
             kPtSegment, seg.match, src_off, id);
   return Handle(id);
@@ -250,6 +260,10 @@ void Gasnet::drain() {
       ops_.erase(it);
       M3RMA_ENSURE(outstanding_ > 0, "op accounting underflow");
       outstanding_ -= 1;
+      if (auto* tl = trace::timeline(rank_->world().engine().tracer())) {
+        const std::uint64_t tag = trace::op_tag(rank_->id(), ev->user_ptr);
+        if (tl->tracks(tag)) tl->op_end(tag, rank_->ctx().now());
+      }
     }
   }
 }

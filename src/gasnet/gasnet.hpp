@@ -151,7 +151,11 @@ class Gasnet {
   std::vector<Segment> segments_;  // per comm rank
 
   std::unordered_map<std::uint64_t, OpState> ops_;
-  std::uint64_t next_op_ = 1;
+  // Op ids double as portals user_ptr cookies and attribution tags
+  // (trace::op_tag(rank, id), DESIGN.md §10); the offset keeps them out of
+  // the id space a core::RmaEngine on the same rank would use, so both can
+  // report into one OpTimeline.
+  std::uint64_t next_op_ = (0x6aULL << 28) + 1;
   std::uint64_t outstanding_ = 0;
   std::uint64_t ams_received_ = 0;
 };

@@ -4,6 +4,8 @@
 #include <cstring>
 
 #include "common/diagnostics.hpp"
+#include "trace/attribution.hpp"
+#include "trace/recorder.hpp"
 
 namespace m3rma::mpi2 {
 
@@ -47,7 +49,6 @@ static std::unordered_map<const Win*,
                           std::unordered_map<std::uint64_t,
                                              std::shared_ptr<GetState>>>
     g_get_states;
-static std::unordered_map<const Win*, std::uint64_t> g_next_get_id;
 
 Win::Win(runtime::Rank& rank, runtime::Comm& comm, std::uint64_t addr,
          std::uint64_t len)
@@ -77,6 +78,8 @@ Win::Win(runtime::Rank& rank, runtime::Comm& comm, std::uint64_t addr,
   }
   md_ = ptl_->md_bind(0, rank.memory().config().size, &eq_);
   targets_.resize(static_cast<std::size_t>(rank.world().size()));
+  op_base_ = static_cast<std::uint64_t>(ctx_id + 1) << 28;
+  unacked_ops_.resize(static_cast<std::size_t>(rank.world().size()));
 
   WireInfo mine{my_match_, len,
                 static_cast<std::uint8_t>(rank.memory().config().endian)};
@@ -105,7 +108,13 @@ Win::~Win() {
   if (me_ != 0) ptl_->me_unlink(me_);
   ptl_->md_release(md_);
   g_get_states.erase(this);
-  g_next_get_id.erase(this);
+}
+
+void Win::end_op(std::uint64_t id) {
+  if (auto* tl = trace::timeline(rank_->world().engine().tracer())) {
+    const std::uint64_t tag = trace::op_tag(rank_->id(), id);
+    if (tl->tracks(tag)) tl->op_end(tag, rank_->ctx().now());
+  }
 }
 
 Win::PerTarget& Win::per(int world_rank) {
@@ -198,18 +207,30 @@ void Win::issue_put_like(bool is_acc, portals::AccOp op,
              : portals::NumType::i8;
 
   sim::Context& ctx = rank_->ctx();
+  const std::uint64_t opid = op_base_ + ++next_op_seq_;
+  auto* tl = trace::timeline(rank_->world().engine().tracer());
+  if (tl != nullptr) {
+    // Completion is deferred to the next synchronization call (MPI-2
+    // semantics), but the op itself ends when its last ack (or, ack-less,
+    // the flush that covers it) observes remote completion.
+    tl->op_begin(trace::op_tag(rank_->id(), opid),
+                 is_acc ? "win.accumulate" : "win.put", "deferred-sync",
+                 "mpi2", ctx.now());
+  }
+  std::uint32_t blocks = 0;
   auto issue_block = [&](std::uint64_t mem_off, std::uint64_t packed_off,
                          std::uint64_t len) {
     if (len == 0) return;
     if (is_acc) {
       ptl_->atomic(ctx, op, nt, md_, src_base + packed_off, len, t, kPtWin,
-                   rw.match, target_disp + mem_off, 0, acks);
+                   rw.match, target_disp + mem_off, opid, acks);
     } else {
       ptl_->put(ctx, md_, src_base + packed_off, len, t, kPtWin, rw.match,
-                target_disp + mem_off, 0, acks);
+                target_disp + mem_off, opid, acks);
     }
     per(t).issued += 1;
     ops_issued_ += 1;
+    blocks += 1;
   };
   if (fast) {
     issue_block(0, 0, target_dt.size() * target_count);
@@ -219,6 +240,15 @@ void Win::issue_put_like(bool is_acc, portals::AccOp op,
     });
   }
   if (staging != 0) mem.dealloc(staging);
+  if (tl != nullptr) {
+    if (blocks == 0) {
+      end_op(opid);  // nothing went on the wire: zero-length transfer
+    } else if (acks) {
+      ack_pending_[opid] = blocks;
+    } else {
+      unacked_ops_[static_cast<std::size_t>(t)].push_back(opid);
+    }
+  }
 }
 
 void Win::put(std::uint64_t origin_addr, std::uint64_t origin_count,
@@ -252,7 +282,12 @@ void Win::get(std::uint64_t origin_addr, std::uint64_t origin_count,
   auto& mem = rank_->memory();
 
   auto st = std::make_shared<GetState>();
-  const std::uint64_t id = ++g_next_get_id[this];
+  const std::uint64_t id = op_base_ + ++next_op_seq_;
+  auto* tl = trace::timeline(rank_->world().engine().tracer());
+  if (tl != nullptr) {
+    tl->op_begin(trace::op_tag(rank_->id(), id), "win.get", "deferred-sync",
+                 "mpi2", rank_->ctx().now());
+  }
   const std::uint64_t packed_len = target_dt.size() * target_count;
   if (fast) {
     st->dest = origin_addr;
@@ -285,7 +320,10 @@ void Win::get(std::uint64_t origin_addr, std::uint64_t origin_count,
       issue_block(b.mem_offset, b.packed_offset, b.nbytes());
     });
   }
-  if (st->pending == 0) g_get_states[this].erase(id);
+  if (st->pending == 0) {
+    g_get_states[this].erase(id);
+    if (tl != nullptr) end_op(id);  // zero-length transfer
+  }
 }
 
 void Win::put_bytes(std::uint64_t origin_addr, int target,
@@ -305,9 +343,15 @@ void Win::get_bytes(std::uint64_t origin_addr, int target,
 void Win::drain() {
   while (auto ev = eq_.poll()) {
     switch (ev->type) {
-      case portals::EventType::ack:
+      case portals::EventType::ack: {
         per(ev->initiator).acked += 1;
+        auto it = ack_pending_.find(ev->user_ptr);
+        if (it != ack_pending_.end() && --it->second == 0) {
+          ack_pending_.erase(it);
+          end_op(ev->user_ptr);
+        }
         break;
+      }
       case portals::EventType::reply: {
         if (per(ev->initiator).pending_replies > 0) {
           per(ev->initiator).pending_replies -= 1;
@@ -317,6 +361,7 @@ void Win::drain() {
         if (it != states.end()) {
           auto st = it->second;
           if (--st->pending == 0) {
+            end_op(ev->user_ptr);
             if (st->needs_unpack) {
               auto& mem = rank_->memory();
               if (st->needs_swap) {
@@ -388,7 +433,15 @@ void Win::flush(const std::vector<int>& world_targets) {
     }
     return true;
   });
-  for (int t : world_targets) per(t).acked = per(t).issued;
+  for (int t : world_targets) {
+    per(t).acked = per(t).issued;
+    // Ack-less networks have no per-op completion signal; the probe above
+    // proved delivery of everything earlier on this pair, so every open
+    // put/accumulate to t ends here.
+    auto& open = unacked_ops_[static_cast<std::size_t>(t)];
+    for (const std::uint64_t id : open) end_op(id);
+    open.clear();
+  }
 }
 
 // --------------------------------------------------------------- fence sync

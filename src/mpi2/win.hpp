@@ -127,6 +127,8 @@ class Win {
   void wait_for(Pred&& pred);
   void on_ctrl(fabric::Packet&& p);
   void send_ctrl(int world_target, const CtrlHdr& h);
+  /// Close the attribution op `id` (trace::OpTimeline) at the current time.
+  void end_op(std::uint64_t id);
   void try_grant_locks();
   void validate_transfer(std::uint64_t origin_addr,
                          std::uint64_t origin_count,
@@ -162,6 +164,16 @@ class Win {
   std::unordered_map<int, bool> grant_pending_;
 
   std::uint64_t ops_issued_ = 0;
+
+  // Latency attribution (DESIGN.md §10). Every put/get/accumulate call gets
+  // a rank-unique op id (also its portals user_ptr, so acks and replies can
+  // finish the op); ids are offset by the window's context id so concurrent
+  // windows on one rank never collide in a shared OpTimeline. Allocation is
+  // unconditional — attaching a timeline must not change any id stream.
+  std::uint64_t op_base_ = 0;        // (ctx id + 1) << 28
+  std::uint64_t next_op_seq_ = 0;
+  std::unordered_map<std::uint64_t, std::uint32_t> ack_pending_;
+  std::vector<std::vector<std::uint64_t>> unacked_ops_;  // by world rank
 };
 
 }  // namespace m3rma::mpi2

@@ -3,6 +3,7 @@
 #include <cstring>
 #include <utility>
 
+#include "trace/attribution.hpp"
 #include "trace/recorder.hpp"
 
 namespace m3rma::portals {
@@ -129,8 +130,13 @@ void Portals::trace_eq(const char* type, const Event& ev) {
                   std::string("portals.eq.") + type);
 }
 
-void Portals::charge_inject(sim::Context& ctx) {
+void Portals::charge_inject(sim::Context& ctx, std::uint64_t op) {
+  const sim::Time t0 = ctx.now();
   ctx.delay(nic_->fabric().costs().inject_overhead_ns);
+  if (auto* tl = trace::timeline(nic_->fabric().engine().tracer());
+      tl != nullptr && tl->tracks(op)) {
+    tl->add(op, trace::Segment::inject, t0, ctx.now());
+  }
 }
 
 void Portals::post_send_event(const Event& ev, EventQueue* eq,
@@ -148,11 +154,12 @@ void Portals::post_send_event(const Event& ev, EventQueue* eq,
 }
 
 void Portals::send_to(int target, const WireHdr& hdr,
-                      std::vector<std::byte> payload) {
+                      std::vector<std::byte> payload, std::uint64_t op) {
   fabric::Packet p;
   p.protocol = kProtocolId;
   fabric::set_header(p, hdr);
   p.payload = std::move(payload);
+  p.op = op;
   nic_->send(target, std::move(p));
 }
 
@@ -164,7 +171,11 @@ void Portals::put(sim::Context& ctx, MdHandle md, std::uint64_t local_off,
                   std::uint64_t user_ptr, bool want_ack) {
   Md& m = md_ref(md);
   M3RMA_REQUIRE(local_off + length <= m.length, "put exceeds MD bounds");
-  charge_inject(ctx);
+  // Attribution: user_ptr is the issuing layer's request id, so (node,
+  // user_ptr) is the op's globally unique tag; untracked ids drop out at
+  // the timeline.
+  const std::uint64_t tag = trace::op_tag(node(), user_ptr);
+  charge_inject(ctx, tag);
   std::vector<std::byte> data(length);
   if (length > 0) mem_->nic_read(m.base + local_off, data);
 
@@ -177,7 +188,7 @@ void Portals::put(sim::Context& ctx, MdHandle md, std::uint64_t local_off,
   hdr.length = length;
   hdr.user_ptr = user_ptr;
   hdr.md = md;
-  send_to(target, hdr, std::move(data));
+  send_to(target, hdr, std::move(data), tag);
 
   if (m.eq != nullptr) {
     post_send_event(Event{EventType::send, node(), match, remote_off,
@@ -192,7 +203,8 @@ void Portals::get(sim::Context& ctx, MdHandle md, std::uint64_t local_off,
                   std::uint64_t user_ptr) {
   Md& m = md_ref(md);
   M3RMA_REQUIRE(local_off + length <= m.length, "get exceeds MD bounds");
-  charge_inject(ctx);
+  const std::uint64_t tag = trace::op_tag(node(), user_ptr);
+  charge_inject(ctx, tag);
 
   WireHdr hdr;
   hdr.op = WireHdr::Op::get_req;
@@ -203,7 +215,7 @@ void Portals::get(sim::Context& ctx, MdHandle md, std::uint64_t local_off,
   hdr.user_ptr = user_ptr;
   hdr.md = md;
   hdr.local_off = local_off;
-  send_to(target, hdr, {});
+  send_to(target, hdr, {}, tag);
 }
 
 void Portals::atomic(sim::Context& ctx, AccOp op, NumType nt, MdHandle md,
@@ -217,7 +229,8 @@ void Portals::atomic(sim::Context& ctx, AccOp op, NumType nt, MdHandle md,
                 "atomic length not a multiple of the element size");
   Md& m = md_ref(md);
   M3RMA_REQUIRE(local_off + length <= m.length, "atomic exceeds MD bounds");
-  charge_inject(ctx);
+  const std::uint64_t tag = trace::op_tag(node(), user_ptr);
+  charge_inject(ctx, tag);
   std::vector<std::byte> data(length);
   if (length > 0) mem_->nic_read(m.base + local_off, data);
 
@@ -232,7 +245,7 @@ void Portals::atomic(sim::Context& ctx, AccOp op, NumType nt, MdHandle md,
   hdr.length = length;
   hdr.user_ptr = user_ptr;
   hdr.md = md;
-  send_to(target, hdr, std::move(data));
+  send_to(target, hdr, std::move(data), tag);
 
   if (m.eq != nullptr) {
     post_send_event(Event{EventType::send, node(), match, remote_off,
@@ -255,7 +268,8 @@ void Portals::fetch_atomic(sim::Context& ctx, RmwOp op, NumType nt,
                 "fetch_atomic operand exceeds MD bounds");
   M3RMA_REQUIRE(fetch_off + num_size(nt) <= m.length,
                 "fetch_atomic result slot exceeds MD bounds");
-  charge_inject(ctx);
+  const std::uint64_t tag = trace::op_tag(node(), user_ptr);
+  charge_inject(ctx, tag);
   std::vector<std::byte> data(payload_len);
   mem_->nic_read(m.base + local_off, data);
 
@@ -270,7 +284,7 @@ void Portals::fetch_atomic(sim::Context& ctx, RmwOp op, NumType nt,
   hdr.user_ptr = user_ptr;
   hdr.md = md;
   hdr.local_off = fetch_off;
-  send_to(target, hdr, std::move(data));
+  send_to(target, hdr, std::move(data), tag);
 }
 
 // ------------------------------------------------------------- target side
@@ -305,7 +319,7 @@ void Portals::deliver(fabric::Packet&& p) {
         ack.user_ptr = hdr.user_ptr;
         ack.match = hdr.match;
         ack.length = hdr.length;
-        send_to(p.src, ack, {});
+        send_to(p.src, ack, {}, p.op);  // return leg keeps the op tag
       }
       break;
     }
@@ -331,7 +345,7 @@ void Portals::deliver(fabric::Packet&& p) {
       reply.user_ptr = hdr.user_ptr;
       reply.match = hdr.match;
       reply.length = hdr.length;
-      send_to(p.src, reply, std::move(data));
+      send_to(p.src, reply, std::move(data), p.op);
       break;
     }
     case WireHdr::Op::atomic: {
@@ -363,7 +377,7 @@ void Portals::deliver(fabric::Packet&& p) {
         ack.user_ptr = hdr.user_ptr;
         ack.match = hdr.match;
         ack.length = hdr.length;
-        send_to(p.src, ack, {});
+        send_to(p.src, ack, {}, p.op);
       }
       break;
     }
@@ -390,7 +404,7 @@ void Portals::deliver(fabric::Packet&& p) {
       reply.user_ptr = hdr.user_ptr;
       reply.match = hdr.match;
       reply.length = elem;
-      send_to(p.src, reply, std::move(old));
+      send_to(p.src, reply, std::move(old), p.op);
       break;
     }
     case WireHdr::Op::reply: {

@@ -182,12 +182,15 @@ class Portals {
   Me* match_me(int pt_index, std::uint64_t bits, std::uint64_t offset,
                std::uint64_t length);
   Md& md_ref(MdHandle md);
-  void charge_inject(sim::Context& ctx);
+  /// Pay the NIC injection overhead; when `op` is a tracked attribution tag
+  /// the interval is reported as the op's inject segment.
+  void charge_inject(sim::Context& ctx, std::uint64_t op = 0);
   void post_send_event(const Event& ev, EventQueue* eq, std::uint64_t bytes);
   /// Tracing: record an EQ post of `type` on this node's rank track.
   void trace_eq(const char* type, const Event& ev);
-  void send_to(int target, const WireHdr& hdr,
-               std::vector<std::byte> payload);
+  /// `op` is the attribution tag stamped on the packet (0 = untagged).
+  void send_to(int target, const WireHdr& hdr, std::vector<std::byte> payload,
+               std::uint64_t op = 0);
 
   fabric::Nic* nic_;
   memsim::MemoryDomain* mem_;

@@ -12,6 +12,7 @@ Shmem::Shmem(runtime::Rank& rank, runtime::Comm& comm,
     : rank_(&rank), comm_(&comm) {
   core::EngineConfig cfg;
   cfg.serializer = core::SerializerKind::comm_thread;
+  cfg.api_label = "shmem";  // Table S6/S14 attribution axis
   eng_ = std::make_unique<core::RmaEngine>(rank, comm, cfg);
   heap_ = rank.alloc(heap_bytes, 64);
   mems_ = eng_->exchange_all(eng_->attach(heap_));

@@ -42,6 +42,8 @@
 
 namespace m3rma::trace {
 
+class OpTimeline;
+
 /// Virtual time in nanoseconds (mirrors sim::Time; kept as a raw integer so
 /// trace does not depend on simtime).
 using Time = std::uint64_t;
@@ -81,6 +83,13 @@ class Recorder {
   /// sim::Engine::set_tracer; points at the engine's now() storage.
   void bind_clock(const Time* now) { clock_ = now; }
   Time now() const { return clock_ != nullptr ? *clock_ : 0; }
+
+  /// Attach (or detach, with nullptr) a per-op latency-attribution timeline
+  /// (trace/attribution.hpp). Instrumented layers reach it through
+  /// trace::timeline(rec); with none attached attribution costs one
+  /// null-pointer check, independent of the category mask.
+  void set_op_timeline(OpTimeline* t) { op_timeline_ = t; }
+  OpTimeline* op_timeline() const { return op_timeline_; }
 
   // ----- structure ----------------------------------------------------------
 
@@ -203,6 +212,7 @@ class Recorder {
   void note_site(Category cat, const std::string& name, Time t);
 
   const Time* clock_ = nullptr;
+  OpTimeline* op_timeline_ = nullptr;
   std::uint32_t category_mask_;
   std::vector<Process> procs_;
   int cur_pid_ = 0;

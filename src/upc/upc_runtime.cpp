@@ -12,6 +12,7 @@ UpcRuntime::UpcRuntime(runtime::Rank& rank, runtime::Comm& comm,
     : rank_(&rank), comm_(&comm) {
   core::EngineConfig cfg;
   cfg.serializer = core::SerializerKind::comm_thread;
+  cfg.api_label = "upc";  // Table S6/S14 attribution axis
   eng_ = std::make_unique<core::RmaEngine>(rank, comm, cfg);
   segment_ = rank.alloc(segment_bytes, 64);
   mems_ = eng_->exchange_all(eng_->attach(segment_));
