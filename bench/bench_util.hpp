@@ -8,12 +8,15 @@
 #pragma once
 
 #include <cstdio>
+#include <cstdlib>
 #include <fstream>
 #include <functional>
+#include <optional>
 #include <sstream>
 #include <string>
 #include <vector>
 
+#include "runtime/chaos.hpp"
 #include "runtime/world.hpp"
 #include "trace/attribution.hpp"
 #include "trace/recorder.hpp"
@@ -164,6 +167,109 @@ inline std::string csv_flag(int argc, char** argv,
     if (a == flag) return default_file;
   }
   return {};
+}
+
+// ------------------------------------------------- fault-schedule flags
+//
+// Every fault-injecting bench (tab_fault_recovery, tab_survivability,
+// tab_chaos_kvstore) accepts the same two flags:
+//
+//   --faults=SPEC    explicit fail-stop schedule in describe_plan notation:
+//                    comma-separated rank@TIMEus entries with an optional
+//                    announce suffix (`!` announced, `~` silent; no suffix =
+//                    the bench case decides). The "us" is optional:
+//                    --faults=7@350us!,3@900~
+//   --chaos-seed=N   derive the schedule from the bench's ChaosSpec via
+//                    chaos_plan(spec, N); sweep benches use N as the base
+//                    seed of the whole sweep.
+
+/// Parse `--faults=SPEC`. Returns nullopt when absent; exits with a
+/// diagnostic on a malformed spec (a silently dropped typo would
+/// masquerade as the bench's default schedule).
+inline std::optional<m3rma::runtime::FaultPlan> faults_flag(int argc,
+                                                            char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string a = argv[i];
+    if (a.rfind("--faults=", 0) != 0) continue;
+    const auto die = [](const std::string& why) {
+      std::fprintf(stderr,
+                   "bad --faults entry '%s': expected rank@TIMEus[!|~], "
+                   "e.g. --faults=7@350us!,3@900~\n",
+                   why.c_str());
+      std::exit(2);
+    };
+    m3rma::runtime::FaultPlan plan;
+    std::stringstream ss(a.substr(9));
+    std::string item;
+    while (std::getline(ss, item, ',')) {
+      const std::string raw = item;
+      m3rma::runtime::FaultEvent fe;
+      if (!item.empty() && item.back() == '!') {
+        fe.announce = 1;
+        item.pop_back();
+      } else if (!item.empty() && item.back() == '~') {
+        fe.announce = 0;
+        item.pop_back();
+      }
+      if (item.size() > 2 && item.compare(item.size() - 2, 2, "us") == 0) {
+        item.erase(item.size() - 2);
+      }
+      const std::size_t sep = item.find('@');
+      if (sep == 0 || sep == std::string::npos || sep + 1 >= item.size()) {
+        die(raw);
+      }
+      try {
+        std::size_t used = 0;
+        fe.rank = std::stoi(item.substr(0, sep), &used);
+        if (used != sep) die(raw);
+        fe.at = static_cast<m3rma::sim::Time>(
+                    std::stoull(item.substr(sep + 1), &used)) *
+                1000;  // flag times are virtual microseconds
+        if (used != item.size() - sep - 1) die(raw);
+      } catch (const std::exception&) {
+        die(raw);
+      }
+      plan.schedule.push_back(fe);
+    }
+    if (plan.schedule.empty()) die("(empty)");
+    return plan;
+  }
+  return std::nullopt;
+}
+
+/// Parse `--chaos-seed=N` (any strtoull base). Returns nullopt when absent.
+inline std::optional<std::uint64_t> chaos_seed_flag(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string a = argv[i];
+    if (a.rfind("--chaos-seed=", 0) == 0) {
+      return std::strtoull(a.c_str() + 13, nullptr, 0);
+    }
+  }
+  return std::nullopt;
+}
+
+/// Resolve a fixed-schedule bench's fault plan from the shared flags:
+/// --faults wins outright; --chaos-seed expands `spec`, stripping the
+/// per-event announce draw so the bench's announced/silent cases still
+/// control it; otherwise `fallback` (the bench's built-in schedule).
+inline m3rma::runtime::FaultPlan resolve_fault_plan(
+    int argc, char** argv, const m3rma::runtime::FaultPlan& fallback,
+    const m3rma::runtime::ChaosSpec& spec) {
+  if (auto p = faults_flag(argc, argv)) return *p;
+  if (auto s = chaos_seed_flag(argc, argv)) {
+    auto p = m3rma::runtime::chaos_plan(spec, *s);
+    for (auto& fe : p.schedule) fe.announce = -1;
+    return p;
+  }
+  return fallback;
+}
+
+/// True when either fault flag was given — fixed-schedule benches use this
+/// to keep their default titles byte-identical while labelling overridden
+/// runs with the actual plan.
+inline bool fault_flags_given(int argc, char** argv) {
+  return faults_flag(argc, argv).has_value() ||
+         chaos_seed_flag(argc, argv).has_value();
 }
 
 /// Run `fn` on every rank of a fresh world with `rec` attached to the
@@ -361,7 +467,9 @@ inline void strip_benchutil_flags(int& argc, char** argv) {
                       a.rfind("--csv", 0) == 0 ||
                       a.rfind("--metrics-json", 0) == 0 ||
                       a.rfind("--breakdown-json", 0) == 0 ||
-                      a.rfind("--heatmap-csv", 0) == 0;
+                      a.rfind("--heatmap-csv", 0) == 0 ||
+                      a.rfind("--faults", 0) == 0 ||
+                      a.rfind("--chaos-seed", 0) == 0;
     if (!ours) argv[w++] = argv[i];
   }
   argc = w;

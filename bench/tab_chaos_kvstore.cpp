@@ -1,0 +1,423 @@
+// Chaos-schedule KV survivability sweep (Table S16): seeded randomized
+// multi-crash fault plans (runtime/chaos.hpp) against the sharded RMA
+// KV store, eager vs lazy replication.
+//
+// Eight ranks, Cray-XT5-like calibration: ranks 0..3 host one shard each,
+// ranks 4..7 are closed-loop clients over disjoint key ranges mixing
+// blocking fetch_add counters with the nonblocking cached fast path
+// (start_put / start_get, window 4). Each seed expands to a two-crash
+// plan over the server ranks; min_gap leaves room for the first failover's
+// re-replication to finish, so the second crash must land on a restored
+// chain — 100% op survival is the acceptance bar, not a lucky outcome.
+//
+// Per run the bench checks the chaos property invariants and *gates its
+// exit status on them* (CI runs the sweep under sanitizers and double-runs
+// the binary to diff for determinism):
+//
+//   * no acked write lost — every put acknowledged ok must be readable
+//     with its exact value after the full schedule has played out;
+//   * per-shard counter conservation — every key's counter word equals the
+//     number of fetch_adds acknowledged on it (no lost or double-applied
+//     increment across failover, re-route, and re-replication);
+//   * 100% op survival — zero client ops fail, and zero report
+//     replica_lost, across every seed and both modes.
+//
+// The eager/lazy contrast is the tentpole measurement: lazy defers the
+// mirror stream (no origin-side inject per put), so its steady-state put
+// latency is lower; the deferred log is flushed at failover, so its stall
+// is higher. Both columns come from the same seeds.
+//
+//   build/bench/tab_chaos_kvstore [--csv=FILE] [--metrics-json[=FILE]]
+//                                 [--faults=SPEC | --chaos-seed=N]
+//
+// --chaos-seed sets the sweep's base seed (default 1: seeds 1..8);
+// --faults pins one explicit plan and runs just that plan in both modes.
+// The gated sweep draws announced crashes only: silent-crash detection at
+// a window's backup is bounded by client traffic patterns, not by the
+// plan, so a silence mix belongs to exploratory --faults runs, not to a
+// pass/fail CI gate.
+#include <algorithm>
+#include <deque>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "apps/kv_store.hpp"
+#include "bench/bench_util.hpp"
+#include "core/rma_engine.hpp"
+
+using namespace m3rma;
+using benchutil::Table;
+
+namespace {
+
+constexpr int kServers = 4;
+constexpr int kClients = 4;
+constexpr std::uint64_t kKeysPerClient = 8;
+constexpr std::uint64_t kKeys = kKeysPerClient * kClients;
+constexpr int kOpsPerClient = 120;
+constexpr int kWindow = 4;              // fast-path ops in flight per client
+constexpr sim::Time kPace = 4'000;      // inter-op client pacing
+constexpr sim::Time kVictimIdle = 1'000'000'000;
+constexpr sim::Time kServerHorizon = 1'500'000;  // quiesce serves the tail
+constexpr int kSweepSeeds = 8;
+
+runtime::ChaosSpec sweep_spec() {
+  runtime::ChaosSpec spec;
+  spec.victims = {0, 1, 2, 3};  // the shard servers; clients stay up
+  spec.crashes = 2;
+  spec.min_survivors = 1;
+  // The window opens after construction + preload (~250 us) and the gap
+  // covers announced detection plus the ~3 KiB shard snapshot burst, so
+  // re-replication provably completes between the crashes.
+  spec.window_start = 350'000;
+  spec.window_end = 1'000'000;
+  spec.min_gap = 150'000;
+  spec.announce_probability = 1.0;
+  return spec;
+}
+
+struct RunResult {
+  std::string plan;
+  std::uint64_t ops = 0;       // client ops issued (workload + verification)
+  std::uint64_t ok = 0;        // ops acknowledged ok
+  std::uint64_t failed = 0;    // non-ok completions (includes lost)
+  std::uint64_t lost = 0;      // replica_lost completions
+  std::uint64_t acked_loss = 0;     // acked puts whose read-back mismatched
+  std::uint64_t counter_drift = 0;  // |counter - acked fetch_adds|, summed
+  sim::Time stall = 0;         // worst completion gap straddling a crash
+  double put_pre_us = 0.0;     // mean fast-path put latency before crash 1
+  std::uint64_t mirror_bytes = 0;
+  std::uint64_t resync_bytes = 0;
+  std::uint64_t rereplications = 0;
+  std::uint64_t rerepl_bytes = 0;
+  sim::Time elapsed = 0;
+  bool invariants_ok() const {
+    return failed == 0 && lost == 0 && acked_loss == 0 && counter_drift == 0;
+  }
+};
+
+RunResult run_one(const runtime::FaultPlan& plan, bool lazy) {
+  auto cfg = benchutil::xt5_config(kServers + kClients);
+  cfg.replication.enabled = true;
+  cfg.replication.mode =
+      lazy ? runtime::ReplMode::lazy : runtime::ReplMode::eager;
+  cfg.costs.reliability.enabled = true;
+  cfg.costs.reliability.retry_budget = 2;
+  cfg.faults = plan;
+
+  RunResult res;
+  res.plan = runtime::describe_plan(plan);
+  const sim::Time crash1 =
+      plan.schedule.empty() ? 0 : plan.schedule.front().at;
+  std::vector<sim::Time> done_at;  // merged client completion instants
+  sim::Time put_pre_total = 0;
+  std::uint64_t put_pre_n = 0;
+
+  runtime::World w(cfg);
+  w.run([&](runtime::Rank& r) {
+    const int me = r.id();
+    core::RmaEngine rma(r, r.comm_world());
+    apps::KvConfig kc;
+    kc.servers = kServers;
+    kc.slots_per_shard = 64;
+    kc.value_bytes = 32;
+    kc.key_space = kKeys;
+    kc.sharding = apps::Sharding::hash;
+    apps::KvStore kv(r, rma, kc);
+    r.comm_world().barrier();
+
+    bool victim = false;
+    for (const auto& fe : plan.schedule) victim = victim || fe.rank == me;
+    if (me < kServers) {
+      // Victims idle until the scheduled kill; survivors outlive the
+      // clients and let the engine's quiesce handshake serve any tail
+      // traffic (mirrors, probes, adoption bursts) during teardown.
+      r.ctx().delay(victim ? kVictimIdle : kServerHorizon);
+      rma.complete_collective();
+      res.elapsed = std::max(res.elapsed, r.ctx().now());
+      return;
+    }
+
+    const int ci = me - kServers;
+    const std::uint64_t base = kKeysPerClient * static_cast<std::uint64_t>(ci);
+    std::vector<std::byte> val(kc.value_bytes);
+    const auto fill_for = [&](std::uint64_t key, std::uint32_t version) {
+      return static_cast<std::byte>((key * 31 + version) & 0xFF);
+    };
+    // Acked-write ledger, local to this client (keys are disjoint across
+    // clients, so "last acked version" is well defined).
+    std::vector<std::uint32_t> acked_ver(kKeysPerClient, 0);
+    std::vector<std::uint32_t> next_ver(kKeysPerClient, 0);
+    std::vector<std::uint64_t> acked_incrs(kKeysPerClient, 0);
+
+    // Preload: every key claimed and written (version 0) before the chaos
+    // window opens, which also caches all slot locations for the fast path.
+    for (std::uint64_t j = 0; j < kKeysPerClient; ++j) {
+      std::fill(val.begin(), val.end(), fill_for(base + j, 0));
+      const apps::KvOutcome o = kv.put(base + j, val);
+      M3RMA_ENSURE(o == apps::KvOutcome::inserted ||
+                       o == apps::KvOutcome::updated,
+                   "chaos preload insert did not land");
+      res.ops += 1;
+      res.ok += 1;
+    }
+    r.ctx().delay(1'000 * static_cast<sim::Time>(ci));  // de-phase clients
+
+    struct Pending {
+      apps::KvStore::AsyncOp op;
+      std::uint64_t j = 0;       // key index within this client's range
+      std::uint32_t ver = 0;     // put version (unused for gets)
+      sim::Time issued = 0;
+      bool is_put = false;
+    };
+    std::deque<Pending> infl;
+    const auto retire = [&](Pending& f) {
+      const apps::KvOutcome o = kv.finish(f.op);
+      const sim::Time now = r.ctx().now();
+      done_at.push_back(now);
+      res.ops += 1;
+      if (o == apps::KvOutcome::hit || o == apps::KvOutcome::updated) {
+        res.ok += 1;
+        if (f.is_put) {
+          acked_ver[f.j] = f.ver;
+          if (now <= crash1) {
+            put_pre_total += now - f.issued;
+            put_pre_n += 1;
+          }
+        }
+      }
+    };
+
+    for (int i = 0; i < kOpsPerClient; ++i) {
+      const std::uint64_t j = static_cast<std::uint64_t>(i) % kKeysPerClient;
+      const std::uint64_t key = base + j;
+      if (i % 3 == 0) {
+        // Blocking NIC-executed counter bump. replica_lost is the only
+        // throwing failure here; count it and keep the schedule playing.
+        res.ops += 1;
+        try {
+          if (kv.incr(key, 1).has_value()) {
+            res.ok += 1;
+            acked_incrs[j] += 1;
+          }
+          done_at.push_back(r.ctx().now());
+        } catch (const RankFailedError&) {
+          res.failed += 1;
+          res.lost += 1;
+        }
+      } else {
+        if (static_cast<int>(infl.size()) >= kWindow) {
+          retire(infl.front());
+          infl.pop_front();
+        }
+        Pending f;
+        f.j = j;
+        f.issued = r.ctx().now();
+        f.is_put = i % 3 == 1;
+        if (f.is_put) {
+          f.ver = ++next_ver[j];
+          std::fill(val.begin(), val.end(), fill_for(key, f.ver));
+          f.op = kv.start_put(key, val);
+        } else {
+          f.op = kv.start_get(key);
+        }
+        infl.push_back(std::move(f));
+      }
+      r.ctx().delay(kPace);
+    }
+    while (!infl.empty()) {
+      retire(infl.front());
+      infl.pop_front();
+    }
+
+    // Verification pass: every acked write must be readable with its exact
+    // value, every counter must equal its acked fetch_add count — through
+    // however many failovers and re-replications the plan forced.
+    std::vector<std::byte> got(kc.value_bytes);
+    for (std::uint64_t j = 0; j < kKeysPerClient; ++j) {
+      const std::uint64_t key = base + j;
+      res.ops += 1;
+      if (kv.get(key, got) == apps::KvOutcome::hit) {
+        res.ok += 1;
+        const std::byte want = fill_for(key, acked_ver[j]);
+        for (const std::byte b : got) {
+          if (b != want) {
+            res.acked_loss += 1;
+            break;
+          }
+        }
+      } else {
+        res.acked_loss += 1;
+      }
+      res.ops += 1;
+      try {
+        const auto ctr = kv.incr(key, 0);  // read the counter word
+        if (ctr.has_value()) {
+          res.ok += 1;
+          const std::uint64_t have = *ctr;
+          res.counter_drift += have > acked_incrs[j] ? have - acked_incrs[j]
+                                                     : acked_incrs[j] - have;
+        } else {
+          res.counter_drift += acked_incrs[j];
+        }
+      } catch (const RankFailedError&) {
+        res.failed += 1;
+        res.lost += 1;
+      }
+    }
+    res.failed += kv.stats().failed;
+    res.lost += kv.stats().lost;
+    res.mirror_bytes += rma.stats().mirror_bytes;
+    res.resync_bytes += rma.stats().resync_bytes;
+    res.rereplications += rma.stats().rereplications;
+    res.rerepl_bytes += rma.stats().rerepl_bytes;
+    rma.complete_collective();
+    res.elapsed = std::max(res.elapsed, r.ctx().now());
+  });
+  // Not w.duration(): a killed victim's scheduled idle wakeup stays in the
+  // event queue and stretches the wall clock to kVictimIdle; the last
+  // surviving rank's exit is the meaningful span.
+
+  // Failover stall: for each crash, the completion gap straddling it; the
+  // row reports the worst one.
+  std::sort(done_at.begin(), done_at.end());
+  for (const auto& fe : plan.schedule) {
+    for (std::size_t i = 1; i < done_at.size(); ++i) {
+      if (done_at[i - 1] <= fe.at && done_at[i] > fe.at) {
+        res.stall = std::max(res.stall, done_at[i] - done_at[i - 1]);
+        break;
+      }
+    }
+  }
+  if (put_pre_n > 0) {
+    res.put_pre_us =
+        static_cast<double>(put_pre_total) / (1e3 * static_cast<double>(put_pre_n));
+  }
+  return res;
+}
+
+std::string fmt_f2(double v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.2f", v);
+  return buf;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::uint64_t base_seed =
+      benchutil::chaos_seed_flag(argc, argv).value_or(1);
+  const auto pinned = benchutil::faults_flag(argc, argv);
+
+  std::vector<std::pair<std::uint64_t, runtime::FaultPlan>> plans;
+  if (pinned) {
+    plans.emplace_back(0, *pinned);
+  } else {
+    for (int i = 0; i < kSweepSeeds; ++i) {
+      const std::uint64_t seed = base_seed + static_cast<std::uint64_t>(i);
+      plans.emplace_back(seed, runtime::chaos_plan(sweep_spec(), seed));
+    }
+  }
+
+  Table t;
+  t.title =
+      "Chaos KV survivability (Table S16) — " +
+      std::to_string(plans.size()) +
+      " seeded two-crash schedules over the 4 shard servers (8 ranks, 4 "
+      "closed-loop clients, fast-path window 4, announced crashes, min gap "
+      "150 us), eager vs lazy replication. Invariants gate the exit status: "
+      "no acked write lost, counters conserved, 100% op survival";
+  t.header = {"seed",        "mode",          "plan",
+              "ops",         "ok",            "survival",
+              "acked loss",  "ctr drift",     "stall (us)",
+              "put pre (us)", "mirror KiB",   "resync KiB",
+              "rerepl (KiB)", "total (us)"};
+
+  bool all_ok = true;
+  double put_sum[2] = {0, 0}, stall_sum[2] = {0, 0};
+  int put_n[2] = {0, 0};
+  std::uint64_t resync_sum[2] = {0, 0};
+  std::vector<std::pair<std::string, RunResult>> runs;
+  for (const auto& [seed, plan] : plans) {
+    for (const bool lazy : {false, true}) {
+      const RunResult r = run_one(plan, lazy);
+      const char* mode = lazy ? "lazy" : "eager";
+      t.rows.push_back(
+          {pinned ? "-" : benchutil::fmt_u64(seed), mode, r.plan,
+           benchutil::fmt_u64(r.ops), benchutil::fmt_u64(r.ok),
+           benchutil::fmt_u64(100 * r.ok / std::max<std::uint64_t>(r.ops, 1)) +
+               "%",
+           benchutil::fmt_u64(r.acked_loss),
+           benchutil::fmt_u64(r.counter_drift), benchutil::fmt_us(r.stall),
+           fmt_f2(r.put_pre_us), benchutil::fmt_u64(r.mirror_bytes / 1024),
+           benchutil::fmt_u64(r.resync_bytes / 1024),
+           benchutil::fmt_u64(r.rereplications) + " (" +
+               benchutil::fmt_u64(r.rerepl_bytes / 1024) + ")",
+           benchutil::fmt_us(r.elapsed)});
+      all_ok = all_ok && r.invariants_ok() && r.ok == r.ops;
+      if (r.put_pre_us > 0.0) {
+        // A run whose first crash lands before any fast-path put retires
+        // has no pre-crash sample; folding its 0 into the mean would skew
+        // the eager/lazy contrast.
+        put_sum[lazy] += r.put_pre_us;
+        put_n[lazy] += 1;
+      }
+      stall_sum[lazy] += static_cast<double>(r.stall) / 1e3;
+      resync_sum[lazy] += r.resync_bytes;
+      runs.emplace_back(mode, r);
+    }
+  }
+  t.print();
+
+  const double n = static_cast<double>(plans.size());
+  std::printf("\nshape checks:\n");
+  std::printf(
+      "  lazy defers the mirror stream: mean pre-crash put %s us (eager) vs "
+      "%s us (lazy); failover resync pushed %llu KiB (eager re-sends) vs "
+      "%llu KiB (lazy deferred log)\n",
+      fmt_f2(put_n[0] > 0 ? put_sum[0] / put_n[0] : 0.0).c_str(),
+      fmt_f2(put_n[1] > 0 ? put_sum[1] / put_n[1] : 0.0).c_str(),
+      static_cast<unsigned long long>(resync_sum[0] / 1024),
+      static_cast<unsigned long long>(resync_sum[1] / 1024));
+  std::printf(
+      "  ...and pays for it at failover: mean worst stall %s us (eager) vs "
+      "%s us (lazy)\n",
+      fmt_f2(stall_sum[0] / n).c_str(), fmt_f2(stall_sum[1] / n).c_str());
+
+  int violations = 0;
+  for (const auto& [mode, r] : runs) {
+    if (r.invariants_ok() && r.ok == r.ops) continue;
+    ++violations;
+    std::fprintf(stderr,
+                 "INVARIANT VIOLATION [%s, %s]: ops=%llu ok=%llu failed=%llu "
+                 "lost=%llu acked_loss=%llu counter_drift=%llu\n",
+                 mode.c_str(), r.plan.c_str(),
+                 static_cast<unsigned long long>(r.ops),
+                 static_cast<unsigned long long>(r.ok),
+                 static_cast<unsigned long long>(r.failed),
+                 static_cast<unsigned long long>(r.lost),
+                 static_cast<unsigned long long>(r.acked_loss),
+                 static_cast<unsigned long long>(r.counter_drift));
+  }
+  std::printf(
+      "  invariants (no acked-write loss, counter conservation, 100%% "
+      "survival): %s across %zu runs\n",
+      violations == 0 ? "hold" : "VIOLATED", runs.size());
+
+  const std::string csv_file =
+      benchutil::csv_flag(argc, argv, "tab_chaos_kvstore.csv");
+  if (!csv_file.empty()) {
+    std::ofstream os(csv_file, std::ios::binary);
+    t.write_csv(os);
+    std::printf("\ntable csv: -> %s\n", csv_file.c_str());
+  }
+  benchutil::MetricsJson mj{
+      "tab_chaos_kvstore",
+      benchutil::metrics_json_flag(argc, argv, "tab_chaos_kvstore"),
+      {},
+      {}};
+  mj.add(t);
+  mj.write();
+  return all_ok ? 0 : 1;
+}

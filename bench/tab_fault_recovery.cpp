@@ -17,6 +17,11 @@
 // op drain/fail-fast split at the survivor.
 //
 //   build/bench/tab_fault_recovery [--trace[=FILE]]
+//                                  [--faults=SPEC | --chaos-seed=N]
+//
+// --faults/--chaos-seed override the built-in single-crash schedule (see
+// bench_util); the victim and crash instant come from the plan's first
+// event. In this 2-rank world only rank 1 can die meaningfully.
 #include <fstream>
 #include <vector>
 
@@ -44,14 +49,15 @@ struct CaseResult {
 };
 
 // faulty=false gives the fault-free baseline for the same put stream.
-CaseResult run_case(bool faulty, bool announce, int retry_budget,
+CaseResult run_case(const runtime::FaultPlan& plan, bool faulty,
+                    bool announce, int retry_budget,
                     trace::Recorder* rec = nullptr,
                     const std::string& label = {}) {
   auto cfg = benchutil::xt5_config(2);
   cfg.costs.reliability.enabled = true;
   cfg.costs.reliability.retry_budget = retry_budget;
   if (faulty) {
-    cfg.faults.schedule = {{/*rank=*/1, /*at=*/kCrashAt}};
+    cfg.faults = plan;
     cfg.faults.announce = announce;
   }
   CaseResult res;
@@ -96,14 +102,34 @@ CaseResult run_case(bool faulty, bool announce, int retry_budget,
 int main(int argc, char** argv) {
   const int budgets[] = {0, 2, 5, 10};
 
+  // Shared fault flags: --faults replaces the schedule outright;
+  // --chaos-seed draws rank 1's crash time in [100, 250) us
+  // (min_survivors = 0: the survivor, rank 0, is not in the victim pool).
+  runtime::FaultPlan fallback;
+  fallback.schedule = {{/*rank=*/1, /*at=*/kCrashAt}};
+  runtime::ChaosSpec spec;
+  spec.victims = {1};
+  spec.crashes = 1;
+  spec.min_survivors = 0;
+  spec.window_start = 100'000;
+  spec.window_end = 250'000;
+  const runtime::FaultPlan plan =
+      benchutil::resolve_fault_plan(argc, argv, fallback, spec);
+  const bool overridden = benchutil::fault_flags_given(argc, argv);
+  const sim::Time crash_at =
+      plan.schedule.empty() ? kCrashAt : plan.schedule.front().at;
+
   // Fault-free baseline: same stream, nobody dies (budget is irrelevant
   // without loss; use the middle of the sweep).
-  const CaseResult bare = run_case(false, true, 5);
+  const CaseResult bare = run_case(plan, false, true, 5);
 
   Table t;
   t.title =
       "Fault recovery (Table S10) — 64 blocking rc puts of 1 KiB, rank 0 -> "
-      "1, crash at t=150 us, Cray-XT5-like calibration; fault-free stream "
+      "1, " +
+      (overridden ? "fault plan " + runtime::describe_plan(plan)
+                  : std::string("crash at t=150 us")) +
+      ", Cray-XT5-like calibration; fault-free stream "
       "takes " +
       benchutil::fmt_us(bare.elapsed) +
       " us. Detection latency is virtual time from the crash to the "
@@ -115,7 +141,7 @@ int main(int argc, char** argv) {
   auto add_row = [&](const char* mode, int budget, const CaseResult& c) {
     t.rows.push_back(
         {mode, benchutil::fmt_u64(static_cast<std::uint64_t>(budget)),
-         benchutil::fmt_us(c.detected_at - kCrashAt),
+         benchutil::fmt_us(c.detected_at - crash_at),
          benchutil::fmt_us(c.elapsed),
          benchutil::fmt_ratio(c.elapsed, bare.elapsed),
          benchutil::fmt_u64(c.ok), benchutil::fmt_u64(c.drained),
@@ -125,26 +151,26 @@ int main(int argc, char** argv) {
   };
 
   // Oracle: the launcher announces the death the instant it happens.
-  const CaseResult oracle = run_case(true, /*announce=*/true, 5);
+  const CaseResult oracle = run_case(plan, true, /*announce=*/true, 5);
   add_row("announced", 5, oracle);
 
   // Silent crash: detection must come from retry-budget exhaustion.
   std::vector<CaseResult> silent;
   for (int b : budgets) {
-    silent.push_back(run_case(true, /*announce=*/false, b));
+    silent.push_back(run_case(plan, true, /*announce=*/false, b));
     add_row("endogenous", b, silent.back());
   }
   t.print();
 
   std::printf("\nshape checks:\n");
   std::printf("  announced detection latency   : %s us (immediate)\n",
-              benchutil::fmt_us(oracle.detected_at - kCrashAt).c_str());
+              benchutil::fmt_us(oracle.detected_at - crash_at).c_str());
   std::printf(
       "  endogenous latency grows with the budget: %s -> %s -> %s -> %s us\n",
-      benchutil::fmt_us(silent[0].detected_at - kCrashAt).c_str(),
-      benchutil::fmt_us(silent[1].detected_at - kCrashAt).c_str(),
-      benchutil::fmt_us(silent[2].detected_at - kCrashAt).c_str(),
-      benchutil::fmt_us(silent[3].detected_at - kCrashAt).c_str());
+      benchutil::fmt_us(silent[0].detected_at - crash_at).c_str(),
+      benchutil::fmt_us(silent[1].detected_at - crash_at).c_str(),
+      benchutil::fmt_us(silent[2].detected_at - crash_at).c_str(),
+      benchutil::fmt_us(silent[3].detected_at - crash_at).c_str());
   std::printf(
       "  every case accounts for all %d puts (ok + drained + failed fast)\n",
       kOps);
@@ -164,7 +190,7 @@ int main(int argc, char** argv) {
       benchutil::trace_flag(argc, argv, "tab_fault_recovery_trace.json");
   if (!trace_file.empty()) {
     trace::Recorder rec;
-    run_case(true, /*announce=*/false, 2, &rec,
+    run_case(plan, true, /*announce=*/false, 2, &rec,
              "fault recovery budget=2 silent crash");
     benchutil::export_trace(rec, trace_file);
   }

@@ -21,9 +21,14 @@
 // baseline (acceptance floor: >= 50%).
 //
 //   build/bench/tab_survivability [--csv=FILE] [--trace[=FILE]]
+//                                 [--faults=SPEC | --chaos-seed=N]
 //
 // --csv dumps the client-2 op-completion timeline bucketed at 250 us —
 // byte-identical across runs (CI double-runs the binary and diffs it).
+// --faults/--chaos-seed override the built-in schedule (see bench_util);
+// the victim and crash instant come from the plan's first event. Victims
+// other than rank 7 weaken the side-stream reroute story (the 6 -> 5 route
+// only transits rank 7), but the failover columns stay meaningful.
 #include <algorithm>
 #include <fstream>
 #include <string>
@@ -55,14 +60,17 @@ struct CaseResult {
   std::uint64_t rescued = 0, reissued = 0, retargeted = 0;
   std::uint64_t resync_ops = 0, resync_bytes = 0;
   std::uint64_t rerouted = 0;   // fabric packets sent around the corpse
+  sim::Time failover_ns = 0;    // attribution: total failover-segment time
   std::vector<sim::Time> done_at;  // client-2 completion timestamps
   // ops/us over the post-failover (or whole, when crash-free) phase.
   double tput_post = 0.0;
 };
 
-CaseResult run_case(bool crash, bool announce, bool reliability,
+CaseResult run_case(const runtime::FaultPlan& plan, sim::Time crash_at,
+                    bool crash, bool announce, bool reliability,
                     bool replicated, trace::Recorder* rec = nullptr,
                     const std::string& label = {}) {
+  const int victim = plan.schedule.empty() ? 7 : plan.schedule.front().rank;
   auto cfg = benchutil::xt5_config(8);
   topo::TopoConfig tc;
   tc.kind = topo::Kind::torus3d;
@@ -76,21 +84,27 @@ CaseResult run_case(bool crash, bool announce, bool reliability,
     cfg.costs.reliability.retry_budget = 2;
   }
   if (crash) {
-    cfg.faults.schedule = {{/*rank=*/7, /*at=*/kCrashAt}};
+    cfg.faults = plan;
     cfg.faults.announce = announce;
   }
   CaseResult res;
   runtime::World w(cfg);
-  if (rec != nullptr) {
-    rec->begin_process(label);
-    w.engine().set_tracer(rec);
-  }
+  // Attribution rides along on every pass: recording is zero-perturbation
+  // (see trace/attribution.hpp), so attaching a recorder + timeline does
+  // not move a single table number — it only lets the table surface how
+  // much end-to-end time the profiler charges to the failover segment.
+  trace::Recorder local_rec;
+  trace::Recorder* active = rec != nullptr ? rec : &local_rec;
+  trace::OpTimeline tl;
+  active->begin_process(rec != nullptr ? label : "survivability");
+  active->set_op_timeline(&tl);
+  w.engine().set_tracer(active);
   w.run([&](runtime::Rank& r) {
     const int me = r.id();
     core::RmaEngine rma(r, r.comm_world());
     auto [buf, mems] = rma.allocate_shared(64 * 1024);
     r.comm_world().barrier();
-    if (crash && me == 7) {
+    if (crash && me == victim) {
       // The victim idles until the scheduled kill; it must not exit on its
       // own or the "crash" would be a clean shutdown.
       r.ctx().delay(kVictimIdle);
@@ -111,8 +125,10 @@ CaseResult run_case(bool crash, bool announce, bool reliability,
               kBytes * static_cast<std::uint64_t>(j % 16);
           win.push_back(
               (j % 3 == 2)
-                  ? rma.get_bytes(dst.addr, mems[7], disp, kBytes, 7)
-                  : rma.put_bytes(src.addr, mems[7], disp, kBytes, 7,
+                  ? rma.get_bytes(dst.addr, mems[victim], disp, kBytes,
+                                  victim)
+                  : rma.put_bytes(src.addr, mems[victim], disp, kBytes,
+                                  victim,
                                   core::Attrs(
                                       core::RmaAttr::remote_completion)));
         }
@@ -128,7 +144,7 @@ CaseResult run_case(bool crash, bool announce, bool reliability,
       }
       rma.complete(core::kAllRanks);
       res.elapsed = r.ctx().now() - t0;
-      res.detected_at = rma.target_failed_at(7);
+      res.detected_at = rma.target_failed_at(victim);
       res.mirrored = rma.stats().mirrored_ops;
       res.mirror_bytes = rma.stats().mirror_bytes;
       res.rescued = rma.stats().rescued_ops;
@@ -153,13 +169,17 @@ CaseResult run_case(bool crash, bool announce, bool reliability,
     rma.complete_collective();
   });
   res.rerouted = w.fabric().rerouted_packets();
+  active->set_op_timeline(nullptr);
+  res.failover_ns =
+      tl.aggregate([](const trace::OpTimeline::Breakdown&) { return true; })
+          .seg[static_cast<int>(trace::Segment::failover)];
 
   // Failover stall: the largest completion gap that straddles the crash
   // instant (crash-free cases report the plain max gap, i.e. op cost).
   sim::Time resume_at = res.done_at.empty() ? 0 : res.done_at.front();
   for (std::size_t i = 1; i < res.done_at.size(); ++i) {
     const sim::Time gap = res.done_at[i] - res.done_at[i - 1];
-    if (crash && res.done_at[i - 1] <= kCrashAt && res.done_at[i] > kCrashAt) {
+    if (crash && res.done_at[i - 1] <= crash_at && res.done_at[i] > crash_at) {
       res.stall = gap;
       resume_at = res.done_at[i];
     } else if (!crash) {
@@ -211,36 +231,65 @@ void write_csv(std::ostream& os, const std::string& name,
 }  // namespace
 
 int main(int argc, char** argv) {
+  // Shared fault flags (--faults / --chaos-seed) override the built-in
+  // schedule; the chaos spec draws a single crash of rank 7 somewhere in
+  // [250, 450) us (min_survivors = 0: the failover target, rank 0, lives
+  // outside the victim pool).
+  runtime::FaultPlan fallback;
+  fallback.schedule = {{/*rank=*/7, /*at=*/kCrashAt}};
+  runtime::ChaosSpec spec;
+  spec.victims = {7};
+  spec.crashes = 1;
+  spec.min_survivors = 0;
+  spec.window_start = 250'000;
+  spec.window_end = 450'000;
+  const runtime::FaultPlan plan =
+      benchutil::resolve_fault_plan(argc, argv, fallback, spec);
+  const bool overridden = benchutil::fault_flags_given(argc, argv);
+  const sim::Time crash_at =
+      plan.schedule.empty() ? kCrashAt : plan.schedule.front().at;
+
   // Crash-free baselines (reliability changes every op's cost, so the
   // silent-crash case gets its own).
-  const CaseResult base = run_case(false, true, false, true);
-  const CaseResult base_rel = run_case(false, true, true, true);
+  const CaseResult base = run_case(plan, crash_at, false, true, false, true);
+  const CaseResult base_rel =
+      run_case(plan, crash_at, false, true, true, true);
 
   // The headline cases: announced crash, silent crash (endogenous
   // detection through retry-budget exhaustion), and — for contrast — the
   // same announced crash without replication.
-  const CaseResult ann = run_case(true, true, false, true);
-  const CaseResult sil = run_case(true, false, true, true);
-  const CaseResult unrep = run_case(true, true, false, false);
+  const CaseResult ann = run_case(plan, crash_at, true, true, false, true);
+  const CaseResult sil = run_case(plan, crash_at, true, false, true, true);
+  const CaseResult unrep =
+      run_case(plan, crash_at, true, true, false, false);
 
   Table t;
   t.title =
       "Survivability (Table S12) — 240-op get/put server workload (2 KiB, "
       "blocking rc) rank 2 -> 7 on a 2x2x2 torus, replication on (backup = "
-      "rank 0), rank 7 killed at t=350 us; a second healthy stream 6 -> 5 "
+      "rank 0), " +
+      (overridden ? "fault plan " + runtime::describe_plan(plan)
+                  : std::string("rank 7 killed at t=350 us")) +
+      "; a second healthy stream 6 -> 5 "
       "transits the corpse and must be re-routed. Crash-free client-2 "
       "stream takes " +
       benchutil::fmt_us(base.elapsed) + " us";
-  t.header = {"case",         "detect lat (us)", "stall (us)",
-              "ok",           "failed",          "rescued+reissued",
-              "retargeted",   "resync ops/KiB",  "rerouted pkts",
-              "total (us)",   "post-fail tput",  "vs crash-free"};
+  t.header = {"case",        "detect lat (us)", "stall (us)",
+              "failover attr (us)",
+              "ok",          "failed",          "rescued+reissued",
+              "retargeted",  "resync ops/KiB",  "rerouted pkts",
+              "total (us)",  "post-fail tput",  "vs crash-free"};
   auto add_row = [&](const char* name, const CaseResult& c,
                      const CaseResult& b, bool crashed, bool survived) {
     t.rows.push_back(
         {name,
-         crashed ? benchutil::fmt_us(c.detected_at - kCrashAt) : "-",
-         benchutil::fmt_us(c.stall), benchutil::fmt_u64(c.ok),
+         crashed ? benchutil::fmt_us(c.detected_at - crash_at) : "-",
+         benchutil::fmt_us(c.stall),
+         // Cross-layer attribution (PR "latency attribution"): end-to-end
+         // time the critical-path profiler charges to the failover segment
+         // across every op of the run. Crash-free rows prove the charge is
+         // zero when nothing fails.
+         benchutil::fmt_us(c.failover_ns), benchutil::fmt_u64(c.ok),
          benchutil::fmt_u64(c.failed),
          benchutil::fmt_u64(c.rescued + c.reissued),
          benchutil::fmt_u64(c.retargeted),
@@ -286,6 +335,12 @@ int main(int argc, char** argv) {
       static_cast<unsigned long long>(ann.mirror_bytes / 1024),
       static_cast<unsigned long long>(ann.resync_ops),
       static_cast<unsigned long long>(ann.resync_bytes / 1024));
+  std::printf(
+      "  attribution charges failover time only when something fails: "
+      "%llu ns (crash-free) vs %llu ns (announced) / %llu ns (silent)\n",
+      static_cast<unsigned long long>(base.failover_ns),
+      static_cast<unsigned long long>(ann.failover_ns),
+      static_cast<unsigned long long>(sil.failover_ns));
 
   const std::string csv_file =
       benchutil::csv_flag(argc, argv, "tab_survivability.csv");
@@ -304,7 +359,7 @@ int main(int argc, char** argv) {
       benchutil::trace_flag(argc, argv, "tab_survivability_trace.json");
   if (!trace_file.empty()) {
     trace::Recorder rec;
-    run_case(true, /*announce=*/true, false, true, &rec,
+    run_case(plan, crash_at, true, /*announce=*/true, false, true, &rec,
              "survivability announced crash");
     benchutil::export_trace(rec, trace_file);
   }

@@ -72,6 +72,15 @@ void KvStore::scratch_release(std::uint64_t addr) {
   scratch_free_.push_back(addr);
 }
 
+KvOutcome KvStore::drain_failure(const core::Request& req) {
+  stats_.failed += 1;
+  if (req.status() == core::OpStatus::replica_lost) {
+    stats_.lost += 1;
+    return KvOutcome::lost;
+  }
+  return KvOutcome::failed;
+}
+
 std::optional<std::uint32_t> KvStore::locate(std::uint64_t key) {
   const int shard = shard_of(key);
   const std::uint64_t home = home_slot(key);
@@ -85,7 +94,7 @@ std::optional<std::uint32_t> KvStore::locate(std::uint64_t key) {
     req.wait();
     if (req.failed()) {
       scratch_release(scratch);
-      stats_.failed += 1;
+      drain_failure(req);  // locate reports absence; only the stats differ
       return std::nullopt;
     }
     const std::uint64_t tag = read_scratch_u64(scratch, shard);
@@ -155,8 +164,7 @@ KvOutcome KvStore::put(std::uint64_t key, std::span<const std::byte> value) {
   req.wait();
   scratch_release(scratch);
   if (req.failed()) {
-    stats_.failed += 1;
-    return KvOutcome::failed;
+    return drain_failure(req);
   }
   if (claimed) {
     stats_.inserts += 1;
@@ -186,8 +194,7 @@ KvOutcome KvStore::get(std::uint64_t key, std::span<std::byte> out) {
     req.wait();
     if (req.failed()) {
       scratch_release(scratch);
-      stats_.failed += 1;
-      return KvOutcome::failed;
+      return drain_failure(req);
     }
     const std::uint64_t tag = read_scratch_u64(scratch, shard);
     if (tag == tag_of(key)) {
@@ -287,8 +294,7 @@ KvOutcome KvStore::finish(AsyncOp& op, std::span<std::byte> out) {
   op.req.wait();
   if (op.req.failed()) {
     scratch_release(op.scratch);
-    stats_.failed += 1;
-    return KvOutcome::failed;
+    return drain_failure(op.req);
   }
   if (!op.is_get) {
     scratch_release(op.scratch);

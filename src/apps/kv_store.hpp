@@ -77,6 +77,9 @@ enum class KvOutcome : std::uint8_t {
   miss,      ///< get/incr probing ended at an empty slot
   overflow,  ///< insert exhausted max_probes (shard full around the home)
   failed,    ///< the op completed with a non-ok engine status
+  lost,      ///< the op failed with replica_lost: the shard window lost
+             ///< every copy, so no retry can ever succeed (chaos harness
+             ///< invariants count these separately from transient failures)
 };
 
 /// Client-side tallies, local to one rank (the simulator is sequential, so
@@ -90,7 +93,8 @@ struct KvStats {
   std::uint64_t hits = 0;
   std::uint64_t misses = 0;
   std::uint64_t overflows = 0;
-  std::uint64_t failed = 0;
+  std::uint64_t failed = 0;   ///< every non-ok completion (includes lost)
+  std::uint64_t lost = 0;     ///< the replica_lost subset of failed
   std::uint64_t probes = 0;         ///< slot reads/CAS tries past the first
   std::uint64_t cas_conflicts = 0;  ///< CAS lost to a different key's claim
   std::uint64_t cache_hits = 0;     ///< ops served from the location cache
@@ -143,7 +147,10 @@ class KvStore {
   /// Nonblocking value update of the key's (cached) slot.
   AsyncOp start_put(std::uint64_t key, std::span<const std::byte> value);
   /// Wait for the op; gets verify the slot tag and optionally copy the
-  /// value out. Returns hit/updated, or failed on a non-ok engine status.
+  /// value out. Returns hit/updated, failed on a non-ok engine status, or
+  /// lost when the shard window is unrecoverable — the same drain the
+  /// blocking path performs, so a crash mid-flight never trips the tag
+  /// check on a failure-drained read.
   KvOutcome finish(AsyncOp& op, std::span<std::byte> out = {});
 
   // ----- introspection ------------------------------------------------------
@@ -171,6 +178,9 @@ class KvStore {
   /// whether this call claimed it, or nullopt on overflow.
   std::optional<std::pair<std::uint32_t, bool>> claim(std::uint64_t key);
   AsyncOp start_get_at(std::uint64_t key, std::uint32_t slot);
+  /// Account a non-ok completion and map its status to failed/lost — the
+  /// one drain path shared by the blocking ops and finish().
+  KvOutcome drain_failure(const core::Request& req);
   std::uint64_t scratch_acquire();
   void scratch_release(std::uint64_t addr);
 

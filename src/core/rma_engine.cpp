@@ -31,6 +31,16 @@ struct RmaEngine::AmHdr {
     repl_mirror,      // origin -> backup: mirrored put/accumulate block
     repl_mirror_rmw,  // origin -> backup: mirrored RMW (semantic replay)
     repl_mirror_ack,  // backup -> origin: cumulative applied mirror seq
+    repl_adopt,       // acting primary -> fresh backup: adopt a replica
+                      // (snapshot burst follows on the same mirror stream)
+    repl_sync_done,   // acting primary -> fresh backup: snapshot complete
+    repl_probe,       // origin -> candidate: is your copy complete + live?
+    repl_probe_ack,   // candidate -> origin: value_a 1 = ready, 0 = lost
+    repl_rmw_fwd,     // origin -> serving copy: re-publish the post-RMW
+                      // word to your current backup (failed-over windows
+                      // only; a client-side semantic replay double-applies
+                      // when the fresh backup's snapshot has the effect)
+    bye,              // teardown handshake: sender has entered quiesce
   };
 
   Kind kind = Kind::data_op;
@@ -210,6 +220,7 @@ RmaEngine::RmaEngine(runtime::Rank& rank, runtime::Comm& comm,
   targets_.resize(static_cast<std::size_t>(rank.world().size()));
   target_failed_.assign(static_cast<std::size_t>(rank.world().size()), 0);
   target_failed_at_.assign(static_cast<std::size_t>(rank.world().size()), 0);
+  bye_seen_.assign(static_cast<std::size_t>(rank.world().size()), 0);
   md_all_ = ptl_->md_bind(0, rank.memory().config().size, &eq_);
   auto& nic = rank.world().fabric().nic(rank.id());
   M3RMA_REQUIRE(!nic.protocol_registered(kAmProtocolId),
@@ -222,15 +233,20 @@ RmaEngine::RmaEngine(runtime::Rank& rank, runtime::Comm& comm,
   if (cfg_.serializer == SerializerKind::comm_thread) {
     // The dedicated communication thread: the cheap serializer of §V-A.
     am_chan_ = std::make_shared<sim::Channel<AmMsg>>(rank.world().engine());
+    comm_alive_ = std::make_shared<bool>(true);
     auto chan = am_chan_;
+    auto alive = comm_alive_;
     RmaEngine* self = this;
     const sim::Time cost = cfg_.comm_thread_dispatch_ns;
     rank.world().engine().spawn(
         "commthread" + std::to_string(rank.id()),
-        [chan, self, cost](sim::Context& ctx) {
+        [chan, alive, self, cost](sim::Context& ctx) {
           while (true) {
             AmMsg m = chan->recv(ctx);
-            if (m.src == -2) return;  // shutdown sentinel
+            // `alive` clears in dispose(): a message still queued when the
+            // engine went away (a killed rank unwinding mid-service) must
+            // not execute — `self` no longer exists.
+            if (m.src == -2 || !*alive) return;
             auto* tr = trace::want(ctx.engine().tracer(),
                                    trace::Category::serializer);
             const trace::SpanHandle h =
@@ -246,6 +262,9 @@ RmaEngine::RmaEngine(runtime::Rank& rank, runtime::Comm& comm,
               tl->add(op, trace::Segment::serialize_wait, m.arrived, pickup);
             }
             ctx.delay(cost);
+            // The engine can be disposed during the dispatch delay (its rank
+            // killed mid-service): re-check before touching `self`.
+            if (!*alive) return;
             self->execute_am(std::move(m), 0);
             if (tl != nullptr && tl->tracks(op)) {
               tl->add(op, trace::Segment::apply, pickup, ctx.now());
@@ -282,6 +301,7 @@ void RmaEngine::dispose() {
     rank_->world().fabric().remove_death_listener(death_listener_);
     death_listener_ = -1;
   }
+  if (comm_alive_) *comm_alive_ = false;
   if (am_chan_) am_chan_->push(AmMsg{-2, {}, {}});
   auto& nic = rank_->world().fabric().nic(rank_->id());
   if (nic.protocol_registered(kAmProtocolId)) {
@@ -293,26 +313,59 @@ void RmaEngine::dispose() {
   // dealloc order, so the domain's free list evolves identically run-to-run).
   for (const auto& [id, buf] : replica_bufs_) rank_->memory().dealloc(buf);
   replica_bufs_.clear();
+  repl_windows_.clear();
+  mat_gate_.clear();
+  pre_adopt_gate_.clear();
   ptl_->md_release(md_all_);
 }
 
 void RmaEngine::quiesce() {
   complete(kAllRanks);
+  quiescing_ = true;  // stop initiating re-replication; keep serving
+  const auto drained = [&] {
+    for (const auto& [b, led] : repl_out_) {
+      if (target_failed_[static_cast<std::size_t>(b)] == 0 &&
+          led.acked < led.flushed) {
+        return false;
+      }
+    }
+    return true;
+  };
   if (!repl_out_.empty()) {
-    // Drain the mirror streams before the teardown barrier: every mirror
-    // must be applied and acked (or its backup dead) while both engines
-    // still hold the AM protocol.
+    // Drain the mirror streams before leaving: every mirror must be applied
+    // and acked (or its backup dead) while both engines still hold the AM
+    // protocol.
+    progress_until(drained);
+  }
+  if (rank_->world().config().replication.enabled && comm_->size() > 1) {
+    // Fault-robust teardown: say bye to every member, then park — still
+    // serving replicas, probes and adoption streams — until every member has
+    // either said bye or died. A dissemination barrier would release us the
+    // instant a round partner dies, tearing this engine down while a
+    // re-replication burst or retargeted op may still be headed here. Byes
+    // to silently-dead members ride the reliability layer, so they drive
+    // endogenous detection exactly like any other unacked traffic.
+    AmHdr h;
+    h.kind = AmHdr::Kind::bye;
+    for (const int m : comm_->members()) {
+      if (m == rank_->id()) continue;
+      if (target_failed_[static_cast<std::size_t>(m)] != 0) continue;
+      send_am(m, h, {});
+    }
     progress_until([&] {
-      for (const auto& [b, led] : repl_out_) {
-        if (target_failed_[static_cast<std::size_t>(b)] == 0 &&
-            led.acked < led.sent) {
+      if (!drained()) return false;  // serving may refill a forward ledger
+      for (const int m : comm_->members()) {
+        if (m == rank_->id()) continue;
+        if (bye_seen_[static_cast<std::size_t>(m)] == 0 &&
+            target_failed_[static_cast<std::size_t>(m)] == 0) {
           return false;
         }
       }
       return true;
     });
+  } else {
+    comm_->barrier();
   }
-  comm_->barrier();
 }
 
 // --------------------------------------------------------------- attaching
@@ -368,6 +421,9 @@ TargetMem RmaEngine::attach(std::uint64_t addr, std::uint64_t length) {
       progress_until([st] { return st->done; });
       if (st->status == OpStatus::ok && st->rmw_value == 1) t.backup = backup;
     }
+    if (t.backup >= 0) {
+      repl_windows_.emplace(id, ReplWindow{length, t.backup, -1, false});
+    }
   }
   return t;
 }
@@ -382,6 +438,7 @@ void RmaEngine::detach(const TargetMem& mem) {
   M3RMA_REQUIRE(it != attached_.end(), "detach of unknown TargetMem");
   ptl_->me_unlink(it->second.me);
   attached_.erase(it);
+  repl_windows_.erase(mem.id);
 }
 
 std::vector<TargetMem> RmaEngine::exchange_all(const TargetMem& mine) {
@@ -563,7 +620,7 @@ Request RmaEngine::do_xfer(RmaOptype op, portals::AccOp acc_op,
   if (attrs.has(RmaAttr::atomicity)) {
     if (cfg_.serializer == SerializerKind::coarse_lock) {
       issue_locked_op(st, op, acc_op, origin_addr, origin_count, origin_dt,
-                      eff, target_disp, target_count, target_dt, attrs);
+                      eff, mem, target_disp, target_count, target_dt, attrs);
     } else {
       issue_am_op(st, op, acc_op, origin_addr, origin_count, origin_dt, eff,
                   target_disp, target_count, target_dt);
@@ -580,6 +637,12 @@ Request RmaEngine::do_xfer(RmaOptype op, portals::AccOp acc_op,
     issue_direct_put(st, acc_op, op == RmaOptype::accumulate, origin_addr,
                      origin_count, origin_dt, eff, target_disp, target_count,
                      target_dt, attrs);
+  }
+
+  if (st->repl_backup >= 0) {
+    // Rescue state keeps the ORIGINAL handle: a later chain re-walk must
+    // trust only the attach-time owner/backup pair and probe anyone else.
+    st->repl_mem = mem;
   }
 
   if (st->pending == 0 && !st->done) {
@@ -889,6 +952,7 @@ void RmaEngine::issue_locked_op(const std::shared_ptr<Request::State>& st,
                                 std::uint64_t origin_count,
                                 const dt::Datatype& origin_dt,
                                 const TargetMem& mem,
+                                const TargetMem& orig_mem,
                                 std::uint64_t target_disp,
                                 std::uint64_t target_count,
                                 const dt::Datatype& target_dt, Attrs attrs) {
@@ -914,24 +978,21 @@ void RmaEngine::issue_locked_op(const std::shared_ptr<Request::State>& st,
       reqs_.erase(st->id);
     }
   };
-  // Mid-sequence death of a replicated target: re-drive the whole locked
-  // sequence at the backup (whose own lock manager serializes there). The
-  // retried mem carries backup = -1, so this recurses at most once.
+  // Mid-sequence death of a replicated target: re-walk the succession chain
+  // from the original handle and re-drive the whole locked sequence at the
+  // acting primary (whose own lock manager serializes there). The chain
+  // strictly advances past dead ranks, so recursion terminates.
   auto retry_at_backup = [&]() -> bool {
-    if (mem.backup < 0 ||
-        target_failed_[static_cast<std::size_t>(mem.backup)] != 0) {
+    if (orig_mem.backup < 0 ||
+        target_failed_[static_cast<std::size_t>(mem.owner)] == 0) {
       return false;
     }
-    failover_sync(mem.backup);
-    if (target_failed_[static_cast<std::size_t>(mem.backup)] != 0) {
-      return false;
-    }
-    TargetMem eff = mem;
-    eff.owner = mem.backup;
-    eff.backup = -1;
-    stats_.retargeted_ops += 1;
+    bool ok = false;
+    OpStatus s = OpStatus::target_failed;
+    const TargetMem eff = effective_mem(orig_mem, &ok, &s);
+    if (!ok || eff.owner == mem.owner) return false;
     issue_locked_op(st, op, acc_op, origin_addr, origin_count, origin_dt, eff,
-                    target_disp, target_count, target_dt, attrs);
+                    orig_mem, target_disp, target_count, target_dt, attrs);
     return true;
   };
   if (!lock_acquire(t)) {
@@ -1121,7 +1182,8 @@ void RmaEngine::flush_many(const std::vector<int>& world_targets) {
         // completion must wait for the stream to flush (which also finishes
         // every parked waiter and unblocks queued get re-drives).
         const auto lit = repl_out_.find(t);
-        if (lit != repl_out_.end() && lit->second.acked < lit->second.sent) {
+        if (lit != repl_out_.end() &&
+            lit->second.acked < lit->second.flushed) {
           return false;
         }
       }
@@ -1430,9 +1492,56 @@ void RmaEngine::on_target_failed(int node) {
       ++i;
     }
   }
-  // Mirrors toward it are undeliverable, and its stream into us is closed.
+  // Mirrors toward the dead backup are undeliverable, but entries whose
+  // window's primary is still alive cover writes that may have raced the
+  // primary's re-replication snapshot (applied at the primary after the
+  // snapshot cut, mirror unacked or still lazily deferred): without a
+  // repair the effect exists only at the primary, and the NEXT crash loses
+  // it even though the origin saw it ack. Entries whose primary is this
+  // rank are snapshot/forward traffic; a fresh burst supersedes them.
+  //
+  // The repair is per-kind:
+  //  * put mirrors re-log onto this origin's ledger to the fresh backup —
+  //    idempotent, ordered against the origin's newer writes by the stream
+  //    seq, and ordered after the snapshot by the materialization gate.
+  //  * RMW mirrors cannot be replayed (a replay double-applies whenever
+  //    the snapshot already carries the effect, and the origin cannot tell
+  //    whether it does). Instead the live primary is asked to re-publish
+  //    the post-RMW word from its authoritative memory (repl_rmw_fwd): the
+  //    word rides the primary's own in-order stream behind its snapshot
+  //    burst, so it converges to the authoritative value either way.
+  //  * accumulate mirrors that were never transmitted keep the lazy-log
+  //    skip: the primary applied them before any of this rank's later
+  //    traffic, so the snapshot covers them unless they raced the burst —
+  //    a race the put/RMW repairs close but a commutative re-apply cannot.
+  if (auto oit = repl_out_.find(node); oit != repl_out_.end()) {
+    for (const ReplPending& pnd : oit->second.pending) {
+      if (pnd.primary == node || pnd.primary == rank_->id()) continue;
+      if (target_failed_[static_cast<std::size_t>(pnd.primary)] != 0) {
+        continue;
+      }
+      AmHdr h;
+      if (pnd.hdr_bytes.size() != sizeof(AmHdr)) continue;
+      std::memcpy(&h, pnd.hdr_bytes.data(), pnd.hdr_bytes.size());
+      if (h.kind == AmHdr::Kind::repl_mirror_rmw) {
+        rmw_word_fwd(pnd.primary, h.mem_id, h.offset);
+        continue;
+      }
+      if (h.kind != AmHdr::Kind::repl_mirror) continue;
+      if (h.op == RmaOptype::accumulate && pnd.seq > oit->second.flushed) {
+        continue;
+      }
+      const int nb = chain_next_alive(h.mem_id, pnd.primary);
+      if (nb < 0) continue;
+      mirror_raw(nb, h, pnd.payload);
+    }
+  }
   repl_out_.erase(node);
   repl_in_.erase(node);
+  // Probe answers from the dead rank no longer vouch for anything.
+  for (auto it = probe_ok_.begin(); it != probe_ok_.end();) {
+    it = it->second == node ? probe_ok_.erase(it) : std::next(it);
+  }
 
   // Re-sync: mirrors covering windows whose PRIMARY is the dead node and
   // that their backup has not yet acked are re-sent (the backup dedups by
@@ -1446,12 +1555,25 @@ void RmaEngine::on_target_failed(int node) {
     if (target_failed_[static_cast<std::size_t>(b)] != 0) continue;
     std::uint64_t ops = 0;
     std::uint64_t bytes = 0;
-    for (const ReplPending& pnd : repl_out_[b].pending) {
-      if (pnd.primary != node) continue;
+    ReplLedger& led = repl_out_[b];
+    std::uint64_t hi = led.flushed;
+    for (const ReplPending& pnd : led.pending) {
+      if (pnd.primary == node) hi = std::max(hi, pnd.seq);
+    }
+    for (const ReplPending& pnd : led.pending) {
+      // In lazy mode this is the deferred first transmission of the
+      // write log; in eager mode it is a re-send the backup dedups by seq.
+      // Deferred entries for OTHER windows interleaved below the re-sync
+      // high-water mark go out too: advancing flushed past an
+      // untransmitted seq would strand a hole in the in-order stream.
+      const bool resync = pnd.primary == node;
+      const bool deferred_below = pnd.seq > led.flushed && pnd.seq <= hi;
+      if (!resync && !deferred_below) continue;
       send_am_raw(b, pnd.hdr_bytes, pnd.payload);
       ops += 1;
       bytes += pnd.payload.size();
     }
+    led.flushed = std::max(led.flushed, hi);
     stats_.resync_ops += ops;
     stats_.resync_bytes += bytes;
     if (ops > 0 && tr != nullptr) {
@@ -1462,6 +1584,10 @@ void RmaEngine::on_target_failed(int node) {
                       " bytes=" + std::to_string(bytes));
     }
   }
+
+  // Restore redundancy: if this rank is now the first live chain member of
+  // any registered window, burst a snapshot to the next eligible rank.
+  update_replication_roles(node);
 
   // Wake any process blocked in progress_until so it re-evaluates its
   // predicate against the reconciled state.
@@ -1510,11 +1636,27 @@ std::uint64_t RmaEngine::rmw(portals::RmwOp op, const TargetMem& mem,
   const int t = eff.owner;
   // True while this is the primary attempt of a replicated window with a
   // live backup: successes are mirrored there, and a mid-sequence death
-  // retries once against it (the re-entry recomputes eff with the primary
-  // now known dead, so eff.backup is -1 and recursion terminates).
+  // retries against it (the re-entry recomputes eff along the succession
+  // chain, which strictly advances past dead ranks, so recursion
+  // terminates).
   auto backup_live = [&] {
     return eff.backup >= 0 &&
            target_failed_[static_cast<std::size_t>(eff.backup)] == 0;
+  };
+  // Replicate a committed RMW. With the issue-time backup alive, replay it
+  // semantically on this origin's own mirror stream (program order with
+  // the origin's other mirrors; survives the primary's death). If that
+  // backup died while the op was in flight, a replay has nowhere safe to
+  // go — the fresh backup's snapshot may or may not already carry the
+  // effect — so ask the primary (alive: it just replied) to re-publish the
+  // post-RMW word to its current backup instead.
+  auto replicate_rmw = [&] {
+    if (backup_live()) {
+      mirror_rmw(op, eff, disp, a, b);
+    } else if (eff.backup >= 0 &&
+               target_failed_[static_cast<std::size_t>(eff.owner)] == 0) {
+      rmw_word_fwd(eff.owner, eff.id, disp);
+    }
   };
 
   // RMW mechanism: NIC-executed, lock-emulated, or serializer AM (§V).
@@ -1576,7 +1718,7 @@ std::uint64_t RmaEngine::rmw(portals::RmwOp op, const TargetMem& mem,
     const std::uint64_t old =
         u64_from_endian_bytes(rank_->memory().raw(buf + 16), eff.endian);
     rank_->memory().dealloc(buf);
-    if (backup_live()) mirror_rmw(op, eff, disp, a, b);
+    replicate_rmw();
     close_rmw();
     return old;
   }
@@ -1671,7 +1813,7 @@ std::uint64_t RmaEngine::rmw(portals::RmwOp op, const TargetMem& mem,
     throw RankFailedError("RMW target rank " + std::to_string(t) +
                           " failed before replying");
   }
-  if (backup_live()) mirror_rmw(op, eff, disp, a, b);
+  replicate_rmw();
   close_rmw();
   return st->rmw_value;
 }
@@ -1890,24 +2032,44 @@ TargetMem RmaEngine::effective_mem(const TargetMem& mem, bool* ok,
                                    OpStatus* status) {
   *ok = true;
   *status = OpStatus::ok;
-  if (target_failed_[static_cast<std::size_t>(mem.owner)] == 0) return mem;
-  if (mem.backup >= 0 &&
-      target_failed_[static_cast<std::size_t>(mem.backup)] == 0) {
-    // Adopt the replica only after the mirror stream is flushed: everything
-    // the dead primary acked must be applied at the backup first.
-    failover_sync(mem.backup);
-  }
-  if (mem.backup >= 0 &&
-      target_failed_[static_cast<std::size_t>(mem.backup)] == 0) {
-    TargetMem eff = mem;
-    eff.owner = mem.backup;
-    eff.backup = -1;
-    stats_.retargeted_ops += 1;
-    if (auto* tr = trace::want(rank_->world().engine().tracer(),
-                               trace::Category::rma)) {
-      tr->add_counter(trace::Category::rma, "rma.failover_retargets");
+  if (target_failed_[static_cast<std::size_t>(mem.owner)] == 0) {
+    if (mem.backup < 0 ||
+        target_failed_[static_cast<std::size_t>(mem.backup)] == 0) {
+      return mem;  // healthy fast path: handle used exactly as shipped
     }
+    // Owner alive, designated backup dead: the owner re-replicates along the
+    // succession chain; mirror new writes straight at its fresh backup.
+    TargetMem eff = mem;
+    eff.backup = chain_next_alive(mem.id, mem.owner);
     return eff;
+  }
+  if (mem.backup >= 0) {
+    // Owner dead: walk the succession chain for the acting primary. The
+    // first two members are the handle's own owner/backup pair, whose copy
+    // we trust by construction (registered at attach); any later member
+    // holds a re-replicated copy and must be probed for completeness.
+    for (;;) {
+      if (lost_windows_.count(mem.id) != 0) break;
+      const int p = chain_first_alive(mem.id);
+      if (p < 0) break;
+      if (p != mem.owner && p != mem.backup && !probe_replica(p, mem.id)) {
+        if (target_failed_[static_cast<std::size_t>(p)] != 0) continue;
+        break;  // answered: copy incomplete -> window lost
+      }
+      // Adopt the replica only after the mirror stream is flushed:
+      // everything the dead primary acked must be applied there first.
+      failover_sync(p);
+      if (target_failed_[static_cast<std::size_t>(p)] != 0) continue;
+      TargetMem eff = mem;
+      eff.owner = p;
+      eff.backup = chain_next_alive(mem.id, p);
+      stats_.retargeted_ops += 1;
+      if (auto* tr = trace::want(rank_->world().engine().tracer(),
+                                 trace::Category::rma)) {
+        tr->add_counter(trace::Category::rma, "rma.failover_retargets");
+      }
+      return eff;
+    }
   }
   *ok = false;
   *status =
@@ -1919,12 +2081,14 @@ TargetMem RmaEngine::effective_mem(const TargetMem& mem, bool* ok,
 void RmaEngine::failover_sync(int backup) {
   {
     const auto it = repl_out_.find(backup);
-    if (it == repl_out_.end() || it->second.acked >= it->second.sent) return;
+    if (it == repl_out_.end() || it->second.acked >= it->second.flushed) {
+      return;
+    }
   }
   const auto bi = static_cast<std::size_t>(backup);
   progress_until([&] {
     const auto it = repl_out_.find(backup);
-    return it == repl_out_.end() || it->second.acked >= it->second.sent ||
+    return it == repl_out_.end() || it->second.acked >= it->second.flushed ||
            target_failed_[bi] != 0;
   });
 }
@@ -1951,6 +2115,17 @@ void RmaEngine::mirror_block(const std::shared_ptr<Request::State>& st,
   fabric::set_header(p, h);
   // The resync log keeps a copy until the backup's cumulative ack covers it.
   led.pending.push_back(ReplPending{h.req_id, mem.owner, p.header, payload});
+  st->repl_backup = mem.backup;
+  st->repl_mirror_seq = h.req_id;
+  stats_.mirrored_ops += 1;
+  stats_.mirror_bytes += len;
+  if (rank_->world().config().replication.mode == runtime::ReplMode::lazy) {
+    // Lazy recovery: the entry stays logged-but-untransmitted (flushed does
+    // not advance), keeping mirror traffic entirely off the healthy-path
+    // critical path; failover re-sync pushes the log instead.
+    return;
+  }
+  led.flushed = led.sent;
   p.payload = std::move(payload);
   p.op = trace::op_tag(rank_->id(), st->id);
   auto* tl = trace::timeline(rank_->world().engine().tracer());
@@ -1960,10 +2135,6 @@ void RmaEngine::mirror_block(const std::shared_ptr<Request::State>& st,
     tl->add(p.op, trace::Segment::inject, t_inj, rank_->ctx().now());
   }
   rank_->world().fabric().nic(rank_->id()).send(mem.backup, std::move(p));
-  st->repl_backup = mem.backup;
-  st->repl_mirror_seq = h.req_id;
-  stats_.mirrored_ops += 1;
-  stats_.mirror_bytes += len;
   if (auto* tr = trace::want(rank_->world().engine().tracer(),
                              trace::Category::rma)) {
     tr->add_counter(trace::Category::rma, "rma.mirrors");
@@ -1988,13 +2159,29 @@ void RmaEngine::mirror_rmw(portals::RmwOp op, const TargetMem& mem,
   p.protocol = kAmProtocolId;
   fabric::set_header(p, h);
   led.pending.push_back(ReplPending{h.req_id, mem.owner, p.header, {}});
+  stats_.mirrored_ops += 1;
+  if (rank_->world().config().replication.mode == runtime::ReplMode::lazy) {
+    return;  // logged only; pushed by the failover re-sync
+  }
+  led.flushed = led.sent;
   rank_->ctx().delay(rank_->world().config().costs.inject_overhead_ns);
   rank_->world().fabric().nic(rank_->id()).send(mem.backup, std::move(p));
-  stats_.mirrored_ops += 1;
   if (auto* tr = trace::want(rank_->world().engine().tracer(),
                              trace::Category::rma)) {
     tr->add_counter(trace::Category::rma, "rma.mirrors");
   }
+}
+
+void RmaEngine::rmw_word_fwd(int primary, std::uint64_t mem_id,
+                             std::uint64_t offset) {
+  AmHdr f;
+  f.kind = AmHdr::Kind::repl_rmw_fwd;
+  f.mem_id = mem_id;
+  f.offset = offset;
+  fabric::Packet fp;
+  fp.protocol = kAmProtocolId;
+  fabric::set_header(fp, f);
+  rank_->world().fabric().nic(rank_->id()).send(primary, std::move(fp));
 }
 
 void RmaEngine::apply_mirror(const AmHdr& h,
@@ -2026,7 +2213,242 @@ void RmaEngine::apply_mirror(const AmHdr& h,
   mirrors_applied_total_ += 1;
 }
 
+// ------------------------------------------- multi-crash re-replication
+
+Endian RmaEngine::node_endian(int world_rank) const {
+  const auto& wc = rank_->world().config();
+  const auto it = wc.node_overrides.find(world_rank);
+  return it != wc.node_overrides.end() ? it->second.endian : wc.node.endian;
+}
+
+std::vector<int> RmaEngine::chain_members(std::uint64_t mem_id) const {
+  const int n = rank_->world().size();
+  const int owner0 = static_cast<int>(mem_id >> 32);
+  int off = rank_->world().config().replication.backup_offset % n;
+  if (off < 0) off += n;
+  std::vector<int> chain;
+  chain.push_back(owner0);
+  if (off == 0) return chain;
+  for (int r = (owner0 + off) % n; r != owner0; r = (r + off) % n) {
+    chain.push_back(r);
+  }
+  return chain;
+}
+
+bool RmaEngine::chain_eligible(int world_rank, std::uint64_t mem_id) const {
+  if (target_failed_[static_cast<std::size_t>(world_rank)] != 0) return false;
+  return node_endian(world_rank) ==
+         node_endian(static_cast<int>(mem_id >> 32));
+}
+
+int RmaEngine::chain_first_alive(std::uint64_t mem_id) const {
+  for (const int r : chain_members(mem_id)) {
+    if (chain_eligible(r, mem_id)) return r;
+  }
+  return -1;
+}
+
+int RmaEngine::chain_next_alive(std::uint64_t mem_id, int after) const {
+  const auto chain = chain_members(mem_id);
+  bool past = false;
+  for (const int r : chain) {
+    if (past && chain_eligible(r, mem_id)) return r;
+    if (r == after) past = true;
+  }
+  return -1;
+}
+
+void RmaEngine::mirror_raw(int backup, const AmHdr& hdr,
+                           std::vector<std::byte> payload) {
+  ReplLedger& led = repl_out_[backup];
+  // This append flushes the whole stream. A lazily deferred entry below
+  // the new flush point would leave a seq hole the backup can never fill
+  // (it accepts strictly in order), wedging every later ack — so transmit
+  // the deferred tail first, keeping the stream contiguous.
+  for (const ReplPending& pnd : led.pending) {
+    if (pnd.seq <= led.flushed) continue;
+    send_am_raw(backup, pnd.hdr_bytes, pnd.payload);
+  }
+  AmHdr h = hdr;
+  h.req_id = ++led.sent;
+  led.flushed = led.sent;
+  fabric::Packet p;
+  p.protocol = kAmProtocolId;
+  fabric::set_header(p, h);
+  // primary = self: the authoritative copy of this data is local, so a later
+  // death of `backup` triggers a fresh burst, never a blind re-send.
+  led.pending.push_back(
+      ReplPending{h.req_id, rank_->id(), p.header, payload});
+  p.payload = std::move(payload);
+  rank_->world().fabric().nic(rank_->id()).send(backup, std::move(p));
+}
+
+bool RmaEngine::probe_replica(int target, std::uint64_t mem_id) {
+  if (lost_windows_.count(mem_id) != 0) return false;
+  const auto hit = probe_ok_.find(mem_id);
+  if (hit != probe_ok_.end() && hit->second == target) return true;
+  auto st = std::make_shared<Request::State>();
+  st->id = next_req_++;
+  st->world_target = target;
+  st->pending = 1;
+  st->counts_send = false;
+  reqs_.emplace(st->id, st);
+  rank_->ctx().delay(rank_->world().config().costs.inject_overhead_ns);
+  AmHdr h;
+  h.kind = AmHdr::Kind::repl_probe;
+  h.mem_id = mem_id;
+  h.req_id = st->id;
+  send_am(target, h, {});
+  stats_.probes_sent += 1;
+  progress_until([st] { return st->done; });
+  if (st->status != OpStatus::ok) return false;  // died mid-probe: re-walk
+  if (st->rmw_value == 1) {
+    probe_ok_[mem_id] = target;
+    return true;
+  }
+  lost_windows_.insert(mem_id);
+  return false;
+}
+
+void RmaEngine::route_mirror(int src, const AmHdr& h,
+                             std::span<const std::byte> payload) {
+  const auto park = [&](std::map<std::uint64_t, std::deque<GatedMirror>>& gate) {
+    fabric::Packet tmp;
+    fabric::set_header(tmp, h);
+    gate[h.mem_id].push_back(GatedMirror{
+        src, std::move(tmp.header), {payload.begin(), payload.end()}});
+  };
+  auto w = repl_windows_.find(h.mem_id);
+  if (w == repl_windows_.end()) {
+    // Raced ahead of this rank's adoption of the window: park until the
+    // acting primary's repl_adopt says which stream it materializes from.
+    park(pre_adopt_gate_);
+    return;
+  }
+  if (h.kind == AmHdr::Kind::repl_sync_done) {
+    if (w->second.materializing_from == src) {
+      w->second.materializing_from = -1;
+      auto g = mat_gate_.find(h.mem_id);
+      if (g != mat_gate_.end()) {
+        auto gated = std::move(g->second);
+        mat_gate_.erase(g);
+        for (const auto& gm : gated) {
+          AmHdr gh;
+          M3RMA_ENSURE(gm.hdr_bytes.size() == sizeof(AmHdr),
+                       "gated mirror header size mismatch");
+          std::memcpy(&gh, gm.hdr_bytes.data(), sizeof(AmHdr));
+          apply_mirror(gh, gm.payload);
+        }
+      }
+    }
+    return;  // never forwarded
+  }
+  if (w->second.lost) return;  // incomplete copy: the window is dead here
+  if (w->second.materializing_from >= 0 &&
+      src != w->second.materializing_from) {
+    // Mirror from a third party while the snapshot streams in: the snapshot
+    // will contain everything its source applied, so defer to after it.
+    park(mat_gate_);
+  } else {
+    apply_mirror(h, payload);
+  }
+  if (w->second.cur_backup >= 0) {
+    // Acting primary with a live successor: relay in-flight mirrors that
+    // were addressed to us back when we were the backup, so the successor's
+    // copy sees them too (our snapshot predates their acceptance). That
+    // includes mirrors whose origin IS the successor — an origin applies
+    // its replica only through incoming ledger streams, never its own
+    // outgoing log, so without the echo a lazy write log resynced here
+    // would be missing from its author's adopted copy.
+    mirror_raw(w->second.cur_backup, h,
+               {payload.begin(), payload.end()});
+    stats_.forwarded_mirrors += 1;
+  }
+}
+
+void RmaEngine::update_replication_roles(int dead_node) {
+  if (shutting_down_ || repl_windows_.empty()) return;
+  (void)dead_node;
+  for (auto& [mem_id, w] : repl_windows_) {  // std::map: ascending window id
+    if (w.lost) continue;
+    if (quiescing_) {
+      // Teardown phase: keep serving the copies we hold, but start no new
+      // adoption — a freshly chosen backup could receive the final bye and
+      // dispose while our snapshot burst is still in flight to it.
+      if (w.cur_backup >= 0 &&
+          target_failed_[static_cast<std::size_t>(w.cur_backup)] != 0) {
+        w.cur_backup = -1;
+      }
+      continue;
+    }
+    if (chain_first_alive(mem_id) != rank_->id()) continue;
+    if (w.materializing_from >= 0) {
+      // We are the first live chain member but our copy is mid-snapshot:
+      // the source (the only complete copy) must be dead. Honest loss.
+      w.lost = true;
+      w.materializing_from = -1;
+      lost_windows_.insert(mem_id);
+      mat_gate_.erase(mem_id);
+      pre_adopt_gate_.erase(mem_id);
+      continue;
+    }
+    const int nb = chain_next_alive(mem_id, rank_->id());
+    if (nb == w.cur_backup) continue;
+    w.cur_backup = nb;
+    if (nb < 0) continue;  // chain exhausted: run unreplicated
+    const auto it = attached_.find(mem_id);
+    M3RMA_ENSURE(it != attached_.end(),
+                 "re-replication of an unattached window");
+    const Attached& a = it->second;
+    AmHdr adopt;
+    adopt.kind = AmHdr::Kind::repl_adopt;
+    adopt.mem_id = mem_id;
+    adopt.length = w.length;
+    {
+      fabric::Packet p;
+      p.protocol = kAmProtocolId;
+      fabric::set_header(p, adopt);
+      rank_->world().fabric().nic(rank_->id()).send(nb, std::move(p));
+    }
+    // Snapshot burst on our own mirror stream: chunks, then the completion
+    // marker, all cumulatively acked like ordinary mirrors.
+    constexpr std::uint64_t kChunk = 64 * 1024;
+    for (std::uint64_t off = 0; off < a.length; off += kChunk) {
+      const std::uint64_t len = std::min(kChunk, a.length - off);
+      AmHdr h;
+      h.kind = AmHdr::Kind::repl_mirror;
+      h.op = RmaOptype::put;
+      h.mem_id = mem_id;
+      h.offset = off;
+      h.length = len;
+      std::vector<std::byte> chunk(len);
+      rank_->memory().nic_read(a.base + off, chunk);
+      mirror_raw(nb, h, std::move(chunk));
+      stats_.rerepl_bytes += len;
+    }
+    AmHdr done;
+    done.kind = AmHdr::Kind::repl_sync_done;
+    done.mem_id = mem_id;
+    mirror_raw(nb, done, {});
+    stats_.rereplications += 1;
+    if (auto* tr = trace::want(rank_->world().engine().tracer(),
+                               trace::Category::rma)) {
+      tr->instant(tr->track("rank" + std::to_string(rank_->id())),
+                  trace::Category::rma, "failover.rereplicate",
+                  "mem=" + std::to_string(mem_id) +
+                      " backup=" + std::to_string(nb));
+      tr->add_counter(trace::Category::rma, "rma.rereplications");
+    }
+  }
+}
+
 void RmaEngine::drain_reissues() {
+  if (draining_reissues_) return;
+  draining_reissues_ = true;
+  struct Reset {
+    bool* flag;
+    ~Reset() { *flag = false; }
+  } guard{&draining_reissues_};
   while (!repl_reissue_.empty()) {
     const std::uint64_t id = repl_reissue_.front();
     auto st = find_req(id);
@@ -2034,21 +2456,29 @@ void RmaEngine::drain_reissues() {
       repl_reissue_.pop_front();
       continue;
     }
-    const int b = st->repl_backup;
+    int b = st->repl_backup;
     if (target_failed_[static_cast<std::size_t>(b)] != 0) {
-      // Raced a backup death that has not yet swept the queue.
-      st->status = OpStatus::replica_lost;
-      st->done = true;
-      stats_.replica_lost_ops += 1;
-      finish_trace(*st);
-      reqs_.erase(id);
-      repl_reissue_.pop_front();
-      continue;
+      // The rescue backup died before the re-drive. Walk the succession
+      // chain for a later complete copy before giving up (blocking: may
+      // probe — the re-entrancy guard makes that safe from progress()).
+      bool ok = false;
+      OpStatus status = OpStatus::target_failed;
+      const TargetMem walked = effective_mem(st->repl_mem, &ok, &status);
+      if (!ok) {
+        st->status = status;
+        st->done = true;
+        finish_trace(*st);
+        reqs_.erase(id);
+        repl_reissue_.pop_front();
+        continue;
+      }
+      b = walked.owner;
+      st->repl_backup = b;
     }
     // A replica read is only trustworthy once every mirror the dead primary
     // may have acked has been applied (and acked) there.
     const auto lit = repl_out_.find(b);
-    if (lit != repl_out_.end() && lit->second.acked < lit->second.sent) {
+    if (lit != repl_out_.end() && lit->second.acked < lit->second.flushed) {
       break;
     }
     repl_reissue_.pop_front();
@@ -2056,7 +2486,7 @@ void RmaEngine::drain_reissues() {
     st->pending = 0;
     TargetMem eff = st->repl_mem;
     eff.owner = b;
-    eff.backup = -1;
+    eff.backup = chain_next_alive(st->repl_mem.id, b);
     st->world_target = b;
     stats_.reissued_gets += 1;
     stats_.retargeted_ops += 1;
@@ -2195,9 +2625,96 @@ void RmaEngine::on_am(fabric::Packet&& p) {
             ptl_->me_append(kPtData, h.mem_id, 0, buf, h.length, nullptr);
         attached_.emplace(h.mem_id, Attached{buf, h.length, me});
         replica_bufs_.emplace(h.mem_id, buf);
+        repl_windows_.emplace(h.mem_id, ReplWindow{h.length, -1, -1, false});
         r.value_a = 1;
       }
       send_am(p.src, r, {});
+      break;
+    }
+    case AmHdr::Kind::repl_adopt: {
+      // Chosen as the fresh backup of a window after a failover: expose a
+      // shadow region under the SAME mem id (like repl_create) and
+      // materialize from the acting primary's snapshot stream. No refusal
+      // path — the chain skips endian-mismatched ranks, and both sides
+      // compute it identically.
+      if (shutting_down_ || attached_.count(h.mem_id) != 0) break;
+      const std::uint64_t buf =
+          rank_->memory().alloc(std::max<std::uint64_t>(h.length, 1));
+      const portals::MeHandle me =
+          ptl_->me_append(kPtData, h.mem_id, 0, buf, h.length, nullptr);
+      attached_.emplace(h.mem_id, Attached{buf, h.length, me});
+      replica_bufs_.emplace(h.mem_id, buf);
+      repl_windows_.emplace(h.mem_id, ReplWindow{h.length, -1, p.src, false});
+      // Mirrors that raced ahead of this adoption: re-route now that the
+      // registry entry says which stream materializes the copy.
+      if (auto g = pre_adopt_gate_.find(h.mem_id);
+          g != pre_adopt_gate_.end()) {
+        auto parked = std::move(g->second);
+        pre_adopt_gate_.erase(g);
+        for (const auto& gm : parked) {
+          AmHdr gh;
+          M3RMA_ENSURE(gm.hdr_bytes.size() == sizeof(AmHdr),
+                       "gated mirror header size mismatch");
+          std::memcpy(&gh, gm.hdr_bytes.data(), sizeof(AmHdr));
+          route_mirror(gm.src, gh, gm.payload);
+        }
+      }
+      break;
+    }
+    case AmHdr::Kind::repl_probe: {
+      // Answered NIC-side like count_query: is this rank a complete, live
+      // copy holder of the window?
+      const auto w = repl_windows_.find(h.mem_id);
+      AmHdr r;
+      r.kind = AmHdr::Kind::repl_probe_ack;
+      r.req_id = h.req_id;
+      r.value_a = (!shutting_down_ && attached_.count(h.mem_id) != 0 &&
+                   w != repl_windows_.end() &&
+                   w->second.materializing_from < 0 && !w->second.lost)
+                      ? 1
+                      : 0;
+      send_am(p.src, r, {});
+      break;
+    }
+    case AmHdr::Kind::repl_probe_ack: {
+      if (auto st = find_req(h.req_id)) {
+        st->rmw_value = h.value_a;  // 1 = copy complete and live
+        finish_segment(st);
+      }
+      break;
+    }
+    case AmHdr::Kind::repl_rmw_fwd: {
+      // Serving copy of a failed-over window: re-publish the post-RMW word
+      // to the current backup as a plain put on our own mirror stream. The
+      // word is read from the authoritative memory here, so the mirror is
+      // idempotent against the snapshot burst regardless of whether the
+      // burst already carried the RMW's effect. No backup yet (or chain
+      // exhausted): drop — a later adoption bursts the word with the rest
+      // of the region.
+      if (shutting_down_) break;
+      const auto a = attached_.find(h.mem_id);
+      if (a == attached_.end()) break;
+      M3RMA_ENSURE(h.offset + 8 <= a->second.length,
+                   "forwarded RMW exceeds the window");
+      const auto w = repl_windows_.find(h.mem_id);
+      if (w == repl_windows_.end() || w->second.cur_backup < 0 ||
+          target_failed_[static_cast<std::size_t>(w->second.cur_backup)] !=
+              0) {
+        break;
+      }
+      AmHdr mh;
+      mh.kind = AmHdr::Kind::repl_mirror;
+      mh.op = RmaOptype::put;
+      mh.mem_id = h.mem_id;
+      mh.offset = h.offset;
+      mh.length = 8;
+      std::vector<std::byte> word(8);
+      rank_->memory().nic_read(a->second.base + h.offset, word);
+      mirror_raw(w->second.cur_backup, mh, std::move(word));
+      break;
+    }
+    case AmHdr::Kind::bye: {
+      bye_seen_[static_cast<std::size_t>(p.src)] = 1;
       break;
     }
     case AmHdr::Kind::repl_ready: {
@@ -2208,20 +2725,27 @@ void RmaEngine::on_am(fabric::Packet&& p) {
       break;
     }
     case AmHdr::Kind::repl_mirror:
-    case AmHdr::Kind::repl_mirror_rmw: {
+    case AmHdr::Kind::repl_mirror_rmw:
+    case AmHdr::Kind::repl_sync_done: {
       // Apply in per-origin stream order, directly on the replica (never
       // through the serializer, and never counted in am_applied_from_ —
       // mirrors must not perturb the primary-path flush accounting).
+      // repl_sync_done rides the same ledger stream: it must be accepted in
+      // sequence so the materialization cut-over is ordered against the
+      // snapshot chunks preceding it.
+      // Acks are cut at ACCEPT time, not apply time: a mirror parked behind
+      // a materializing window still advances the cumulative ack, so the
+      // acting primary's flush never deadlocks on its own snapshot stream.
       ReplIn& in = repl_in_[p.src];
       if (h.req_id == in.applied + 1) {
-        apply_mirror(h, p.payload);
+        route_mirror(p.src, h, p.payload);
         in.applied += 1;
         for (auto hit = in.held.find(in.applied + 1); hit != in.held.end();
              hit = in.held.find(in.applied + 1)) {
           fabric::Packet shim;
           shim.header = std::move(hit->second.hdr_bytes);
           const auto hh = fabric::get_header<AmHdr>(shim);
-          apply_mirror(hh, hit->second.payload);
+          route_mirror(p.src, hh, hit->second.payload);
           in.applied += 1;
           in.held.erase(hit);
         }
@@ -2309,7 +2833,12 @@ void RmaEngine::execute_am(AmMsg&& m, sim::Time apply_cost) {
 
   auto it = attached_.find(h.mem_id);
   M3RMA_ENSURE(it != attached_.end(),
-               "software op for a detached TargetMem");
+               "software op for a detached TargetMem (mem=" +
+                   std::to_string(h.mem_id) + " kind=" +
+                   std::to_string(static_cast<int>(h.kind)) + " op=" +
+                   std::to_string(static_cast<int>(h.op)) + " from=" +
+                   std::to_string(m.src) + " at=" +
+                   std::to_string(rank_->id()) + ")");
   const Attached& a = it->second;
   const std::uint64_t need =
       h.kind == AmHdr::Kind::rmw_op ? 8 : h.length;

@@ -36,6 +36,7 @@
 #include <map>
 #include <memory>
 #include <optional>
+#include <set>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -103,6 +104,12 @@ struct OpStats {
   std::uint64_t resync_ops = 0;       ///< unacked mirrors re-sent at failover
   std::uint64_t resync_bytes = 0;     ///< payload bytes of those re-sends
   std::uint64_t replica_lost_ops = 0; ///< ops failed with replica_lost
+  std::uint64_t rereplications = 0;   ///< windows re-replicated to a fresh
+                                      ///< backup after a failover
+  std::uint64_t rerepl_bytes = 0;     ///< snapshot bytes burst to new backups
+  std::uint64_t forwarded_mirrors = 0;///< in-flight mirrors relayed by an
+                                      ///< acting primary to its new backup
+  std::uint64_t probes_sent = 0;      ///< replica-readiness probes issued
 };
 
 struct EngineConfig {
@@ -341,7 +348,9 @@ class RmaEngine {
     std::vector<std::byte> payload;
   };
   struct ReplLedger {  // origin-side stream state, one per backup rank
-    std::uint64_t sent = 0;
+    std::uint64_t sent = 0;     // entries logged (lazy mode logs > transmits)
+    std::uint64_t flushed = 0;  // entries actually transmitted; eager keeps
+                                // flushed == sent, lazy defers until failover
     std::uint64_t acked = 0;
     std::deque<ReplPending> pending;  // sent but not yet cumulatively acked
   };
@@ -352,6 +361,27 @@ class RmaEngine {
   struct ReplIn {  // backup-side stream state, one per origin rank
     std::uint64_t applied = 0;  // cumulative in-order seq applied
     std::map<std::uint64_t, ReplHeld> held;
+  };
+  // ----- multi-crash survivability (re-replication) --------------------------
+  //
+  // Every copy of a replicated window (owner or backup) keeps a registry
+  // entry. The succession chain of window w is
+  //   chain(k) = (owner0 + k*backup_offset) mod ranks,  owner0 = w >> 32,
+  // skipping dead and endian-mismatched ranks; every engine computes it
+  // identically from the globally consistent failure-detector state. After a
+  // death the first live chain member (the acting primary) bursts a snapshot
+  // of its copy to the next live eligible member, restoring redundancy.
+  struct ReplWindow {
+    std::uint64_t length = 0;
+    int cur_backup = -1;  // live backup this copy mirrors/forwards to (-1:
+                          // none — plain backups never forward)
+    int materializing_from = -1;  // adoptee: snapshot source, -1 once synced
+    bool lost = false;  // snapshot source died mid-burst: copy incomplete
+  };
+  struct GatedMirror {  // mirror parked while this rank's copy materializes
+    int src = -1;
+    std::vector<std::byte> hdr_bytes;
+    std::vector<std::byte> payload;
   };
 
   // Issue paths.
@@ -376,11 +406,15 @@ class RmaEngine {
                    std::uint64_t origin_count, const dt::Datatype& origin_dt,
                    const TargetMem& mem, std::uint64_t target_disp,
                    std::uint64_t target_count, const dt::Datatype& target_dt);
+  /// `orig_mem` is the caller's unretargeted handle: mid-sequence failover
+  /// re-walks the succession chain from it (only its owner/backup pair is
+  /// trusted without a readiness probe).
   void issue_locked_op(const std::shared_ptr<Request::State>& st,
                        RmaOptype op, portals::AccOp acc_op,
                        std::uint64_t origin_addr, std::uint64_t origin_count,
                        const dt::Datatype& origin_dt, const TargetMem& mem,
-                       std::uint64_t target_disp, std::uint64_t target_count,
+                       const TargetMem& orig_mem, std::uint64_t target_disp,
+                       std::uint64_t target_count,
                        const dt::Datatype& target_dt, Attrs attrs);
   std::uint64_t rmw(portals::RmwOp op, const TargetMem& mem,
                     std::uint64_t disp, std::uint64_t a, std::uint64_t b,
@@ -422,11 +456,47 @@ class RmaEngine {
   /// Mirror a completed RMW (semantic op + operands; the backup replays it).
   void mirror_rmw(portals::RmwOp op, const TargetMem& mem, std::uint64_t disp,
                   std::uint64_t a, std::uint64_t b);
+  /// Ask the live primary of `mem_id` to re-publish the 8-byte word at
+  /// `offset` to its current backup (repl_rmw_fwd). Replicates a committed
+  /// RMW when a semantic replay could double-apply or has nowhere safe to
+  /// go: the word rides the primary's own in-order stream behind its
+  /// snapshot burst, so the copy converges to the authoritative value.
+  /// Fire-and-forget, event-context safe.
+  void rmw_word_fwd(int primary, std::uint64_t mem_id, std::uint64_t offset);
   /// Backup side: apply one in-order mirror to the replica region.
   void apply_mirror(const AmHdr& h, std::span<const std::byte> payload);
   /// Block until the mirror stream to `backup` is fully acked (or the
   /// backup dies). Called before re-targeting ops at the replica.
   void failover_sync(int backup);
+  /// Succession chain of window `mem_id` in world-rank space: distinct
+  /// members in order starting at the original owner, dead/endian-mismatched
+  /// ranks included (callers filter) so every engine agrees on positions.
+  std::vector<int> chain_members(std::uint64_t mem_id) const;
+  /// Configured endianness of a world rank's node.
+  Endian node_endian(int world_rank) const;
+  /// True when `world_rank` may host a copy of `mem_id` (alive + endian
+  /// matches the original owner's node).
+  bool chain_eligible(int world_rank, std::uint64_t mem_id) const;
+  /// First live eligible chain member (the acting primary), or -1.
+  int chain_first_alive(std::uint64_t mem_id) const;
+  /// Next live eligible chain member strictly after `after`, or -1.
+  int chain_next_alive(std::uint64_t mem_id, int after) const;
+  /// Event context, end of on_target_failed: for every registered window
+  /// whose chain changed, the acting primary re-replicates (adopt + snapshot
+  /// burst + sync-done) to the next live eligible member.
+  void update_replication_roles(int dead_node);
+  /// Log + transmit one raw mirror on this rank's own ledger stream to
+  /// `backup` (no inject delay charge; event-context safe). Used by the
+  /// re-replication snapshot burst and in-flight mirror forwarding.
+  void mirror_raw(int backup, const AmHdr& h, std::vector<std::byte> payload);
+  /// Backup side: accept one in-order mirror — apply it, gate it while this
+  /// copy materializes, or park it pre-adoption; then forward it when this
+  /// rank is an acting primary with a live backup.
+  void route_mirror(int src, const AmHdr& h, std::span<const std::byte> payload);
+  /// Blocking readiness probe: does `target` host a complete, live copy of
+  /// `mem_id`? Cached per window; used only when failover walks past the
+  /// handle's own owner/backup pair.
+  bool probe_replica(int target, std::uint64_t mem_id);
   /// Re-drive rescued gets at their backup once its mirror stream is flushed.
   void drain_reissues();
   /// Failover target resolution: owner if alive, else the live backup
@@ -476,6 +546,11 @@ class RmaEngine {
 
   // Incoming atomic/fallback ops awaiting the executor.
   std::shared_ptr<sim::Channel<AmMsg>> am_chan_;  // comm_thread serializer
+  /// Shared with the comm thread: dispose() flips it so messages still
+  /// queued behind the shutdown sentinel are dropped, never executed
+  /// against a destroyed engine (a killed rank's queue drains as if the
+  /// NIC blackholed them).
+  std::shared_ptr<bool> comm_alive_;
   std::deque<AmMsg> pending_am_;                  // progress serializer
   std::unordered_map<int, std::uint64_t> am_applied_from_;
   std::uint64_t am_applied_total_ = 0;
@@ -502,11 +577,32 @@ class RmaEngine {
   // (freed at dispose; also marks ids in attached_ that are replicas).
   std::map<std::uint64_t, std::uint64_t> replica_bufs_;
   std::uint64_t mirrors_applied_total_ = 0;
+  // Re-replication registry: every copy (owner or backup) this rank hosts.
+  std::map<std::uint64_t, ReplWindow> repl_windows_;
+  // Mirrors accepted (acked on the origin stream) but not yet applicable:
+  // parked until the local copy finishes materializing / is adopted.
+  std::map<std::uint64_t, std::deque<GatedMirror>> mat_gate_;
+  std::map<std::uint64_t, std::deque<GatedMirror>> pre_adopt_gate_;
+  // Failover probe cache: window -> rank verified ready (invalidated when
+  // that rank dies); windows verified lost short-circuit to replica_lost.
+  std::map<std::uint64_t, int> probe_ok_;
+  std::set<std::uint64_t> lost_windows_;
   // Failure detector state, indexed by world rank. Healthy-path code only
   // reads these flags, so fault-free runs are byte-identical.
   std::vector<char> target_failed_;
   std::vector<sim::Time> target_failed_at_;
   int death_listener_ = -1;
+  bool draining_reissues_ = false;  // re-entrancy guard: chain-aware re-walk
+                                    // inside drain_reissues may progress()
+  // Fault-robust teardown (replication only): an engine leaves by sending
+  // `bye` to every comm member and parks — still serving mirrors, probes,
+  // adoption streams and retargeted ops — until every live member has said
+  // bye too (dead members count via the death announcement). The plain
+  // dissemination barrier releases waiters the instant a round partner dies,
+  // which would tear a chain member's engine down while a re-replication
+  // burst is in flight to it.
+  bool quiescing_ = false;
+  std::vector<std::uint8_t> bye_seen_;  // world-rank indexed
   bool disposed_ = false;
   bool shutting_down_ = false;
 };

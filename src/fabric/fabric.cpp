@@ -97,7 +97,9 @@ void Nic::dispatch(Packet&& p) {
   M3RMA_ENSURE(it != handlers_.end(),
                "packet delivered for unregistered protocol " +
                    std::to_string(p.protocol) + " on node " +
-                   std::to_string(node_));
+                   std::to_string(node_) + " src=" + std::to_string(p.src) +
+                   " hdr=" + std::to_string(p.header.size()) + "b @t=" +
+                   std::to_string(fabric_->engine().now()));
   it->second(std::move(p));
 }
 

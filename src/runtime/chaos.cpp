@@ -1,0 +1,72 @@
+#include "runtime/chaos.hpp"
+
+#include <algorithm>
+
+#include "common/diagnostics.hpp"
+#include "common/rng.hpp"
+
+namespace m3rma::runtime {
+
+FaultPlan chaos_plan(const ChaosSpec& spec, std::uint64_t seed) {
+  M3RMA_REQUIRE(!spec.victims.empty(), "chaos spec needs victim ranks");
+  M3RMA_REQUIRE(spec.window_end > spec.window_start,
+                "chaos spec needs a non-empty time window");
+  // Domain-separated stream: schedules drawn for different seeds never
+  // correlate, and the plan is independent of any other consumer of `seed`.
+  SplitMix64 rng(mix64(seed ^ 0x63686165f5a5a5a5ULL));
+
+  const int max_crashes = static_cast<int>(spec.victims.size()) -
+                          std::max(0, spec.min_survivors);
+  const int crashes = std::max(0, std::min(spec.crashes, max_crashes));
+
+  // Victims without replacement: partial Fisher-Yates over a copy.
+  std::vector<int> pool = spec.victims;
+  FaultPlan plan;
+  plan.announce = true;  // per-event overrides below carry the real mix
+  std::vector<sim::Time> times;
+  times.reserve(static_cast<std::size_t>(crashes));
+  for (int i = 0; i < crashes; ++i) {
+    const auto pick =
+        static_cast<std::size_t>(rng.next_below(pool.size() - static_cast<std::size_t>(i)));
+    std::swap(pool[pick], pool[pool.size() - 1 - static_cast<std::size_t>(i)]);
+    times.push_back(spec.window_start +
+                    static_cast<sim::Time>(rng.next_below(
+                        static_cast<std::uint64_t>(spec.window_end -
+                                                   spec.window_start))));
+  }
+  std::sort(times.begin(), times.end());
+  // Enforce the minimum gap by pushing later crashes forward; a gap of 0
+  // keeps exact collisions (same-tick double crash) intact.
+  for (std::size_t i = 1; i < times.size(); ++i) {
+    if (times[i] < times[i - 1] + spec.min_gap) {
+      times[i] = times[i - 1] + spec.min_gap;
+    }
+  }
+  for (int i = 0; i < crashes; ++i) {
+    FaultEvent fe;
+    fe.rank = pool[pool.size() - 1 - static_cast<std::size_t>(i)];
+    fe.at = times[static_cast<std::size_t>(i)];
+    fe.announce = rng.next_bool(spec.announce_probability) ? 1 : 0;
+    plan.schedule.push_back(fe);
+  }
+  // Deliver in time order (kill_rank replays deterministically either way,
+  // but an ordered schedule reads better in logs and plan descriptions).
+  std::sort(plan.schedule.begin(), plan.schedule.end(),
+            [](const FaultEvent& a, const FaultEvent& b) {
+              return a.at != b.at ? a.at < b.at : a.rank < b.rank;
+            });
+  return plan;
+}
+
+std::string describe_plan(const FaultPlan& plan) {
+  std::string out;
+  for (const FaultEvent& fe : plan.schedule) {
+    if (!out.empty()) out += ", ";
+    out += "r" + std::to_string(fe.rank) + "@" +
+           std::to_string(fe.at / 1000) + "us" +
+           ((fe.announce < 0 ? plan.announce : fe.announce != 0) ? "!" : "~");
+  }
+  return out.empty() ? "none" : out;
+}
+
+}  // namespace m3rma::runtime

@@ -1,0 +1,55 @@
+// Chaos-schedule harness: seeded randomized fail-stop fault plans for
+// multi-crash survivability studies (ROADMAP item 5 follow-on; Besta &
+// Hoefler, arXiv 2010.09025).
+//
+// A ChaosSpec describes the *shape* of an adversarial schedule — how many
+// crashes, which ranks are eligible victims, the time window, the
+// announced/silent mix, and how tightly crashes may cluster (including
+// "crash during the previous crash's re-replication window"). chaos_plan()
+// expands it into a concrete FaultPlan deterministically from the seed:
+// the same (spec, seed) pair always yields the same schedule, so every
+// chaos run replays byte-identically.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "runtime/world.hpp"
+
+namespace m3rma::runtime {
+
+struct ChaosSpec {
+  /// Eligible victim ranks (e.g. the KV store's server ranks). Victims are
+  /// drawn without replacement; at most victims.size() crashes occur, and a
+  /// spec must always leave at least one eligible rank alive.
+  std::vector<int> victims;
+  /// Number of crashes to schedule (clamped to victims.size() -
+  /// min_survivors so the workload keeps that many eligible ranks alive).
+  int crashes = 2;
+  /// How many victim ranks must survive the schedule. The default (1)
+  /// always leaves a failover target among the victims; benches whose
+  /// survivor lives outside the victim pool (a fixed-victim crash whose
+  /// clients are elsewhere) set 0 to allow the whole pool to die.
+  int min_survivors = 1;
+  /// Crash times are drawn uniformly in [window_start, window_end).
+  sim::Time window_start = 0;
+  sim::Time window_end = 1'000'000;
+  /// Probability that a given crash is announced (the launcher broadcasts
+  /// it); otherwise it is silent and survivors detect it endogenously.
+  double announce_probability = 1.0;
+  /// Minimum spacing between consecutive crashes. 0 allows same-tick double
+  /// crashes; a small positive value staggers them — e.g. inside the
+  /// previous crash's re-replication window to hit mid-re-sync orderings.
+  sim::Time min_gap = 0;
+};
+
+/// Expand `spec` into a deterministic FaultPlan using `seed`. Crash times
+/// are sorted ascending; victims are distinct.
+FaultPlan chaos_plan(const ChaosSpec& spec, std::uint64_t seed);
+
+/// One-line human/CSV description of a plan ("r3@350us!, r5@612us~" where
+/// `!` = announced, `~` = silent), stable across runs for a given seed.
+std::string describe_plan(const FaultPlan& plan);
+
+}  // namespace m3rma::runtime

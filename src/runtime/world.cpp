@@ -65,8 +65,10 @@ void World::run(const std::function<void(Rank&)>& fn) {
   for (const FaultEvent& fe : cfg_.faults.schedule) {
     M3RMA_REQUIRE(fe.rank >= 0 && fe.rank < cfg_.ranks,
                   "fault schedule names an out-of-range rank");
+    const bool announce =
+        fe.announce < 0 ? cfg_.faults.announce : fe.announce != 0;
     eng_.schedule_at(fe.at,
-                     [this, fe] { kill_rank(fe.rank, cfg_.faults.announce); });
+                     [this, fe, announce] { kill_rank(fe.rank, announce); });
   }
   eng_.run();
 }

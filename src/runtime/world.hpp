@@ -31,6 +31,10 @@ class Rank;
 struct FaultEvent {
   int rank = -1;
   sim::Time at = 0;
+  /// Per-event announce override: -1 inherits FaultPlan::announce, 0 forces
+  /// a silent death, 1 forces an announced one. Chaos schedules mix both in
+  /// a single plan.
+  int announce = -1;
 };
 
 /// Deterministic fail-stop fault plan. Replays byte-identically under the
@@ -49,6 +53,12 @@ struct FaultPlan {
   bool isolate_on_link_failure = true;
 };
 
+/// When a replicated window's copies are maintained: eagerly (every write is
+/// mirrored to the backup as it happens, PR-6 style) or lazily (origins keep
+/// a local dirty-region write log and materialize the backup only at
+/// failover). Lazy trades steady-state put overhead for failover stall.
+enum class ReplMode : std::uint8_t { eager, lazy };
+
 /// Opt-in primary/backup window replication policy, consumed by
 /// core::RmaEngine::attach. Disabled (the default) is byte-identical to a
 /// build without the replication machinery: attach sends nothing, handles
@@ -58,8 +68,13 @@ struct ReplicationConfig {
   /// Deterministic backup placement: the backup of rank r is
   /// (r + backup_offset) mod ranks. A window whose computed backup is the
   /// owner itself, already dead, or refuses the replica (endianness
-  /// mismatch) is created unreplicated.
+  /// mismatch) is created unreplicated. After a failover the surviving copy
+  /// re-replicates to the next rank along the same chain
+  /// (owner + k*backup_offset), skipping dead or endian-mismatched ranks,
+  /// so redundancy is restored and a second crash keeps the window alive.
   int backup_offset = 1;
+  /// Recovery mode: eager mirror stream vs demand-driven (lazy) recovery.
+  ReplMode mode = ReplMode::eager;
 };
 
 struct WorldConfig {

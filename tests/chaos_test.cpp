@@ -1,0 +1,125 @@
+// runtime::chaos_plan — seeded randomized fail-stop schedules for the
+// multi-crash survivability harness (bench/tab_chaos_kvstore).
+//
+// Invariants under test:
+//  * (spec, seed) -> plan is a pure function: the same pair reproduces the
+//    schedule exactly, different seeds diversify victims and timing;
+//  * every plan respects its spec: victims distinct and drawn from the
+//    pool, at least min_survivors pool members spared, crash count clamped,
+//    times ordered with at least min_gap between consecutive crashes;
+//  * the announce mix follows announce_probability at the endpoints, and
+//    describe_plan renders it ("!" announced, "~" silent) stably.
+#include <gtest/gtest.h>
+
+#include <set>
+#include <string>
+#include <vector>
+
+#include "runtime/chaos.hpp"
+
+namespace m3rma::runtime {
+namespace {
+
+ChaosSpec kv_spec() {
+  // The shape bench/tab_chaos_kvstore sweeps: four eligible servers, two
+  // crashes inside [350us, 1ms), staggered by >= 150us so the second crash
+  // can land inside the first one's re-replication window without being
+  // same-tick.
+  ChaosSpec s;
+  s.victims = {0, 1, 2, 3};
+  s.crashes = 2;
+  s.min_survivors = 1;
+  s.window_start = 350'000;
+  s.window_end = 1'000'000;
+  s.min_gap = 150'000;
+  s.announce_probability = 1.0;
+  return s;
+}
+
+TEST(Chaos, SameSeedReproducesThePlanExactly) {
+  const ChaosSpec spec = kv_spec();
+  for (std::uint64_t seed = 1; seed <= 16; ++seed) {
+    const FaultPlan a = chaos_plan(spec, seed);
+    const FaultPlan b = chaos_plan(spec, seed);
+    ASSERT_EQ(a.schedule.size(), b.schedule.size()) << "seed " << seed;
+    for (std::size_t i = 0; i < a.schedule.size(); ++i) {
+      EXPECT_EQ(a.schedule[i].rank, b.schedule[i].rank);
+      EXPECT_EQ(a.schedule[i].at, b.schedule[i].at);
+      EXPECT_EQ(a.schedule[i].announce, b.schedule[i].announce);
+    }
+    EXPECT_EQ(describe_plan(a), describe_plan(b));
+  }
+}
+
+TEST(Chaos, PlansRespectWindowSpacingAndSurvivors) {
+  const ChaosSpec spec = kv_spec();
+  for (std::uint64_t seed = 1; seed <= 64; ++seed) {
+    const FaultPlan plan = chaos_plan(spec, seed);
+    ASSERT_EQ(plan.schedule.size(), 2u) << "seed " << seed;
+    std::set<int> victims;
+    for (const FaultEvent& fe : plan.schedule) {
+      victims.insert(fe.rank);
+      EXPECT_GE(fe.rank, 0);
+      EXPECT_LE(fe.rank, 3);
+      EXPECT_GE(fe.at, spec.window_start);
+    }
+    EXPECT_EQ(victims.size(), 2u) << "victims drawn without replacement";
+    EXPECT_LE(static_cast<int>(victims.size()),
+              static_cast<int>(spec.victims.size()) - spec.min_survivors);
+    // The first crash is always inside the raw window; later ones may be
+    // pushed forward by the gap rule, but never further than the gaps
+    // themselves account for.
+    EXPECT_LT(plan.schedule.front().at, spec.window_end);
+    for (std::size_t i = 1; i < plan.schedule.size(); ++i) {
+      EXPECT_GE(plan.schedule[i].at, plan.schedule[i - 1].at + spec.min_gap);
+      EXPECT_LT(plan.schedule[i].at,
+                spec.window_end + static_cast<sim::Time>(i) * spec.min_gap);
+    }
+  }
+}
+
+TEST(Chaos, SeedsDiversifyVictimsAndTiming) {
+  const ChaosSpec spec = kv_spec();
+  std::set<std::string> distinct;
+  for (std::uint64_t seed = 1; seed <= 16; ++seed) {
+    distinct.insert(describe_plan(chaos_plan(spec, seed)));
+  }
+  // 16 seeds over (4 choose 2 ordered) victim pairs x a 650us window must
+  // not collapse to a handful of schedules.
+  EXPECT_GE(distinct.size(), 8u);
+}
+
+TEST(Chaos, CrashCountClampsToPoolMinusSurvivors) {
+  ChaosSpec spec = kv_spec();
+  spec.victims = {0, 1, 2};
+  spec.crashes = 10;  // more than the pool can absorb
+  EXPECT_EQ(chaos_plan(spec, 7).schedule.size(), 2u)
+      << "min_survivors=1 must spare one of the three victims";
+  spec.min_survivors = 0;
+  EXPECT_EQ(chaos_plan(spec, 7).schedule.size(), 3u)
+      << "min_survivors=0 allows the whole pool to die";
+  spec.crashes = 0;
+  EXPECT_TRUE(chaos_plan(spec, 7).schedule.empty());
+  EXPECT_EQ(describe_plan(chaos_plan(spec, 7)), "none");
+}
+
+TEST(Chaos, AnnounceMixFollowsProbabilityAtTheEndpoints) {
+  ChaosSpec spec = kv_spec();
+  for (std::uint64_t seed = 1; seed <= 8; ++seed) {
+    spec.announce_probability = 1.0;
+    for (const FaultEvent& fe : chaos_plan(spec, seed).schedule) {
+      EXPECT_EQ(fe.announce, 1);
+    }
+    EXPECT_EQ(describe_plan(chaos_plan(spec, seed)).find('~'),
+              std::string::npos);
+    spec.announce_probability = 0.0;
+    for (const FaultEvent& fe : chaos_plan(spec, seed).schedule) {
+      EXPECT_EQ(fe.announce, 0);
+    }
+    EXPECT_EQ(describe_plan(chaos_plan(spec, seed)).find('!'),
+              std::string::npos);
+  }
+}
+
+}  // namespace
+}  // namespace m3rma::runtime

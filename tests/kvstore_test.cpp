@@ -22,6 +22,7 @@
 #include "apps/kv_store.hpp"
 #include "apps/stats_sink.hpp"
 #include "apps/workload.hpp"
+#include "runtime/chaos.hpp"
 #include "runtime/comm.hpp"
 #include "runtime/world.hpp"
 #include "trace/recorder.hpp"
@@ -374,6 +375,68 @@ TEST(KvStore, CrashDuringInsertStormFailsOverReplicatedShard) {
     EXPECT_EQ(s.failed, 0u) << "failover must be transparent to the app";
     EXPECT_EQ(s.overflows, 0u);
   }
+}
+
+// Seeded chaos schedule kills BOTH server ranks (min_survivors=0): the
+// shard chains extend into the client ranks, which end up acting primaries
+// for each other's traffic. Lazy mode makes this the adversarial ordering
+// the chaos sweep keeps finding bugs in — deferred logs flushing into
+// freshly adopted copies while the second crash lands. Every acked
+// increment must be conserved in the final counters.
+TEST(KvStore, LazyChaosDoubleServerCrashConservesAckedIncrements) {
+  WorldConfig cfg = world_cfg(4, 97);
+  cfg.replication.enabled = true;
+  cfg.replication.mode = runtime::ReplMode::lazy;
+  runtime::ChaosSpec spec;
+  spec.victims = {0, 1};  // every server dies; clients 2,3 inherit the shards
+  spec.crashes = 2;
+  spec.min_survivors = 0;
+  spec.window_start = 400'000;
+  spec.window_end = 800'000;
+  spec.min_gap = 150'000;
+  cfg.faults = runtime::chaos_plan(spec, /*seed=*/5);
+  ASSERT_EQ(cfg.faults.schedule.size(), 2u);
+  World w(cfg);
+  constexpr std::uint64_t kKeys = 8;
+  std::array<std::array<std::uint64_t, kKeys>, 4> acked{};
+  std::array<std::uint64_t, kKeys> final_counts{};
+  std::uint64_t lost = 1, failed = 1;
+  w.run([&](Rank& r) {
+    core::RmaEngine eng(r, r.comm_world());
+    KvConfig kc;
+    kc.servers = 2;
+    kc.key_space = 64;
+    kc.value_bytes = 32;
+    KvStore kv(r, eng, kc);
+    // Collective split before the victims park: client-only barrier comm.
+    auto clients = r.comm_world().split(kv.is_server() ? -1 : 0, r.id());
+    const auto me = static_cast<std::size_t>(r.id());
+    if (kv.is_server()) {
+      r.ctx().delay(3'000'000);  // both die before this elapses
+      return;
+    }
+    // Paced increments spanning both crashes (~t=60us..1.26ms).
+    for (int i = 0; i < 80; ++i) {
+      const std::uint64_t k = static_cast<std::uint64_t>(i) % kKeys;
+      if (kv.incr(k, 1).has_value()) acked[me][k] += 1;
+      r.ctx().delay(15'000);
+    }
+    clients->barrier();  // quiesce before the verification read
+    if (r.id() == 2) {
+      for (std::uint64_t k = 0; k < kKeys; ++k) {
+        final_counts[k] = kv.incr(k, 0).value_or(0);
+      }
+      lost = kv.stats().lost;
+      failed = kv.stats().failed;
+    }
+    clients->barrier();
+  });
+  for (std::uint64_t k = 0; k < kKeys; ++k) {
+    EXPECT_EQ(final_counts[k], acked[2][k] + acked[3][k])
+        << "key " << k << ": acked increments lost across the double crash";
+  }
+  EXPECT_EQ(lost, 0u) << "no shard may lose its last copy";
+  EXPECT_EQ(failed, 0u) << "failover must stay transparent to the app";
 }
 
 }  // namespace

@@ -233,10 +233,14 @@ TEST(Replication, InFlightOpsRescuedOrReissuedAtCrash) {
 
 // ---------------------------------------------------- adversarial orders
 
-TEST(Replication, BackupDiesFirstThenPrimaryMeansReplicaLost) {
+// An exhausted succession chain still degrades to replica_lost: with
+// backup_offset=2 on four ranks, rank 1's chain is {1, 3} only, so once the
+// backup (3) and then the primary (1) are gone there is nowhere left to
+// re-replicate and the window is honestly lost.
+TEST(Replication, ChainExhaustedAfterBackupThenPrimaryMeansReplicaLost) {
   WorldConfig cfg = repl_cfg(4, 47);
-  // Rank 2 is rank 1's backup. Backup dies first, then the primary.
-  cfg.faults.schedule = {{/*rank=*/2, /*at=*/200'000},
+  cfg.replication.backup_offset = 2;  // chain of rank 1 = {1, 3}
+  cfg.faults.schedule = {{/*rank=*/3, /*at=*/200'000},
                          {/*rank=*/1, /*at=*/500'000}};
   World w(cfg);
   bool mid_ok = false;
@@ -247,7 +251,7 @@ TEST(Replication, BackupDiesFirstThenPrimaryMeansReplicaLost) {
     const int me = r.id();
     RmaEngine eng(r, r.comm_world());
     auto [buf, mems] = eng.allocate_shared(64);
-    if (me == 1 || me == 2) {
+    if (me == 1 || me == 3) {
       r.ctx().delay(2'000'000);
       return;
     }
@@ -272,6 +276,214 @@ TEST(Replication, BackupDiesFirstThenPrimaryMeansReplicaLost) {
   EXPECT_TRUE(mid_ok);
   EXPECT_EQ(final_status, OpStatus::replica_lost);
   EXPECT_GE(replica_lost_ops, 1u);
+}
+
+// The multi-crash tentpole: the backup dies first, the surviving primary
+// re-replicates to the next chain member (rank 3), and a later crash of the
+// primary no longer loses the window — ops retarget to the fresh copy with
+// contents (including pre-re-replication writes and RMW state) intact.
+TEST(Replication, SecondCrashAfterRereplicationSurvives) {
+  WorldConfig cfg = repl_cfg(4, 47);
+  cfg.faults.schedule = {{/*rank=*/2, /*at=*/200'000},
+                         {/*rank=*/1, /*at=*/500'000}};
+  World w(cfg);
+  std::uint64_t rerepl = 0, rerepl_bytes = 0;
+  std::uint64_t fa_pre = 1, fa_mid = 1, fa_post = 1;
+  bool put_post_ok = false;
+  std::vector<std::uint64_t> got;
+  w.run([&](Rank& r) {
+    const int me = r.id();
+    RmaEngine eng(r, r.comm_world());
+    auto [buf, mems] = eng.allocate_shared(64);
+    if (me == 1) {
+      // The primary idles; sample its stats after the backup's death but
+      // before its own (re-replication fires inside the death cascade).
+      r.ctx().delay(300'000);
+      rerepl = eng.stats().rereplications;
+      rerepl_bytes = eng.stats().rerepl_bytes;
+      r.ctx().delay(1'700'000);
+      return;
+    }
+    if (me != 0) return;
+    auto src = r.alloc(8);
+    // Phase 1 (both copies healthy): a put and an RMW.
+    store<std::uint64_t>(r, src.addr, {11});
+    eng.put_bytes(src.addr, mems[1], 8, 8, 1,
+                  Attrs(RmaAttr::blocking) | RmaAttr::remote_completion);
+    fa_pre = eng.fetch_add(mems[1], 0, 5, 1);  // 0 -> 5
+    r.ctx().delay(300'000);  // ride through the backup's death
+    // Phase 2 (primary alive, fresh backup materialized): mirrors flow to
+    // the adopted rank 3.
+    store<std::uint64_t>(r, src.addr, {22});
+    eng.put_bytes(src.addr, mems[1], 16, 8, 1,
+                  Attrs(RmaAttr::blocking) | RmaAttr::remote_completion);
+    fa_mid = eng.fetch_add(mems[1], 0, 7, 1);  // 5 -> 12
+    r.ctx().delay(300'000);  // ride through the primary's death
+    // Phase 3 (primary dead): everything serves from the re-replicated copy.
+    store<std::uint64_t>(r, src.addr, {33});
+    core::Request p =
+        eng.put_bytes(src.addr, mems[1], 24, 8, 1,
+                      Attrs(RmaAttr::blocking) | RmaAttr::remote_completion);
+    put_post_ok = !p.failed();
+    fa_post = eng.fetch_add(mems[1], 0, 9, 1);  // 12 -> 21
+    auto dst = r.alloc(32);
+    core::Request g =
+        eng.get_bytes(dst.addr, mems[1], 0, 32, 1, Attrs(RmaAttr::blocking));
+    EXPECT_FALSE(g.failed());
+    got = load<std::uint64_t>(r, dst.addr, 4);
+    EXPECT_EQ(eng.stats().replica_lost_ops, 0u);
+  });
+  EXPECT_GE(rerepl, 1u) << "backup death must trigger re-replication";
+  EXPECT_GE(rerepl_bytes, 64u);
+  EXPECT_TRUE(put_post_ok);
+  EXPECT_EQ(fa_pre, 0u);
+  EXPECT_EQ(fa_mid, 5u);
+  EXPECT_EQ(fa_post, 12u) << "RMW state must survive both crashes";
+  ASSERT_EQ(got.size(), 4u);
+  EXPECT_EQ(got[0], 21u);  // 5 + 7 + 9
+  EXPECT_EQ(got[1], 11u);  // phase-1 put, snapshotted into the fresh copy
+  EXPECT_EQ(got[2], 22u);  // phase-2 put, mirrored to the fresh copy
+  EXPECT_EQ(got[3], 33u);  // phase-3 put, served at the fresh copy
+}
+
+// The freshly adopted backup itself dies mid-snapshot: the still-alive
+// primary walks further along the chain and re-replicates again, so the
+// eventual primary crash still finds a complete copy. Five ranks keep the
+// second adoption away from the origin; the 256 KiB window keeps the first
+// snapshot burst in flight when its target dies.
+TEST(Replication, FreshTargetDiesMidResyncTriggersAnotherRereplication) {
+  WorldConfig cfg = repl_cfg(5, 67);
+  cfg.faults.schedule = {{/*rank=*/2, /*at=*/200'000},
+                         {/*rank=*/3, /*at=*/210'000},
+                         {/*rank=*/1, /*at=*/500'000}};
+  World w(cfg);
+  std::uint64_t rerepl = 0;
+  bool put_post_ok = false;
+  std::uint64_t got = 0, lost_ops = 0;
+  w.run([&](Rank& r) {
+    const int me = r.id();
+    RmaEngine eng(r, r.comm_world());
+    auto [buf, mems] = eng.allocate_shared(256 * 1024);
+    if (me == 1) {
+      r.ctx().delay(300'000);
+      rerepl = eng.stats().rereplications;  // to rank 3, then to rank 4
+      r.ctx().delay(1'700'000);
+      return;
+    }
+    if (me != 0) return;
+    auto src = r.alloc(8);
+    store<std::uint64_t>(r, src.addr, {4242});
+    eng.put_bytes(src.addr, mems[1], 8, 8, 1,
+                  Attrs(RmaAttr::blocking) | RmaAttr::remote_completion);
+    r.ctx().delay(600'000);  // ride through all three crashes
+    core::Request p =
+        eng.put_bytes(src.addr, mems[1], 16, 8, 1,
+                      Attrs(RmaAttr::blocking) | RmaAttr::remote_completion);
+    put_post_ok = !p.failed();
+    auto dst = r.alloc(8);
+    core::Request g =
+        eng.get_bytes(dst.addr, mems[1], 8, 8, 1, Attrs(RmaAttr::blocking));
+    EXPECT_FALSE(g.failed());
+    got = load<std::uint64_t>(r, dst.addr, 1)[0];
+    lost_ops = eng.stats().replica_lost_ops;
+  });
+  EXPECT_GE(rerepl, 2u) << "the dead adoptee must be replaced by the next "
+                           "chain member";
+  EXPECT_TRUE(put_post_ok);
+  EXPECT_EQ(got, 4242u);
+  EXPECT_EQ(lost_ops, 0u);
+}
+
+// ------------------------------------------------------------- lazy mode
+
+// Lazy recovery: mirrors are logged at the origin but not transmitted, so
+// the backup's replica stays untouched while the primary is healthy.
+TEST(Replication, LazyModeDefersMirrorTraffic) {
+  WorldConfig cfg = repl_cfg(4, 71);
+  cfg.replication.mode = runtime::ReplMode::lazy;
+  std::uint64_t mirrored[4] = {};
+  std::uint64_t applied[4] = {};
+  World w(cfg);
+  w.run([&](Rank& r) {
+    const int me = r.id();
+    RmaEngine eng(r, r.comm_world());
+    auto [buf, mems] = eng.allocate_shared(64);
+    auto src = r.alloc(16);
+    store<std::uint64_t>(r, src.addr, {0x1234, 77});
+    eng.put_bytes(src.addr, mems[1], 16 * static_cast<std::uint64_t>(me),
+                  16, 1,
+                  Attrs(RmaAttr::blocking) | RmaAttr::remote_completion);
+    eng.fetch_add(mems[1], 0, 1, 1);
+    eng.complete_collective();
+    r.ctx().delay(200'000);
+    eng.order_collective();
+    mirrored[me] = eng.stats().mirrored_ops;
+    applied[me] = eng.mirrors_applied();
+  });
+  for (int i = 0; i < 4; ++i) {
+    // The write log is maintained exactly like the eager mirror stream...
+    EXPECT_EQ(mirrored[i], 2u) << "rank " << i;
+    // ...but nothing is transmitted: no replica absorbs anything.
+    EXPECT_EQ(applied[i], 0u) << "rank " << i;
+  }
+}
+
+// Lazy failover: the primary's death triggers the deferred flush; parked
+// ops complete through it and the backup then serves intact contents,
+// exactly like eager — the difference is only when the bytes moved.
+TEST(Replication, LazyFailoverFlushesLogAndServesFromBackup) {
+  WorldConfig cfg = repl_cfg(4, 73);
+  cfg.replication.mode = runtime::ReplMode::lazy;
+  cfg.faults.schedule = {{/*rank=*/1, /*at=*/400'000}};
+  World w(cfg);
+  std::vector<std::uint64_t> got;
+  std::uint64_t fa_before = 1, fa_after = 1;
+  std::uint64_t resync_ops = 0, resync_bytes = 0;
+  bool put_after_ok = false;
+  w.run([&](Rank& r) {
+    const int me = r.id();
+    RmaEngine eng(r, r.comm_world());
+    auto [buf, mems] = eng.allocate_shared(64);
+    if (me == 1) {
+      r.ctx().delay(2'000'000);
+      return;
+    }
+    if (me != 0) return;
+    auto src = r.alloc(32);
+    store<std::uint64_t>(r, src.addr, {41, 42, 43, 44});
+    eng.put_bytes(src.addr, mems[1], 8, 32, 1,
+                  Attrs(RmaAttr::blocking) | RmaAttr::remote_completion);
+    fa_before = eng.fetch_add(mems[1], 0, 5, 1);  // 0 -> 5
+    eng.complete(1);
+    r.ctx().delay(600'000);  // ride through the crash
+    ASSERT_TRUE(eng.target_failed(1));
+    store<std::uint64_t>(r, src.addr, {99, 0, 0, 0});
+    core::Request p =
+        eng.put_bytes(src.addr, mems[1], 40, 8, 1,
+                      Attrs(RmaAttr::blocking) | RmaAttr::remote_completion);
+    put_after_ok = !p.failed();
+    fa_after = eng.fetch_add(mems[1], 0, 7, 1);  // 5 -> 12
+    auto dst = r.alloc(48);
+    core::Request g =
+        eng.get_bytes(dst.addr, mems[1], 0, 48, 1, Attrs(RmaAttr::blocking));
+    EXPECT_FALSE(g.failed());
+    got = load<std::uint64_t>(r, dst.addr, 6);
+    resync_ops = eng.stats().resync_ops;
+    resync_bytes = eng.stats().resync_bytes;
+  });
+  EXPECT_TRUE(put_after_ok);
+  EXPECT_EQ(fa_before, 0u);
+  EXPECT_EQ(fa_after, 5u) << "the deferred log must carry the RMW";
+  ASSERT_EQ(got.size(), 6u);
+  EXPECT_EQ(got[0], 12u);
+  EXPECT_EQ(got[1], 41u);
+  EXPECT_EQ(got[2], 42u);
+  EXPECT_EQ(got[3], 43u);
+  EXPECT_EQ(got[4], 44u);
+  EXPECT_EQ(got[5], 99u);
+  // The whole pre-crash log (put + rmw) moved at failover, not before.
+  EXPECT_GE(resync_ops, 2u);
+  EXPECT_GE(resync_bytes, 32u);
 }
 
 TEST(Replication, PrimaryAndBackupDieSameTick) {
@@ -315,7 +527,10 @@ TEST(Replication, PrimaryAndBackupDieSameTick) {
 
 // Backup dies while a failover re-sync / rescue is pending: parked ops and
 // queued get re-issues must fail with replica_lost instead of waiting for
-// an ack that can never come.
+// an ack that can never come. The 256 KiB window makes the acting primary's
+// re-replication snapshot burst take ~37us of wire time, so the second
+// crash at +18us provably lands mid-materialization: the half-built copy on
+// rank 3 must refuse probes and the window is honestly lost.
 TEST(Replication, BackupDiesDuringFailoverResync) {
   WorldConfig cfg = repl_cfg(4, 61);
   cfg.faults.schedule = {{/*rank=*/1, /*at=*/300'000},
@@ -326,7 +541,7 @@ TEST(Replication, BackupDiesDuringFailoverResync) {
   w.run([&](Rank& r) {
     const int me = r.id();
     RmaEngine eng(r, r.comm_world());
-    auto [buf, mems] = eng.allocate_shared(64);
+    auto [buf, mems] = eng.allocate_shared(256 * 1024);
     if (me == 1 || me == 2) {
       r.ctx().delay(2'000'000);
       return;
@@ -463,6 +678,124 @@ TEST(Replication, UnorderedNetworkMirrorsApplyInStreamOrder) {
   for (std::size_t i = 0; i < 16; ++i) {
     EXPECT_EQ(got[i], 0x1000ull + i) << "slot " << i;
   }
+}
+
+// ------------------------------------------- multi-crash regressions
+
+// An RMW stream ridden straight through the backup's death, with the
+// primary dying later: every increment applied at the primary must reach
+// the re-replicated copy. Two repair paths are on trial — an RMW whose
+// reply lands just after the backup died (no mirror destination at reply
+// time), and RMW mirrors already logged toward the now-dead backup (a
+// semantic replay could double-apply against the fresh snapshot) — both
+// must re-publish the post-RMW word through the live primary instead of
+// being dropped or replayed.
+void rmw_conserved_across_backup_then_primary_death(runtime::ReplMode mode) {
+  WorldConfig cfg = repl_cfg(4, 83);
+  cfg.replication.mode = mode;
+  cfg.faults.schedule = {{/*rank=*/2, /*at=*/400'000},
+                         {/*rank=*/1, /*at=*/800'000}};
+  World w(cfg);
+  constexpr std::uint64_t kIncrs = 20;
+  std::uint64_t total = 0, lost_ops = 1;
+  std::vector<std::uint64_t> got;
+  w.run([&](Rank& r) {
+    const int me = r.id();
+    RmaEngine eng(r, r.comm_world());
+    auto [buf, mems] = eng.allocate_shared(64);
+    if (me == 1 || me == 2) {
+      r.ctx().delay(2'000'000);  // victims idle until their scheduled death
+      return;
+    }
+    if (me == 3) {
+      r.ctx().delay(2'000'000);  // stays alive: the adopted serving copy
+      return;
+    }
+    auto src = r.alloc(8);
+    store<std::uint64_t>(r, src.addr, {0xfeed});
+    eng.put_bytes(src.addr, mems[1], 8, 8, 1,
+                  Attrs(RmaAttr::blocking) | RmaAttr::remote_completion);
+    r.ctx().delay(300'000);
+    // Blocking increments paced across the backup's death at t=400us: some
+    // mirror normally, some are in flight at the crash, some sit in the
+    // dead-letter ledger when detection lands.
+    for (std::uint64_t i = 0; i < kIncrs; ++i) {
+      eng.fetch_add(mems[1], 0, 1, 1);
+      r.ctx().delay(10'000);
+    }
+    r.ctx().delay(600'000);  // ride through the primary's death at t=800us
+    total = eng.fetch_add(mems[1], 0, 0, 1);
+    auto dst = r.alloc(8);
+    core::Request g =
+        eng.get_bytes(dst.addr, mems[1], 8, 8, 1, Attrs(RmaAttr::blocking));
+    EXPECT_FALSE(g.failed());
+    got = load<std::uint64_t>(r, dst.addr, 1);
+    lost_ops = eng.stats().replica_lost_ops;
+  });
+  EXPECT_EQ(total, kIncrs)
+      << "an acked increment vanished across the double crash";
+  ASSERT_EQ(got.size(), 1u);
+  EXPECT_EQ(got[0], 0xfeedu);
+  EXPECT_EQ(lost_ops, 0u);
+}
+
+TEST(Replication, EagerRmwConservedAcrossBackupThenPrimaryDeath) {
+  rmw_conserved_across_backup_then_primary_death(runtime::ReplMode::eager);
+}
+
+TEST(Replication, LazyRmwConservedAcrossBackupThenPrimaryDeath) {
+  rmw_conserved_across_backup_then_primary_death(runtime::ReplMode::lazy);
+}
+
+// Lazy double crash where the adopted backup was itself the writer: rank
+// 3's pre-crash puts sit deferred in its own log; at the primary's death
+// it flushes them to the acting primary (rank 2), which adopts rank 3 as
+// its fresh backup. The acting primary must echo those applied mirrors
+// back to rank 3 — an origin populates its replica only through incoming
+// ledger streams, never its own outgoing log — or rank 2's later death
+// leaves a copy missing exactly the adoptee's own writes.
+TEST(Replication, LazyAdopteeIsEchoedItsOwnResyncedWrites) {
+  WorldConfig cfg = repl_cfg(4, 89);
+  cfg.replication.mode = runtime::ReplMode::lazy;
+  cfg.faults.schedule = {{/*rank=*/1, /*at=*/400'000},
+                         {/*rank=*/2, /*at=*/800'000}};
+  World w(cfg);
+  std::vector<std::uint64_t> got;
+  std::uint64_t lost_ops = 1;
+  w.run([&](Rank& r) {
+    const int me = r.id();
+    RmaEngine eng(r, r.comm_world());
+    auto [buf, mems] = eng.allocate_shared(64);
+    if (me == 1 || me == 2) {
+      r.ctx().delay(2'000'000);
+      return;
+    }
+    if (me == 3) {
+      // The writer — and, after both crashes, the only surviving copy.
+      auto src = r.alloc(8);
+      for (std::uint64_t i = 0; i < 8; ++i) {
+        store<std::uint64_t>(r, src.addr, {0x3000 + i});
+        eng.put_bytes(src.addr, mems[1], 8 * i, 8, 1,
+                      Attrs(RmaAttr::blocking) | RmaAttr::remote_completion);
+      }
+      eng.complete(1);
+      r.ctx().delay(2'000'000);  // serve the adopted replica to the end
+      return;
+    }
+    r.ctx().delay(1'200'000);  // past both crashes and the echo traffic
+    auto dst = r.alloc(64);
+    core::Request g =
+        eng.get_bytes(dst.addr, mems[1], 0, 64, 1, Attrs(RmaAttr::blocking));
+    EXPECT_FALSE(g.failed());
+    got = load<std::uint64_t>(r, dst.addr, 8);
+    lost_ops = eng.stats().replica_lost_ops;
+  });
+  ASSERT_EQ(got.size(), 8u);
+  for (std::uint64_t i = 0; i < 8; ++i) {
+    EXPECT_EQ(got[i], 0x3000 + i) << "slot " << i
+                                  << ": the adoptee's own write must survive";
+  }
+  EXPECT_EQ(lost_ops, 0u);
 }
 
 }  // namespace
