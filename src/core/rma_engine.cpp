@@ -35,11 +35,17 @@ struct RmaEngine::AmHdr {
                       // (snapshot burst follows on the same mirror stream)
     repl_sync_done,   // acting primary -> fresh backup: snapshot complete
     repl_probe,       // origin -> candidate: is your copy complete + live?
-    repl_probe_ack,   // candidate -> origin: value_a 1 = ready, 0 = lost
-    repl_rmw_fwd,     // origin -> serving copy: re-publish the post-RMW
-                      // word to your current backup (failed-over windows
-                      // only; a client-side semantic replay double-applies
-                      // when the fresh backup's snapshot has the effect)
+    repl_probe_ack,   // candidate -> origin: value_a 1 = ready, 0 = lost,
+                      // 2 = copy still materializing (retry, not a verdict)
+    repl_region_fwd,  // origin -> serving copy: re-publish [offset,
+                      // offset+length) from your authoritative memory to
+                      // your current backup. Repairs committed RMWs and
+                      // accumulates whose mirror lost its destination: a
+                      // client-side semantic replay double-applies when
+                      // the fresh backup's snapshot has the effect
+    repl_region_fwd_done,  // serving copy -> origin: the requested region
+                           // is on the wire to the backup (or was dropped);
+                           // releases mirrors the origin held for ordering
     bye,              // teardown handshake: sender has entered quiesce
   };
 
@@ -322,6 +328,19 @@ void RmaEngine::dispose() {
 void RmaEngine::quiesce() {
   complete(kAllRanks);
   quiescing_ = true;  // stop initiating re-replication; keep serving
+  if (!fwd_hold_.empty()) {
+    // A repair confirmation lost to a primary that disposed before serving
+    // it must not strand held mirrors past teardown: put the deferred
+    // tails on the wire before draining. (Lazy mode takes no holds, so its
+    // deferred log is untouched here.)
+    fwd_hold_.clear();
+    for (const auto& [b, led] : repl_out_) {
+      if (target_failed_[static_cast<std::size_t>(b)] == 0 &&
+          led.flushed < led.sent) {
+        flush_deferred(b);
+      }
+    }
+  }
   const auto drained = [&] {
     for (const auto& [b, led] : repl_out_) {
       if (target_failed_[static_cast<std::size_t>(b)] == 0 &&
@@ -366,6 +385,18 @@ void RmaEngine::quiesce() {
   } else {
     comm_->barrier();
   }
+}
+
+bool RmaEngine::peers_quiesced() const {
+  if (!quiescing_) return false;
+  for (const int m : comm_->members()) {
+    if (m == rank_->id()) continue;
+    if (bye_seen_[static_cast<std::size_t>(m)] == 0 &&
+        target_failed_[static_cast<std::size_t>(m)] == 0) {
+      return false;
+    }
+  }
+  return true;
 }
 
 // --------------------------------------------------------------- attaching
@@ -1504,16 +1535,37 @@ void RmaEngine::on_target_failed(int node) {
   //  * put mirrors re-log onto this origin's ledger to the fresh backup —
   //    idempotent, ordered against the origin's newer writes by the stream
   //    seq, and ordered after the snapshot by the materialization gate.
-  //  * RMW mirrors cannot be replayed (a replay double-applies whenever
-  //    the snapshot already carries the effect, and the origin cannot tell
-  //    whether it does). Instead the live primary is asked to re-publish
-  //    the post-RMW word from its authoritative memory (repl_rmw_fwd): the
-  //    word rides the primary's own in-order stream behind its snapshot
-  //    burst, so it converges to the authoritative value either way.
-  //  * accumulate mirrors that were never transmitted keep the lazy-log
-  //    skip: the primary applied them before any of this rank's later
-  //    traffic, so the snapshot covers them unless they raced the burst —
-  //    a race the put/RMW repairs close but a commutative re-apply cannot.
+  //  * RMW and accumulate mirrors cannot be replayed: apply_rmw/apply_acc
+  //    are not idempotent, a replay double-applies whenever the snapshot
+  //    already carries the effect, and the origin cannot tell whether it
+  //    does (transmitted and lazily deferred entries are equally
+  //    undecidable). Instead the live primary is asked to re-publish the
+  //    affected bytes from its authoritative memory (repl_region_fwd):
+  //    the region rides the primary's own in-order stream behind its
+  //    snapshot burst, so it converges to the authoritative value whether
+  //    or not the snapshot carried the effect.
+  // Region repairs awaiting `node`'s confirmation will never hear back:
+  // release their holds now. The repaired window's fate is the chain
+  // machinery's problem (re-adoption or terminal loss) — holding mirrors
+  // longer only strands the stream tail.
+  if (const auto q = fwd_inflight_.find(node); q != fwd_inflight_.end()) {
+    for (const int b : q->second) {
+      if (b < 0) continue;
+      const auto hold = fwd_hold_.find(b);
+      if (hold == fwd_hold_.end()) continue;
+      if (--hold->second > 0) continue;
+      fwd_hold_.erase(hold);
+      if (target_failed_[static_cast<std::size_t>(b)] == 0) {
+        flush_deferred(b);
+      }
+    }
+    fwd_inflight_.erase(q);
+  }
+  // Holds on the stream toward the dead rank are moot: the ledger repair
+  // below re-routes or region-repairs its entries, and fresh mirrors no
+  // longer route there. (Confirmations still pending for those holds
+  // decrement a missing map entry, which the done handler tolerates.)
+  fwd_hold_.erase(node);
   if (auto oit = repl_out_.find(node); oit != repl_out_.end()) {
     for (const ReplPending& pnd : oit->second.pending) {
       if (pnd.primary == node || pnd.primary == rank_->id()) continue;
@@ -1524,11 +1576,12 @@ void RmaEngine::on_target_failed(int node) {
       if (pnd.hdr_bytes.size() != sizeof(AmHdr)) continue;
       std::memcpy(&h, pnd.hdr_bytes.data(), pnd.hdr_bytes.size());
       if (h.kind == AmHdr::Kind::repl_mirror_rmw) {
-        rmw_word_fwd(pnd.primary, h.mem_id, h.offset);
+        region_fwd(pnd.primary, h.mem_id, h.offset, 8);
         continue;
       }
       if (h.kind != AmHdr::Kind::repl_mirror) continue;
-      if (h.op == RmaOptype::accumulate && pnd.seq > oit->second.flushed) {
+      if (h.op == RmaOptype::accumulate) {
+        region_fwd(pnd.primary, h.mem_id, h.offset, h.length);
         continue;
       }
       const int nb = chain_next_alive(h.mem_id, pnd.primary);
@@ -1655,7 +1708,7 @@ std::uint64_t RmaEngine::rmw(portals::RmwOp op, const TargetMem& mem,
       mirror_rmw(op, eff, disp, a, b);
     } else if (eff.backup >= 0 &&
                target_failed_[static_cast<std::size_t>(eff.owner)] == 0) {
-      rmw_word_fwd(eff.owner, eff.id, disp);
+      region_fwd(eff.owner, eff.id, disp, 8);
     }
   };
 
@@ -2098,6 +2151,21 @@ void RmaEngine::mirror_block(const std::shared_ptr<Request::State>& st,
                              portals::NumType nt, const TargetMem& mem,
                              std::uint64_t offset, std::uint64_t src_addr,
                              std::uint64_t len) {
+  if (target_failed_[static_cast<std::size_t>(mem.backup)] != 0) {
+    // Stale handle: the backup died while this op's data packet was being
+    // injected (the injection yield lets the failure event run, repair the
+    // old ledger, and erase it). Logging here would recreate that ledger as
+    // an orphan no repair or re-sync ever visits — the entry, and with it
+    // the op, would be silently lost at the primary's death. The data
+    // packet is already queued ahead of any AM on the same (origin,
+    // primary) channel, so ask the still-live primary to re-publish the
+    // post-op region to its current backup instead: the idempotent repair
+    // reads state that includes this op's effect.
+    if (target_failed_[static_cast<std::size_t>(mem.owner)] == 0) {
+      region_fwd(mem.owner, mem.id, offset, len);
+    }
+    return;
+  }
   ReplLedger& led = repl_out_[mem.backup];
   AmHdr h;
   h.kind = AmHdr::Kind::repl_mirror;
@@ -2123,6 +2191,13 @@ void RmaEngine::mirror_block(const std::shared_ptr<Request::State>& st,
     // Lazy recovery: the entry stays logged-but-untransmitted (flushed does
     // not advance), keeping mirror traffic entirely off the healthy-path
     // critical path; failover re-sync pushes the log instead.
+    return;
+  }
+  if (const auto hold = fwd_hold_.find(mem.backup);
+      hold != fwd_hold_.end() && hold->second > 0) {
+    // Region repair in flight toward this backup: keep the entry logged but
+    // off the wire so the repair put applies first (see region_fwd);
+    // repl_region_fwd_done flushes the held tail.
     return;
   }
   led.flushed = led.sent;
@@ -2163,6 +2238,10 @@ void RmaEngine::mirror_rmw(portals::RmwOp op, const TargetMem& mem,
   if (rank_->world().config().replication.mode == runtime::ReplMode::lazy) {
     return;  // logged only; pushed by the failover re-sync
   }
+  if (const auto hold = fwd_hold_.find(mem.backup);
+      hold != fwd_hold_.end() && hold->second > 0) {
+    return;  // region repair in flight: held like a lazy entry (region_fwd)
+  }
   led.flushed = led.sent;
   rank_->ctx().delay(rank_->world().config().costs.inject_overhead_ns);
   rank_->world().fabric().nic(rank_->id()).send(mem.backup, std::move(p));
@@ -2172,16 +2251,39 @@ void RmaEngine::mirror_rmw(portals::RmwOp op, const TargetMem& mem,
   }
 }
 
-void RmaEngine::rmw_word_fwd(int primary, std::uint64_t mem_id,
-                             std::uint64_t offset) {
+void RmaEngine::region_fwd(int primary, std::uint64_t mem_id,
+                           std::uint64_t offset, std::uint64_t length) {
+  if (length == 0) return;
   AmHdr f;
-  f.kind = AmHdr::Kind::repl_rmw_fwd;
+  f.kind = AmHdr::Kind::repl_region_fwd;
   f.mem_id = mem_id;
   f.offset = offset;
+  f.length = length;
   fabric::Packet fp;
   fp.protocol = kAmProtocolId;
   fabric::set_header(fp, f);
   rank_->world().fabric().nic(rank_->id()).send(primary, std::move(fp));
+  // The repair put rides the primary's stream to the fresh backup, but this
+  // origin keeps mirroring on its OWN stream, and the fabric does not order
+  // the two against each other: a mirror sent between now and the put's
+  // arrival lands first and is then clobbered by the put, whose bytes
+  // predate that mirror's data packet. So in eager mode, hold new mirrors
+  // toward the backup the primary will publish to — logged but
+  // untransmitted, the lazy-mode discipline — until the primary confirms
+  // the put is on the wire (repl_region_fwd_done); every held mirror then
+  // trails the put. Lazy mode defers everything anyway: no hold. The guess
+  // of the primary's backup can go stale under detection skew; a stale hold
+  // only mis-sizes the deferral window (degrading to the unordered
+  // behavior), it never corrupts the stream.
+  int held = -1;
+  if (rank_->world().config().replication.mode != runtime::ReplMode::lazy) {
+    const int b = chain_next_alive(mem_id, primary);
+    if (b >= 0) {
+      held = b;
+      fwd_hold_[b] += 1;
+    }
+  }
+  fwd_inflight_[primary].push_back(held);
 }
 
 void RmaEngine::apply_mirror(const AmHdr& h,
@@ -2258,17 +2360,25 @@ int RmaEngine::chain_next_alive(std::uint64_t mem_id, int after) const {
   return -1;
 }
 
-void RmaEngine::mirror_raw(int backup, const AmHdr& hdr,
-                           std::vector<std::byte> payload) {
-  ReplLedger& led = repl_out_[backup];
-  // This append flushes the whole stream. A lazily deferred entry below
-  // the new flush point would leave a seq hole the backup can never fill
-  // (it accepts strictly in order), wedging every later ack — so transmit
-  // the deferred tail first, keeping the stream contiguous.
+void RmaEngine::flush_deferred(int backup) {
+  const auto it = repl_out_.find(backup);
+  if (it == repl_out_.end()) return;
+  ReplLedger& led = it->second;
   for (const ReplPending& pnd : led.pending) {
     if (pnd.seq <= led.flushed) continue;
     send_am_raw(backup, pnd.hdr_bytes, pnd.payload);
   }
+  led.flushed = led.sent;
+}
+
+void RmaEngine::mirror_raw(int backup, const AmHdr& hdr,
+                           std::vector<std::byte> payload) {
+  // This append flushes the whole stream. A lazily deferred or repair-held
+  // entry below the new flush point would leave a seq hole the backup can
+  // never fill (it accepts strictly in order), wedging every later ack — so
+  // transmit the deferred tail first, keeping the stream contiguous.
+  flush_deferred(backup);
+  ReplLedger& led = repl_out_[backup];
   AmHdr h = hdr;
   h.req_id = ++led.sent;
   led.flushed = led.sent;
@@ -2287,24 +2397,32 @@ bool RmaEngine::probe_replica(int target, std::uint64_t mem_id) {
   if (lost_windows_.count(mem_id) != 0) return false;
   const auto hit = probe_ok_.find(mem_id);
   if (hit != probe_ok_.end() && hit->second == target) return true;
-  auto st = std::make_shared<Request::State>();
-  st->id = next_req_++;
-  st->world_target = target;
-  st->pending = 1;
-  st->counts_send = false;
-  reqs_.emplace(st->id, st);
-  rank_->ctx().delay(rank_->world().config().costs.inject_overhead_ns);
-  AmHdr h;
-  h.kind = AmHdr::Kind::repl_probe;
-  h.mem_id = mem_id;
-  h.req_id = st->id;
-  send_am(target, h, {});
-  stats_.probes_sent += 1;
-  progress_until([st] { return st->done; });
-  if (st->status != OpStatus::ok) return false;  // died mid-probe: re-walk
-  if (st->rmw_value == 1) {
-    probe_ok_[mem_id] = target;
-    return true;
+  for (;;) {
+    auto st = std::make_shared<Request::State>();
+    st->id = next_req_++;
+    st->world_target = target;
+    st->pending = 1;
+    st->counts_send = false;
+    reqs_.emplace(st->id, st);
+    rank_->ctx().delay(rank_->world().config().costs.inject_overhead_ns);
+    AmHdr h;
+    h.kind = AmHdr::Kind::repl_probe;
+    h.mem_id = mem_id;
+    h.req_id = st->id;
+    send_am(target, h, {});
+    stats_.probes_sent += 1;
+    progress_until([st] { return st->done; });
+    if (st->status != OpStatus::ok) return false;  // died mid-probe: re-walk
+    if (st->rmw_value == 1) {
+      probe_ok_[mem_id] = target;
+      return true;
+    }
+    if (st->rmw_value != 2) break;  // definitive: unhosted or marked lost
+    // Copy still materializing — not a verdict. The snapshot either
+    // completes (next answer 1), its source turns out dead and the copy is
+    // marked lost (answer 0), or the candidate dies (probe drains with an
+    // error); each retry costs a full round trip of simulated time, so the
+    // loop always advances toward one of those outcomes.
   }
   lost_windows_.insert(mem_id);
   return false;
@@ -2352,14 +2470,17 @@ void RmaEngine::route_mirror(int src, const AmHdr& h,
   } else {
     apply_mirror(h, payload);
   }
-  if (w->second.cur_backup >= 0) {
+  if (w->second.cur_backup >= 0 && !peers_quiesced()) {
     // Acting primary with a live successor: relay in-flight mirrors that
     // were addressed to us back when we were the backup, so the successor's
     // copy sees them too (our snapshot predates their acceptance). That
     // includes mirrors whose origin IS the successor — an origin applies
     // its replica only through incoming ledger streams, never its own
     // outgoing log, so without the echo a lazy write log resynced here
-    // would be missing from its author's adopted copy.
+    // would be missing from its author's adopted copy. Once every peer has
+    // entered quiesce the relay stops: no member issues new ops past its
+    // bye, and the successor may dispose the moment its own bye predicate
+    // holds — a late forward could chase a torn-down engine.
     mirror_raw(w->second.cur_backup, h,
                {payload.begin(), payload.end()});
     stats_.forwarded_mirrors += 1;
@@ -2371,6 +2492,22 @@ void RmaEngine::update_replication_roles(int dead_node) {
   (void)dead_node;
   for (auto& [mem_id, w] : repl_windows_) {  // std::map: ascending window id
     if (w.lost) continue;
+    if (w.materializing_from >= 0 &&
+        target_failed_[static_cast<std::size_t>(w.materializing_from)] !=
+            0) {
+      // Half-built copy whose snapshot source died: nothing can ever
+      // complete it (adoption refuses an existing attachment, third-party
+      // mirrors park behind the materialization gate), so the loss is
+      // terminal. Recorded unconditionally — chain position aside, and on
+      // quiescing ranks too, whose probe answers must not read as "still
+      // materializing" forever.
+      w.lost = true;
+      w.materializing_from = -1;
+      lost_windows_.insert(mem_id);
+      mat_gate_.erase(mem_id);
+      pre_adopt_gate_.erase(mem_id);
+      continue;
+    }
     if (quiescing_) {
       // Teardown phase: keep serving the copies we hold, but start no new
       // adoption — a freshly chosen backup could receive the final bye and
@@ -2382,16 +2519,6 @@ void RmaEngine::update_replication_roles(int dead_node) {
       continue;
     }
     if (chain_first_alive(mem_id) != rank_->id()) continue;
-    if (w.materializing_from >= 0) {
-      // We are the first live chain member but our copy is mid-snapshot:
-      // the source (the only complete copy) must be dead. Honest loss.
-      w.lost = true;
-      w.materializing_from = -1;
-      lost_windows_.insert(mem_id);
-      mat_gate_.erase(mem_id);
-      pre_adopt_gate_.erase(mem_id);
-      continue;
-    }
     const int nb = chain_next_alive(mem_id, rank_->id());
     if (nb == w.cur_backup) continue;
     w.cur_backup = nb;
@@ -2663,16 +2790,20 @@ void RmaEngine::on_am(fabric::Packet&& p) {
     }
     case AmHdr::Kind::repl_probe: {
       // Answered NIC-side like count_query: is this rank a complete, live
-      // copy holder of the window?
+      // copy holder of the window? Three-valued: a copy mid-
+      // materialization is neither ready nor lost — the snapshot source
+      // may have died right after sending repl_sync_done (marker still in
+      // flight, probe overtook it), in which case this copy completes
+      // moments later. Only an actually-lost (or unhosted) window is a
+      // terminal 0; materializing answers 2 so the prober retries instead
+      // of caching a permanent loss.
       const auto w = repl_windows_.find(h.mem_id);
+      const bool hosted = !shutting_down_ && attached_.count(h.mem_id) != 0 &&
+                          w != repl_windows_.end() && !w->second.lost;
       AmHdr r;
       r.kind = AmHdr::Kind::repl_probe_ack;
       r.req_id = h.req_id;
-      r.value_a = (!shutting_down_ && attached_.count(h.mem_id) != 0 &&
-                   w != repl_windows_.end() &&
-                   w->second.materializing_from < 0 && !w->second.lost)
-                      ? 1
-                      : 0;
+      r.value_a = !hosted ? 0 : (w->second.materializing_from >= 0 ? 2 : 1);
       send_am(p.src, r, {});
       break;
     }
@@ -2683,34 +2814,63 @@ void RmaEngine::on_am(fabric::Packet&& p) {
       }
       break;
     }
-    case AmHdr::Kind::repl_rmw_fwd: {
-      // Serving copy of a failed-over window: re-publish the post-RMW word
-      // to the current backup as a plain put on our own mirror stream. The
-      // word is read from the authoritative memory here, so the mirror is
-      // idempotent against the snapshot burst regardless of whether the
-      // burst already carried the RMW's effect. No backup yet (or chain
-      // exhausted): drop — a later adoption bursts the word with the rest
-      // of the region.
-      if (shutting_down_) break;
+    case AmHdr::Kind::repl_region_fwd: {
+      // Serving copy of a failed-over window: re-publish the requested
+      // region to the current backup as a plain put on our own mirror
+      // stream. The bytes are read from the authoritative memory here, so
+      // the mirror is idempotent against the snapshot burst regardless of
+      // whether the burst already carried the repaired op's effect. No
+      // backup yet (chain exhausted, or every peer already past its last
+      // op and free to dispose): drop — a later adoption bursts the bytes
+      // with the rest of the region.
       const auto a = attached_.find(h.mem_id);
-      if (a == attached_.end()) break;
-      M3RMA_ENSURE(h.offset + 8 <= a->second.length,
-                   "forwarded RMW exceeds the window");
       const auto w = repl_windows_.find(h.mem_id);
-      if (w == repl_windows_.end() || w->second.cur_backup < 0 ||
-          target_failed_[static_cast<std::size_t>(w->second.cur_backup)] !=
-              0) {
-        break;
+      const bool publish =
+          !shutting_down_ && h.length != 0 && a != attached_.end() &&
+          w != repl_windows_.end() && w->second.cur_backup >= 0 &&
+          target_failed_[static_cast<std::size_t>(w->second.cur_backup)] ==
+              0 &&
+          !peers_quiesced();
+      if (publish) {
+        M3RMA_ENSURE(h.offset + h.length <= a->second.length,
+                     "forwarded region exceeds the window");
+        AmHdr mh;
+        mh.kind = AmHdr::Kind::repl_mirror;
+        mh.op = RmaOptype::put;
+        mh.mem_id = h.mem_id;
+        mh.offset = h.offset;
+        mh.length = h.length;
+        std::vector<std::byte> region(h.length);
+        rank_->memory().nic_read(a->second.base + h.offset, region);
+        mirror_raw(w->second.cur_backup, mh, std::move(region));
       }
-      AmHdr mh;
-      mh.kind = AmHdr::Kind::repl_mirror;
-      mh.op = RmaOptype::put;
-      mh.mem_id = h.mem_id;
-      mh.offset = h.offset;
-      mh.length = 8;
-      std::vector<std::byte> word(8);
-      rank_->memory().nic_read(a->second.base + h.offset, word);
-      mirror_raw(w->second.cur_backup, mh, std::move(word));
+      // Confirm, published or dropped: the origin holds fresh mirrors
+      // toward our backup until this arrives, and a drop means there is no
+      // put to order behind anyway.
+      AmHdr d;
+      d.kind = AmHdr::Kind::repl_region_fwd_done;
+      d.mem_id = h.mem_id;
+      send_am(p.src, d, {});
+      break;
+    }
+    case AmHdr::Kind::repl_region_fwd_done: {
+      // Release one hold taken when the matching repl_region_fwd went out
+      // (the fabric is FIFO per pair, so confirmations arrive in request
+      // order). Flushing the deferred tail only now puts every held mirror
+      // on the wire strictly behind the primary's repair put.
+      const auto q = fwd_inflight_.find(p.src);
+      if (q == fwd_inflight_.end() || q->second.empty()) break;
+      const int b = q->second.front();
+      q->second.pop_front();
+      if (q->second.empty()) fwd_inflight_.erase(q);
+      if (b < 0) break;
+      const auto hold = fwd_hold_.find(b);
+      if (hold == fwd_hold_.end()) break;
+      if (--hold->second > 0) break;
+      fwd_hold_.erase(hold);
+      if (target_failed_[static_cast<std::size_t>(b)] == 0) {
+        flush_deferred(b);
+      }
       break;
     }
     case AmHdr::Kind::bye: {

@@ -456,13 +456,14 @@ class RmaEngine {
   /// Mirror a completed RMW (semantic op + operands; the backup replays it).
   void mirror_rmw(portals::RmwOp op, const TargetMem& mem, std::uint64_t disp,
                   std::uint64_t a, std::uint64_t b);
-  /// Ask the live primary of `mem_id` to re-publish the 8-byte word at
-  /// `offset` to its current backup (repl_rmw_fwd). Replicates a committed
-  /// RMW when a semantic replay could double-apply or has nowhere safe to
-  /// go: the word rides the primary's own in-order stream behind its
-  /// snapshot burst, so the copy converges to the authoritative value.
-  /// Fire-and-forget, event-context safe.
-  void rmw_word_fwd(int primary, std::uint64_t mem_id, std::uint64_t offset);
+  /// Ask the live primary of `mem_id` to re-publish `[offset,
+  /// offset+length)` to its current backup (repl_region_fwd). Replicates a
+  /// committed RMW or accumulate when a semantic replay could double-apply
+  /// or has nowhere safe to go: the bytes ride the primary's own in-order
+  /// stream behind its snapshot burst, so the copy converges to the
+  /// authoritative value. Fire-and-forget, event-context safe.
+  void region_fwd(int primary, std::uint64_t mem_id, std::uint64_t offset,
+                  std::uint64_t length);
   /// Backup side: apply one in-order mirror to the replica region.
   void apply_mirror(const AmHdr& h, std::span<const std::byte> payload);
   /// Block until the mirror stream to `backup` is fully acked (or the
@@ -489,13 +490,19 @@ class RmaEngine {
   /// `backup` (no inject delay charge; event-context safe). Used by the
   /// re-replication snapshot burst and in-flight mirror forwarding.
   void mirror_raw(int backup, const AmHdr& h, std::vector<std::byte> payload);
+  /// Transmit every logged-but-untransmitted entry on the ledger stream to
+  /// `backup` in seq order and advance the flush point (event-context safe).
+  /// Releases lazily deferred tails and region-repair holds alike.
+  void flush_deferred(int backup);
   /// Backup side: accept one in-order mirror — apply it, gate it while this
   /// copy materializes, or park it pre-adoption; then forward it when this
   /// rank is an acting primary with a live backup.
   void route_mirror(int src, const AmHdr& h, std::span<const std::byte> payload);
   /// Blocking readiness probe: does `target` host a complete, live copy of
   /// `mem_id`? Cached per window; used only when failover walks past the
-  /// handle's own owner/backup pair.
+  /// handle's own owner/backup pair. A mid-materialization answer is
+  /// retried (the copy may complete moments later); only a definitive
+  /// unhosted/lost answer caches the window as lost.
   bool probe_replica(int target, std::uint64_t mem_id);
   /// Re-drive rescued gets at their backup once its mirror stream is flushed.
   void drain_reissues();
@@ -521,6 +528,11 @@ class RmaEngine {
   /// a dangling death listener or claimed AM protocol behind).
   void dispose();
   void quiesce();
+  /// True once this rank has entered quiesce and every other live member's
+  /// bye has been seen: no peer issues new ops past its bye, and any peer
+  /// may dispose the moment its own predicates hold, so no new forward
+  /// traffic may be aimed at one.
+  bool peers_quiesced() const;
   /// Tracing: close the request's rma span and record its latency sample.
   /// No-op when the request was issued untraced.
   void finish_trace(Request::State& st);
@@ -587,6 +599,13 @@ class RmaEngine {
   // that rank dies); windows verified lost short-circuit to replica_lost.
   std::map<std::uint64_t, int> probe_ok_;
   std::set<std::uint64_t> lost_windows_;
+  // Region-repair ordering: outstanding repl_region_fwd requests by serving
+  // primary (FIFO per fabric pair keeps confirmations aligned with their
+  // request; each entry is the backup stream held for that request, -1 =
+  // none), and the per-backup count of holds currently deferring this
+  // origin's fresh mirrors (released — tail flushed — when it hits 0).
+  std::map<int, std::deque<int>> fwd_inflight_;
+  std::map<int, int> fwd_hold_;
   // Failure detector state, indexed by world rank. Healthy-path code only
   // reads these flags, so fault-free runs are byte-identical.
   std::vector<char> target_failed_;

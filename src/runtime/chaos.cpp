@@ -36,11 +36,15 @@ FaultPlan chaos_plan(const ChaosSpec& spec, std::uint64_t seed) {
   }
   std::sort(times.begin(), times.end());
   // Enforce the minimum gap by pushing later crashes forward; a gap of 0
-  // keeps exact collisions (same-tick double crash) intact.
+  // keeps exact collisions (same-tick double crash) intact. The documented
+  // [window_start, window_end) bound dominates min_gap when the two
+  // conflict: pushed times clamp back to the last in-window tick (crashes
+  // then collide there rather than spill past a bench's measured window).
   for (std::size_t i = 1; i < times.size(); ++i) {
     if (times[i] < times[i - 1] + spec.min_gap) {
       times[i] = times[i - 1] + spec.min_gap;
     }
+    if (times[i] >= spec.window_end) times[i] = spec.window_end - 1;
   }
   for (int i = 0; i < crashes; ++i) {
     FaultEvent fe;

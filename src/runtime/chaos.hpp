@@ -41,6 +41,9 @@ struct ChaosSpec {
   /// Minimum spacing between consecutive crashes. 0 allows same-tick double
   /// crashes; a small positive value staggers them — e.g. inside the
   /// previous crash's re-replication window to hit mid-re-sync orderings.
+  /// The window bound dominates: a crash pushed past window_end by the gap
+  /// rule clamps back to the last in-window tick (colliding there), so the
+  /// plan never schedules outside [window_start, window_end).
   sim::Time min_gap = 0;
 };
 

@@ -747,6 +747,98 @@ TEST(Replication, LazyRmwConservedAcrossBackupThenPrimaryDeath) {
   rmw_conserved_across_backup_then_primary_death(runtime::ReplMode::lazy);
 }
 
+// Accumulates take the same trial: dead-letter accumulate mirrors toward
+// the crashed backup must repair by a region forward through the live
+// primary, never by replay — a re-sent mirror is gated behind the fresh
+// backup's snapshot, which already carries the effect whenever the primary
+// applied the op before the cut, and apply_acc is not idempotent, so a
+// replay double-counts. Pacing increments across the backup's death leaves
+// mirrors in every ledger state (acked, in flight at the crash, logged
+// after detection); the survivor's total must be exactly one apply each.
+void acc_conserved_across_backup_then_primary_death(runtime::ReplMode mode,
+                                                    std::uint64_t pace_ns) {
+  WorldConfig cfg = repl_cfg(4, 83);
+  cfg.replication.mode = mode;
+  cfg.faults.schedule = {{/*rank=*/2, /*at=*/400'000},
+                         {/*rank=*/1, /*at=*/800'000}};
+  World w(cfg);
+  constexpr std::uint64_t kIncrs = 20;
+  std::uint64_t total = 0, lost_ops = 1;
+  std::vector<std::uint64_t> got;
+  w.run([&](Rank& r) {
+    const int me = r.id();
+    RmaEngine eng(r, r.comm_world());
+    auto [buf, mems] = eng.allocate_shared(64);
+    if (me != 0) {
+      r.ctx().delay(2'000'000);  // victims idle; rank 3 serves to the end
+      return;
+    }
+    const auto i64 = dt::Datatype::int64();
+    auto src = r.alloc(8);
+    store<std::uint64_t>(r, src.addr, {0xacc});
+    eng.put_bytes(src.addr, mems[1], 8, 8, 1,
+                  Attrs(RmaAttr::blocking) | RmaAttr::remote_completion);
+    store<std::uint64_t>(r, src.addr, {1});
+    r.ctx().delay(350'000);
+    // Nonblocking +1 accumulates paced tighter than the mirror-ack round
+    // trip, straddling the backup's death at t=400us: several mirrors are
+    // unacked at the origin while their op is already applied at the
+    // primary — i.e. inside the snapshot cut — which is exactly the state
+    // a replay-based repair double-counts.
+    std::vector<core::Request> accs;
+    for (std::uint64_t i = 0; i < kIncrs; ++i) {
+      accs.push_back(eng.accumulate(portals::AccOp::sum, src.addr, 1, i64,
+                                    mems[1], 0, 1, i64, 1,
+                                    Attrs(RmaAttr::remote_completion)));
+      r.ctx().delay(pace_ns);
+    }
+    for (auto& q : accs) {
+      q.wait();
+      EXPECT_FALSE(q.failed());
+    }
+    r.ctx().delay(600'000);  // ride through the primary's death at t=800us
+    total = eng.fetch_add(mems[1], 0, 0, 1);
+    auto dst = r.alloc(8);
+    core::Request g =
+        eng.get_bytes(dst.addr, mems[1], 8, 8, 1, Attrs(RmaAttr::blocking));
+    EXPECT_FALSE(g.failed());
+    got = load<std::uint64_t>(r, dst.addr, 1);
+    lost_ops = eng.stats().replica_lost_ops;
+  });
+  EXPECT_EQ(total, kIncrs)
+      << "an accumulate was double-applied or lost across the double crash";
+  ASSERT_EQ(got.size(), 1u);
+  EXPECT_EQ(got[0], 0xaccu);
+  EXPECT_EQ(lost_ops, 0u);
+}
+
+TEST(Replication, EagerAccumulateConservedAcrossBackupThenPrimaryDeath) {
+  acc_conserved_across_backup_then_primary_death(runtime::ReplMode::eager,
+                                                 3'000);
+}
+
+TEST(Replication, LazyAccumulateConservedAcrossBackupThenPrimaryDeath) {
+  acc_conserved_across_backup_then_primary_death(runtime::ReplMode::lazy,
+                                                 3'000);
+}
+
+// At 1us pacing an accumulate's issue straddles the backup-death event
+// itself: the issue path resolves the backup, yields inside the data
+// packet's injection, the failure event repairs and erases that backup's
+// ledger, and the resumed issue would log its mirror into a recreated
+// orphan ledger that no repair or re-sync ever visits — losing the op at
+// the primary's death. The fix reroutes the straddler through the
+// idempotent region forward.
+TEST(Replication, EagerAccumulateConservedWhenIssueStraddlesBackupDeath) {
+  acc_conserved_across_backup_then_primary_death(runtime::ReplMode::eager,
+                                                 1'000);
+}
+
+TEST(Replication, LazyAccumulateConservedWhenIssueStraddlesBackupDeath) {
+  acc_conserved_across_backup_then_primary_death(runtime::ReplMode::lazy,
+                                                 1'000);
+}
+
 // Lazy double crash where the adopted backup was itself the writer: rank
 // 3's pre-crash puts sit deferred in its own log; at the primary's death
 // it flushes them to the acting primary (rank 2), which adopts rank 3 as
