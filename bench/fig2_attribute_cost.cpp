@@ -12,8 +12,14 @@
 // X axis: bytes per put, 8 B .. 1 KiB. Y: ms for 100 puts + 1 complete
 // (maximum over the seven origins).
 //
-//   build/bench/fig2_attribute_cost
+//   build/bench/fig2_attribute_cost [--csv=FILE] [--trace[=FILE]]
+//                                   [--trace-flame[=FILE]]
+//                                   [--metrics-json[=FILE]]
+//
+// --csv dumps the table cells machine-readably (Table::write_csv) —
+// virtual time, byte-identical across runs.
 #include <algorithm>
+#include <fstream>
 #include <set>
 #include <string>
 #include <vector>
@@ -108,6 +114,14 @@ int main(int argc, char** argv) {
     t.rows.push_back(std::move(row));
   }
   t.print();
+
+  const std::string csv_file =
+      benchutil::csv_flag(argc, argv, "fig2_attribute_cost.csv");
+  if (!csv_file.empty()) {
+    std::ofstream os(csv_file, std::ios::binary);
+    t.write_csv(os);
+    std::printf("\ncsv: -> %s\n", csv_file.c_str());
+  }
 
   // Shape checks the paper's figure exhibits.
   std::printf("\nshape checks (8 B row):\n");

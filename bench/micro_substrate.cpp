@@ -2,8 +2,15 @@
 // itself: how fast the deterministic engine, fabric and memory model run on
 // the host. These bound how large a simulated experiment is practical.
 //
-//   build/bench/micro_substrate
+//   build/bench/micro_substrate [--csv=FILE] [--metrics-json[=FILE]]
+//                               [google-benchmark flags]
+//
+// Host times vary run to run; the --csv/--metrics-json table instead
+// reports the VIRTUAL cost of the same workloads (events dispatched,
+// virtual ns consumed) — deterministic, so CI can diff it byte for byte.
 #include <benchmark/benchmark.h>
+
+#include <fstream>
 
 #include "bench/bench_util.hpp"
 #include "fabric/fabric.hpp"
@@ -137,18 +144,112 @@ void BM_WorldBarrier(benchmark::State& state) {
 }
 BENCHMARK(BM_WorldBarrier)->Arg(4)->Arg(16);
 
+/// The deterministic companion to the host-time numbers: each BM_ workload
+/// re-run once at a fixed size, reporting items processed and the virtual
+/// time the simulated machine consumed. Pure simulator state, so the table
+/// is byte-identical run to run.
+benchutil::Table substrate_virtual_table() {
+  benchutil::Table t;
+  t.title =
+      "Substrate workloads, virtual cost (deterministic companion to the "
+      "host-time microbenches)";
+  t.header = {"workload", "items", "virtual ns"};
+  auto add = [&t](const char* name, std::uint64_t items, sim::Time ns) {
+    t.rows.push_back({name, benchutil::fmt_u64(items),
+                      benchutil::fmt_u64(ns)});
+  };
+  {
+    sim::Engine e;
+    long sink = 0;
+    e.spawn("p", [&](sim::Context& ctx) {
+      for (int i = 0; i < 10'000; ++i) {
+        ctx.engine().schedule_in(1, [&] { ++sink; });
+      }
+      ctx.delay(10'002);
+    });
+    e.run();
+    add("engine event dispatch", static_cast<std::uint64_t>(sink), e.now());
+  }
+  {
+    sim::Engine e;
+    e.spawn("p", [&](sim::Context& ctx) {
+      for (int i = 0; i < 2'000; ++i) ctx.delay(1);
+    });
+    e.run();
+    add("engine context switch", 2'000, e.now());
+  }
+  {
+    sim::Engine e;
+    sim::Channel<int> a(e), b(e);
+    e.spawn("ping", [&](sim::Context& ctx) {
+      for (int i = 0; i < 500; ++i) {
+        a.push(i);
+        (void)b.recv(ctx);
+      }
+    });
+    e.spawn("pong", [&](sim::Context& ctx) {
+      for (int i = 0; i < 500; ++i) {
+        (void)a.recv(ctx);
+        b.push(i);
+      }
+    });
+    e.run();
+    add("channel ping-pong rounds", 500, e.now());
+  }
+  {
+    sim::Engine e;
+    fabric::Fabric f(e, 2, fabric::Capabilities{}, fabric::CostModel{});
+    long got = 0;
+    f.nic(1).register_protocol(1, [&](fabric::Packet&&) { ++got; });
+    e.spawn("s", [&](sim::Context&) {
+      for (int i = 0; i < 2'000; ++i) {
+        fabric::Packet p;
+        p.protocol = 1;
+        p.header.resize(8);
+        f.nic(0).send(1, std::move(p));
+      }
+    });
+    e.run();
+    add("fabric messages delivered", static_cast<std::uint64_t>(got),
+        e.now());
+  }
+  for (const int ranks : {4, 16}) {
+    runtime::WorldConfig cfg;
+    cfg.ranks = ranks;
+    runtime::World w(cfg);
+    w.run([&](runtime::Rank& r) {
+      for (int i = 0; i < 20; ++i) r.comm_world().barrier();
+    });
+    add(ranks == 4 ? "world barrier rounds (4 ranks)"
+                   : "world barrier rounds (16 ranks)",
+        20, w.duration());
+  }
+  return t;
+}
+
 }  // namespace
 
 // Explicit main instead of BENCHMARK_MAIN() so the benchutil flags are
-// accepted (and stripped — google-benchmark rejects unknown flags). This
-// bench is host-time only, so --metrics-json emits an empty tables array;
-// its presence still lets drivers pass the flag to every build/bench/*.
+// accepted (and stripped — google-benchmark rejects unknown flags). The
+// host-time numbers stay google-benchmark's; --csv/--metrics-json report
+// the deterministic virtual-cost companion table instead.
 int main(int argc, char** argv) {
+  const std::string csv_file =
+      benchutil::csv_flag(argc, argv, "micro_substrate.csv");
   benchutil::MetricsJson mj{
       "micro_substrate",
       benchutil::metrics_json_flag(argc, argv, "micro_substrate"),
       {},
       {}};
+  if (!csv_file.empty() || mj.enabled()) {
+    const benchutil::Table t = substrate_virtual_table();
+    if (!csv_file.empty()) {
+      std::ofstream os(csv_file, std::ios::binary);
+      t.write_csv(os);
+      std::printf("csv: -> %s\n", csv_file.c_str());
+    }
+    mj.add(t);
+  }
   mj.write();
   benchutil::strip_benchutil_flags(argc, argv);
   benchmark::Initialize(&argc, argv);

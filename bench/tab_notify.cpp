@@ -1,0 +1,422 @@
+// Notified access (Table S15): what does the consumer's wakeup cost?
+//
+// An N-stage producer-consumer pipeline (rank s feeds rank s+1) moves
+// kItems messages through every stage and measures the per-hop HANDOFF
+// latency — producer injects, consumer is ready to act on the data. Three
+// signalling disciplines over the same Cray-XT5-like fabric:
+//
+//   * notified    put_notify: the data op itself carries a user tag; the
+//                 target's NotifyQueue wakes the (blocked, event-driven)
+//                 consumer when the bytes are applied. One wire op per item.
+//   * eq-poll     same put_notify, but the consumer polls NotifyQueue::poll
+//                 on a 500 ns CPU loop instead of blocking — the classic
+//                 "progress by spinning on the EQ" discipline.
+//   * flush+flag  the MPI-2-era recipe the paper's interface obviates: an
+//                 ordered payload put followed by a separate 8-byte
+//                 sequence-flag put; the consumer spins reading the flag
+//                 location. Two wire ops per item + polling granularity.
+//
+// Sizes 8 B .. 64 KiB, each through the direct (wire put) route and the
+// serialized route (atomicity attribute -> comm-thread AM handler, which
+// fires the notification after apply and echoes the fire time). Shape
+// checks assert the point of the subsystem: on small-message handoff,
+// notified access beats flush+flag (it rides the data packet — no second
+// op, no polling quantum) — the bench exits nonzero if that inverts.
+//
+// A separate pass replays the survivability story: the consumer stage is
+// replicated, the primary dies mid-stream (announced), and the table
+// reports rescue/re-arm counters plus a duplicate count at the surviving
+// copy, which must be zero — notifications fire exactly once at the copy
+// that ends up serving each op.
+//
+//   build/bench/tab_notify [--csv=FILE] [--trace[=FILE]]
+//                          [--trace-flame[=FILE]] [--metrics-json[=FILE]]
+//
+// --csv dumps every (mode, serializer, size, hop, seq) handoff sample —
+// virtual time, byte-identical across runs (CI double-runs and diffs).
+#include <algorithm>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "bench/bench_util.hpp"
+#include "core/rma_engine.hpp"
+
+using namespace m3rma;
+using benchutil::Table;
+
+namespace {
+
+constexpr int kStages = 4;   // ranks in the pipeline -> 3 hops
+constexpr int kItems = 48;   // messages pushed through every stage
+constexpr sim::Time kPollNs = 500;  // CPU polling quantum (eq-poll, flag)
+constexpr std::uint64_t kSizes[] = {8, 512, 8 * 1024, 64 * 1024};
+
+enum class Mode { notified, eq_poll, flush_flag };
+
+const char* mode_name(Mode m) {
+  switch (m) {
+    case Mode::notified:
+      return "notified";
+    case Mode::eq_poll:
+      return "eq-poll";
+    case Mode::flush_flag:
+      return "flush+flag";
+  }
+  return "?";
+}
+
+struct PipeResult {
+  std::vector<sim::Time> handoffs;  // per (hop, seq), hop-major
+  sim::Time elapsed = 0;            // whole pipeline, first inject .. drain
+  std::uint64_t wire_ops = 0;       // data + flag puts issued
+  std::uint64_t fired = 0;          // notifications enqueued (notify modes)
+
+  sim::Time mean() const {
+    if (handoffs.empty()) return 0;
+    sim::Time sum = 0;
+    for (sim::Time t : handoffs) sum += t;
+    return sum / handoffs.size();
+  }
+  sim::Time p99() const {
+    if (handoffs.empty()) return 0;
+    std::vector<sim::Time> s = handoffs;
+    std::sort(s.begin(), s.end());
+    return s[(s.size() * 99) / 100 == s.size() ? s.size() - 1
+                                               : (s.size() * 99) / 100];
+  }
+};
+
+std::uint64_t disp_of(int seq, std::uint64_t size) {
+  return static_cast<std::uint64_t>(seq) * size;
+}
+
+PipeResult run_pipeline(Mode mode, std::uint64_t size, bool serialized) {
+  PipeResult res;
+  // send_t[h][i]: rank h injected item i of hop h; recv_t[h][i]: rank h+1
+  // was ready to act on it. Exactly one simulated process runs at a time,
+  // so plain shared vectors are race-free.
+  std::vector<std::vector<sim::Time>> send_t(
+      kStages - 1, std::vector<sim::Time>(kItems, 0));
+  std::vector<std::vector<sim::Time>> recv_t = send_t;
+  // Window: one payload slot per item + an 8-byte flag slot at the end, so
+  // no mode ever needs backpressure and flush+flag's flag put never races
+  // its own payload (ordering does the rest).
+  const std::uint64_t flag_off = static_cast<std::uint64_t>(kItems) * size;
+  const std::uint64_t win_bytes = flag_off + 8;
+  const sim::Time pace =
+      2'000 + static_cast<sim::Time>(static_cast<double>(size) / 1.6);
+
+  res.elapsed = benchutil::run_world(
+      benchutil::xt5_config(kStages), [&](runtime::Rank& r) {
+        const int me = r.id();
+        core::RmaEngine eng(r, r.comm_world());
+        auto [buf, mems] = eng.allocate_shared(win_bytes);
+        const core::Attrs attrs =
+            core::Attrs(core::RmaAttr::ordering) |
+            (serialized ? core::Attrs(core::RmaAttr::atomicity)
+                        : core::Attrs::none());
+        // Flag staging: one stable 8-byte slot per item (the put may read
+        // the source after the call returns on the serialized route).
+        auto flag_src = r.alloc(8 * static_cast<std::uint64_t>(kItems));
+
+        auto send_item = [&](int seq, std::uint64_t from_addr) {
+          const int nxt = me + 1;
+          send_t[static_cast<std::size_t>(me)][static_cast<std::size_t>(
+              seq)] = r.ctx().now();
+          if (mode == Mode::flush_flag) {
+            eng.put_bytes(from_addr, mems[static_cast<std::size_t>(nxt)],
+                          disp_of(seq, size), size, nxt, attrs);
+            const std::uint64_t v = static_cast<std::uint64_t>(seq) + 1;
+            r.memory().cpu_write(
+                flag_src.addr + 8 * static_cast<std::uint64_t>(seq),
+                std::span(reinterpret_cast<const std::byte*>(&v), 8));
+            eng.put_bytes(flag_src.addr +
+                              8 * static_cast<std::uint64_t>(seq),
+                          mems[static_cast<std::size_t>(nxt)], flag_off, 8,
+                          nxt, attrs);
+          } else {
+            eng.put_notify(from_addr, mems[static_cast<std::size_t>(nxt)],
+                           disp_of(seq, size), size, nxt,
+                           static_cast<std::uint32_t>(seq), attrs);
+          }
+        };
+        auto recv_item = [&](int seq) {
+          if (mode == Mode::notified) {
+            (void)eng.notify_queue(mems[static_cast<std::size_t>(me)])
+                .wait(r.ctx());
+          } else if (mode == Mode::eq_poll) {
+            auto& q = eng.notify_queue(mems[static_cast<std::size_t>(me)]);
+            while (!q.poll().has_value()) r.ctx().delay(kPollNs);
+          } else {
+            std::uint64_t flag = 0;
+            for (;;) {
+              r.memory().cpu_read_uncached(
+                  buf.addr + flag_off,
+                  std::span(reinterpret_cast<std::byte*>(&flag), 8));
+              if (flag >= static_cast<std::uint64_t>(seq) + 1) break;
+              r.ctx().delay(kPollNs);
+            }
+          }
+          recv_t[static_cast<std::size_t>(me - 1)][static_cast<std::size_t>(
+              seq)] = r.ctx().now();
+        };
+
+        if (me == 0) {
+          auto src = r.alloc(size);
+          for (int seq = 0; seq < kItems; ++seq) {
+            send_item(seq, src.addr);
+            r.ctx().delay(pace);
+          }
+        } else {
+          for (int seq = 0; seq < kItems; ++seq) {
+            recv_item(seq);
+            // Forward straight out of the landing slot.
+            if (me < kStages - 1) send_item(seq, buf.addr + disp_of(seq, size));
+          }
+        }
+        eng.complete_collective();
+        res.wire_ops += eng.stats().puts;
+        res.fired += eng.stats().notifies_fired;
+      });
+
+  for (int h = 0; h < kStages - 1; ++h) {
+    for (int i = 0; i < kItems; ++i) {
+      res.handoffs.push_back(recv_t[static_cast<std::size_t>(h)]
+                                   [static_cast<std::size_t>(i)] -
+                             send_t[static_cast<std::size_t>(h)]
+                                   [static_cast<std::size_t>(i)]);
+    }
+  }
+  return res;
+}
+
+// ---------------------------------------------------------- crash scenario
+
+struct CrashResult {
+  std::uint64_t ok = 0, failed = 0;
+  std::uint64_t rearmed = 0, rescued = 0, retargeted = 0;
+  std::uint64_t fired_backup = 0, dupes_backup = 0;
+};
+
+/// Producer (rank 0) streams notified puts at rank 1's replicated window;
+/// rank 1 dies announced mid-stream with one 64 KiB op on the wire. The
+/// surviving copy (rank 2) drains its queue at the end.
+CrashResult run_crash_case() {
+  constexpr int kOps = 24;
+  constexpr sim::Time kCrashAt = 400'000;
+  auto cfg = benchutil::xt5_config(4);
+  cfg.replication.enabled = true;
+  cfg.faults.schedule = {{/*rank=*/1, /*at=*/kCrashAt}};
+  CrashResult res;
+  benchutil::run_world(cfg, [&](runtime::Rank& r) {
+    const int me = r.id();
+    core::RmaEngine eng(r, r.comm_world());
+    auto [buf, mems] = eng.allocate_shared(128 * 1024);
+    if (me == 1) {
+      r.ctx().delay(1'000'000'000);  // victim idles until the kill
+      return;
+    }
+    if (me == 0) {
+      auto src = r.alloc(64 * 1024);
+      for (int i = 0; i < kOps; ++i) {
+        // Op 8 is a 64 KiB put timed to straddle the crash; the rest are
+        // small. Every op must complete ok (rescued or retargeted).
+        const bool big = i == 8;
+        if (big) r.ctx().delay(390'000 - r.ctx().now());
+        auto req = eng.put_notify(
+            src.addr, mems[1], big ? 1024 : 8 * static_cast<std::uint64_t>(i),
+            big ? 64 * 1024 : 8, 1, static_cast<std::uint32_t>(100 + i),
+            core::Attrs(core::RmaAttr::ordering) |
+                core::RmaAttr::remote_completion);
+        req.wait();
+        if (req.failed()) {
+          res.failed += 1;
+        } else {
+          res.ok += 1;
+        }
+      }
+      res.rearmed = eng.stats().notifies_rearmed;
+      res.rescued = eng.stats().rescued_ops;
+      res.retargeted = eng.stats().retargeted_ops;
+    }
+    if (me == 2) {
+      r.ctx().delay(3'000'000);  // outlive the failover, then drain
+      auto& q = eng.notify_queue(mems[1]);
+      std::vector<std::uint32_t> tags;
+      while (auto n = q.poll()) tags.push_back(n->tag);
+      res.fired_backup = tags.size();
+      std::sort(tags.begin(), tags.end());
+      for (std::size_t i = 1; i < tags.size(); ++i) {
+        if (tags[i] == tags[i - 1]) res.dupes_backup += 1;
+      }
+    }
+    eng.complete_collective();
+  });
+  return res;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  benchutil::TraceSession session(argc, argv, "tab_notify");
+
+  Table t;
+  t.title =
+      "Notified access (Table S15) — per-hop handoff latency of a " +
+      std::to_string(kStages) + "-stage producer-consumer pipeline, " +
+      std::to_string(kItems) +
+      " messages per stage, Cray-XT5-like fabric. notified = put_notify + "
+      "blocking NotifyQueue::wait; eq-poll = put_notify + 500 ns poll loop; "
+      "flush+flag = ordered payload put + 8 B flag put + 500 ns flag spin";
+  t.header = {"serializer", "size (B)",     "mode",
+              "handoff mean (us)",          "handoff p99 (us)",
+              "pipeline total (us)",        "wire puts",
+              "notifies fired",             "vs notified"};
+
+  struct Key {
+    bool serialized;
+    std::uint64_t size;
+    Mode mode;
+  };
+  std::vector<std::pair<Key, PipeResult>> all;
+  for (const bool serialized : {false, true}) {
+    for (const std::uint64_t size : kSizes) {
+      PipeResult notified;
+      for (const Mode mode :
+           {Mode::notified, Mode::eq_poll, Mode::flush_flag}) {
+        PipeResult r = run_pipeline(mode, size, serialized);
+        if (mode == Mode::notified) notified = r;
+        t.rows.push_back(
+            {serialized ? "comm-thread AM" : "direct",
+             benchutil::fmt_u64(size), mode_name(mode),
+             benchutil::fmt_us(r.mean()), benchutil::fmt_us(r.p99()),
+             benchutil::fmt_us(r.elapsed), benchutil::fmt_u64(r.wire_ops),
+             benchutil::fmt_u64(r.fired),
+             benchutil::fmt_ratio(r.mean(), notified.mean())});
+        all.push_back({Key{serialized, size, mode}, std::move(r)});
+      }
+    }
+  }
+  t.print();
+  session.add(t);
+
+  // Exactly-once across failover (the PR-6/9 composition).
+  const CrashResult cr = run_crash_case();
+  Table tc;
+  tc.title =
+      "Notified access across failover — 24 notified puts at a replicated "
+      "window, primary killed (announced) at t=400 us with a 64 KiB op on "
+      "the wire; the notification must fire exactly once at the copy that "
+      "serves each op";
+  tc.header = {"ok", "failed", "rescued", "retargeted",
+               "re-armed", "fired at backup", "duplicates at backup"};
+  tc.rows.push_back({benchutil::fmt_u64(cr.ok), benchutil::fmt_u64(cr.failed),
+                     benchutil::fmt_u64(cr.rescued),
+                     benchutil::fmt_u64(cr.retargeted),
+                     benchutil::fmt_u64(cr.rearmed),
+                     benchutil::fmt_u64(cr.fired_backup),
+                     benchutil::fmt_u64(cr.dupes_backup)});
+  tc.print();
+  session.add(tc);
+
+  // Waterfall attribution of the notification leg: one extra notified pass
+  // with the critical-path profiler attached (recording is
+  // zero-perturbation, so this run's numbers match the table's).
+  trace::Recorder rec;
+  trace::OpTimeline tl;
+  rec.set_op_timeline(&tl);
+  {
+    runtime::World w(benchutil::xt5_config(kStages));
+    w.engine().set_tracer(&rec);
+    std::vector<std::vector<sim::Time>> dummy;
+    w.run([&](runtime::Rank& r) {
+      const int me = r.id();
+      core::RmaEngine eng(r, r.comm_world());
+      auto [buf, mems] = eng.allocate_shared(4096);
+      if (me == 0) {
+        auto src = r.alloc(512);
+        for (int i = 0; i < 8; ++i) {
+          eng.put_notify(src.addr, mems[1], 512 * static_cast<std::uint64_t>(
+                                                     i % 8),
+                         512, 1, static_cast<std::uint32_t>(i),
+                         core::Attrs(core::RmaAttr::blocking) |
+                             core::RmaAttr::remote_completion);
+        }
+        eng.complete(1);
+      } else if (me == 1) {
+        auto& q = eng.notify_queue(mems[1]);
+        for (int i = 0; i < 8; ++i) (void)q.wait(r.ctx());
+      }
+      eng.complete_collective();
+    });
+  }
+  const auto agg =
+      tl.aggregate([](const trace::OpTimeline::Breakdown&) { return true; });
+  const sim::Time notify_ns =
+      agg.seg[static_cast<std::size_t>(trace::Segment::notify)];
+
+  auto mean_of = [&](bool ser, std::uint64_t size, Mode m) -> sim::Time {
+    for (const auto& [k, r] : all) {
+      if (k.serialized == ser && k.size == size && k.mode == m) {
+        return r.mean();
+      }
+    }
+    return 0;
+  };
+
+  int rc = 0;
+  std::printf("\nshape checks:\n");
+  for (const bool ser : {false, true}) {
+    for (const std::uint64_t size : {std::uint64_t{8}, std::uint64_t{512}}) {
+      const sim::Time n = mean_of(ser, size, Mode::notified);
+      const sim::Time f = mean_of(ser, size, Mode::flush_flag);
+      const bool ok = n < f;
+      if (!ok) rc = 1;
+      std::printf(
+          "  notified beats flush+flag at %llu B (%s): %s us vs %s us %s\n",
+          static_cast<unsigned long long>(size),
+          ser ? "serialized" : "direct", benchutil::fmt_us(n).c_str(),
+          benchutil::fmt_us(f).c_str(), ok ? "[ok]" : "[FAIL]");
+    }
+  }
+  {
+    const bool once = cr.failed == 0 && cr.dupes_backup == 0 &&
+                      cr.rearmed >= 1 && cr.ok == 24;
+    if (!once) rc = 1;
+    std::printf(
+        "  exactly-once across failover: %llu/24 ok, %llu re-armed, %llu "
+        "duplicates at the surviving copy %s\n",
+        static_cast<unsigned long long>(cr.ok),
+        static_cast<unsigned long long>(cr.rearmed),
+        static_cast<unsigned long long>(cr.dupes_backup),
+        once ? "[ok]" : "[FAIL]");
+  }
+  {
+    const bool charged = notify_ns > 0 && tl.conservation_ok();
+    if (!charged) rc = 1;
+    std::printf(
+        "  attribution charges the notification leg without breaking "
+        "conservation: %llu ns notify segment across 8 ops %s\n",
+        static_cast<unsigned long long>(notify_ns),
+        charged ? "[ok]" : "[FAIL]");
+  }
+
+  const std::string csv_file = benchutil::csv_flag(argc, argv,
+                                                   "tab_notify.csv");
+  if (!csv_file.empty()) {
+    std::ofstream os(csv_file, std::ios::binary);
+    os << "serializer,size_bytes,mode,hop,seq,handoff_ns\n";
+    for (const auto& [k, r] : all) {
+      for (std::size_t i = 0; i < r.handoffs.size(); ++i) {
+        os << (k.serialized ? "am" : "direct") << ',' << k.size << ','
+           << mode_name(k.mode) << ',' << i / kItems << ',' << i % kItems
+           << ',' << r.handoffs[i] << '\n';
+      }
+    }
+    std::printf("\nhandoff csv: -> %s\n", csv_file.c_str());
+  }
+
+  session.finish();
+  return rc;
+}

@@ -47,6 +47,9 @@ struct RmaEngine::AmHdr {
                            // is on the wire to the backup (or was dropped);
                            // releases mirrors the origin held for ordering
     bye,              // teardown handshake: sender has entered quiesce
+    notify_fire,      // origin -> surviving copy: re-arm the notification
+                      // of a rescued notified op (mem_id = window, offset =
+                      // disp, length = bytes, value_a = tag)
   };
 
   Kind kind = Kind::data_op;
@@ -109,6 +112,12 @@ struct Request::State {
   bool repl_rescued = false;
   TargetMem repl_mem;
   std::uint64_t repl_disp = 0;
+  // notified access: the op carries a user tag to fire at the target; the
+  // bytes/disp pair is what a failover re-arm reports to the backup's queue.
+  bool notify = false;
+  std::uint32_t notify_tag = 0;
+  std::uint64_t notify_bytes = 0;
+  std::uint64_t notify_disp = 0;
 };
 
 bool Request::done() const { return st_ == nullptr || st_->done; }
@@ -315,6 +324,8 @@ void RmaEngine::dispose() {
   }
   for (auto& [id, a] : attached_) ptl_->me_unlink(a.me);
   attached_.clear();
+  for (const auto& [id, q] : notify_queues_) ptl_->clear_notify_sink(id);
+  notify_queues_.clear();
   // Replica regions hosted for other ranks (std::map: deterministic
   // dealloc order, so the domain's free list evolves identically run-to-run).
   for (const auto& [id, buf] : replica_bufs_) rank_->memory().dealloc(buf);
@@ -412,6 +423,11 @@ TargetMem RmaEngine::attach(std::uint64_t addr, std::uint64_t length) {
   const portals::MeHandle me =
       ptl_->me_append(kPtData, id, 0, addr, length, nullptr);
   attached_.emplace(id, Attached{addr, length, me});
+  // Notification queue for this window, registered before any origin can
+  // learn the handle: a notified op can never land unheard. Creating it is
+  // simulation-invisible (no time, no traffic) so unused windows stay
+  // byte-identical.
+  register_notify_queue(id);
 
   const auto& mc = rank_->memory().config();
   TargetMem t;
@@ -470,6 +486,8 @@ void RmaEngine::detach(const TargetMem& mem) {
   ptl_->me_unlink(it->second.me);
   attached_.erase(it);
   repl_windows_.erase(mem.id);
+  ptl_->clear_notify_sink(mem.id);
+  notify_queues_.erase(mem.id);
 }
 
 std::vector<TargetMem> RmaEngine::exchange_all(const TargetMem& mine) {
@@ -556,6 +574,92 @@ Request RmaEngine::get_bytes(std::uint64_t origin_addr, const TargetMem& mem,
              target_rank, attrs);
 }
 
+// ---------------------------------------------------------- notified access
+
+namespace {
+/// Scoped set/clear of the engine's pending notify tag, so the issue path
+/// stays exception-safe and the tag never leaks into the next op.
+class NotifyTagScope {
+ public:
+  NotifyTagScope(std::optional<std::uint32_t>& slot, std::uint32_t tag)
+      : slot_(slot) {
+    slot_ = tag;
+  }
+  ~NotifyTagScope() { slot_.reset(); }
+  NotifyTagScope(const NotifyTagScope&) = delete;
+  NotifyTagScope& operator=(const NotifyTagScope&) = delete;
+
+ private:
+  std::optional<std::uint32_t>& slot_;
+};
+}  // namespace
+
+Request RmaEngine::put_notify(std::uint64_t origin_addr, const TargetMem& mem,
+                              std::uint64_t target_disp, std::uint64_t length,
+                              int target_rank, std::uint32_t tag,
+                              Attrs attrs) {
+  M3RMA_REQUIRE(length > 0, "notified put of zero bytes: a notification "
+                            "must witness data");
+  stats_.notifies_sent += 1;
+  NotifyTagScope scope(notify_tag_, tag);
+  return put_bytes(origin_addr, mem, target_disp, length, target_rank, attrs);
+}
+
+Request RmaEngine::get_notify(std::uint64_t origin_addr, const TargetMem& mem,
+                              std::uint64_t target_disp, std::uint64_t length,
+                              int target_rank, std::uint32_t tag,
+                              Attrs attrs) {
+  M3RMA_REQUIRE(length > 0, "notified get of zero bytes: a notification "
+                            "must witness data");
+  stats_.notifies_sent += 1;
+  NotifyTagScope scope(notify_tag_, tag);
+  return get_bytes(origin_addr, mem, target_disp, length, target_rank, attrs);
+}
+
+notify::NotifyQueue& RmaEngine::notify_queue(const TargetMem& mem) {
+  auto it = notify_queues_.find(mem.id);
+  M3RMA_REQUIRE(it != notify_queues_.end(),
+                "notify_queue: this rank hosts no copy of that window");
+  return *it->second;
+}
+
+void RmaEngine::register_notify_queue(std::uint64_t mem_id) {
+  auto nq = std::make_unique<notify::NotifyQueue>(rank_->world().engine());
+  ptl_->set_notify_sink(mem_id, [this, mem_id](const portals::Event& ev) {
+    fire_notify_local(mem_id, notify::Notification{ev.initiator, ev.tag,
+                                                   ev.length,
+                                                   ev.remote_offset});
+  });
+  notify_queues_.emplace(mem_id, std::move(nq));
+}
+
+void RmaEngine::fire_notify_local(std::uint64_t mem_id,
+                                  const notify::Notification& n) {
+  auto it = notify_queues_.find(mem_id);
+  if (it == notify_queues_.end()) {
+    // No live copy here (detached, or a re-arm raced this rank's death
+    // announcement): the consumer is gone, count it rather than lose it
+    // silently.
+    stats_.notifies_dropped += 1;
+    return;
+  }
+  it->second->push(n);
+  stats_.notifies_fired += 1;
+}
+
+void RmaEngine::rearm_notify(const Request::State& st) {
+  if (!st.notify || st.repl_backup < 0) return;
+  if (target_failed_[static_cast<std::size_t>(st.repl_backup)] != 0) return;
+  AmHdr h;
+  h.kind = AmHdr::Kind::notify_fire;
+  h.mem_id = st.repl_mem.id;
+  h.offset = st.notify_disp;
+  h.length = st.notify_bytes;
+  h.value_a = st.notify_tag;
+  send_am(st.repl_backup, h, {});
+  stats_.notifies_rearmed += 1;
+}
+
 // --------------------------------------------------------------- core issue
 
 Request RmaEngine::do_xfer(RmaOptype op, portals::AccOp acc_op,
@@ -621,6 +725,14 @@ Request RmaEngine::do_xfer(RmaOptype op, portals::AccOp acc_op,
   st->id = next_req_++;
   st->world_target = eff.owner;
   reqs_.emplace(st->id, st);
+  if (notify_tag_) {
+    // Read, not consumed: the reissue-from-scratch recursion below must
+    // re-apply the tag to the replacement request.
+    st->notify = true;
+    st->notify_tag = *notify_tag_;
+    st->notify_bytes = target_dt.size() * target_count;
+    st->notify_disp = target_disp;
+  }
 
   const char* opname = op == RmaOptype::put         ? "rma.put"
                        : op == RmaOptype::get       ? "rma.get"
@@ -744,15 +856,22 @@ void RmaEngine::issue_direct_put(const std::shared_ptr<Request::State>& st,
       target_failed_[static_cast<std::size_t>(mem.backup)] == 0;
 
   sim::Context& ctx = rank_->ctx();
+  // Notified op: the wire notify bit rides the LAST block only — ordered
+  // delivery means it lands after every earlier block has been applied, so
+  // one notification witnesses the whole transfer.
+  const std::uint64_t packed_total = target_dt.size() * target_count;
   auto issue_block = [&](std::uint64_t mem_off, std::uint64_t packed_off,
                          std::uint64_t len) {
     if (len == 0) return;
+    const bool nfy = st->notify && packed_off + len == packed_total;
     if (is_acc) {
       ptl_->atomic(ctx, acc_op, nt, md_all_, src_base + packed_off, len, t,
-                   kPtData, mem.id, target_disp + mem_off, st->id, want_ack);
+                   kPtData, mem.id, target_disp + mem_off, st->id, want_ack,
+                   nfy, st->notify_tag);
     } else {
       ptl_->put(ctx, md_all_, src_base + packed_off, len, t, kPtData, mem.id,
-                target_disp + mem_off, st->id, want_ack);
+                target_disp + mem_off, st->id, want_ack, nfy,
+                st->notify_tag);
     }
     per(t).issued += 1;
     if (want_ack) per(t).issued_rc += 1;
@@ -837,8 +956,10 @@ void RmaEngine::issue_direct_get(const std::shared_ptr<Request::State>& st,
   auto issue_block = [&](std::uint64_t mem_off, std::uint64_t packed_off,
                          std::uint64_t len) {
     if (len == 0) return;
+    // Last block only, as in issue_direct_put: one notification per op.
+    const bool nfy = st->notify && packed_off + len == packed_len;
     ptl_->get(ctx, md_all_, st->dest_addr + packed_off, len, t, kPtData,
-              mem.id, target_disp + mem_off, st->id);
+              mem.id, target_disp + mem_off, st->id, nfy, st->notify_tag);
     per(t).pending_replies += 1;
     st->pending += 1;
   };
@@ -912,6 +1033,11 @@ void RmaEngine::issue_am_op(const std::shared_ptr<Request::State>& st,
       h.length = len;
       h.req_id = st->id;
       h.value_a = packed_off;  // echoed back as the reply's placement
+      if (st->notify && packed_off + len == packed_len) {
+        // Notify marker: bit 32 set, low 32 bits the user tag (value_b is
+        // unused by data_op otherwise). Last block only.
+        h.value_b = (1ULL << 32) | st->notify_tag;
+      }
       send_am(t, h, {}, tag);
       per(t).pending_replies += 1;
       st->pending += 1;
@@ -941,6 +1067,7 @@ void RmaEngine::issue_am_op(const std::shared_ptr<Request::State>& st,
   const bool mirror =
       mem.backup >= 0 &&
       target_failed_[static_cast<std::size_t>(mem.backup)] == 0;
+  const std::uint64_t packed_total = target_dt.size() * target_count;
   auto issue_block = [&](std::uint64_t mem_off, std::uint64_t packed_off,
                          std::uint64_t len) {
     if (len == 0) return;
@@ -956,6 +1083,9 @@ void RmaEngine::issue_am_op(const std::shared_ptr<Request::State>& st,
     h.offset = target_disp + mem_off;
     h.length = len;
     h.req_id = st->id;
+    if (st->notify && packed_off + len == packed_total) {
+      h.value_b = (1ULL << 32) | st->notify_tag;  // see the get branch
+    }
     std::vector<std::byte> payload(len);
     rank_->memory().nic_read(src_base + packed_off, payload);
     send_am(t, h, std::move(payload), tag);
@@ -996,6 +1126,16 @@ void RmaEngine::issue_locked_op(const std::shared_ptr<Request::State>& st,
   TagScope parent_scope(attr_parent_, attr ? ptag : attr_parent_);
   auto adopt = [&](const std::shared_ptr<Request::State>& child) {
     if (attr) tl->alias(trace::op_tag(rank_->id(), child->id), ptag);
+  };
+  // Notified op under the coarse-lock serializer: the data-moving child is
+  // what touches the wire, so it inherits the tag (and with it the wire
+  // fire and any failover re-arm).
+  auto inherit_notify = [&](const std::shared_ptr<Request::State>& child) {
+    if (!st->notify) return;
+    child->notify = true;
+    child->notify_tag = st->notify_tag;
+    child->notify_bytes = st->notify_bytes;
+    child->notify_disp = st->notify_disp;
   };
   // Mid-operation target death: the outer request may already have been
   // drained by on_target_failed; otherwise complete it with the error here.
@@ -1090,6 +1230,7 @@ void RmaEngine::issue_locked_op(const std::shared_ptr<Request::State>& st,
     g->world_target = t;
     reqs_.emplace(g->id, g);
     adopt(g);
+    inherit_notify(g);
     issue_direct_get(g, origin_addr, origin_count, origin_dt, mem,
                      target_disp, target_count, target_dt);
     progress_until([g] { return g->done; });
@@ -1103,6 +1244,7 @@ void RmaEngine::issue_locked_op(const std::shared_ptr<Request::State>& st,
     p->world_target = t;
     reqs_.emplace(p->id, p);
     adopt(p);
+    inherit_notify(p);
     const bool ordered = rank_->world().config().caps.ordered_delivery;
     if (ordered) {
       // FIFO delivery lets the release ride right behind the data: the
@@ -1375,7 +1517,10 @@ void RmaEngine::on_target_failed(int node) {
     if (rescuable && !st->is_get && st->counts_send &&
         st->flush_threshold == 0) {
       // Plain local-completion put: its SEND events are already queued and
-      // complete it normally; its mirrors preserve the remote effect.
+      // complete it normally; its mirrors preserve the remote effect. The
+      // wire notify bit was aimed at the dead primary, so re-arm the
+      // notification at the backup whose copy now serves the data.
+      rearm_notify(*st);
       continue;
     }
     if (rescuable && !st->is_get) {
@@ -1397,6 +1542,7 @@ void RmaEngine::on_target_failed(int node) {
                           " backup=" + std::to_string(st->repl_backup));
           tr->add_counter(trace::Category::rma, "rma.rescued_ops");
         }
+        rearm_notify(*st);
         finish_trace(*st);
         reqs_.erase(st->id);
       } else {
@@ -2655,7 +2801,18 @@ void RmaEngine::on_am(fabric::Packet&& p) {
       if (pt.issued_rc == pt.issued) {
         pt.confirmed = std::max(pt.confirmed, std::min(pt.acked, pt.issued));
       }
-      if (auto st = find_req(h.req_id)) finish_segment(st);
+      if (auto st = find_req(h.req_id)) {
+        if (st->notify && h.value_a != 0) {
+          // value_a echoes the target-side fire time: attribute the
+          // notification leg [fire, ack-arrival] to the op.
+          if (auto* tl = trace::timeline(rank_->world().engine().tracer());
+              tl != nullptr && tl->tracks(p.op)) {
+            tl->add(p.op, trace::Segment::notify, h.value_a,
+                    rank_->world().engine().now());
+          }
+        }
+        finish_segment(st);
+      }
       break;
     }
     case AmHdr::Kind::get_reply: {
@@ -2663,6 +2820,13 @@ void RmaEngine::on_am(fabric::Packet&& p) {
       if (auto st = find_req(h.req_id)) {
         if (!p.payload.empty()) {
           rank_->memory().nic_write(st->dest_addr + h.offset, p.payload);
+        }
+        if (st->notify && h.value_b != 0) {
+          if (auto* tl = trace::timeline(rank_->world().engine().tracer());
+              tl != nullptr && tl->tracks(p.op)) {
+            tl->add(p.op, trace::Segment::notify, h.value_b,
+                    rank_->world().engine().now());
+          }
         }
         finish_segment(st);
       }
@@ -2753,6 +2917,9 @@ void RmaEngine::on_am(fabric::Packet&& p) {
         attached_.emplace(h.mem_id, Attached{buf, h.length, me});
         replica_bufs_.emplace(h.mem_id, buf);
         repl_windows_.emplace(h.mem_id, ReplWindow{h.length, -1, -1, false});
+        // Replica copies listen too: a post-failover retargeted notified op
+        // (or a re-armed rescue) must find a queue here, never land unheard.
+        register_notify_queue(h.mem_id);
         r.value_a = 1;
       }
       send_am(p.src, r, {});
@@ -2772,6 +2939,7 @@ void RmaEngine::on_am(fabric::Packet&& p) {
       attached_.emplace(h.mem_id, Attached{buf, h.length, me});
       replica_bufs_.emplace(h.mem_id, buf);
       repl_windows_.emplace(h.mem_id, ReplWindow{h.length, -1, p.src, false});
+      register_notify_queue(h.mem_id);
       // Mirrors that raced ahead of this adoption: re-route now that the
       // registry entry says which stream materializes the copy.
       if (auto g = pre_adopt_gate_.find(h.mem_id);
@@ -2877,6 +3045,16 @@ void RmaEngine::on_am(fabric::Packet&& p) {
       bye_seen_[static_cast<std::size_t>(p.src)] = 1;
       break;
     }
+    case AmHdr::Kind::notify_fire: {
+      // Failover re-arm: the origin of a rescued notified op tells the
+      // surviving copy to enqueue the notification its dead primary can no
+      // longer deliver.
+      fire_notify_local(
+          h.mem_id,
+          notify::Notification{p.src, static_cast<std::uint32_t>(h.value_a),
+                               h.length, h.offset});
+      break;
+    }
     case AmHdr::Kind::repl_ready: {
       if (auto st = find_req(h.req_id)) {
         st->rmw_value = h.value_a;  // 1 = replica registered, 0 = refused
@@ -2955,6 +3133,7 @@ void RmaEngine::on_am(fabric::Packet&& p) {
                                 " backup=" + std::to_string(p.src));
                 tr->add_counter(trace::Category::rma, "rma.rescued_ops");
               }
+              rearm_notify(*st);
               finish_trace(*st);
               reqs_.erase(st->id);
               ids.erase(ids.begin() + static_cast<std::ptrdiff_t>(i));
@@ -3033,6 +3212,15 @@ void RmaEngine::execute_am(AmMsg&& m, sim::Time apply_cost) {
       AmHdr r;
       r.kind = AmHdr::Kind::op_ack;
       r.req_id = h.req_id;
+      if ((h.value_b >> 32) == 1) {
+        // Notified software put: enqueue the notification now that the data
+        // is applied, and echo the fire time so the origin can attribute it.
+        fire_notify_local(
+            h.mem_id,
+            notify::Notification{m.src, static_cast<std::uint32_t>(h.value_b),
+                                 h.length, h.offset});
+        r.value_a = rank_->world().engine().now();
+      }
       send_am(m.src, r, {}, m.op);
       break;
     }
@@ -3044,6 +3232,13 @@ void RmaEngine::execute_am(AmMsg&& m, sim::Time apply_cost) {
       AmHdr r;
       r.kind = AmHdr::Kind::op_ack;
       r.req_id = h.req_id;
+      if ((h.value_b >> 32) == 1) {
+        fire_notify_local(
+            h.mem_id,
+            notify::Notification{m.src, static_cast<std::uint32_t>(h.value_b),
+                                 h.length, h.offset});
+        r.value_a = rank_->world().engine().now();
+      }
       send_am(m.src, r, {}, m.op);
       break;
     }
@@ -3055,7 +3250,16 @@ void RmaEngine::execute_am(AmMsg&& m, sim::Time apply_cost) {
       r.kind = AmHdr::Kind::get_reply;
       r.req_id = h.req_id;
       r.offset = h.value_a;  // packed destination offset at the origin
-      send_am(m.src, r, std::move(data), m.op);
+      if ((h.value_b >> 32) == 1) {
+        // A notified software get tells the target "the origin read this
+        // region"; fire after the read, echo the fire time in the reply.
+        fire_notify_local(
+            h.mem_id,
+            notify::Notification{m.src, static_cast<std::uint32_t>(h.value_b),
+                                 h.length, h.offset});
+        r.value_b = rank_->world().engine().now();
+      }
+      send_am(m.src, r, {}, m.op);
       break;
     }
   }

@@ -44,6 +44,7 @@
 #include "core/attrs.hpp"
 #include "core/target_mem.hpp"
 #include "datatype/datatype.hpp"
+#include "notify/notify_queue.hpp"
 #include "portals/portals.hpp"
 #include "runtime/comm.hpp"
 #include "runtime/world.hpp"
@@ -110,6 +111,14 @@ struct OpStats {
   std::uint64_t forwarded_mirrors = 0;///< in-flight mirrors relayed by an
                                       ///< acting primary to its new backup
   std::uint64_t probes_sent = 0;      ///< replica-readiness probes issued
+  // Notified access (all zero when put_notify/get_notify are unused).
+  std::uint64_t notifies_sent = 0;    ///< notified ops issued at this origin
+  std::uint64_t notifies_fired = 0;   ///< notifications enqueued at this
+                                      ///< target (wire- and AM-path fires)
+  std::uint64_t notifies_rearmed = 0; ///< notifications re-armed at the
+                                      ///< backup for rescued in-flight ops
+  std::uint64_t notifies_dropped = 0; ///< notified ops landing on a window
+                                      ///< with no registered queue
 };
 
 struct EngineConfig {
@@ -223,6 +232,28 @@ class RmaEngine {
   Request get_bytes(std::uint64_t origin_addr, const TargetMem& mem,
                     std::uint64_t target_disp, std::uint64_t length,
                     int target_rank, Attrs attrs = Attrs::none());
+
+  // ----- notified access (beyond the paper; cf. UNR, arXiv 2408.07428) ------
+
+  /// put_bytes that additionally enqueues {this rank, tag, length,
+  /// target_disp} on the target window's notification queue once the data
+  /// is applied at the target — remote completion, not origin ack. On a
+  /// replicated window the notification fires exactly once at the copy
+  /// that ends up serving the op (rescue/reissue paths re-arm it at the
+  /// backup). length must be > 0: a notification must witness data.
+  Request put_notify(std::uint64_t origin_addr, const TargetMem& mem,
+                     std::uint64_t target_disp, std::uint64_t length,
+                     int target_rank, std::uint32_t tag,
+                     Attrs attrs = Attrs::none());
+  /// get_bytes whose target learns "the origin read this region": the
+  /// notification fires after the read is served.
+  Request get_notify(std::uint64_t origin_addr, const TargetMem& mem,
+                     std::uint64_t target_disp, std::uint64_t length,
+                     int target_rank, std::uint32_t tag,
+                     Attrs attrs = Attrs::none());
+  /// Consumer side: the notification queue of a window this rank hosts
+  /// (owner copy). One queue per attached window, created by attach().
+  notify::NotifyQueue& notify_queue(const TargetMem& mem);
 
   // ----- completion and ordering -------------------------------------------
 
@@ -518,6 +549,19 @@ class RmaEngine {
   void service_lock_release(int releaser);
 
   void handle_eq_event(const portals::Event& ev);
+  /// Create the notification queue for a window copy this rank hosts and
+  /// register it as the Portals notify sink for the window's match bits.
+  /// Simulation-invisible (no time, no rng, no traffic).
+  void register_notify_queue(std::uint64_t mem_id);
+  /// Enqueue a notification on window `mem_id`'s local queue (every fire
+  /// path — wire sink, AM/serializer path, replication re-arms — funnels
+  /// here); counts a drop when this rank hosts no queue for it.
+  /// Event-context safe (no time, no blocking).
+  void fire_notify_local(std::uint64_t mem_id, const notify::Notification& n);
+  /// Re-arm the notification of a rescued in-flight op at the backup that
+  /// absorbed its mirrors: sends AmHdr::Kind::notify_fire so the surviving
+  /// copy's queue sees the op exactly once. Event-context safe.
+  void rearm_notify(const Request::State& st);
   /// Failure detector: `node` (world rank) was announced dead. Drains every
   /// pending op addressed to it with target_failed status, reconciles the
   /// per-target counters so flush predicates converge, and repairs the
@@ -551,6 +595,14 @@ class RmaEngine {
 
   std::unordered_map<std::uint64_t, Attached> attached_;
   std::uint64_t next_attach_ = 1;
+  // Notification queues for every window copy this rank hosts (owner,
+  // replica, adoptee), keyed by window id; registered as the Portals
+  // notify sink the moment the copy exists so a notified op can never
+  // land unheard. std::map for deterministic teardown order.
+  std::map<std::uint64_t, std::unique_ptr<notify::NotifyQueue>> notify_queues_;
+  // Tag of the notified op currently being issued (do_xfer reads it into
+  // the request state; survives the endian-retry recursion).
+  std::optional<std::uint32_t> notify_tag_;
 
   std::vector<PerTarget> targets_;  // indexed by world rank
   std::unordered_map<std::uint64_t, std::shared_ptr<Request::State>> reqs_;

@@ -1,0 +1,23 @@
+#include "notify/notify_queue.hpp"
+
+namespace m3rma::notify {
+
+std::optional<Notification> NotifyQueue::poll() {
+  auto ev = eq_.poll();
+  if (!ev) return std::nullopt;
+  delivered_ += 1;
+  return from_event(*ev);
+}
+
+Notification NotifyQueue::wait(sim::Context& ctx) {
+  Notification n = from_event(eq_.wait(ctx));
+  delivered_ += 1;
+  return n;
+}
+
+void NotifyQueue::push(const Notification& n) {
+  eq_.post(portals::Event{portals::EventType::notify, n.origin, 0, n.disp,
+                          n.bytes, 0, n.tag});
+}
+
+}  // namespace m3rma::notify

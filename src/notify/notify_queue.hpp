@@ -1,0 +1,72 @@
+// Notified access: the consumer-side notification queue.
+//
+// The 2009 paper's strawman API moves data one-sidedly but gives the target
+// no way to learn a transfer has landed — consumers must poll flags or spin
+// on an EQ. The follow-on literature (UNR, arXiv 2408.07428; "Quo Vadis
+// MPI RMA?", arXiv 2111.08142) identifies notification as the biggest hole
+// MPI-3 RMA inherited. This subsystem adds the missing half: a notified op
+// (core::RmaEngine::put_notify / get_notify) carries a user tag, and when
+// the data is applied at the target — remote completion, not origin ack —
+// a Notification record is enqueued on the target window's NotifyQueue,
+// where the consumer can poll() or block in wait().
+//
+// A NotifyQueue wraps a portals::EventQueue, so wakeups ride the same
+// event-driven machinery as every other EQ in the system: wait() is a
+// simulated blocking point that Engine::kill unwinds cleanly, and ordered
+// fabrics give per-origin FIFO delivery of notifications for free.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "portals/portals.hpp"
+#include "simtime/engine.hpp"
+
+namespace m3rma::notify {
+
+/// One "a notified op landed on your window" record.
+struct Notification {
+  int origin = -1;          ///< rank that issued the notified op
+  std::uint32_t tag = 0;    ///< user tag passed to put_notify/get_notify
+  std::uint64_t bytes = 0;  ///< payload bytes applied (or read, for gets)
+  std::uint64_t disp = 0;   ///< displacement into the target window
+};
+
+/// Per-target-window FIFO of notifications. Owned by the engine hosting
+/// the window (one per attached window, created with the window);
+/// consumers obtain it via core::RmaEngine::notify_queue().
+class NotifyQueue {
+ public:
+  explicit NotifyQueue(sim::Engine& e) : eq_(e) {}
+
+  /// Non-blocking: dequeue the oldest pending notification, if any.
+  std::optional<Notification> poll();
+
+  /// Block the calling simulated process until a notification arrives.
+  /// Event-driven (no polling loop); kill-unwind safe.
+  Notification wait(sim::Context& ctx);
+
+  std::size_t pending() const { return eq_.pending(); }
+  /// Notifications handed to the consumer so far (poll + wait).
+  std::uint64_t delivered() const { return delivered_; }
+
+  /// Engine-side enqueue for notified ops that arrive above the Portals
+  /// wire (the AM/serializer path, and replication re-arms): posts a
+  /// synthetic notify event so waiters wake through the same condition as
+  /// wire-fired notifications.
+  void push(const Notification& n);
+
+  /// The underlying EQ (the consumer's blocking point; also usable as a
+  /// progress condition by upper layers).
+  portals::EventQueue& eq() { return eq_; }
+
+ private:
+  static Notification from_event(const portals::Event& ev) {
+    return Notification{ev.initiator, ev.tag, ev.length, ev.remote_offset};
+  }
+
+  portals::EventQueue eq_;
+  std::uint64_t delivered_ = 0;
+};
+
+}  // namespace m3rma::notify

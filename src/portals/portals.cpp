@@ -23,17 +23,26 @@ struct Portals::WireHdr {
   RmwOp rmw_op = RmwOp::fetch_add;
   NumType num_type = NumType::i64;
   std::uint8_t want_ack = 0;
+  // Notified access rides in what used to be padding so the header (and
+  // therefore every packet's wire_size and timing) stays byte-identical
+  // for non-notified traffic. On acks/replies for notified ops, remote_off
+  // is recycled to echo the target-side fire time back to the initiator.
+  std::uint8_t notify = 0;
   std::int32_t pt_index = 0;
   std::uint64_t match = 0;
   std::uint64_t remote_off = 0;
   std::uint64_t length = 0;
   std::uint64_t user_ptr = 0;
   std::uint32_t md = 0;
+  std::uint32_t ntag = 0;
   std::uint64_t local_off = 0;
 };
 
 Portals::Portals(fabric::Nic& nic, memsim::MemoryDomain& mem)
     : nic_(&nic), mem_(&mem) {
+  static_assert(sizeof(WireHdr) == 64,
+                "notify fields must live in existing padding: growing the "
+                "header changes every packet's wire size and timing");
   nic_->register_protocol(kProtocolId,
                           [this](fabric::Packet&& p) { deliver(std::move(p)); });
 }
@@ -93,6 +102,20 @@ void Portals::note_dropped(int initiator, std::uint64_t match,
     trace_eq("dropped", ev);
     drop_eq_->post(ev);
   }
+}
+
+void Portals::fire_notify(int initiator, std::uint64_t match,
+                          std::uint64_t remote_off, std::uint64_t length,
+                          std::uint64_t user_ptr, std::uint32_t ntag) {
+  auto it = notify_sinks_.find(match);
+  if (it == notify_sinks_.end() || !it->second) {
+    note_dropped(initiator, match, remote_off, length, user_ptr);
+    return;
+  }
+  const Event ev{EventType::notify, initiator, match,    remote_off,
+                 length,            user_ptr,  ntag};
+  trace_eq("notify", ev);
+  it->second(ev);
 }
 
 std::uint64_t Portals::received_data_ops(int pt_index, int src) const {
@@ -168,7 +191,8 @@ void Portals::send_to(int target, const WireHdr& hdr,
 void Portals::put(sim::Context& ctx, MdHandle md, std::uint64_t local_off,
                   std::uint64_t length, int target, int pt_index,
                   std::uint64_t match, std::uint64_t remote_off,
-                  std::uint64_t user_ptr, bool want_ack) {
+                  std::uint64_t user_ptr, bool want_ack, bool notify,
+                  std::uint32_t ntag) {
   Md& m = md_ref(md);
   M3RMA_REQUIRE(local_off + length <= m.length, "put exceeds MD bounds");
   // Attribution: user_ptr is the issuing layer's request id, so (node,
@@ -182,6 +206,8 @@ void Portals::put(sim::Context& ctx, MdHandle md, std::uint64_t local_off,
   WireHdr hdr;
   hdr.op = WireHdr::Op::put;
   hdr.want_ack = want_ack ? 1 : 0;
+  hdr.notify = notify ? 1 : 0;
+  hdr.ntag = ntag;
   hdr.pt_index = pt_index;
   hdr.match = match;
   hdr.remote_off = remote_off;
@@ -200,7 +226,7 @@ void Portals::put(sim::Context& ctx, MdHandle md, std::uint64_t local_off,
 void Portals::get(sim::Context& ctx, MdHandle md, std::uint64_t local_off,
                   std::uint64_t length, int target, int pt_index,
                   std::uint64_t match, std::uint64_t remote_off,
-                  std::uint64_t user_ptr) {
+                  std::uint64_t user_ptr, bool notify, std::uint32_t ntag) {
   Md& m = md_ref(md);
   M3RMA_REQUIRE(local_off + length <= m.length, "get exceeds MD bounds");
   const std::uint64_t tag = trace::op_tag(node(), user_ptr);
@@ -208,6 +234,8 @@ void Portals::get(sim::Context& ctx, MdHandle md, std::uint64_t local_off,
 
   WireHdr hdr;
   hdr.op = WireHdr::Op::get_req;
+  hdr.notify = notify ? 1 : 0;
+  hdr.ntag = ntag;
   hdr.pt_index = pt_index;
   hdr.match = match;
   hdr.remote_off = remote_off;
@@ -222,7 +250,7 @@ void Portals::atomic(sim::Context& ctx, AccOp op, NumType nt, MdHandle md,
                      std::uint64_t local_off, std::uint64_t length,
                      int target, int pt_index, std::uint64_t match,
                      std::uint64_t remote_off, std::uint64_t user_ptr,
-                     bool want_ack) {
+                     bool want_ack, bool notify, std::uint32_t ntag) {
   M3RMA_REQUIRE(supports_atomics(),
                 "network has no native atomics; use a serializer");
   M3RMA_REQUIRE(length % num_size(nt) == 0,
@@ -239,6 +267,8 @@ void Portals::atomic(sim::Context& ctx, AccOp op, NumType nt, MdHandle md,
   hdr.acc_op = op;
   hdr.num_type = nt;
   hdr.want_ack = want_ack ? 1 : 0;
+  hdr.notify = notify ? 1 : 0;
+  hdr.ntag = ntag;
   hdr.pt_index = pt_index;
   hdr.match = match;
   hdr.remote_off = remote_off;
@@ -312,6 +342,10 @@ void Portals::deliver(fabric::Packet&& p) {
         trace_eq("put", ev);
         me->eq->post(ev);
       }
+      if (hdr.notify != 0) {
+        fire_notify(p.src, hdr.match, hdr.remote_off, hdr.length,
+                    hdr.user_ptr, hdr.ntag);
+      }
       if (hdr.want_ack && supports_ack_events()) {
         WireHdr ack;
         ack.op = WireHdr::Op::ack;
@@ -319,6 +353,11 @@ void Portals::deliver(fabric::Packet&& p) {
         ack.user_ptr = hdr.user_ptr;
         ack.match = hdr.match;
         ack.length = hdr.length;
+        if (hdr.notify != 0) {
+          ack.notify = 1;
+          ack.ntag = hdr.ntag;
+          ack.remote_off = nic_->fabric().engine().now();  // fire time
+        }
         send_to(p.src, ack, {}, p.op);  // return leg keeps the op tag
       }
       break;
@@ -338,6 +377,11 @@ void Portals::deliver(fabric::Packet&& p) {
         trace_eq("get", ev);
         me->eq->post(ev);
       }
+      if (hdr.notify != 0) {
+        // A notified get tells the target "the origin read this region".
+        fire_notify(p.src, hdr.match, hdr.remote_off, hdr.length,
+                    hdr.user_ptr, hdr.ntag);
+      }
       WireHdr reply;
       reply.op = WireHdr::Op::reply;
       reply.md = hdr.md;
@@ -345,6 +389,11 @@ void Portals::deliver(fabric::Packet&& p) {
       reply.user_ptr = hdr.user_ptr;
       reply.match = hdr.match;
       reply.length = hdr.length;
+      if (hdr.notify != 0) {
+        reply.notify = 1;
+        reply.ntag = hdr.ntag;
+        reply.remote_off = nic_->fabric().engine().now();  // fire time
+      }
       send_to(p.src, reply, std::move(data), p.op);
       break;
     }
@@ -370,6 +419,10 @@ void Portals::deliver(fabric::Packet&& p) {
         trace_eq("atomic", ev);
         me->eq->post(ev);
       }
+      if (hdr.notify != 0) {
+        fire_notify(p.src, hdr.match, hdr.remote_off, hdr.length,
+                    hdr.user_ptr, hdr.ntag);
+      }
       if (hdr.want_ack && supports_ack_events()) {
         WireHdr ack;
         ack.op = WireHdr::Op::ack;
@@ -377,6 +430,11 @@ void Portals::deliver(fabric::Packet&& p) {
         ack.user_ptr = hdr.user_ptr;
         ack.match = hdr.match;
         ack.length = hdr.length;
+        if (hdr.notify != 0) {
+          ack.notify = 1;
+          ack.ntag = hdr.ntag;
+          ack.remote_off = nic_->fabric().engine().now();
+        }
         send_to(p.src, ack, {}, p.op);
       }
       break;
@@ -417,6 +475,15 @@ void Portals::deliver(fabric::Packet&& p) {
       if (hdr.length > 0) {
         mem_->nic_write(it->second.base + hdr.local_off, p.payload);
       }
+      if (hdr.notify != 0) {
+        // remote_off echoes the target-side fire time: attribute the
+        // notification leg [fire, reply-arrival] to the op's tag.
+        if (auto* tl = trace::timeline(nic_->fabric().engine().tracer());
+            tl != nullptr && tl->tracks(p.op)) {
+          tl->add(p.op, trace::Segment::notify, hdr.remote_off,
+                  nic_->fabric().engine().now());
+        }
+      }
       if (it->second.eq != nullptr) {
         const Event ev{EventType::reply, p.src, hdr.match, 0, hdr.length,
                        hdr.user_ptr};
@@ -430,6 +497,13 @@ void Portals::deliver(fabric::Packet&& p) {
       if (it == mds_.end()) {
         note_dropped(p.src, hdr.match, 0, hdr.length, hdr.user_ptr);
         return;
+      }
+      if (hdr.notify != 0) {
+        if (auto* tl = trace::timeline(nic_->fabric().engine().tracer());
+            tl != nullptr && tl->tracks(p.op)) {
+          tl->add(p.op, trace::Segment::notify, hdr.remote_off,
+                  nic_->fabric().engine().now());
+        }
       }
       if (it->second.eq != nullptr) {
         const Event ev{EventType::ack, p.src, hdr.match, 0, hdr.length,

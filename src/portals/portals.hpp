@@ -19,6 +19,7 @@
 
 #include <cstdint>
 #include <deque>
+#include <functional>
 #include <optional>
 #include <unordered_map>
 #include <vector>
@@ -42,6 +43,7 @@ enum class EventType : std::uint8_t {
   reply,         ///< initiator: get/fetch-atomic data arrived
   atomic,        ///< target: an atomic was applied to an ME
   dropped,       ///< target: message arrived with no matching ME
+  notify,        ///< target: a notified op landed; `tag` holds the user tag
 };
 
 struct Event {
@@ -51,6 +53,7 @@ struct Event {
   std::uint64_t remote_offset = 0;
   std::uint64_t length = 0;
   std::uint64_t user_ptr = 0;    ///< initiator-supplied cookie
+  std::uint32_t tag = 0;         ///< user notification tag (notify events)
 };
 
 /// FIFO of events, waitable by simulated processes.
@@ -109,24 +112,33 @@ class Portals {
   /// One-sided write. Charges injection overhead to `ctx`, posts SEND to
   /// the MD's EQ at injection, and (if want_ack and the network supports
   /// completion events) posts ACK on remote delivery.
+  /// With `notify` set the wire header carries a notification bit + user
+  /// tag `ntag`: after the data is applied at the target, an
+  /// EventType::notify event is posted to the EQ registered (via
+  /// set_notify_eq) for the matched ME's match bits, and the ack (if any)
+  /// echoes the tag plus the target-side fire time in its remote_off.
   void put(sim::Context& ctx, MdHandle md, std::uint64_t local_off,
            std::uint64_t length, int target, int pt_index,
            std::uint64_t match, std::uint64_t remote_off,
-           std::uint64_t user_ptr, bool want_ack);
+           std::uint64_t user_ptr, bool want_ack, bool notify = false,
+           std::uint32_t ntag = 0);
 
   /// One-sided read; REPLY is posted to the MD's EQ when data arrives.
   /// length 0 is a valid flush probe (full round trip, no data).
+  /// A notified get fires the target-side notify event after the read.
   void get(sim::Context& ctx, MdHandle md, std::uint64_t local_off,
            std::uint64_t length, int target, int pt_index,
            std::uint64_t match, std::uint64_t remote_off,
-           std::uint64_t user_ptr);
+           std::uint64_t user_ptr, bool notify = false,
+           std::uint32_t ntag = 0);
 
   /// NIC-executed accumulate (requires supports_atomics()). Operand bytes
   /// are read from the MD like a put.
   void atomic(sim::Context& ctx, AccOp op, NumType nt, MdHandle md,
               std::uint64_t local_off, std::uint64_t length, int target,
               int pt_index, std::uint64_t match, std::uint64_t remote_off,
-              std::uint64_t user_ptr, bool want_ack);
+              std::uint64_t user_ptr, bool want_ack, bool notify = false,
+              std::uint32_t ntag = 0);
 
   /// NIC-executed fetched RMW on one element (requires supports_atomics()).
   /// The payload ([operand] or [compare][desired]) is read from
@@ -145,6 +157,17 @@ class Portals {
   /// mirroring Portals' PTL_EVENT_*_DROPPED. Optional; the
   /// dropped_messages() counter ticks regardless.
   void set_drop_eq(EventQueue* eq) { drop_eq_ = eq; }
+
+  /// Register the sink that receives EventType::notify events for notified
+  /// ops landing in MEs with these match bits (called in delivery context,
+  /// right after the data is applied / read). A notified op arriving with
+  /// no registered sink posts EventType::dropped instead (the producer
+  /// asked for a wakeup nobody is listening for).
+  using NotifySink = std::function<void(const Event&)>;
+  void set_notify_sink(std::uint64_t match, NotifySink sink) {
+    notify_sinks_[match] = std::move(sink);
+  }
+  void clear_notify_sink(std::uint64_t match) { notify_sinks_.erase(match); }
 
   int node() const { return nic_->node(); }
   fabric::Fabric& fabric() { return nic_->fabric(); }
@@ -181,6 +204,12 @@ class Portals {
                     std::uint64_t user_ptr);
   Me* match_me(int pt_index, std::uint64_t bits, std::uint64_t offset,
                std::uint64_t length);
+  /// Hand the target-side notify event for a landed notified op to the
+  /// registered sink (or post a dropped event when no sink is registered
+  /// for the match bits).
+  void fire_notify(int initiator, std::uint64_t match,
+                   std::uint64_t remote_off, std::uint64_t length,
+                   std::uint64_t user_ptr, std::uint32_t ntag);
   Md& md_ref(MdHandle md);
   /// Pay the NIC injection overhead; when `op` is a tracked attribution tag
   /// the interval is reported as the op's inject segment.
@@ -200,6 +229,8 @@ class Portals {
   MdHandle next_md_ = 1;
   MeHandle next_me_ = 1;
   EventQueue* drop_eq_ = nullptr;
+  // match bits -> consumer notification sink (see set_notify_sink).
+  std::unordered_map<std::uint64_t, NotifySink> notify_sinks_;
   std::uint64_t dropped_ = 0;
   // (pt_index, src) -> matched data ops.
   std::unordered_map<std::uint64_t, std::uint64_t> matched_counts_;

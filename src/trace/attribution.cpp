@@ -28,6 +28,8 @@ const char* segment_name(Segment s) {
       return "contention";
     case Segment::wire:
       return "wire";
+    case Segment::notify:
+      return "notify";
     case Segment::completion:
       return "completion";
     case Segment::other:

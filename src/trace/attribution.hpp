@@ -85,10 +85,11 @@ enum class Segment : std::uint8_t {
   inject,
   contention,
   wire,
+  notify,
   completion,
   other,
 };
-inline constexpr int kSegmentCount = 11;
+inline constexpr int kSegmentCount = 12;
 const char* segment_name(Segment s);
 
 // ----- the timeline ----------------------------------------------------------

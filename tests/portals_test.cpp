@@ -232,6 +232,152 @@ TEST_F(PortalsTest, StaleReplyPostsDroppedEvent) {
   EXPECT_EQ(ev->user_ptr, 5u);
 }
 
+TEST_F(PortalsTest, StaleAckPostsDroppedEvent) {
+  // Same late-delivery audit for the ACK leg: a put whose MD is released
+  // while the ack is on the wire must surface as a dropped event at the
+  // initiator, not vanish silently.
+  build();
+  const auto src = mem0->alloc(8);
+  const auto dst = mem1->alloc(8);
+  EventQueue drop_eq(eng);
+  p0->set_drop_eq(&drop_eq);
+  p1->me_append(kPt, kMatch, 0, dst, 8, nullptr);
+  eng.spawn("origin", [&](sim::Context& ctx) {
+    const auto md = p0->md_bind(src, 8, nullptr);
+    p0->put(ctx, md, 0, 8, 1, kPt, kMatch, 0, 13, /*want_ack=*/true);
+    p0->md_release(md);  // ack still on the wire
+  });
+  eng.run();
+  auto ev = drop_eq.poll();
+  ASSERT_TRUE(ev.has_value());
+  EXPECT_EQ(ev->type, EventType::dropped);
+  EXPECT_EQ(ev->initiator, 1);  // the acking target
+  EXPECT_EQ(ev->user_ptr, 13u);
+  EXPECT_EQ(p0->dropped_messages(), 1u);
+}
+
+TEST_F(PortalsTest, StaleNotifyAckPostsDroppedEvent) {
+  // Notified variant: the target-side notification still fires (the data
+  // DID land), but the returning notify-ack finds its MD gone and must
+  // post dropped at the initiator.
+  build();
+  const auto src = mem0->alloc(8);
+  const auto dst = mem1->alloc(8);
+  EventQueue drop_eq(eng);
+  p0->set_drop_eq(&drop_eq);
+  p1->me_append(kPt, kMatch, 0, dst, 8, nullptr);
+  std::vector<Event> fired;
+  p1->set_notify_sink(kMatch, [&](const Event& ev) { fired.push_back(ev); });
+  eng.spawn("origin", [&](sim::Context& ctx) {
+    const auto md = p0->md_bind(src, 8, nullptr);
+    p0->put(ctx, md, 0, 8, 1, kPt, kMatch, 0, 21, /*want_ack=*/true,
+            /*notify=*/true, /*ntag=*/0xbeef);
+    p0->md_release(md);
+  });
+  eng.run();
+  ASSERT_EQ(fired.size(), 1u);
+  EXPECT_EQ(fired[0].type, EventType::notify);
+  EXPECT_EQ(fired[0].tag, 0xbeefu);
+  EXPECT_EQ(fired[0].initiator, 0);
+  auto ev = drop_eq.poll();
+  ASSERT_TRUE(ev.has_value());
+  EXPECT_EQ(ev->type, EventType::dropped);
+  EXPECT_EQ(ev->user_ptr, 21u);
+}
+
+TEST_F(PortalsTest, NotifySinkReceivesTagAfterApply) {
+  // The sink runs in delivery context right after the bytes are applied:
+  // it must observe the payload already in target memory and the event
+  // must carry the initiator + user tag.
+  build();
+  const auto src = mem0->alloc(16);
+  const auto dst = mem1->alloc(16);
+  const auto md = p0->md_bind(src, 16, nullptr);
+  p1->me_append(kPt, kMatch, 0, dst, 16, nullptr);
+  std::vector<std::byte> data(16, std::byte{0x4d});
+  mem0->cpu_write(src, data);
+  std::vector<Event> fired;
+  std::vector<std::byte> at_fire(16);
+  p1->set_notify_sink(kMatch, [&](const Event& ev) {
+    fired.push_back(ev);
+    mem1->cpu_read_uncached(dst, at_fire);
+  });
+  eng.spawn("origin", [&](sim::Context& ctx) {
+    p0->put(ctx, md, 0, 16, 1, kPt, kMatch, 0, 0, false, true, 7);
+  });
+  eng.run();
+  ASSERT_EQ(fired.size(), 1u);
+  EXPECT_EQ(fired[0].type, EventType::notify);
+  EXPECT_EQ(fired[0].initiator, 0);
+  EXPECT_EQ(fired[0].tag, 7u);
+  EXPECT_EQ(fired[0].length, 16u);
+  EXPECT_EQ(at_fire, data);
+}
+
+TEST_F(PortalsTest, UnregisteredNotifyPostsDroppedEvent) {
+  // A notified op landing where nobody listens: the data applies, but the
+  // requested wakeup has no sink — that surfaces as a dropped event (the
+  // producer asked for a notification nobody will ever consume).
+  build();
+  const auto src = mem0->alloc(8);
+  const auto dst = mem1->alloc(8);
+  const auto md = p0->md_bind(src, 8, nullptr);
+  EventQueue drop_eq(eng);
+  p1->set_drop_eq(&drop_eq);
+  p1->me_append(kPt, kMatch, 0, dst, 8, nullptr);
+  std::vector<std::byte> data(8, std::byte{0x11});
+  mem0->cpu_write(src, data);
+  eng.spawn("origin", [&](sim::Context& ctx) {
+    p0->put(ctx, md, 0, 8, 1, kPt, kMatch, 0, 0, false, true, 9);
+  });
+  eng.run();
+  std::vector<std::byte> got(8);
+  mem1->cpu_read(dst, got);
+  EXPECT_EQ(got, data);  // the data still landed
+  auto ev = drop_eq.poll();
+  ASSERT_TRUE(ev.has_value());
+  EXPECT_EQ(ev->type, EventType::dropped);
+  EXPECT_EQ(ev->match_bits, kMatch);
+  EXPECT_EQ(p1->dropped_messages(), 1u);
+}
+
+TEST_F(PortalsTest, ClearedNotifySinkStopsFiring) {
+  build();
+  const auto src = mem0->alloc(8);
+  const auto dst = mem1->alloc(8);
+  const auto md = p0->md_bind(src, 8, nullptr);
+  p1->me_append(kPt, kMatch, 0, dst, 8, nullptr);
+  int fires = 0;
+  p1->set_notify_sink(kMatch, [&](const Event&) { fires += 1; });
+  p1->clear_notify_sink(kMatch);
+  eng.spawn("origin", [&](sim::Context& ctx) {
+    p0->put(ctx, md, 0, 8, 1, kPt, kMatch, 0, 0, false, true, 3);
+  });
+  eng.run();
+  EXPECT_EQ(fires, 0);
+  EXPECT_EQ(p1->dropped_messages(), 1u);
+}
+
+TEST_F(PortalsTest, KilledWaiterInEventQueueWaitUnwinds) {
+  // Fail-stop kill of a process parked in EventQueue::wait: the wait must
+  // unwind (KilledSignal through check_killed) so Engine::run terminates
+  // with no events ever arriving.
+  build();
+  EventQueue eq(eng);
+  bool returned = false;
+  const int victim = eng.spawn("waiter", [&](sim::Context& ctx) {
+    (void)eq.wait(ctx);  // nothing will ever be posted
+    returned = true;
+  });
+  eng.spawn("killer", [&](sim::Context& ctx) {
+    ctx.delay(1000);
+    ctx.engine().kill(victim);
+  });
+  eng.run();
+  EXPECT_FALSE(returned);
+  EXPECT_EQ(eq.pending(), 0u);
+}
+
 TEST_F(PortalsTest, TruncatingPutIsDropped) {
   build();
   const auto src = mem0->alloc(64);
